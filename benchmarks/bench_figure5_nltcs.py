@@ -1,0 +1,67 @@
+"""Figure 5: accuracy of marginal release on the NLTCS dataset.
+
+Regenerates the six panels (Q1, Q1*, Q1a, Q2, Q2*, Q2a) of the paper's
+Figure 5 on the 16-attribute binary NLTCS stand-in: relative error against
+epsilon for I, Q, Q+, F, F+, C, C+.
+
+Expected shapes (Section 5.2 of the paper):
+
+* the optimal non-uniform budgeting is reliably at least as good as uniform
+  for the same strategy, with the largest gains on the mixed-order Q*
+  workloads;
+* the base-count strategy I is the weakest choice on the 1-way workloads but
+  becomes competitive as the marginal order grows;
+* the clustering strategy is among the most accurate on 1-way workloads.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import paper_method_suite, run_accuracy_experiment
+from repro.analysis.reporting import format_series_table, series_by_method
+from repro.queries.workload import paper_workloads
+
+from benchmarks.conftest import epsilon_grid, repetitions
+
+PANELS = ["Q1", "Q1*", "Q1a", "Q2", "Q2*", "Q2a"]
+
+
+def bench_figure5_nltcs(benchmark, nltcs_data, report_writer):
+    workloads = paper_workloads(nltcs_data.schema)
+
+    def run_all():
+        return {
+            name: run_accuracy_experiment(
+                nltcs_data,
+                workloads[name],
+                methods=paper_method_suite(),
+                epsilons=epsilon_grid(),
+                repetitions=repetitions(),
+                rng=5,
+            )
+            for name in PANELS
+        }
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    sections = []
+    for name in PANELS:
+        sections.append(
+            format_series_table(
+                results[name],
+                title=f"Figure 5 ({name}): NLTCS, relative error vs epsilon",
+            )
+        )
+    report_writer("figure5_nltcs", "\n\n".join(sections))
+
+    for name in PANELS:
+        series = series_by_method(results[name])
+        for points in series.values():
+            # Error trends downwards in epsilon (allowing for noise draws).
+            assert points[0].mean_relative_error >= points[-1].mean_relative_error * 0.5
+    # Panel (a): identity is not competitive for 1-way marginals.
+    q1 = series_by_method(results["Q1"])
+    eps = max(p.epsilon for p in q1["I"])
+    identity = [p for p in q1["I"] if p.epsilon == eps][0].mean_relative_error
+    for method in ("Q+", "F+", "C+"):
+        best = [p for p in q1[method] if p.epsilon == eps][0].mean_relative_error
+        assert best < identity

@@ -1,0 +1,65 @@
+"""Figure 6: end-to-end running time over the NLTCS data.
+
+Regenerates the running-time comparison of the paper's Figure 6: for each of
+the six workloads (Q1, Q1a, Q1*, Q2, Q2a, Q2*) and each strategy (F, C, Q, I)
+the total wall-clock time to produce a private, consistent release.
+
+Expected shape: the clustering strategy pays a markedly larger setup cost
+than the others (its greedy search grows with the square of the number of
+queries per merge round), while F, Q and I stay within fractions of a second
+and are essentially flat across workloads.  The gap is smaller than the
+paper's (hours vs seconds) because our reimplementation of the clustering
+baseline replaces the exponential lattice search of [6] with a polynomial
+greedy merge — see DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import MethodSpec, run_timing_experiment
+from repro.analysis.reporting import format_timing_table
+from repro.queries.workload import paper_workloads
+
+PANEL_ORDER = ["Q1", "Q1a", "Q1*", "Q2", "Q2a", "Q2*"]
+METHODS = [
+    MethodSpec(label="F", strategy="F", non_uniform=True),
+    MethodSpec(label="C", strategy="C", non_uniform=True),
+    MethodSpec(label="Q", strategy="Q", non_uniform=True),
+    MethodSpec(label="I", strategy="I", non_uniform=False),
+]
+
+
+def bench_figure6_runtime(benchmark, nltcs_data, report_writer):
+    workloads = paper_workloads(nltcs_data.schema)
+    ordered = [workloads[name] for name in PANEL_ORDER]
+
+    def run():
+        return run_timing_experiment(nltcs_data, ordered, methods=METHODS, epsilon=1.0, rng=6)
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = format_timing_table(
+        points, title="Figure 6: end-to-end running time (seconds) over NLTCS"
+    )
+    breakdown_rows = [
+        [p.workload, p.method, p.setup_seconds, p.release_seconds, p.total_seconds]
+        for p in points
+    ]
+    from repro.analysis.reporting import format_table
+
+    breakdown = format_table(
+        ["workload", "method", "setup s", "release s", "total s"],
+        breakdown_rows,
+        float_format="{:.3f}",
+    )
+    report_writer("figure6_runtime", table + "\n\nBreakdown:\n" + breakdown)
+
+    by_key = {(p.workload, p.method): p for p in points}
+    for workload_name in PANEL_ORDER:
+        # Clustering setup dominates the other strategies' setup cost.
+        cluster = by_key[(workload_name, "C")]
+        fourier = by_key[(workload_name, "F")]
+        assert cluster.setup_seconds >= fourier.setup_seconds
+    # The largest clustering workload is the slowest clustering run overall.
+    q2_star = by_key[("Q2*", "C")].setup_seconds
+    q1 = by_key[("Q1", "C")].setup_seconds
+    assert q2_star >= q1

@@ -1,0 +1,78 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  The measured
+series are printed (visible with ``pytest -s``) and also written to
+``benchmarks/results/<name>.txt`` so they can be compared against the
+published plots after a captured run.
+
+Environment knobs
+-----------------
+``REPRO_BENCH_FULL=1``
+    Use the paper's full epsilon grid (0.1 ... 1.0) and more repetitions.
+    The default grid is reduced so the whole harness runs in minutes.
+``REPRO_BENCH_RECORDS=<n>``
+    Override the number of synthetic records per dataset.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+from typing import List
+
+import pytest
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+try:  # pragma: no cover - import shim for uninstalled checkouts
+    import repro  # noqa: F401
+except ModuleNotFoundError:  # pragma: no cover
+    sys.path.insert(0, str(_SRC))
+
+from repro.data import synthetic_adult, synthetic_nltcs  # noqa: E402
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+FULL_RUN = os.environ.get("REPRO_BENCH_FULL", "0") not in ("", "0", "false")
+
+
+def epsilon_grid() -> List[float]:
+    """The privacy-parameter sweep used by the figure benchmarks."""
+    if FULL_RUN:
+        return [round(0.1 * i, 1) for i in range(1, 11)]
+    return [0.1, 0.5, 1.0]
+
+
+def repetitions() -> int:
+    """Noise draws averaged per (method, epsilon) point."""
+    return 5 if FULL_RUN else 2
+
+
+def record_count(default: int) -> int:
+    override = os.environ.get("REPRO_BENCH_RECORDS")
+    return int(override) if override else default
+
+
+@pytest.fixture(scope="session")
+def nltcs_data():
+    """Synthetic NLTCS stand-in (full 16-attribute schema)."""
+    return synthetic_nltcs(n_records=record_count(21_576), rng=1982)
+
+
+@pytest.fixture(scope="session")
+def adult_data():
+    """Synthetic Adult stand-in (full 8-attribute, 23-bit schema)."""
+    return synthetic_adult(n_records=record_count(32_561), rng=2013)
+
+
+@pytest.fixture(scope="session")
+def report_writer():
+    """Persist a formatted report under benchmarks/results and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n===== {name} =====\n{text}\n")
+
+    return write

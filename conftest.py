@@ -1,0 +1,17 @@
+"""Repository-level pytest configuration.
+
+Makes the ``src`` layout importable even when the package has not been
+installed (e.g. running ``pytest`` straight from a source checkout in an
+offline environment where ``pip install -e .`` is unavailable).  When the
+package is installed normally this shim is a no-op.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+
+try:  # pragma: no cover - trivial import probe
+    import repro  # noqa: F401
+except ModuleNotFoundError:  # pragma: no cover - only hit in uninstalled checkouts
+    sys.path.insert(0, str(_SRC))

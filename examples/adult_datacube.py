@@ -1,0 +1,81 @@
+"""Release a low-order datacube of the Adult census extract.
+
+Run with::
+
+    python examples/adult_datacube.py [path/to/adult.data]
+
+If a path to the real UCI ``adult.data`` file is given it is used; otherwise
+a seeded synthetic stand-in with the same schema (workclass, education,
+marital-status, occupation, relationship, race, sex, salary — a 2**23-cell
+domain after binary encoding) is generated.
+
+The script releases the workload the paper's experiments centre on — all
+1-way and 2-way marginals — and compares every strategy/budgeting combination
+on accuracy and running time, i.e. a miniature of Figures 4 and 6.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import MarginalReleaseEngine, all_k_way
+from repro.analysis.reporting import format_table
+from repro.data import load_adult_csv, synthetic_adult
+
+
+def load_data():
+    if len(sys.argv) > 1:
+        path = Path(sys.argv[1])
+        print(f"loading the real Adult data from {path}")
+        return load_adult_csv(path)
+    print("no adult.data path given - using the seeded synthetic stand-in")
+    return synthetic_adult(n_records=32_561, rng=2013)
+
+
+def main() -> None:
+    data = load_data()
+    table = data.contingency_table()
+    print(f"{data.name}: {len(data)} records, domain of 2**{data.schema.total_bits} cells")
+
+    workload = all_k_way(data.schema, 1).union(all_k_way(data.schema, 2), name="Q1+Q2")
+    print(f"workload: {len(workload)} marginals, {workload.total_cells} cells\n")
+
+    epsilon = 1.0
+    rows = []
+    for strategy in ("I", "Q", "F", "C"):
+        for non_uniform in (False, True):
+            if strategy == "I" and non_uniform:
+                continue  # uniform is already optimal for base counts
+            label = strategy + ("+" if non_uniform else "")
+            engine = MarginalReleaseEngine(workload, strategy, non_uniform=non_uniform)
+            start = time.perf_counter()
+            result = engine.release(table, epsilon, rng=1)
+            elapsed = time.perf_counter() - start
+            rows.append(
+                [
+                    label,
+                    result.relative_error(table),
+                    engine.expected_total_variance(epsilon),
+                    elapsed,
+                ]
+            )
+
+    print(
+        format_table(
+            ["method", "relative error", "predicted total variance", "seconds"],
+            rows,
+            float_format="{:.4g}",
+        )
+    )
+    print(
+        "\nThe '+' rows use the paper's optimal non-uniform budgeting; they are "
+        "never worse than their uniform counterparts in predicted variance."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""Consistency of released marginals (Sections 3.3 / 4.3 and Section 6).
+
+Run with::
+
+    python examples/consistency_demo.py
+
+Releasing each marginal independently (the ``S = Q`` strategy with the
+consistency step disabled) produces answers that contradict each other: the
+marginal on A summed from the noisy A,B table disagrees with the noisy A
+marginal itself, different marginals imply different population totals, and
+some cells go negative.  This script shows the problem and then repairs it
+with the Fourier-coefficient projection, optionally followed by the
+non-negativity post-processing of Section 6.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from repro import all_k_way, release_marginals
+from repro.data import synthetic_nltcs
+from repro.data.nltcs import NLTCS_SCHEMA
+from repro.recovery import make_consistent
+from repro.recovery.nonneg import nonnegative_consistent
+from repro.strategies.marginal import submarginal
+
+
+def total_spread(workload, marginals) -> float:
+    """Largest disagreement between the population totals implied by marginals."""
+    totals = [float(np.sum(m)) for m in marginals]
+    return max(totals) - min(totals)
+
+
+def overlap_disagreement(workload, marginals) -> float:
+    """Largest disagreement on the shared sub-marginal of any two queries."""
+    worst = 0.0
+    for i, query_i in enumerate(workload.queries):
+        for j in range(i + 1, len(workload)):
+            query_j = workload.queries[j]
+            common = query_i.mask & query_j.mask
+            from_i = submarginal(marginals[i], query_i.mask, common)
+            from_j = submarginal(marginals[j], query_j.mask, common)
+            worst = max(worst, float(np.abs(from_i - from_j).max()))
+    return worst
+
+
+def main() -> None:
+    # A small survey (800 respondents, the six ADL items): marginal cells are
+    # small enough that independent noisy answers visibly contradict each
+    # other and some released counts go negative.
+    data = synthetic_nltcs(n_records=800, rng=3).project(
+        NLTCS_SCHEMA.names[:6], name="nltcs-adl"
+    )
+    workload = all_k_way(data.schema, 2)
+    epsilon = 0.3
+
+    raw = release_marginals(
+        data, workload, budget=epsilon, strategy="Q", consistency=False, rng=11
+    )
+    print("--- independent noisy marginals (S = Q, no consistency step) ---")
+    print(f"disagreement between implied totals : {total_spread(workload, raw.marginals):10.2f}")
+    print(f"worst overlap disagreement          : {overlap_disagreement(workload, raw.marginals):10.2f}")
+    print(f"most negative released cell         : {min(float(m.min()) for m in raw.marginals):10.2f}")
+
+    projected = make_consistent(workload, raw.marginals)
+    print("\n--- after the Fourier-coefficient consistency projection ---")
+    print(f"disagreement between implied totals : {total_spread(workload, projected.marginals):10.2e}")
+    print(f"worst overlap disagreement          : {overlap_disagreement(workload, projected.marginals):10.2e}")
+    print(f"L2 distance moved by the projection : {projected.residual:10.2f}")
+
+    repaired = nonnegative_consistent(workload, projected.marginals, iterations=10)
+    print("\n--- after additionally alternating with non-negativity clipping ---")
+    print(f"worst overlap disagreement          : {overlap_disagreement(workload, repaired.marginals):10.2e}")
+    print(f"most negative released cell         : {min(float(m.min()) for m in repaired.marginals):10.2f}")
+
+    table = data.contingency_table()
+    truth = workload.true_answers(table)
+    before = np.mean([np.abs(a - t).mean() for a, t in zip(raw.marginals, truth)])
+    after = np.mean([np.abs(a - t).mean() for a, t in zip(projected.marginals, truth)])
+    print("\n--- accuracy against the exact marginals ---")
+    print(f"mean absolute error before consistency : {before:8.2f}")
+    print(f"mean absolute error after  consistency : {after:8.2f}")
+    print("(the projection never costs more than a factor 2 and usually helps)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Sweep epsilon and compare all strategy/budgeting combinations (Figure 5 style).
+
+Run with::
+
+    python examples/strategy_comparison.py
+
+Produces a text version of one panel of the paper's Figure 5: the average
+relative error of all 1-way marginals plus half of the 2-way marginals
+(``Q1*``) on the NLTCS stand-in, as epsilon varies, for the seven methods
+I, Q, Q+, F, F+, C and C+.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis.experiments import paper_method_suite, run_accuracy_experiment
+from repro.analysis.reporting import format_series_table
+from repro.data import synthetic_nltcs
+from repro.queries import star_workload
+
+
+def main() -> None:
+    data = synthetic_nltcs(n_records=21_576, rng=5)
+    workload = star_workload(data.schema, 1, name="Q1*")
+    print(
+        f"dataset: {data.name} ({len(data)} records); workload: {workload.name} "
+        f"({len(workload)} marginals)\n"
+    )
+
+    result = run_accuracy_experiment(
+        data,
+        workload,
+        methods=paper_method_suite(),
+        epsilons=[0.1, 0.25, 0.5, 0.75, 1.0],
+        repetitions=3,
+        rng=12,
+    )
+    print(
+        format_series_table(
+            result,
+            title="Average relative error per cell (lower is better), NLTCS Q1*",
+        )
+    )
+    print(
+        "\nReading guide (matches the paper's Figure 5(b)): every '+' column "
+        "should sit at or below its uniform counterpart, the identity strategy "
+        "I is the least accurate, and all errors shrink roughly like 1/epsilon."
+    )
+
+
+if __name__ == "__main__":
+    main()

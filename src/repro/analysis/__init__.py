@@ -1,0 +1,39 @@
+"""Error metrics, experiment sweeps and text reporting."""
+
+from repro.analysis.metrics import (
+    average_absolute_error,
+    average_relative_error,
+    per_query_absolute_error,
+    per_query_relative_error,
+    total_squared_error,
+)
+from repro.analysis.experiments import (
+    ExperimentPoint,
+    ExperimentResult,
+    MethodSpec,
+    paper_method_suite,
+    run_accuracy_experiment,
+    run_timing_experiment,
+)
+from repro.analysis.reporting import (
+    format_series_table,
+    format_table,
+    series_by_method,
+)
+
+__all__ = [
+    "average_absolute_error",
+    "average_relative_error",
+    "per_query_absolute_error",
+    "per_query_relative_error",
+    "total_squared_error",
+    "ExperimentPoint",
+    "ExperimentResult",
+    "MethodSpec",
+    "paper_method_suite",
+    "run_accuracy_experiment",
+    "run_timing_experiment",
+    "format_table",
+    "format_series_table",
+    "series_by_method",
+]

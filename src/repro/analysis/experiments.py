@@ -1,0 +1,223 @@
+"""Experiment harness for the paper's empirical study.
+
+The experiments of Section 5 sweep the privacy parameter ``epsilon`` for a
+set of methods (strategy plus budgeting choice) on a workload and report the
+average relative error, repeated over several noise draws.  The harness here
+produces those sweeps as plain data structures that the benchmark scripts
+format into the paper's figure series and table rows.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.analysis.metrics import average_relative_error
+from repro.core.engine import MarginalReleaseEngine
+from repro.domain.contingency import ContingencyTable
+from repro.domain.dataset import Dataset
+from repro.mechanisms.privacy import PrivacyBudget
+from repro.queries.workload import MarginalWorkload
+from repro.strategies.base import Strategy
+from repro.strategies.registry import make_strategy
+from repro.utils.rng import RngLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class MethodSpec:
+    """One curve of a figure: a strategy plus a budgeting choice.
+
+    ``label`` follows the paper's convention: the bare strategy letter for
+    uniform noise and a trailing ``+`` for the optimal non-uniform budgeting
+    (e.g. ``"F"`` vs ``"F+"``).
+    """
+
+    label: str
+    strategy: str
+    non_uniform: bool
+    consistency: bool = True
+
+
+def paper_method_suite(*, include_clustering: bool = True) -> List[MethodSpec]:
+    """The seven methods compared in Figures 4 and 5.
+
+    ``I`` has no non-uniform variant (uniform is already optimal for the
+    identity strategy), the others appear with and without the ``+``.
+    """
+    methods = [
+        MethodSpec(label="I", strategy="I", non_uniform=False),
+        MethodSpec(label="Q", strategy="Q", non_uniform=False),
+        MethodSpec(label="Q+", strategy="Q", non_uniform=True),
+        MethodSpec(label="F", strategy="F", non_uniform=False),
+        MethodSpec(label="F+", strategy="F", non_uniform=True),
+    ]
+    if include_clustering:
+        methods.extend(
+            [
+                MethodSpec(label="C", strategy="C", non_uniform=False),
+                MethodSpec(label="C+", strategy="C", non_uniform=True),
+            ]
+        )
+    return methods
+
+
+@dataclass
+class ExperimentPoint:
+    """One (method, epsilon) cell of a sweep."""
+
+    workload: str
+    method: str
+    epsilon: float
+    mean_relative_error: float
+    std_relative_error: float
+    repetitions: int
+    mean_seconds: float
+
+
+@dataclass
+class ExperimentResult:
+    """All points of one sweep, with lookup helpers."""
+
+    dataset: str
+    points: List[ExperimentPoint] = field(default_factory=list)
+
+    def filter(self, *, workload: Optional[str] = None, method: Optional[str] = None) -> List[ExperimentPoint]:
+        """Points matching the given workload and/or method label."""
+        selected = self.points
+        if workload is not None:
+            selected = [p for p in selected if p.workload == workload]
+        if method is not None:
+            selected = [p for p in selected if p.method == method]
+        return list(selected)
+
+    def methods(self) -> List[str]:
+        """Distinct method labels, in first-appearance order."""
+        seen: List[str] = []
+        for point in self.points:
+            if point.method not in seen:
+                seen.append(point.method)
+        return seen
+
+    def epsilons(self) -> List[float]:
+        """Distinct epsilon values, sorted."""
+        return sorted({point.epsilon for point in self.points})
+
+
+def _resolve_budget(epsilon: float, delta: Optional[float]) -> PrivacyBudget:
+    if delta is None:
+        return PrivacyBudget.pure(epsilon)
+    return PrivacyBudget.approximate(epsilon, delta)
+
+
+def run_accuracy_experiment(
+    data: Union[Dataset, ContingencyTable],
+    workload: MarginalWorkload,
+    *,
+    methods: Sequence[MethodSpec],
+    epsilons: Sequence[float],
+    repetitions: int = 3,
+    delta: Optional[float] = None,
+    rng: RngLike = 0,
+) -> ExperimentResult:
+    """Sweep ``epsilon`` for every method and record the relative error.
+
+    Strategies and engines are built once per method and reused across the
+    sweep (strategy construction — notably clustering — can dominate the
+    cost otherwise and would distort the timing columns).
+    """
+    table = data.contingency_table() if isinstance(data, Dataset) else data
+    vector = table.counts
+    true_marginals = workload.true_answers(table)
+    generator = ensure_rng(rng)
+    result = ExperimentResult(dataset=getattr(data, "name", "data"))
+
+    for method in methods:
+        engine = MarginalReleaseEngine(
+            workload,
+            make_strategy(method.strategy, workload),
+            non_uniform=method.non_uniform,
+            consistency=method.consistency,
+        )
+        for epsilon in epsilons:
+            budget = _resolve_budget(float(epsilon), delta)
+            errors = []
+            seconds = []
+            for _ in range(repetitions):
+                start = time.perf_counter()
+                release = engine.release(vector, budget, rng=generator)
+                seconds.append(time.perf_counter() - start)
+                errors.append(
+                    average_relative_error(workload, true_marginals, release.marginals)
+                )
+            result.points.append(
+                ExperimentPoint(
+                    workload=workload.name,
+                    method=method.label,
+                    epsilon=float(epsilon),
+                    mean_relative_error=float(np.mean(errors)),
+                    std_relative_error=float(np.std(errors)),
+                    repetitions=repetitions,
+                    mean_seconds=float(np.mean(seconds)),
+                )
+            )
+    return result
+
+
+@dataclass
+class TimingPoint:
+    """End-to-end running time of one method on one workload (Figure 6)."""
+
+    workload: str
+    method: str
+    setup_seconds: float
+    release_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.setup_seconds + self.release_seconds
+
+
+def run_timing_experiment(
+    data: Union[Dataset, ContingencyTable],
+    workloads: Sequence[MarginalWorkload],
+    *,
+    methods: Sequence[MethodSpec],
+    epsilon: float = 1.0,
+    rng: RngLike = 0,
+) -> List[TimingPoint]:
+    """End-to-end running time per (workload, method) pair.
+
+    ``setup_seconds`` covers strategy construction (including the clustering
+    search), ``release_seconds`` covers budgeting, measurement, recovery and
+    consistency — matching the paper's "end-to-end running time".
+    """
+    table = data.contingency_table() if isinstance(data, Dataset) else data
+    vector = table.counts
+    generator = ensure_rng(rng)
+    points: List[TimingPoint] = []
+    for workload in workloads:
+        for method in methods:
+            start = time.perf_counter()
+            strategy = make_strategy(method.strategy, workload)
+            engine = MarginalReleaseEngine(
+                workload,
+                strategy,
+                non_uniform=method.non_uniform,
+                consistency=method.consistency,
+            )
+            setup_seconds = time.perf_counter() - start
+            start = time.perf_counter()
+            engine.release(vector, PrivacyBudget.pure(epsilon), rng=generator)
+            release_seconds = time.perf_counter() - start
+            points.append(
+                TimingPoint(
+                    workload=workload.name,
+                    method=method.label,
+                    setup_seconds=setup_seconds,
+                    release_seconds=release_seconds,
+                )
+            )
+    return points

@@ -1,0 +1,114 @@
+"""Error metrics used in the experimental study (Section 5).
+
+The paper plots the *average absolute error per entry* of the released
+marginals, scaled by the mean true answer of the entry's marginal — the
+"relative error" of Figures 4 and 5.  A relative error below 1 means the
+noise is smaller than the signal on average.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Union
+
+import numpy as np
+
+from repro.domain.contingency import ContingencyTable
+from repro.exceptions import WorkloadError
+from repro.queries.workload import MarginalWorkload
+
+TruthInput = Union[ContingencyTable, np.ndarray, Sequence[np.ndarray]]
+
+
+def _resolve_truth(workload: MarginalWorkload, truth: TruthInput) -> List[np.ndarray]:
+    """Accept a table, a count vector, or precomputed true marginals."""
+    if isinstance(truth, ContingencyTable):
+        return workload.true_answers(truth)
+    if isinstance(truth, np.ndarray) and truth.ndim == 1 and truth.shape[0] == workload.domain_size:
+        return workload.true_answers(truth)
+    marginals = [np.asarray(m, dtype=np.float64) for m in truth]
+    if len(marginals) != len(workload):
+        raise WorkloadError(
+            f"expected {len(workload)} true marginals, got {len(marginals)}"
+        )
+    for query, marginal in zip(workload.queries, marginals):
+        if marginal.shape != (query.size,):
+            raise WorkloadError(
+                f"true marginal for query {query.mask:#x} has shape {marginal.shape}, "
+                f"expected ({query.size},)"
+            )
+    return marginals
+
+
+def _validate_released(
+    workload: MarginalWorkload, released: Sequence[np.ndarray]
+) -> List[np.ndarray]:
+    answers = [np.asarray(m, dtype=np.float64) for m in released]
+    if len(answers) != len(workload):
+        raise WorkloadError(f"expected {len(workload)} released marginals, got {len(answers)}")
+    return answers
+
+
+def per_query_absolute_error(
+    workload: MarginalWorkload, truth: TruthInput, released: Sequence[np.ndarray]
+) -> np.ndarray:
+    """Mean absolute error per cell, one value per query."""
+    true_marginals = _resolve_truth(workload, truth)
+    answers = _validate_released(workload, released)
+    return np.array(
+        [
+            float(np.abs(a - t).mean())
+            for a, t in zip(answers, true_marginals)
+        ]
+    )
+
+
+def per_query_relative_error(
+    workload: MarginalWorkload, truth: TruthInput, released: Sequence[np.ndarray]
+) -> np.ndarray:
+    """Per-query mean absolute error scaled by the query's mean true answer."""
+    true_marginals = _resolve_truth(workload, truth)
+    absolute = per_query_absolute_error(workload, true_marginals, released)
+    scales = np.array([max(float(t.mean()), np.finfo(float).tiny) for t in true_marginals])
+    return absolute / scales
+
+
+def average_absolute_error(
+    workload: MarginalWorkload, truth: TruthInput, released: Sequence[np.ndarray]
+) -> float:
+    """Average absolute error per released cell over the whole workload."""
+    true_marginals = _resolve_truth(workload, truth)
+    answers = _validate_released(workload, released)
+    total = sum(float(np.abs(a - t).sum()) for a, t in zip(answers, true_marginals))
+    return total / workload.total_cells
+
+
+def average_relative_error(
+    workload: MarginalWorkload, truth: TruthInput, released: Sequence[np.ndarray]
+) -> float:
+    """The paper's plot metric: per-entry absolute errors scaled by the mean
+    true answer of the entry's marginal, averaged over all released entries."""
+    true_marginals = _resolve_truth(workload, truth)
+    answers = _validate_released(workload, released)
+    total = 0.0
+    for query, answer, true_marginal in zip(workload.queries, answers, true_marginals):
+        scale = max(float(true_marginal.mean()), np.finfo(float).tiny)
+        total += float((np.abs(answer - true_marginal) / scale).sum())
+    return total / workload.total_cells
+
+
+def total_squared_error(
+    workload: MarginalWorkload, truth: TruthInput, released: Sequence[np.ndarray]
+) -> float:
+    """Total squared error over all released cells (the variance objective)."""
+    true_marginals = _resolve_truth(workload, truth)
+    answers = _validate_released(workload, released)
+    return sum(float(((a - t) ** 2).sum()) for a, t in zip(answers, true_marginals))
+
+
+def max_absolute_error(
+    workload: MarginalWorkload, truth: TruthInput, released: Sequence[np.ndarray]
+) -> float:
+    """Largest absolute cell error over the whole workload (L-infinity error)."""
+    true_marginals = _resolve_truth(workload, truth)
+    answers = _validate_released(workload, released)
+    return max(float(np.abs(a - t).max(initial=0.0)) for a, t in zip(answers, true_marginals))

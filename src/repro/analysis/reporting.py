@@ -1,0 +1,91 @@
+"""Plain-text reporting of experiment results.
+
+The benchmark harness prints the paper's figures as aligned text tables
+(one row per epsilon, one column per method) so the series can be compared
+against the published plots without any plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.analysis.experiments import ExperimentPoint, ExperimentResult, TimingPoint
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    float_format: str = "{:.4g}",
+) -> str:
+    """Render a simple aligned text table."""
+    def render(value: object) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    rendered = [[render(value) for value in row] for row in rows]
+    widths = [
+        max(len(headers[column]), *(len(row[column]) for row in rendered)) if rendered else len(headers[column])
+        for column in range(len(headers))
+    ]
+    lines = []
+    lines.append("  ".join(header.ljust(width) for header, width in zip(headers, widths)))
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rendered:
+        lines.append("  ".join(value.ljust(width) for value, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def series_by_method(
+    result: ExperimentResult, *, workload: Optional[str] = None
+) -> Dict[str, List[ExperimentPoint]]:
+    """Group an experiment's points by method label (one series per curve)."""
+    series: Dict[str, List[ExperimentPoint]] = {}
+    for point in result.filter(workload=workload):
+        series.setdefault(point.method, []).append(point)
+    for points in series.values():
+        points.sort(key=lambda p: p.epsilon)
+    return series
+
+
+def format_series_table(
+    result: ExperimentResult, *, workload: Optional[str] = None, title: Optional[str] = None
+) -> str:
+    """Format one figure panel: rows are epsilon values, columns are methods."""
+    series = series_by_method(result, workload=workload)
+    methods = [m for m in result.methods() if m in series]
+    epsilons = sorted({point.epsilon for points in series.values() for point in points})
+    rows = []
+    for epsilon in epsilons:
+        row: List[object] = [epsilon]
+        for method in methods:
+            match = [p for p in series[method] if p.epsilon == epsilon]
+            row.append(match[0].mean_relative_error if match else float("nan"))
+        rows.append(row)
+    table = format_table(["epsilon"] + methods, rows)
+    if title:
+        return f"{title}\n{table}"
+    return table
+
+
+def format_timing_table(points: Sequence[TimingPoint], *, title: Optional[str] = None) -> str:
+    """Format Figure 6: rows are workloads, columns are methods, cells are seconds."""
+    workloads: List[str] = []
+    methods: List[str] = []
+    for point in points:
+        if point.workload not in workloads:
+            workloads.append(point.workload)
+        if point.method not in methods:
+            methods.append(point.method)
+    lookup = {(p.workload, p.method): p.total_seconds for p in points}
+    rows = []
+    for workload in workloads:
+        row: List[object] = [workload]
+        for method in methods:
+            row.append(lookup.get((workload, method), float("nan")))
+        rows.append(row)
+    table = format_table(["workload"] + methods, rows)
+    if title:
+        return f"{title}\n{table}"
+    return table

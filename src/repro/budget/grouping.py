@@ -1,0 +1,222 @@
+"""The grouping property (Definition 3.1) and group summaries.
+
+A strategy matrix ``S`` satisfies the grouping property when its rows can be
+partitioned into groups such that
+
+* *row-wise disjointness*: rows in the same group have disjoint supports, and
+* *bounded column norm*: within a group, every column's largest entry
+  magnitude equals the same constant ``C_r``.
+
+Together these mean every column of ``S`` receives exactly one entry of
+magnitude ``C_r`` from each group, which collapses all privacy constraints
+into a single one and yields a closed-form optimal budget allocation
+(:mod:`repro.budget.allocation`).
+
+Strategies in :mod:`repro.strategies` describe their groups analytically via
+:class:`GroupSpec` (label, size, ``C_r`` and recovery weight ``s_r``); the
+helpers here also derive group structures from explicit dense matrices, which
+is what the test suite uses to validate the analytic descriptions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import GroupingError
+
+
+@dataclass(frozen=True)
+class GroupSpec:
+    """Summary of one group of strategy rows.
+
+    Parameters
+    ----------
+    label:
+        Human-readable identifier (e.g. the marginal or Fourier mask).
+    size:
+        Number of strategy rows in the group.
+    constant:
+        The group constant ``C_r`` of Definition 3.1 (magnitude of the
+        non-zero entries contributed to each column).
+    weight:
+        The recovery weight ``s_r = sum_{i in group} sum_j a_j R_ji**2``:
+        how strongly the noise of this group's rows shows up in the weighted
+        output variance.  (The paper's ``b_i`` equals ``2 * w_i`` for the
+        Laplace mechanism; the factor 2 is applied by the variance formulas,
+        not stored here.)
+    """
+
+    label: str
+    size: int
+    constant: float
+    weight: float
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise GroupingError(f"group {self.label!r} must contain at least one row")
+        if self.constant <= 0:
+            raise GroupingError(
+                f"group {self.label!r} must have a positive column constant, got {self.constant}"
+            )
+        if self.weight < 0:
+            raise GroupingError(
+                f"group {self.label!r} has a negative recovery weight {self.weight}"
+            )
+
+
+# --------------------------------------------------------------------------- #
+# grouping of explicit matrices
+# --------------------------------------------------------------------------- #
+def _rows_compatible(matrix: np.ndarray, group_rows: Sequence[int], row: int, tol: float) -> bool:
+    """Can ``row`` join the group without violating Definition 3.1?"""
+    candidate = matrix[row]
+    candidate_support = np.abs(candidate) > tol
+    magnitudes = np.abs(candidate[candidate_support])
+    if magnitudes.size == 0:
+        return False
+    if np.ptp(magnitudes) > tol:
+        return False
+    group_magnitude = None
+    for other in group_rows:
+        other_row = matrix[other]
+        other_support = np.abs(other_row) > tol
+        if np.any(candidate_support & other_support):
+            return False
+        group_magnitude = np.abs(other_row[other_support]).max()
+    if group_magnitude is not None and abs(group_magnitude - magnitudes.max()) > tol:
+        return False
+    return True
+
+
+def greedy_grouping(matrix: np.ndarray, *, tol: float = 1e-12) -> List[List[int]]:
+    """Greedy row grouping of a dense strategy matrix.
+
+    Each row is added to the first existing group it is compatible with
+    (disjoint support, matching entry magnitude); otherwise a new group is
+    started.  The result is a partition of the row indices.  As the paper
+    notes, the greedy grouping need not be minimum, but any valid grouping
+    suffices for the budgeting machinery.
+    """
+    dense = np.asarray(matrix, dtype=np.float64)
+    if dense.ndim != 2:
+        raise GroupingError(f"expected a 2-D strategy matrix, got shape {dense.shape}")
+    groups: List[List[int]] = []
+    for row in range(dense.shape[0]):
+        if not np.any(np.abs(dense[row]) > tol):
+            raise GroupingError(f"strategy row {row} is identically zero and cannot be grouped")
+        placed = False
+        for group_rows in groups:
+            if _rows_compatible(dense, group_rows, row, tol):
+                group_rows.append(row)
+                placed = True
+                break
+        if not placed:
+            groups.append([row])
+    return groups
+
+
+def satisfies_grouping_property(
+    matrix: np.ndarray,
+    groups: Sequence[Sequence[int]],
+    *,
+    tol: float = 1e-9,
+    require_full_cover: bool = True,
+) -> bool:
+    """Check Definition 3.1 for an explicit grouping.
+
+    With ``require_full_cover=True`` (the strict definition) every column must
+    receive exactly one entry of magnitude ``C_r`` from each group.  With
+    ``False`` only row-wise disjointness and per-group uniform magnitude are
+    checked, which is sufficient for the allocation to remain feasible.
+    """
+    dense = np.asarray(matrix, dtype=np.float64)
+    seen = np.zeros(dense.shape[0], dtype=bool)
+    for group_rows in groups:
+        rows = list(group_rows)
+        if not rows:
+            return False
+        if seen[rows].any():
+            return False
+        seen[rows] = True
+        block = dense[rows]
+        support = np.abs(block) > tol
+        # Disjoint supports: each column touched by at most one row of the group.
+        if np.any(support.sum(axis=0) > 1):
+            return False
+        magnitudes = np.abs(block[support])
+        if magnitudes.size == 0:
+            return False
+        constant = magnitudes.max()
+        if np.ptp(magnitudes) > tol * max(1.0, constant):
+            return False
+        if require_full_cover:
+            column_max = np.abs(block).max(axis=0)
+            if np.any(np.abs(column_max - constant) > tol * max(1.0, constant)):
+                return False
+    return bool(seen.all())
+
+
+def group_constant(matrix: np.ndarray, rows: Sequence[int], *, tol: float = 1e-12) -> float:
+    """The constant ``C_r`` of a group of rows of an explicit matrix."""
+    block = np.abs(np.asarray(matrix, dtype=np.float64)[list(rows)])
+    magnitudes = block[block > tol]
+    if magnitudes.size == 0:
+        raise GroupingError("group has no non-zero entries")
+    return float(magnitudes.max())
+
+
+def row_recovery_weights(recovery: np.ndarray, a: Optional[np.ndarray] = None) -> np.ndarray:
+    """Per-strategy-row weights ``w_i = sum_j a_j R_ji**2``.
+
+    These are the (halved) ``b_i`` of the paper's objective (1): the total
+    weighted output variance is ``sum_i Var(nu_i) * w_i``.
+    """
+    dense = np.asarray(recovery, dtype=np.float64)
+    if dense.ndim != 2:
+        raise GroupingError(f"expected a 2-D recovery matrix, got shape {dense.shape}")
+    if a is None:
+        weights = np.ones(dense.shape[0], dtype=np.float64)
+    else:
+        weights = np.asarray(a, dtype=np.float64)
+        if weights.shape != (dense.shape[0],):
+            raise GroupingError(
+                f"a must have one weight per query row ({dense.shape[0]}), got {weights.shape}"
+            )
+        if np.any(weights < 0):
+            raise GroupingError("the variance weights a must be non-negative")
+    return (weights[:, None] * dense**2).sum(axis=0)
+
+
+def group_specs_from_matrices(
+    strategy: np.ndarray,
+    recovery: np.ndarray,
+    groups: Sequence[Sequence[int]],
+    *,
+    a: Optional[np.ndarray] = None,
+    labels: Optional[Sequence[str]] = None,
+    tol: float = 1e-12,
+) -> List[GroupSpec]:
+    """Build :class:`GroupSpec` summaries from explicit ``S``, ``R`` and a grouping."""
+    strategy = np.asarray(strategy, dtype=np.float64)
+    recovery = np.asarray(recovery, dtype=np.float64)
+    if recovery.shape[1] != strategy.shape[0]:
+        raise GroupingError(
+            "recovery must have one column per strategy row: "
+            f"R is {recovery.shape}, S is {strategy.shape}"
+        )
+    weights = row_recovery_weights(recovery, a)
+    specs = []
+    for position, rows in enumerate(groups):
+        label = labels[position] if labels is not None else f"group-{position}"
+        specs.append(
+            GroupSpec(
+                label=label,
+                size=len(rows),
+                constant=group_constant(strategy, rows, tol=tol),
+                weight=float(weights[list(rows)].sum()),
+            )
+        )
+    return specs

@@ -1,0 +1,229 @@
+"""Command-line interface: private marginal release from a CSV file.
+
+Usage (after installing the package)::
+
+    python -m repro --input survey.csv --k 2 --epsilon 0.5 --strategy F \
+        --output released/
+
+reads a categorical CSV, releases all k-way marginals (optionally plus the
+(k+1)-way marginals of ``--star`` / ``--anchor``) under differential privacy
+and writes one CSV per released marginal plus a ``summary.txt`` describing
+the release.  The CLI is a thin wrapper over :func:`repro.core.release_marginals`
+intended for quick experiments; programmatic use should go through the API.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.core.engine import release_marginals
+from repro.core.result import ReleaseResult
+from repro.data.loader import load_csv
+from repro.domain.dataset import Dataset
+from repro.exceptions import ReproError
+from repro.mechanisms.privacy import PrivacyBudget
+from repro.queries.workload import (
+    MarginalWorkload,
+    all_k_way,
+    anchored_workload,
+    star_workload,
+)
+from repro.recovery.nonneg import project_nonnegative, round_to_integers
+from repro.utils.bits import bit_indices
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed separately for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Differentially private release of marginals from a categorical CSV file.",
+    )
+    parser.add_argument("--input", required=True, help="path to the input CSV file")
+    parser.add_argument(
+        "--columns",
+        nargs="+",
+        default=None,
+        help="columns to use (default: every column in the file)",
+    )
+    parser.add_argument(
+        "--no-header",
+        action="store_true",
+        help="treat the first row as data (columns are then column_0, column_1, ...)",
+    )
+    parser.add_argument("--k", type=int, default=2, help="marginal order to release (default 2)")
+    parser.add_argument(
+        "--star",
+        action="store_true",
+        help="additionally release half of the (k+1)-way marginals (the paper's Q*_k)",
+    )
+    parser.add_argument(
+        "--anchor",
+        default=None,
+        help="additionally release every (k+1)-way marginal containing this attribute (Q^a_k)",
+    )
+    parser.add_argument("--epsilon", type=float, default=1.0, help="privacy budget epsilon")
+    parser.add_argument(
+        "--delta",
+        type=float,
+        default=None,
+        help="delta for (epsilon, delta)-differential privacy (default: pure epsilon-DP)",
+    )
+    parser.add_argument(
+        "--strategy",
+        default="F",
+        choices=["I", "Q", "F", "C"],
+        help="strategy matrix: I base counts, Q marginals, F Fourier, C clustering",
+    )
+    parser.add_argument(
+        "--uniform",
+        action="store_true",
+        help="use classic uniform noise instead of the optimal non-uniform budgeting",
+    )
+    parser.add_argument(
+        "--no-consistency",
+        action="store_true",
+        help="skip the consistency projection (answers may contradict each other)",
+    )
+    parser.add_argument(
+        "--nonnegative",
+        action="store_true",
+        help="clip negative cells and round to integers before writing",
+    )
+    parser.add_argument("--seed", type=int, default=None, help="random seed for reproducibility")
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="directory for the released marginal CSVs (default: print a summary only)",
+    )
+    return parser
+
+
+def _build_workload(dataset: Dataset, args: argparse.Namespace) -> MarginalWorkload:
+    schema = dataset.schema
+    if args.k < 1 or args.k > len(schema):
+        raise ReproError(
+            f"--k must lie between 1 and the number of attributes ({len(schema)}), got {args.k}"
+        )
+    if args.star and args.anchor:
+        raise ReproError("--star and --anchor are mutually exclusive")
+    if args.star:
+        return star_workload(schema, args.k)
+    if args.anchor is not None:
+        return anchored_workload(schema, args.k, args.anchor)
+    return all_k_way(schema, args.k)
+
+
+def _marginal_rows(dataset: Dataset, mask: int, values) -> List[List[str]]:
+    """Rows (one per cell) for a released marginal, with value labels."""
+    schema = dataset.schema
+    names = schema.attributes_of_mask(mask)
+    positions = [schema.position(name) for name in names]
+    blocks = [schema.bit_block(name) for name in names]
+    bits = bit_indices(mask)
+    rows: List[List[str]] = []
+    for cell, value in enumerate(values):
+        # Recover each attribute's code from the compact cell index.
+        full = 0
+        for j, bit in enumerate(bits):
+            if (cell >> j) & 1:
+                full |= 1 << bit
+        labels = []
+        padding = False
+        for name, (offset, width) in zip(names, blocks):
+            code = (full >> offset) & ((1 << width) - 1)
+            attribute = schema.attribute(name)
+            if code >= attribute.cardinality:
+                padding = True
+                break
+            labels.append(attribute.label_of(code))
+        if padding:
+            continue  # padding cells of non-power-of-two attributes are always zero
+        rows.append(labels + [f"{float(value):.4f}"])
+    return rows
+
+
+def _write_outputs(dataset: Dataset, result: ReleaseResult, output: Path) -> List[Path]:
+    output.mkdir(parents=True, exist_ok=True)
+    written = []
+    for query, values in zip(result.workload.queries, result.marginals):
+        names = dataset.schema.attributes_of_mask(query.mask)
+        file_path = output / ("marginal_" + "_".join(names) + ".csv")
+        with file_path.open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(list(names) + ["count"])
+            writer.writerows(_marginal_rows(dataset, query.mask, values))
+        written.append(file_path)
+    return written
+
+
+def _summary(dataset: Dataset, result: ReleaseResult) -> str:
+    budget = result.budget
+    privacy = (
+        f"epsilon = {budget.epsilon:g}"
+        if budget.is_pure
+        else f"epsilon = {budget.epsilon:g}, delta = {budget.delta:g}"
+    )
+    lines = [
+        f"dataset            : {dataset.name} ({len(dataset)} records, {len(dataset.schema)} attributes)",
+        f"workload           : {result.workload.name} ({len(result.workload)} marginals, "
+        f"{result.workload.total_cells} cells)",
+        f"privacy            : {privacy}",
+        f"strategy           : {result.strategy_name} ({result.budgeting} budgeting)",
+        f"consistent output  : {result.consistent}",
+        f"predicted variance : {result.expected_total_variance:.4g}",
+        f"release time       : {result.total_time:.3f} s",
+    ]
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        dataset = load_csv(
+            args.input, columns=args.columns, has_header=not args.no_header
+        )
+        workload = _build_workload(dataset, args)
+        budget = (
+            PrivacyBudget.pure(args.epsilon)
+            if args.delta is None
+            else PrivacyBudget.approximate(args.epsilon, args.delta)
+        )
+        result = release_marginals(
+            dataset,
+            workload,
+            budget,
+            strategy=args.strategy,
+            non_uniform=not args.uniform,
+            consistency=not args.no_consistency,
+            rng=args.seed,
+        )
+        marginals = result.marginals
+        if args.nonnegative:
+            marginals = round_to_integers(project_nonnegative(marginals))
+            result = ReleaseResult(
+                workload=result.workload,
+                marginals=marginals,
+                strategy_name=result.strategy_name,
+                allocation=result.allocation,
+                consistent=False,  # clipping/rounding may break exact consistency
+                expected_total_variance=result.expected_total_variance,
+                elapsed_seconds=result.elapsed_seconds,
+            )
+        print(_summary(dataset, result))
+        if args.output is not None:
+            written = _write_outputs(dataset, result, Path(args.output))
+            print(f"wrote {len(written)} marginal files to {args.output}")
+        return 0
+    except (ReproError, OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    raise SystemExit(main())

@@ -1,0 +1,21 @@
+"""End-to-end private release engine and analytic error accounting."""
+
+from repro.core.result import ReleaseResult
+from repro.core.engine import MarginalReleaseEngine, release_marginals
+from repro.core.variance import per_query_variances, total_weighted_variance
+from repro.core.bounds import (
+    all_k_way_error_bound,
+    lower_bound,
+    table1_bounds,
+)
+
+__all__ = [
+    "ReleaseResult",
+    "MarginalReleaseEngine",
+    "release_marginals",
+    "per_query_variances",
+    "total_weighted_variance",
+    "all_k_way_error_bound",
+    "lower_bound",
+    "table1_bounds",
+]

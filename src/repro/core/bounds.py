@@ -1,0 +1,176 @@
+"""Theoretical error bounds for releasing all k-way marginals (Table 1).
+
+Each function returns the leading term of the corresponding bound on the
+expected L1 noise per marginal, ``E[||C^beta x - C~^beta||_1]``, for the
+workload of all k-way marginals over ``d`` binary attributes.  Constants
+hidden by the O-notation in the paper are dropped, so the values are meant
+for comparing *growth* across methods and parameters — exactly how Table 1
+is used — not as exact noise predictions.
+
+The rows of Table 1 and their sources:
+
+=============================  ===========================================
+Strategy                        pure epsilon-DP bound
+=============================  ===========================================
+Base counts                     (1/eps) * 2**((d + k) / 2)
+Marginals                       (1/eps) * 2**k * C(d, k)
+Fourier, uniform noise          (1/eps) * k * C(d, k) * sqrt(2**k)
+Fourier, non-uniform noise      (1/eps) * k * sqrt(C(d, k) * C(d+k, k))
+Lower bound                     (1/eps) * sqrt(C(d, k))
+=============================  ===========================================
+
+with the (epsilon, delta) column replacing the workload-size factors by their
+square roots times ``sqrt(log(1/delta))`` as in the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.exceptions import PrivacyError
+from repro.utils.validation import check_delta, check_epsilon
+
+_METHODS = (
+    "base_counts",
+    "marginals",
+    "fourier_uniform",
+    "fourier_nonuniform",
+    "lower_bound",
+)
+
+
+def _validate(d: int, k: int) -> None:
+    if d <= 0 or k <= 0 or k > d:
+        raise ValueError(f"need 1 <= k <= d, got d={d}, k={k}")
+
+
+def _comb(n: int, k: int) -> float:
+    return float(math.comb(n, k))
+
+
+def base_counts_bound(d: int, k: int, epsilon: float, delta: Optional[float] = None) -> float:
+    """Noisy base counts (``S = I``), Dwork et al. [9] / [8]."""
+    _validate(d, k)
+    epsilon = check_epsilon(epsilon)
+    value = 2.0 ** ((d + k) / 2.0) / epsilon
+    if delta is not None:
+        value *= math.sqrt(math.log(1.0 / check_delta(delta)))
+    return value
+
+
+def marginals_bound(d: int, k: int, epsilon: float, delta: Optional[float] = None) -> float:
+    """Direct noisy marginals (``S = Q``), Barak et al. [1]."""
+    _validate(d, k)
+    epsilon = check_epsilon(epsilon)
+    if delta is None:
+        return (2.0**k) * _comb(d, k) / epsilon
+    return (2.0**k) * math.sqrt(_comb(d, k) * math.log(1.0 / check_delta(delta))) / epsilon
+
+
+def fourier_uniform_bound(d: int, k: int, epsilon: float, delta: Optional[float] = None) -> float:
+    """Fourier strategy with uniform noise (Theorem B.1 / [1])."""
+    _validate(d, k)
+    epsilon = check_epsilon(epsilon)
+    if delta is None:
+        return k * _comb(d, k) * math.sqrt(2.0**k) / epsilon
+    return math.sqrt(k * (2.0**k) * _comb(d, k) * math.log(1.0 / check_delta(delta))) / epsilon
+
+
+def fourier_nonuniform_bound(
+    d: int, k: int, epsilon: float, delta: Optional[float] = None
+) -> float:
+    """Fourier strategy with the paper's optimal non-uniform noise (Lemma 4.2)."""
+    _validate(d, k)
+    epsilon = check_epsilon(epsilon)
+    if delta is None:
+        return k * math.sqrt(_comb(d, k) * _comb(d + k, k)) / epsilon
+    return math.sqrt(k * _comb(d + k, k) * math.log(1.0 / check_delta(delta))) / epsilon
+
+
+def lower_bound(d: int, k: int, epsilon: float, delta: Optional[float] = None) -> float:
+    """Unconditional lower bound of Kasiviswanathan et al. [15] (up to polylog factors)."""
+    _validate(d, k)
+    epsilon = check_epsilon(epsilon)
+    value = math.sqrt(_comb(d, k)) / epsilon
+    if delta is not None:
+        value *= max(0.0, 1.0 - check_delta(delta) / epsilon)
+    return value
+
+
+def all_k_way_error_bound(
+    method: str, d: int, k: int, epsilon: float, delta: Optional[float] = None
+) -> float:
+    """Dispatch Table 1 by method name.
+
+    ``method`` is one of ``"base_counts"``, ``"marginals"``,
+    ``"fourier_uniform"``, ``"fourier_nonuniform"`` or ``"lower_bound"``.
+    """
+    dispatch = {
+        "base_counts": base_counts_bound,
+        "marginals": marginals_bound,
+        "fourier_uniform": fourier_uniform_bound,
+        "fourier_nonuniform": fourier_nonuniform_bound,
+        "lower_bound": lower_bound,
+    }
+    if method not in dispatch:
+        raise PrivacyError(f"unknown bound {method!r}; available: {sorted(dispatch)}")
+    return dispatch[method](d, k, epsilon, delta)
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One row of the reproduced Table 1."""
+
+    method: str
+    pure: float
+    approximate: float
+
+
+def table1_bounds(
+    d: int, k: int, epsilon: float, delta: float = 1e-6
+) -> Dict[str, Table1Row]:
+    """All rows of Table 1 for the given parameters.
+
+    Returns a mapping from method name to its pure-DP and
+    ``(epsilon, delta)``-DP bounds on the expected L1 noise per marginal.
+    """
+    rows: Dict[str, Table1Row] = {}
+    for method in _METHODS:
+        rows[method] = Table1Row(
+            method=method,
+            pure=all_k_way_error_bound(method, d, k, epsilon, None),
+            approximate=all_k_way_error_bound(method, d, k, epsilon, delta),
+        )
+    return rows
+
+
+def fourier_total_variance_all_k_way(
+    d: int, k: int, epsilon: float, *, non_uniform: bool = True
+) -> float:
+    """Exact (non-asymptotic) total output variance of the Fourier strategy.
+
+    Evaluates the closed form from the proof of Lemma 4.2: with groups being
+    individual Fourier coefficients (``C_i = 2**(-d/2)``) and recovery weights
+    ``s_i = 2**(d - k) * C(d - ||i||, k - ||i||)``, the optimal allocation
+    attains total variance ``2 * (sum_i (C_i**2 s_i)**(1/3))**3 / eps**2``
+    and the uniform allocation ``2 * (sum_i C_i)**2 * (sum_i s_i) / eps**2``,
+    summed over all ``C(d, k) * 2**k`` released cells.
+    """
+    _validate(d, k)
+    epsilon = check_epsilon(epsilon)
+    constant_sq = 2.0 ** (-d)
+    if non_uniform:
+        total = 0.0
+        for weight in range(k + 1):
+            count = math.comb(d, weight)
+            s_i = (2.0 ** (d - k)) * math.comb(d - weight, k - weight)
+            total += count * (constant_sq * s_i) ** (1.0 / 3.0)
+        return 2.0 * total**3 / epsilon**2
+    sum_c = sum(math.comb(d, weight) for weight in range(k + 1)) * (2.0 ** (-d / 2.0))
+    sum_s = sum(
+        math.comb(d, weight) * (2.0 ** (d - k)) * math.comb(d - weight, k - weight)
+        for weight in range(k + 1)
+    )
+    return 2.0 * sum_c**2 * sum_s / epsilon**2

@@ -1,0 +1,117 @@
+"""The result of a private marginal release."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Union
+
+import numpy as np
+
+from repro.budget.allocation import NoiseAllocation
+from repro.domain.contingency import ContingencyTable
+from repro.domain.schema import AttributeRef
+from repro.exceptions import WorkloadError
+from repro.mechanisms.privacy import PrivacyBudget
+from repro.queries.workload import MarginalWorkload
+
+
+@dataclass
+class ReleaseResult:
+    """Differentially private answers to a marginal workload.
+
+    Attributes
+    ----------
+    workload:
+        The workload that was answered.
+    marginals:
+        One noisy marginal vector per query, in workload order.
+    strategy_name:
+        Name of the strategy that produced the answers.
+    allocation:
+        The noise allocation (including the privacy budget and whether the
+        allocation was uniform or optimal).
+    consistent:
+        Whether a consistency projection was applied (or the strategy is
+        inherently consistent).
+    expected_total_variance:
+        The analytic total output variance predicted by the allocation
+        (before any consistency step, which can only help on average).
+    elapsed_seconds:
+        Wall-clock time of the release, broken down by phase.
+    """
+
+    workload: MarginalWorkload
+    marginals: List[np.ndarray]
+    strategy_name: str
+    allocation: NoiseAllocation
+    consistent: bool
+    expected_total_variance: float
+    elapsed_seconds: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if len(self.marginals) != len(self.workload):
+            raise WorkloadError(
+                f"expected {len(self.workload)} marginals, got {len(self.marginals)}"
+            )
+        for query, marginal in zip(self.workload.queries, self.marginals):
+            if np.asarray(marginal).shape != (query.size,):
+                raise WorkloadError(
+                    f"marginal for query {query.mask:#x} has shape "
+                    f"{np.asarray(marginal).shape}, expected ({query.size},)"
+                )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def budget(self) -> PrivacyBudget:
+        """Total privacy budget spent by the release."""
+        return self.allocation.budget
+
+    @property
+    def budgeting(self) -> str:
+        """``"optimal"`` (non-uniform) or ``"uniform"`` noise allocation."""
+        return self.allocation.kind
+
+    @property
+    def total_time(self) -> float:
+        """Total wall-clock seconds across all recorded phases."""
+        return float(sum(self.elapsed_seconds.values()))
+
+    def __repr__(self) -> str:
+        return (
+            f"ReleaseResult(strategy={self.strategy_name!r}, budgeting={self.budgeting!r}, "
+            f"workload={self.workload.name!r}, epsilon={self.budget.epsilon:g}, "
+            f"consistent={self.consistent})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # lookups
+    # ------------------------------------------------------------------ #
+    def marginal_for(self, attributes: Union[int, Iterable[AttributeRef]]) -> np.ndarray:
+        """The released marginal over the given attributes (or raw mask)."""
+        if isinstance(attributes, (int, np.integer)):
+            mask = int(attributes)
+        else:
+            mask = self.workload.schema.mask_of(attributes)
+        for query, marginal in zip(self.workload.queries, self.marginals):
+            if query.mask == mask:
+                return marginal
+        raise WorkloadError(f"no query with mask {mask:#x} in the released workload")
+
+    def as_dict(self) -> Dict[int, np.ndarray]:
+        """Mapping from query mask to released marginal."""
+        return {query.mask: marginal for query, marginal in zip(self.workload.queries, self.marginals)}
+
+    # ------------------------------------------------------------------ #
+    # error metrics (convenience wrappers over repro.analysis.metrics)
+    # ------------------------------------------------------------------ #
+    def absolute_error(self, truth: Union[ContingencyTable, np.ndarray]) -> float:
+        """Average absolute error per released cell against the exact data."""
+        from repro.analysis.metrics import average_absolute_error
+
+        return average_absolute_error(self.workload, truth, self.marginals)
+
+    def relative_error(self, truth: Union[ContingencyTable, np.ndarray]) -> float:
+        """Average relative error per released cell (the paper's plot metric)."""
+        from repro.analysis.metrics import average_relative_error
+
+        return average_relative_error(self.workload, truth, self.marginals)

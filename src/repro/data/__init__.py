@@ -1,0 +1,31 @@
+"""Datasets: synthetic generators matching the paper's evaluation data.
+
+The paper evaluates on the UCI *Adult* census extract and the StatLib
+*NLTCS* disability survey.  Neither can be bundled here, so this subpackage
+provides seeded synthetic generators with the exact same schemas and
+realistic value distributions (see DESIGN.md for the substitution rationale),
+plus CSV loaders that accept the real files when they are available locally.
+"""
+
+from repro.data.synthetic import (
+    independent_dataset,
+    latent_class_dataset,
+    planted_correlation_dataset,
+)
+from repro.data.adult import ADULT_SCHEMA, load_adult_csv, synthetic_adult
+from repro.data.nltcs import NLTCS_SCHEMA, load_nltcs_csv, synthetic_nltcs
+from repro.data.loader import infer_schema_from_records, load_csv
+
+__all__ = [
+    "independent_dataset",
+    "latent_class_dataset",
+    "planted_correlation_dataset",
+    "ADULT_SCHEMA",
+    "synthetic_adult",
+    "load_adult_csv",
+    "NLTCS_SCHEMA",
+    "synthetic_nltcs",
+    "load_nltcs_csv",
+    "infer_schema_from_records",
+    "load_csv",
+]

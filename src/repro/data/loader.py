@@ -1,0 +1,100 @@
+"""Generic CSV loading for categorical data.
+
+These helpers turn arbitrary delimited files of categorical columns into
+:class:`~repro.domain.dataset.Dataset` objects by enumerating the distinct
+values of every column.  They make it easy to run the release pipeline on a
+user's own data without writing encoding code.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.domain.attribute import Attribute
+from repro.domain.dataset import Dataset
+from repro.domain.schema import Schema
+from repro.exceptions import DataError
+
+
+def infer_schema_from_records(
+    columns: Sequence[str], rows: Sequence[Sequence[str]]
+) -> Tuple[Schema, np.ndarray]:
+    """Build a schema (and encoded record matrix) from raw string records.
+
+    Every column becomes a categorical attribute whose values are the sorted
+    distinct strings observed in that column.
+    """
+    if not rows:
+        raise DataError("cannot infer a schema from an empty record collection")
+    if any(len(row) != len(columns) for row in rows):
+        raise DataError("all rows must have one value per column")
+    attributes: List[Attribute] = []
+    encodings: List[Dict[str, int]] = []
+    for position, name in enumerate(columns):
+        values = sorted({row[position] for row in rows})
+        if len(values) < 2:
+            raise DataError(
+                f"column {name!r} has fewer than two distinct values and cannot "
+                "be used as a categorical attribute"
+            )
+        attributes.append(Attribute(name, len(values), labels=tuple(values)))
+        encodings.append({value: code for code, value in enumerate(values)})
+    matrix = np.array(
+        [[encodings[j][row[j]] for j in range(len(columns))] for row in rows],
+        dtype=np.int64,
+    )
+    return Schema(attributes), matrix
+
+
+def load_csv(
+    path: Union[str, Path],
+    *,
+    columns: Optional[Sequence[str]] = None,
+    delimiter: str = ",",
+    has_header: bool = True,
+    name: Optional[str] = None,
+) -> Dataset:
+    """Load a delimited file of categorical columns into a :class:`Dataset`.
+
+    Parameters
+    ----------
+    path:
+        Path to the file.
+    columns:
+        Names of the columns to keep (all columns when ``None``).  When the
+        file has no header, these must be ``"column_0"``, ``"column_1"``, ...
+    delimiter:
+        Field delimiter.
+    has_header:
+        Whether the first row holds column names.
+    name:
+        Optional dataset name (defaults to the file stem).
+    """
+    file_path = Path(path)
+    if not file_path.exists():
+        raise DataError(f"file not found: {file_path}")
+    with file_path.open(newline="") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        rows = [row for row in reader if any(cell.strip() for cell in row)]
+    if not rows:
+        raise DataError(f"{file_path} contains no records")
+    if has_header:
+        header = [cell.strip() for cell in rows[0]]
+        body = rows[1:]
+    else:
+        header = [f"column_{i}" for i in range(len(rows[0]))]
+        body = rows
+    if not body:
+        raise DataError(f"{file_path} contains a header but no records")
+    wanted = list(columns) if columns is not None else header
+    missing = [column for column in wanted if column not in header]
+    if missing:
+        raise DataError(f"columns {missing} not present in {file_path} (header: {header})")
+    positions = [header.index(column) for column in wanted]
+    stripped = [[row[position].strip() for position in positions] for row in body]
+    schema, matrix = infer_schema_from_records(wanted, stripped)
+    return Dataset(schema, matrix, name=name or file_path.stem)

@@ -1,0 +1,21 @@
+"""Domain modelling: attributes, schemas, datasets and contingency tables.
+
+The paper represents a relation over attributes ``A_1, ..., A_m`` as a count
+vector ``x`` indexed by the full cross product of attribute domains.  For the
+Fourier machinery of Section 4 every attribute is first mapped to
+``ceil(log2 |A|)`` binary attributes, so the vector has length ``N = 2**d``
+where ``d`` is the total number of bits.  This subpackage owns that encoding.
+"""
+
+from repro.domain.attribute import Attribute
+from repro.domain.schema import Schema
+from repro.domain.dataset import Dataset
+from repro.domain.contingency import ContingencyTable, marginal_from_vector
+
+__all__ = [
+    "Attribute",
+    "Schema",
+    "Dataset",
+    "ContingencyTable",
+    "marginal_from_vector",
+]

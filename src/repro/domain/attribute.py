@@ -1,0 +1,89 @@
+"""Attribute descriptions.
+
+An :class:`Attribute` is a named categorical column with a finite domain of
+``cardinality`` values, identified with the integers ``0 .. cardinality - 1``.
+Optional human-readable labels can be attached for presentation purposes; the
+library itself only ever works with the integer codes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+from repro.exceptions import SchemaError
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A categorical attribute of the input relation.
+
+    Parameters
+    ----------
+    name:
+        Column name, unique within a :class:`~repro.domain.schema.Schema`.
+    cardinality:
+        Number of distinct values; the values themselves are the integers
+        ``0 .. cardinality - 1``.
+    labels:
+        Optional value labels (must have length ``cardinality``).
+    """
+
+    name: str
+    cardinality: int
+    labels: Optional[Tuple[str, ...]] = field(default=None)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("attribute name must be a non-empty string")
+        if self.cardinality < 2:
+            raise SchemaError(
+                f"attribute {self.name!r} must have cardinality >= 2, got {self.cardinality}"
+            )
+        if self.labels is not None:
+            labels = tuple(self.labels)
+            if len(labels) != self.cardinality:
+                raise SchemaError(
+                    f"attribute {self.name!r} has {self.cardinality} values but "
+                    f"{len(labels)} labels"
+                )
+            object.__setattr__(self, "labels", labels)
+
+    @property
+    def bits(self) -> int:
+        """Number of binary attributes needed to encode this attribute."""
+        return max(1, math.ceil(math.log2(self.cardinality)))
+
+    @property
+    def encoded_cardinality(self) -> int:
+        """Size of the binary-encoded domain, ``2 ** bits`` (>= cardinality)."""
+        return 1 << self.bits
+
+    @property
+    def is_binary(self) -> bool:
+        """``True`` iff the attribute already has a two-value domain."""
+        return self.cardinality == 2
+
+    def label_of(self, value: int) -> str:
+        """Return the label of ``value`` (falls back to ``str(value)``)."""
+        self.validate_value(value)
+        if self.labels is None:
+            return str(value)
+        return self.labels[value]
+
+    def validate_value(self, value: int) -> int:
+        """Check that ``value`` is a legal code for this attribute."""
+        code = int(value)
+        if code != value or not (0 <= code < self.cardinality):
+            raise SchemaError(
+                f"value {value!r} is outside the domain of attribute {self.name!r} "
+                f"(cardinality {self.cardinality})"
+            )
+        return code
+
+
+def binary_attribute(name: str, labels: Optional[Sequence[str]] = None) -> Attribute:
+    """Convenience constructor for a two-valued attribute."""
+    label_tuple = tuple(labels) if labels is not None else None
+    return Attribute(name=name, cardinality=2, labels=label_tuple)

@@ -1,0 +1,161 @@
+"""Contingency tables (count vectors) and marginalisation.
+
+The :class:`ContingencyTable` wraps the count vector ``x`` of length
+``N = 2**d`` together with its :class:`~repro.domain.schema.Schema`.  The key
+operation is :meth:`ContingencyTable.marginal`, which computes the exact
+marginal ``C^alpha x`` of the paper: the vector of cell counts obtained by
+summing ``x`` over all attributes (bits) outside ``alpha``.
+
+Marginalisation is implemented by reshaping ``x`` into a ``(2, ..., 2)`` cube
+and summing over the axes outside the mask, so its cost is ``O(N)`` per
+marginal without ever materialising a ``2**k x N`` matrix.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Union
+
+import numpy as np
+
+from repro.domain.schema import AttributeRef, Schema
+from repro.exceptions import SchemaError
+from repro.utils.bits import hamming_weight
+
+
+def marginal_from_vector(x: np.ndarray, mask: int, d: int) -> np.ndarray:
+    """Compute the marginal ``C^alpha x`` for ``alpha = mask`` over ``d`` bits.
+
+    Parameters
+    ----------
+    x:
+        Count vector of length ``2**d`` (any float or integer dtype).
+    mask:
+        Bit mask of the attributes kept by the marginal.
+    d:
+        Number of binary attributes.
+
+    Returns
+    -------
+    numpy.ndarray
+        Vector of length ``2**hamming_weight(mask)``.  Entry ``beta`` (in the
+        compact indexing of :func:`repro.utils.bits.project_index`) is the sum
+        of ``x`` over all cells whose restriction to ``mask`` equals ``beta``.
+    """
+    x = np.asarray(x)
+    if x.ndim != 1 or x.shape[0] != (1 << d):
+        raise ValueError(f"x must be a vector of length 2**{d}, got shape {x.shape}")
+    if mask < 0 or mask >= (1 << d):
+        raise ValueError(f"mask {mask} does not address {d} bits")
+    if mask == (1 << d) - 1:
+        return x.copy()
+    if mask == 0:
+        return np.array([x.sum()], dtype=np.result_type(x.dtype, np.float64) if x.dtype.kind == "f" else x.dtype)
+    cube = x.reshape((2,) * d)
+    # Axis ``a`` of the cube corresponds to bit ``d - 1 - a`` of the index.
+    axes_to_sum = tuple(d - 1 - bit for bit in range(d) if not (mask >> bit) & 1)
+    return cube.sum(axis=axes_to_sum).reshape(-1)
+
+
+class ContingencyTable:
+    """A count vector over the binary-encoded domain of a schema.
+
+    Parameters
+    ----------
+    schema:
+        The schema describing the attributes and their bit layout.
+    counts:
+        Vector of length ``schema.domain_size``; copied and stored as float64
+        unless it is already a float64 array owned by the caller.
+    """
+
+    def __init__(self, schema: Schema, counts: np.ndarray, *, copy: bool = True):
+        vector = np.asarray(counts, dtype=np.float64)
+        if vector.ndim != 1 or vector.shape[0] != schema.domain_size:
+            raise SchemaError(
+                f"counts must have length {schema.domain_size} for this schema, "
+                f"got shape {vector.shape}"
+            )
+        self._schema = schema
+        self._counts = vector.copy() if copy else vector
+
+    # ------------------------------------------------------------------ #
+    @property
+    def schema(self) -> Schema:
+        """The schema this table is defined over."""
+        return self._schema
+
+    @property
+    def counts(self) -> np.ndarray:
+        """The underlying count vector ``x`` (length ``2**d``)."""
+        return self._counts
+
+    @property
+    def dimension(self) -> int:
+        """Number of binary attributes ``d``."""
+        return self._schema.total_bits
+
+    @property
+    def domain_size(self) -> int:
+        """Length ``N = 2**d`` of the count vector."""
+        return self._schema.domain_size
+
+    @property
+    def total(self) -> float:
+        """Total number of tuples represented by the table."""
+        return float(self._counts.sum())
+
+    def __repr__(self) -> str:
+        return (
+            f"ContingencyTable(d={self.dimension}, N={self.domain_size}, "
+            f"total={self.total:g})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # marginals
+    # ------------------------------------------------------------------ #
+    def marginal(self, attributes: Union[int, Iterable[AttributeRef]]) -> np.ndarray:
+        """Exact marginal over a set of attributes or an explicit bit mask.
+
+        ``attributes`` may be an iterable of attribute names/positions (the
+        usual case) or a raw bit mask over the encoded binary attributes.
+        """
+        mask = self.resolve_mask(attributes)
+        return marginal_from_vector(self._counts, mask, self.dimension)
+
+    def marginal_by_mask(self, mask: int) -> np.ndarray:
+        """Exact marginal for an explicit bit mask ``alpha``."""
+        return marginal_from_vector(self._counts, int(mask), self.dimension)
+
+    def resolve_mask(self, attributes: Union[int, Iterable[AttributeRef]]) -> int:
+        """Convert an attribute collection (or raw mask) into a bit mask."""
+        if isinstance(attributes, (int, np.integer)):
+            mask = int(attributes)
+            if mask < 0 or mask >= self.domain_size:
+                raise SchemaError(f"mask {mask} outside the domain of this schema")
+            return mask
+        return self._schema.mask_of(attributes)
+
+    def marginal_size(self, attributes: Union[int, Iterable[AttributeRef]]) -> int:
+        """Number of cells of the marginal over ``attributes``."""
+        return 1 << hamming_weight(self.resolve_mask(attributes))
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_records(
+        cls, schema: Schema, records: Union[np.ndarray, Iterable[Iterable[int]]]
+    ) -> "ContingencyTable":
+        """Build the table by counting encoded records."""
+        indices = schema.encode_records(np.asarray(list(records) if not isinstance(records, np.ndarray) else records))
+        counts = np.bincount(indices, minlength=schema.domain_size).astype(np.float64)
+        return cls(schema, counts, copy=False)
+
+    @classmethod
+    def zeros(cls, schema: Schema) -> "ContingencyTable":
+        """An all-zero table over ``schema``."""
+        return cls(schema, np.zeros(schema.domain_size), copy=False)
+
+    def copy(self) -> "ContingencyTable":
+        """Return a deep copy of the table."""
+        return ContingencyTable(self._schema, self._counts, copy=True)

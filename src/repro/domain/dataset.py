@@ -1,0 +1,136 @@
+"""Record-level datasets.
+
+A :class:`Dataset` pairs a record matrix (one row per tuple, one column per
+attribute, integer codes) with its :class:`~repro.domain.schema.Schema`.  It
+is the user-facing entry point: private release always starts from a dataset
+(or directly from a :class:`~repro.domain.contingency.ContingencyTable`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.domain.contingency import ContingencyTable
+from repro.domain.schema import AttributeRef, Schema
+from repro.exceptions import DataError, SchemaError
+
+
+class Dataset:
+    """A collection of records over a schema.
+
+    Parameters
+    ----------
+    schema:
+        The schema of the records.
+    records:
+        2-D integer array of shape ``(n_records, n_attributes)``; each value
+        must lie in the corresponding attribute's domain.
+    name:
+        Optional human-readable name (used in reports and benchmarks).
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        records: Union[np.ndarray, Sequence[Sequence[int]]],
+        *,
+        name: Optional[str] = None,
+    ):
+        matrix = np.asarray(records, dtype=np.int64)
+        if matrix.size == 0:
+            matrix = matrix.reshape(0, len(schema))
+        if matrix.ndim != 2 or matrix.shape[1] != len(schema):
+            raise DataError(
+                f"records must have one column per attribute ({len(schema)}), "
+                f"got shape {matrix.shape}"
+            )
+        for column, attr in enumerate(schema.attributes):
+            if matrix.shape[0] and (
+                matrix[:, column].min() < 0 or matrix[:, column].max() >= attr.cardinality
+            ):
+                raise DataError(
+                    f"column {attr.name!r} contains values outside [0, {attr.cardinality})"
+                )
+        self._schema = schema
+        self._records = matrix
+        self._name = name or "dataset"
+        self._table: Optional[ContingencyTable] = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def schema(self) -> Schema:
+        """The schema of this dataset."""
+        return self._schema
+
+    @property
+    def records(self) -> np.ndarray:
+        """The record matrix (read-only view)."""
+        view = self._records.view()
+        view.setflags(write=False)
+        return view
+
+    @property
+    def name(self) -> str:
+        """Human-readable dataset name."""
+        return self._name
+
+    def __len__(self) -> int:
+        return self._records.shape[0]
+
+    def __repr__(self) -> str:
+        return (
+            f"Dataset({self._name!r}, n={len(self)}, attributes={len(self._schema)}, "
+            f"d={self._schema.total_bits})"
+        )
+
+    def __iter__(self) -> Iterator[Tuple[int, ...]]:
+        for row in self._records:
+            yield tuple(int(v) for v in row)
+
+    # ------------------------------------------------------------------ #
+    # conversions
+    # ------------------------------------------------------------------ #
+    def contingency_table(self) -> ContingencyTable:
+        """The (cached) exact contingency table of the dataset."""
+        if self._table is None:
+            self._table = ContingencyTable.from_records(self._schema, self._records)
+        return self._table
+
+    def to_vector(self) -> np.ndarray:
+        """The count vector ``x`` of length ``2**d``."""
+        return self.contingency_table().counts
+
+    def marginal(self, attributes: Union[int, Iterable[AttributeRef]]) -> np.ndarray:
+        """Exact (non-private) marginal over ``attributes``."""
+        return self.contingency_table().marginal(attributes)
+
+    # ------------------------------------------------------------------ #
+    # manipulation helpers
+    # ------------------------------------------------------------------ #
+    def project(self, attributes: Sequence[AttributeRef], *, name: Optional[str] = None) -> "Dataset":
+        """Return a new dataset restricted to the given attributes (in order)."""
+        positions = [self._schema.position(ref) for ref in attributes]
+        if not positions:
+            raise SchemaError("projection needs at least one attribute")
+        sub_schema = Schema([self._schema.attributes[p] for p in positions])
+        sub_records = self._records[:, positions]
+        return Dataset(sub_schema, sub_records, name=name or f"{self._name}[projected]")
+
+    def sample(self, n: int, rng: Union[None, int, np.random.Generator] = None) -> "Dataset":
+        """Return a uniform random sample (without replacement) of ``n`` records."""
+        from repro.utils.rng import ensure_rng
+
+        if n < 0 or n > len(self):
+            raise DataError(f"cannot sample {n} records from a dataset of {len(self)}")
+        generator = ensure_rng(rng)
+        rows = generator.choice(len(self), size=n, replace=False)
+        return Dataset(self._schema, self._records[rows], name=f"{self._name}[sample]")
+
+    @classmethod
+    def from_tuples(
+        cls, schema: Schema, tuples: Iterable[Sequence[int]], *, name: Optional[str] = None
+    ) -> "Dataset":
+        """Build a dataset from an iterable of per-attribute value tuples."""
+        return cls(schema, np.asarray(list(tuples), dtype=np.int64), name=name)

@@ -1,0 +1,268 @@
+"""Schema: an ordered collection of attributes with a fixed binary encoding.
+
+The schema assigns each attribute a contiguous block of bit positions, in
+declaration order starting from bit 0.  A *record* (one value per attribute)
+is encoded as an integer index into the count vector ``x`` of length
+``2 ** total_bits`` by packing the per-attribute binary codes into their bit
+blocks.  A *marginal over a set of attributes* corresponds to the bit mask
+obtained as the union of the attributes' blocks — exactly the ``alpha``
+vectors of the paper's Section 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Mapping, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.domain.attribute import Attribute
+from repro.exceptions import DomainSizeError, SchemaError
+
+AttributeRef = Union[str, int, Attribute]
+
+
+@dataclass(frozen=True)
+class _BitBlock:
+    """Bit layout of one attribute inside the packed domain index."""
+
+    offset: int
+    width: int
+
+    @property
+    def mask(self) -> int:
+        return ((1 << self.width) - 1) << self.offset
+
+
+class Schema:
+    """Ordered attribute collection with a binary encoding of the domain.
+
+    Parameters
+    ----------
+    attributes:
+        The attributes, in the order that determines the bit layout.
+
+    Examples
+    --------
+    >>> from repro.domain import Attribute, Schema
+    >>> schema = Schema([Attribute("A", 2), Attribute("B", 3)])
+    >>> schema.total_bits        # B needs 2 bits
+    3
+    >>> schema.domain_size
+    8
+    >>> schema.encode_record([1, 2])
+    5
+    """
+
+    def __init__(self, attributes: Iterable[Attribute]):
+        attrs = list(attributes)
+        if not attrs:
+            raise SchemaError("a schema needs at least one attribute")
+        names = [attr.name for attr in attrs]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate attribute names in schema: {names}")
+        self._attributes: Tuple[Attribute, ...] = tuple(attrs)
+        self._index: Dict[str, int] = {attr.name: pos for pos, attr in enumerate(attrs)}
+        blocks: List[_BitBlock] = []
+        offset = 0
+        for attr in attrs:
+            blocks.append(_BitBlock(offset=offset, width=attr.bits))
+            offset += attr.bits
+        self._blocks: Tuple[_BitBlock, ...] = tuple(blocks)
+        self._total_bits = offset
+
+    # ------------------------------------------------------------------ #
+    # basic introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def attributes(self) -> Tuple[Attribute, ...]:
+        """The attributes in declaration order."""
+        return self._attributes
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        """Attribute names in declaration order."""
+        return tuple(attr.name for attr in self._attributes)
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self._attributes)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._attributes == other._attributes
+
+    def __hash__(self) -> int:
+        return hash(self._attributes)
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{attr.name}:{attr.cardinality}" for attr in self._attributes)
+        return f"Schema({parts}; d={self.total_bits})"
+
+    @property
+    def total_bits(self) -> int:
+        """Total number of binary attributes ``d`` after encoding."""
+        return self._total_bits
+
+    @property
+    def domain_size(self) -> int:
+        """Size ``N = 2**d`` of the encoded contingency-table domain."""
+        return 1 << self._total_bits
+
+    @property
+    def raw_domain_size(self) -> int:
+        """Product of the raw attribute cardinalities (before binary padding)."""
+        size = 1
+        for attr in self._attributes:
+            size *= attr.cardinality
+        return size
+
+    @property
+    def is_binary(self) -> bool:
+        """``True`` iff every attribute is already binary (no padding cells)."""
+        return all(attr.is_binary for attr in self._attributes)
+
+    def attribute(self, ref: AttributeRef) -> Attribute:
+        """Resolve ``ref`` (name, position or :class:`Attribute`) to an attribute."""
+        return self._attributes[self.position(ref)]
+
+    def position(self, ref: AttributeRef) -> int:
+        """Return the declaration position of ``ref`` within the schema."""
+        if isinstance(ref, Attribute):
+            ref = ref.name
+        if isinstance(ref, str):
+            if ref not in self._index:
+                raise SchemaError(f"unknown attribute {ref!r}; schema has {self.names}")
+            return self._index[ref]
+        pos = int(ref)
+        if not (0 <= pos < len(self._attributes)):
+            raise SchemaError(
+                f"attribute position {ref} out of range for schema with "
+                f"{len(self._attributes)} attributes"
+            )
+        return pos
+
+    # ------------------------------------------------------------------ #
+    # bit layout
+    # ------------------------------------------------------------------ #
+    def bit_block(self, ref: AttributeRef) -> Tuple[int, int]:
+        """Return ``(offset, width)`` of the bit block assigned to ``ref``."""
+        block = self._blocks[self.position(ref)]
+        return block.offset, block.width
+
+    def attribute_mask(self, ref: AttributeRef) -> int:
+        """Bit mask covering the block of a single attribute."""
+        return self._blocks[self.position(ref)].mask
+
+    def mask_of(self, refs: Iterable[AttributeRef]) -> int:
+        """Bit mask of the union of the given attributes' blocks.
+
+        This is the ``alpha`` identifying the marginal over those attributes.
+        """
+        mask = 0
+        for ref in refs:
+            mask |= self.attribute_mask(ref)
+        return mask
+
+    @property
+    def full_mask(self) -> int:
+        """Mask with every bit set (the full-domain ``alpha``)."""
+        return self.domain_size - 1
+
+    def attributes_of_mask(self, mask: int) -> Tuple[str, ...]:
+        """Return the names of attributes whose blocks intersect ``mask``."""
+        if mask < 0 or mask > self.full_mask:
+            raise SchemaError(f"mask {mask} is outside the domain of this schema")
+        names = []
+        for attr, block in zip(self._attributes, self._blocks):
+            if mask & block.mask:
+                names.append(attr.name)
+        return tuple(names)
+
+    def is_attribute_aligned(self, mask: int) -> bool:
+        """``True`` iff ``mask`` is exactly a union of whole attribute blocks."""
+        covered = 0
+        for block in self._blocks:
+            if mask & block.mask:
+                if (mask & block.mask) != block.mask:
+                    return False
+                covered |= block.mask
+        return covered == mask
+
+    # ------------------------------------------------------------------ #
+    # record encoding
+    # ------------------------------------------------------------------ #
+    def encode_record(self, values: Sequence[int]) -> int:
+        """Encode one record (one value per attribute) as a domain index."""
+        if len(values) != len(self._attributes):
+            raise SchemaError(
+                f"record has {len(values)} values but the schema has "
+                f"{len(self._attributes)} attributes"
+            )
+        index = 0
+        for attr, block, value in zip(self._attributes, self._blocks, values):
+            code = attr.validate_value(value)
+            index |= code << block.offset
+        return index
+
+    def decode_index(self, index: int) -> Tuple[int, ...]:
+        """Decode a domain index back into per-attribute values.
+
+        Raises :class:`SchemaError` if the index falls on a padding cell
+        (a binary combination that does not correspond to a legal value of
+        some non-power-of-two attribute).
+        """
+        if not (0 <= index < self.domain_size):
+            raise SchemaError(f"index {index} outside domain of size {self.domain_size}")
+        values = []
+        for attr, block in zip(self._attributes, self._blocks):
+            code = (index >> block.offset) & ((1 << block.width) - 1)
+            if code >= attr.cardinality:
+                raise SchemaError(
+                    f"index {index} lies on a padding cell of attribute {attr.name!r}"
+                )
+            values.append(code)
+        return tuple(values)
+
+    def encode_records(self, records: Union[np.ndarray, Sequence[Sequence[int]]]) -> np.ndarray:
+        """Vectorised version of :meth:`encode_record` for a record matrix."""
+        matrix = np.asarray(records, dtype=np.int64)
+        if matrix.ndim != 2 or matrix.shape[1] != len(self._attributes):
+            raise SchemaError(
+                "records must be a 2-D array with one column per attribute "
+                f"({len(self._attributes)}), got shape {matrix.shape}"
+            )
+        indices = np.zeros(matrix.shape[0], dtype=np.int64)
+        for column, (attr, block) in enumerate(zip(self._attributes, self._blocks)):
+            values = matrix[:, column]
+            if values.min(initial=0) < 0 or values.max(initial=0) >= attr.cardinality:
+                raise SchemaError(
+                    f"column {attr.name!r} contains values outside [0, {attr.cardinality})"
+                )
+            indices |= values.astype(np.int64) << block.offset
+        return indices
+
+    # ------------------------------------------------------------------ #
+    # guard rails
+    # ------------------------------------------------------------------ #
+    def check_dense_feasible(self, limit_bits: int = 26) -> None:
+        """Raise :class:`DomainSizeError` if a dense length-``N`` vector over this
+        schema would exceed ``2**limit_bits`` entries."""
+        if self._total_bits > limit_bits:
+            raise DomainSizeError(
+                f"domain of 2**{self._total_bits} cells exceeds the dense limit of "
+                f"2**{limit_bits}; use a smaller schema or raise the limit explicitly"
+            )
+
+    @classmethod
+    def binary(cls, names: Sequence[str]) -> "Schema":
+        """Build a schema of binary attributes from a list of names."""
+        return cls([Attribute(name, 2) for name in names])
+
+    @classmethod
+    def from_cardinalities(cls, cardinalities: Mapping[str, int]) -> "Schema":
+        """Build a schema from a ``{name: cardinality}`` mapping (ordered)."""
+        return cls([Attribute(name, card) for name, card in cardinalities.items()])

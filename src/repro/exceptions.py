@@ -1,0 +1,55 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError` so that
+callers can catch library-specific failures with a single ``except`` clause
+while still being able to distinguish the finer-grained categories below.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class SchemaError(ReproError):
+    """Raised when a schema definition or attribute lookup is invalid."""
+
+
+class DomainSizeError(ReproError):
+    """Raised when an operation would require materialising a domain that is
+    too large for the requested (dense) code path."""
+
+
+class WorkloadError(ReproError):
+    """Raised when a query workload is empty, malformed, or references
+    attributes that do not exist in the schema."""
+
+
+class PrivacyError(ReproError):
+    """Raised when privacy parameters are invalid (e.g. non-positive epsilon,
+    delta outside ``(0, 1)`` for approximate differential privacy)."""
+
+
+class BudgetError(ReproError):
+    """Raised when a noise-budget allocation is infeasible or inconsistent
+    with the strategy it is meant to be used with."""
+
+
+class GroupingError(ReproError):
+    """Raised when a strategy matrix does not satisfy the grouping property
+    of Definition 3.1 and a grouping-based allocation is requested."""
+
+
+class RecoveryError(ReproError):
+    """Raised when a recovery matrix cannot be computed (e.g. the strategy is
+    rank deficient for the requested queries)."""
+
+
+class ConsistencyError(ReproError):
+    """Raised when a consistency post-processing step fails to converge or is
+    given incompatible inputs."""
+
+
+class DataError(ReproError):
+    """Raised when dataset loading or synthesis is given invalid parameters."""

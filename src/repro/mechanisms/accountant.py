@@ -1,0 +1,121 @@
+"""Privacy accounting across multiple releases.
+
+A data owner rarely answers a single workload: marginals are released to
+several analysts, at different times, possibly with different strategies.
+Under sequential composition the privacy losses add up, so the owner needs a
+ledger of what has been spent against a global budget.  The
+:class:`PrivacyAccountant` is that ledger: it records every release, enforces
+the global budget, and can hand out the remaining allowance.
+
+Only basic (sequential) composition is implemented — the guarantee used by
+the paper — which is valid for both pure and approximate differential
+privacy and never underestimates the loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.exceptions import PrivacyError
+from repro.mechanisms.privacy import PrivacyBudget
+
+
+@dataclass(frozen=True)
+class LedgerEntry:
+    """One recorded release."""
+
+    label: str
+    budget: PrivacyBudget
+
+
+class PrivacyAccountant:
+    """Track cumulative privacy loss against a global budget.
+
+    Parameters
+    ----------
+    total:
+        The overall ``(epsilon, delta)`` budget the data owner is willing to
+        spend across all releases.
+
+    Examples
+    --------
+    >>> accountant = PrivacyAccountant(PrivacyBudget.pure(1.0))
+    >>> accountant.charge(PrivacyBudget.pure(0.4), label="Q1 marginals")
+    >>> accountant.remaining().epsilon
+    0.6
+    """
+
+    def __init__(self, total: PrivacyBudget):
+        if not isinstance(total, PrivacyBudget):
+            raise PrivacyError("total must be a PrivacyBudget")
+        self._total = total
+        self._entries: List[LedgerEntry] = []
+
+    # ------------------------------------------------------------------ #
+    @property
+    def total(self) -> PrivacyBudget:
+        """The global budget."""
+        return self._total
+
+    @property
+    def entries(self) -> List[LedgerEntry]:
+        """All recorded releases, in order."""
+        return list(self._entries)
+
+    def spent(self) -> PrivacyBudget:
+        """Cumulative loss under sequential composition (0 if nothing spent)."""
+        epsilon = sum(entry.budget.epsilon for entry in self._entries)
+        delta = sum(entry.budget.delta for entry in self._entries)
+        if epsilon == 0.0:
+            # PrivacyBudget requires a positive epsilon; report a zero spend
+            # through ``remaining`` instead of constructing an invalid budget.
+            raise PrivacyError("nothing has been spent yet")
+        return PrivacyBudget(epsilon, delta if delta > 0 else 0.0)
+
+    def spent_epsilon(self) -> float:
+        """Cumulative epsilon (0.0 when nothing has been spent)."""
+        return float(sum(entry.budget.epsilon for entry in self._entries))
+
+    def spent_delta(self) -> float:
+        """Cumulative delta (0.0 when nothing has been spent)."""
+        return float(sum(entry.budget.delta for entry in self._entries))
+
+    def remaining(self) -> PrivacyBudget:
+        """The budget still available (raises once it is exhausted)."""
+        epsilon = self._total.epsilon - self.spent_epsilon()
+        delta = self._total.delta - self.spent_delta()
+        if epsilon <= 0.0 or delta < 0.0:
+            raise PrivacyError("the global privacy budget is exhausted")
+        return PrivacyBudget(epsilon, delta if delta > 0 else 0.0)
+
+    def can_afford(self, budget: PrivacyBudget) -> bool:
+        """Whether a release with ``budget`` would stay within the global budget."""
+        epsilon_ok = self.spent_epsilon() + budget.epsilon <= self._total.epsilon * (1 + 1e-12)
+        delta_ok = self.spent_delta() + budget.delta <= self._total.delta * (1 + 1e-12) or (
+            budget.delta == 0.0 and self._total.delta == 0.0
+        )
+        return bool(epsilon_ok and delta_ok)
+
+    def charge(self, budget: PrivacyBudget, *, label: str = "release") -> None:
+        """Record a release, raising :class:`PrivacyError` if it would overspend."""
+        if budget.delta > 0 and self._total.delta == 0.0:
+            raise PrivacyError(
+                "cannot charge an approximate-DP release against a pure-DP global budget"
+            )
+        if not self.can_afford(budget):
+            raise PrivacyError(
+                f"release {label!r} with epsilon={budget.epsilon:g} exceeds the remaining "
+                f"budget (spent {self.spent_epsilon():g} of {self._total.epsilon:g})"
+            )
+        self._entries.append(LedgerEntry(label=label, budget=budget))
+
+    def charge_release(self, result, *, label: Optional[str] = None) -> None:
+        """Record a :class:`~repro.core.result.ReleaseResult` by its own budget."""
+        self.charge(result.budget, label=label or f"{result.strategy_name}:{result.workload.name}")
+
+    def __repr__(self) -> str:
+        return (
+            f"PrivacyAccountant(spent epsilon {self.spent_epsilon():g} of "
+            f"{self._total.epsilon:g}, releases={len(self._entries)})"
+        )

@@ -1,0 +1,83 @@
+"""The Gaussian mechanism (Theorem 2.2) and its non-uniform variant.
+
+The constants follow the paper: releasing ``f`` with per-component Gaussian
+noise of variance ``2 * Delta_2(f)**2 * log(2/delta) / epsilon**2`` satisfies
+``(epsilon, delta)``-differential privacy, and in the non-uniform setting a
+row with budget ``epsilon_i`` receives variance
+``2 * log(2/delta) / epsilon_i**2`` (Proposition 3.1(ii)).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Union
+
+import numpy as np
+
+from repro.exceptions import PrivacyError
+from repro.mechanisms.noise import gaussian_noise, gaussian_sigma_for_budget
+from repro.mechanisms.privacy import PrivacyBudget
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_delta
+
+
+class GaussianMechanism:
+    """Additive Gaussian noise for approximate differential privacy.
+
+    Parameters
+    ----------
+    rng:
+        Seed or generator for the noise draws (``None`` for fresh entropy).
+    """
+
+    def __init__(self, rng: RngLike = None):
+        self._rng = ensure_rng(rng)
+
+    # ------------------------------------------------------------------ #
+    def release(
+        self,
+        values: np.ndarray,
+        *,
+        sensitivity: float,
+        budget: Union[PrivacyBudget, tuple],
+    ) -> np.ndarray:
+        """Uniform-noise release of ``values`` with the given L2 ``sensitivity``."""
+        if isinstance(budget, PrivacyBudget):
+            epsilon, delta = budget.epsilon, budget.delta
+        else:
+            epsilon, delta = budget
+        if delta <= 0:
+            raise PrivacyError(
+                "the Gaussian mechanism requires delta > 0; use LaplaceMechanism "
+                "for pure differential privacy"
+            )
+        delta = check_delta(delta)
+        if sensitivity <= 0:
+            raise PrivacyError(f"sensitivity must be positive, got {sensitivity}")
+        if epsilon <= 0:
+            raise PrivacyError(f"epsilon must be positive, got {epsilon}")
+        values = np.asarray(values, dtype=np.float64)
+        sigma = sensitivity * math.sqrt(2.0 * math.log(2.0 / delta)) / epsilon
+        return values + gaussian_noise(sigma, values.shape[0], self._rng)
+
+    def release_with_budgets(
+        self, values: np.ndarray, row_budgets: np.ndarray, *, delta: float
+    ) -> np.ndarray:
+        """Non-uniform release: component ``i`` has variance ``2 log(2/delta) / epsilon_i**2``.
+
+        The caller must ensure the row budgets satisfy the weighted column L2
+        constraint of Proposition 3.1(ii) for the strategy in use.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        budgets = np.asarray(row_budgets, dtype=np.float64)
+        if budgets.shape != values.shape:
+            raise PrivacyError(
+                f"row_budgets must match values (shape {values.shape}), got {budgets.shape}"
+            )
+        sigma = gaussian_sigma_for_budget(budgets, delta)
+        return values + gaussian_noise(sigma, values.shape[0], self._rng)
+
+    def noise_variance(self, *, sensitivity: float, epsilon: float, delta: float) -> float:
+        """Per-component variance of :meth:`release`."""
+        delta = check_delta(delta)
+        return 2.0 * (sensitivity**2) * math.log(2.0 / delta) / epsilon**2

@@ -1,0 +1,82 @@
+"""The Laplace mechanism (Theorem 2.1) and its non-uniform variant.
+
+``LaplaceMechanism`` answers a vector-valued function with additive Laplace
+noise.  It supports both the classic uniform-noise form (scale
+``sensitivity / epsilon`` on every component) and the paper's non-uniform
+form where each component ``i`` carries its own budget ``epsilon_i`` (scale
+``1 / epsilon_i``), with the caller responsible for certifying that the
+budgets satisfy the strategy-dependent privacy constraint.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.exceptions import PrivacyError
+from repro.mechanisms.noise import laplace_noise, laplace_scale_for_budget
+from repro.mechanisms.privacy import PrivacyBudget
+from repro.utils.rng import RngLike, ensure_rng
+
+
+class LaplaceMechanism:
+    """Additive Laplace noise for pure differential privacy.
+
+    Parameters
+    ----------
+    rng:
+        Seed or generator for the noise draws (``None`` for fresh entropy).
+    """
+
+    def __init__(self, rng: RngLike = None):
+        self._rng = ensure_rng(rng)
+
+    # ------------------------------------------------------------------ #
+    def release(
+        self,
+        values: np.ndarray,
+        *,
+        sensitivity: float,
+        budget: Union[PrivacyBudget, float],
+    ) -> np.ndarray:
+        """Uniform-noise release of ``values`` with the given L1 ``sensitivity``.
+
+        Every component receives Laplace noise of scale
+        ``sensitivity / epsilon`` (Theorem 2.1).
+        """
+        epsilon = budget.epsilon if isinstance(budget, PrivacyBudget) else float(budget)
+        if isinstance(budget, PrivacyBudget) and budget.is_approximate:
+            raise PrivacyError(
+                "the Laplace mechanism provides pure differential privacy; "
+                "use GaussianMechanism for (epsilon, delta) budgets"
+            )
+        if sensitivity <= 0:
+            raise PrivacyError(f"sensitivity must be positive, got {sensitivity}")
+        if epsilon <= 0:
+            raise PrivacyError(f"epsilon must be positive, got {epsilon}")
+        values = np.asarray(values, dtype=np.float64)
+        scale = sensitivity / epsilon
+        return values + laplace_noise(scale, values.shape[0], self._rng)
+
+    def release_with_budgets(
+        self, values: np.ndarray, row_budgets: np.ndarray
+    ) -> np.ndarray:
+        """Non-uniform release: component ``i`` gets scale ``1 / row_budgets[i]``.
+
+        This is the primitive of Proposition 3.1(i); the caller must ensure
+        the budgets satisfy the column constraint of the strategy being used
+        (see :mod:`repro.budget.allocation`).
+        """
+        values = np.asarray(values, dtype=np.float64)
+        budgets = np.asarray(row_budgets, dtype=np.float64)
+        if budgets.shape != values.shape:
+            raise PrivacyError(
+                f"row_budgets must match values (shape {values.shape}), got {budgets.shape}"
+            )
+        scale = laplace_scale_for_budget(budgets)
+        return values + laplace_noise(scale, values.shape[0], self._rng)
+
+    def noise_variance(self, *, sensitivity: float, epsilon: float) -> float:
+        """Per-component variance ``2 * (sensitivity / epsilon)**2`` of :meth:`release`."""
+        return 2.0 * (sensitivity / epsilon) ** 2

@@ -1,0 +1,89 @@
+"""Noise distributions used by the Laplace and Gaussian mechanisms.
+
+The paper's convention (Proposition 3.1) is that a row released with per-row
+budget ``epsilon_i`` receives
+
+* Laplace noise of variance ``2 / epsilon_i**2`` (scale ``1 / epsilon_i``) for
+  pure differential privacy, and
+* Gaussian noise of variance ``2 * log(2 / delta) / epsilon_i**2`` for
+  approximate differential privacy,
+
+with the overall guarantee determined by how the ``epsilon_i`` interact with
+the columns of the strategy matrix.  The helpers below convert between
+budgets, scales and variances so the rest of the code never has to repeat the
+constants.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Union
+
+import numpy as np
+
+from repro.exceptions import PrivacyError
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_delta
+
+ArrayLike = Union[float, np.ndarray]
+
+
+def _as_positive_array(values: ArrayLike, name: str) -> np.ndarray:
+    array = np.atleast_1d(np.asarray(values, dtype=np.float64))
+    if np.any(~np.isfinite(array)) or np.any(array <= 0):
+        raise PrivacyError(f"{name} must be positive and finite, got {values!r}")
+    return array
+
+
+# --------------------------------------------------------------------------- #
+# budget <-> noise-parameter conversions
+# --------------------------------------------------------------------------- #
+def laplace_scale_for_budget(epsilon: ArrayLike) -> np.ndarray:
+    """Laplace scale ``b = 1 / epsilon`` for per-row budgets ``epsilon``."""
+    return 1.0 / _as_positive_array(epsilon, "epsilon")
+
+
+def laplace_variance_for_budget(epsilon: ArrayLike) -> np.ndarray:
+    """Laplace variance ``2 / epsilon**2`` for per-row budgets ``epsilon``."""
+    return 2.0 / _as_positive_array(epsilon, "epsilon") ** 2
+
+
+def gaussian_sigma_for_budget(epsilon: ArrayLike, delta: float) -> np.ndarray:
+    """Gaussian standard deviation ``sqrt(2 log(2/delta)) / epsilon``."""
+    delta = check_delta(delta)
+    return math.sqrt(2.0 * math.log(2.0 / delta)) / _as_positive_array(epsilon, "epsilon")
+
+
+def gaussian_variance_for_budget(epsilon: ArrayLike, delta: float) -> np.ndarray:
+    """Gaussian variance ``2 log(2/delta) / epsilon**2``."""
+    delta = check_delta(delta)
+    return 2.0 * math.log(2.0 / delta) / _as_positive_array(epsilon, "epsilon") ** 2
+
+
+# --------------------------------------------------------------------------- #
+# samplers
+# --------------------------------------------------------------------------- #
+def laplace_noise(scale: ArrayLike, size: int, rng: RngLike = None) -> np.ndarray:
+    """Draw ``size`` independent Laplace samples.
+
+    ``scale`` may be a scalar (uniform noise) or a length-``size`` vector of
+    per-component scales (non-uniform noise).
+    """
+    generator = ensure_rng(rng)
+    scale_array = _as_positive_array(scale, "scale")
+    if scale_array.shape not in ((1,), (size,)):
+        raise PrivacyError(
+            f"scale must be scalar or of length {size}, got shape {scale_array.shape}"
+        )
+    return generator.laplace(loc=0.0, scale=np.broadcast_to(scale_array, (size,)), size=size)
+
+
+def gaussian_noise(sigma: ArrayLike, size: int, rng: RngLike = None) -> np.ndarray:
+    """Draw ``size`` independent Gaussian samples with per-component ``sigma``."""
+    generator = ensure_rng(rng)
+    sigma_array = _as_positive_array(sigma, "sigma")
+    if sigma_array.shape not in ((1,), (size,)):
+        raise PrivacyError(
+            f"sigma must be scalar or of length {size}, got shape {sigma_array.shape}"
+        )
+    return generator.normal(loc=0.0, scale=np.broadcast_to(sigma_array, (size,)), size=size)

@@ -1,0 +1,111 @@
+"""Privacy budgets and their bookkeeping.
+
+A :class:`PrivacyBudget` captures either pure ``epsilon``-differential privacy
+(``delta == 0``) or approximate ``(epsilon, delta)``-differential privacy.
+Budgets compose additively under sequential composition (Definition 2.1 of the
+paper and the standard composition theorems), which is what :meth:`compose`
+and :meth:`split` implement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from repro.exceptions import PrivacyError
+from repro.utils.validation import check_delta, check_epsilon
+
+
+@dataclass(frozen=True)
+class PrivacyBudget:
+    """An ``(epsilon, delta)`` differential-privacy budget.
+
+    Parameters
+    ----------
+    epsilon:
+        The multiplicative privacy-loss bound (must be positive).
+    delta:
+        The additive slack; ``0`` for pure differential privacy.
+    """
+
+    epsilon: float
+    delta: float = 0.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "epsilon", check_epsilon(self.epsilon))
+        if self.delta != 0.0:
+            object.__setattr__(self, "delta", check_delta(self.delta))
+
+    # ------------------------------------------------------------------ #
+    @property
+    def is_pure(self) -> bool:
+        """``True`` iff this is a pure (``delta == 0``) budget."""
+        return self.delta == 0.0
+
+    @property
+    def is_approximate(self) -> bool:
+        """``True`` iff this is an approximate (``delta > 0``) budget."""
+        return self.delta > 0.0
+
+    def __repr__(self) -> str:
+        if self.is_pure:
+            return f"PrivacyBudget(epsilon={self.epsilon:g})"
+        return f"PrivacyBudget(epsilon={self.epsilon:g}, delta={self.delta:g})"
+
+    # ------------------------------------------------------------------ #
+    # composition helpers
+    # ------------------------------------------------------------------ #
+    def compose(self, other: "PrivacyBudget") -> "PrivacyBudget":
+        """Sequential composition: budgets add in both parameters."""
+        return PrivacyBudget(self.epsilon + other.epsilon, self.delta + other.delta)
+
+    def __add__(self, other: "PrivacyBudget") -> "PrivacyBudget":
+        if not isinstance(other, PrivacyBudget):
+            return NotImplemented
+        return self.compose(other)
+
+    def split(self, count: int) -> List["PrivacyBudget"]:
+        """Split the budget into ``count`` equal parts (uniform allocation)."""
+        if count <= 0:
+            raise PrivacyError(f"cannot split a budget into {count} parts")
+        return [
+            PrivacyBudget(self.epsilon / count, self.delta / count if self.delta else 0.0)
+            for _ in range(count)
+        ]
+
+    def split_weighted(self, weights: Iterable[float]) -> List["PrivacyBudget"]:
+        """Split the budget proportionally to non-negative ``weights``."""
+        weight_list = [float(w) for w in weights]
+        if not weight_list or any(w < 0 for w in weight_list):
+            raise PrivacyError("weights must be a non-empty collection of non-negative numbers")
+        total = sum(weight_list)
+        if total <= 0:
+            raise PrivacyError("at least one weight must be positive")
+        parts = []
+        for weight in weight_list:
+            fraction = weight / total
+            if fraction == 0:
+                raise PrivacyError("zero-weight components would receive a zero budget")
+            parts.append(
+                PrivacyBudget(
+                    self.epsilon * fraction,
+                    self.delta * fraction if self.delta else 0.0,
+                )
+            )
+        return parts
+
+    def scaled(self, factor: float) -> "PrivacyBudget":
+        """Return a budget with both parameters multiplied by ``factor``."""
+        if factor <= 0:
+            raise PrivacyError(f"scaling factor must be positive, got {factor}")
+        return PrivacyBudget(self.epsilon * factor, self.delta * factor if self.delta else 0.0)
+
+    @classmethod
+    def pure(cls, epsilon: float) -> "PrivacyBudget":
+        """Construct a pure ``epsilon``-DP budget."""
+        return cls(epsilon=epsilon, delta=0.0)
+
+    @classmethod
+    def approximate(cls, epsilon: float, delta: float) -> "PrivacyBudget":
+        """Construct an approximate ``(epsilon, delta)``-DP budget."""
+        return cls(epsilon=epsilon, delta=delta)

@@ -1,0 +1,95 @@
+"""Sensitivity of linear query matrices.
+
+For a linear workload ``Q`` applied to the count vector of a database, the
+Lp-sensitivity is the largest Lp-norm of a column of ``Q`` (Section 2 of the
+paper), scaled by a factor that depends on the neighbouring-database
+convention:
+
+* ``"add_remove"`` (default): neighbouring databases differ by the presence
+  of one tuple, so exactly one entry of ``x`` changes by 1 and the factor is 1.
+* ``"replace"``: one tuple changes its value, so two entries change by 1 each
+  and the factor is 2 (the convention used in the paper's proofs).
+
+Relative comparisons between strategies are unaffected by the choice as long
+as it is applied uniformly; both are exposed so either convention of the
+literature can be reproduced exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+import numpy as np
+
+from repro.exceptions import PrivacyError
+
+Neighboring = Literal["add_remove", "replace"]
+
+
+def neighboring_factor(neighboring: Neighboring = "add_remove") -> float:
+    """Sensitivity multiplier for the given neighbouring-database convention."""
+    if neighboring == "add_remove":
+        return 1.0
+    if neighboring == "replace":
+        return 2.0
+    raise PrivacyError(
+        f"neighboring must be 'add_remove' or 'replace', got {neighboring!r}"
+    )
+
+
+def lp_sensitivity(
+    matrix: np.ndarray, p: float, *, neighboring: Neighboring = "add_remove"
+) -> float:
+    """Lp-sensitivity of a dense query matrix: the largest column Lp-norm."""
+    dense = np.asarray(matrix, dtype=np.float64)
+    if dense.ndim != 2:
+        raise ValueError(f"expected a 2-D matrix, got shape {dense.shape}")
+    if p <= 0:
+        raise ValueError(f"p must be positive, got {p}")
+    column_norms = np.linalg.norm(dense, ord=p, axis=0)
+    return float(neighboring_factor(neighboring) * column_norms.max(initial=0.0))
+
+
+def l1_sensitivity(matrix: np.ndarray, *, neighboring: Neighboring = "add_remove") -> float:
+    """L1-sensitivity (used by the Laplace mechanism)."""
+    return lp_sensitivity(matrix, 1.0, neighboring=neighboring)
+
+
+def l2_sensitivity(matrix: np.ndarray, *, neighboring: Neighboring = "add_remove") -> float:
+    """L2-sensitivity (used by the Gaussian mechanism)."""
+    return lp_sensitivity(matrix, 2.0, neighboring=neighboring)
+
+
+def weighted_l1_column_bound(matrix: np.ndarray, epsilons: np.ndarray) -> float:
+    """Largest weighted column sum ``max_j sum_i |S_ij| * epsilon_i``.
+
+    This is the left-hand side of the paper's privacy constraint (2): a
+    non-uniform allocation ``epsilon_i`` over the rows of ``S`` satisfies pure
+    differential privacy at level ``epsilon`` iff this bound is at most
+    ``epsilon`` (up to the neighbouring-convention factor).
+    """
+    dense = np.abs(np.asarray(matrix, dtype=np.float64))
+    eps = np.asarray(epsilons, dtype=np.float64)
+    if dense.shape[0] != eps.shape[0]:
+        raise ValueError(
+            f"epsilons must have one entry per matrix row ({dense.shape[0]}), "
+            f"got {eps.shape[0]}"
+        )
+    return float((eps[:, None] * dense).sum(axis=0).max(initial=0.0))
+
+
+def weighted_l2_column_bound(matrix: np.ndarray, epsilons: np.ndarray) -> float:
+    """Largest weighted column L2 bound ``max_j sqrt(sum_i S_ij**2 * epsilon_i**2)``.
+
+    The approximate-DP analogue of :func:`weighted_l1_column_bound`
+    (Proposition 3.1(ii)).
+    """
+    dense = np.asarray(matrix, dtype=np.float64)
+    eps = np.asarray(epsilons, dtype=np.float64)
+    if dense.shape[0] != eps.shape[0]:
+        raise ValueError(
+            f"epsilons must have one entry per matrix row ({dense.shape[0]}), "
+            f"got {eps.shape[0]}"
+        )
+    weighted = (eps[:, None] ** 2) * dense**2
+    return float(np.sqrt(weighted.sum(axis=0).max(initial=0.0)))

@@ -1,0 +1,27 @@
+"""Query workloads: marginals, datacube subsets and linear query matrices."""
+
+from repro.queries.marginal import MarginalQuery
+from repro.queries.workload import (
+    MarginalWorkload,
+    all_k_way,
+    anchored_workload,
+    datacube_workload,
+    star_workload,
+)
+from repro.queries.matrix import (
+    fourier_basis_matrix,
+    marginal_operator_matrix,
+    workload_matrix,
+)
+
+__all__ = [
+    "MarginalQuery",
+    "MarginalWorkload",
+    "all_k_way",
+    "star_workload",
+    "anchored_workload",
+    "datacube_workload",
+    "fourier_basis_matrix",
+    "marginal_operator_matrix",
+    "workload_matrix",
+]

@@ -1,0 +1,134 @@
+"""Explicit (dense) matrix representations of marginal queries.
+
+These constructions materialise the ``q x N`` matrices used in the paper's
+formal development (Figure 1).  They are intended for small domains — unit
+tests, the worked example of the introduction, and reference implementations
+that the fast implicit code paths are validated against.  For realistic
+domains (``N = 2**16`` and beyond) the library operates through the implicit
+operators in :mod:`repro.domain.contingency` and :mod:`repro.transforms`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.exceptions import DomainSizeError
+from repro.utils.bits import hamming_weight, iter_submasks, parity, project_index
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.queries.workload import MarginalWorkload
+
+#: Largest dimension for which dense matrices are built without an explicit
+#: override.  ``2**_DENSE_LIMIT_BITS`` columns is the guard rail.
+_DENSE_LIMIT_BITS = 20
+
+
+def _check_dense(d: int, limit_bits: int = _DENSE_LIMIT_BITS) -> None:
+    if d > limit_bits:
+        raise DomainSizeError(
+            f"refusing to materialise a dense matrix with 2**{d} columns "
+            f"(limit 2**{limit_bits}); use the implicit operators instead"
+        )
+
+
+def marginal_operator_matrix(mask: int, d: int) -> np.ndarray:
+    """Dense ``2**||alpha|| x 2**d`` matrix of the marginal operator ``C^alpha``.
+
+    Row ``beta`` has a 1 in column ``gamma`` iff the restriction of ``gamma``
+    to the bits of ``mask`` equals ``beta`` (compact indexing).
+    """
+    _check_dense(d)
+    n = 1 << d
+    rows = 1 << hamming_weight(mask)
+    matrix = np.zeros((rows, n), dtype=np.float64)
+    columns = np.arange(n)
+    row_of_column = np.fromiter(
+        (project_index(int(c), mask) for c in columns), dtype=np.int64, count=n
+    )
+    matrix[row_of_column, columns] = 1.0
+    return matrix
+
+
+def workload_matrix(workload: "MarginalWorkload") -> np.ndarray:
+    """Dense ``K x N`` query matrix of a marginal workload (rows stacked per query)."""
+    d = workload.dimension
+    _check_dense(d)
+    blocks = [marginal_operator_matrix(query.mask, d) for query in workload.queries]
+    return np.vstack(blocks)
+
+
+def fourier_basis_matrix(d: int) -> np.ndarray:
+    """Dense ``2**d x 2**d`` Hadamard/Fourier basis matrix.
+
+    Row ``alpha``, column ``beta`` holds ``2**(-d/2) * (-1)**<alpha, beta>``,
+    i.e. the rows are the orthonormal basis vectors ``f^alpha`` of Section 4.1.
+    """
+    _check_dense(d)
+    n = 1 << d
+    indices = np.arange(n)
+    # <alpha, beta> mod 2 via popcount of the AND.
+    signs = np.zeros((n, n), dtype=np.float64)
+    for alpha in range(n):
+        overlap = alpha & indices
+        pop = np.fromiter((parity(int(v)) for v in overlap), dtype=np.int64, count=n)
+        signs[alpha] = np.where(pop & 1, -1.0, 1.0)
+    return signs / np.sqrt(n)
+
+
+def fourier_recovery_matrix(workload: "MarginalWorkload") -> np.ndarray:
+    """Dense recovery matrix ``R`` of the Fourier strategy for a marginal workload.
+
+    ``R`` has one row per released marginal cell ``(i, gamma)`` and one column
+    per Fourier coefficient in ``workload.fourier_masks()``.  Its entries are
+    ``(C^{alpha_i} f^beta)_gamma = (-1)**<beta, gamma> * 2**(d/2 - ||alpha_i||)``
+    for ``beta ⪯ alpha_i`` and zero otherwise (Section 4.3).
+    """
+    d = workload.dimension
+    coefficients = workload.fourier_masks()
+    column_of = {mask: j for j, mask in enumerate(coefficients)}
+    matrix = np.zeros((workload.total_cells, len(coefficients)), dtype=np.float64)
+    row = 0
+    scale_base = 2.0 ** (d / 2.0)
+    for query in workload.queries:
+        scale = scale_base / float(query.size)
+        cell_masks = _cell_masks(query.mask)
+        for gamma_full in cell_masks:
+            for beta in iter_submasks(query.mask):
+                sign = -1.0 if parity(beta & gamma_full) else 1.0
+                matrix[row, column_of[beta]] = sign * scale
+            row += 1
+    return matrix
+
+
+def _cell_masks(mask: int) -> Sequence[int]:
+    """Full-domain masks of the cells of the marginal ``mask``.
+
+    Cell ``beta`` (compact index) of ``C^alpha`` corresponds to the
+    full-domain point whose bits inside ``alpha`` spell ``beta`` and whose
+    bits outside ``alpha`` are zero.  The list is ordered by compact index so
+    it matches :func:`repro.domain.contingency.marginal_from_vector`.
+    """
+    bits = [b for b in range(mask.bit_length()) if (mask >> b) & 1]
+    size = 1 << len(bits)
+    cells = []
+    for compact in range(size):
+        full = 0
+        for j, bit in enumerate(bits):
+            if (compact >> j) & 1:
+                full |= 1 << bit
+        cells.append(full)
+    return cells
+
+
+def strategy_matrix_from_masks(masks: Sequence[int], d: int) -> np.ndarray:
+    """Dense strategy matrix whose rows are the cells of the given marginals.
+
+    This realises ``S`` for a "collection of marginals" strategy (e.g. the
+    clustering strategy of [6]) on small domains: the rows of every marginal
+    ``C^alpha`` for ``alpha`` in ``masks`` are stacked in order.
+    """
+    _check_dense(d)
+    blocks = [marginal_operator_matrix(mask, d) for mask in masks]
+    return np.vstack(blocks)

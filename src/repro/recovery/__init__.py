@@ -1,0 +1,24 @@
+"""Recovery and consistency (Step 3 of the paper's framework)."""
+
+from repro.recovery.least_squares import (
+    gls_estimate,
+    gls_recovery_matrix,
+    gls_solution,
+)
+from repro.recovery.consistency import (
+    ConsistencyResult,
+    fourier_consistency,
+    make_consistent,
+)
+from repro.recovery.nonneg import project_nonnegative, round_to_integers
+
+__all__ = [
+    "gls_estimate",
+    "gls_recovery_matrix",
+    "gls_solution",
+    "ConsistencyResult",
+    "fourier_consistency",
+    "make_consistent",
+    "project_nonnegative",
+    "round_to_integers",
+]

@@ -1,0 +1,113 @@
+"""Optimal recovery via generalised least squares (Section 3.2).
+
+Given a strategy matrix ``S``, per-row noise variances ``Sigma = diag(sigma_i**2)``
+and the noisy strategy answers ``z = Sx + nu``, the minimum-variance linear
+unbiased estimate of ``x`` is the generalised least-squares solution
+
+    x_hat = (S^T Sigma^{-1} S)^{-1} S^T Sigma^{-1} z,
+
+and the optimal recovery matrix for a query matrix ``Q`` is ``R = Q G`` with
+``G = (S^T Sigma^{-1} S)^{-1} S^T Sigma^{-1}`` (equation (7) of the paper).
+The resulting answers ``y = Q x_hat`` are consistent by construction.
+
+These dense routines are meant for explicit strategies over small domains;
+marginal workloads on large domains use the Fourier-coefficient consistency
+path in :mod:`repro.recovery.consistency` instead.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import RecoveryError
+
+
+def _validate(strategy: np.ndarray, variances: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    dense = np.asarray(strategy, dtype=np.float64)
+    if dense.ndim != 2:
+        raise RecoveryError(f"strategy must be a 2-D matrix, got shape {dense.shape}")
+    var = np.asarray(variances, dtype=np.float64)
+    if var.shape != (dense.shape[0],):
+        raise RecoveryError(
+            f"variances must have one entry per strategy row ({dense.shape[0]}), "
+            f"got shape {var.shape}"
+        )
+    if np.any(~np.isfinite(var)) or np.any(var <= 0):
+        raise RecoveryError("per-row noise variances must be positive and finite")
+    return dense, var
+
+
+def gls_solution(
+    strategy: np.ndarray, variances: np.ndarray, z: np.ndarray
+) -> np.ndarray:
+    """Generalised least-squares estimate ``x_hat`` of the count vector.
+
+    Uses the pseudo-inverse when ``S^T Sigma^{-1} S`` is singular (i.e. when
+    ``rank(S) < N``); in that case ``x_hat`` is the minimum-norm solution and
+    queries outside the row space of ``S`` are not identifiable.
+    """
+    dense, var = _validate(strategy, variances)
+    answers = np.asarray(z, dtype=np.float64)
+    if answers.shape != (dense.shape[0],):
+        raise RecoveryError(
+            f"z must have one entry per strategy row ({dense.shape[0]}), got shape {answers.shape}"
+        )
+    weighted = dense / var[:, None]  # Sigma^{-1} S
+    normal = dense.T @ weighted  # S^T Sigma^{-1} S
+    rhs = weighted.T @ answers  # S^T Sigma^{-1} z
+    try:
+        return np.linalg.solve(normal, rhs)
+    except np.linalg.LinAlgError:
+        return np.linalg.lstsq(normal, rhs, rcond=None)[0]
+
+
+def gls_recovery_matrix(
+    queries: np.ndarray, strategy: np.ndarray, variances: np.ndarray
+) -> np.ndarray:
+    """Optimal recovery matrix ``R = Q (S^T Sigma^{-1} S)^{-1} S^T Sigma^{-1}``."""
+    dense, var = _validate(strategy, variances)
+    q = np.asarray(queries, dtype=np.float64)
+    if q.ndim != 2 or q.shape[1] != dense.shape[1]:
+        raise RecoveryError(
+            f"queries must have {dense.shape[1]} columns to match the strategy, "
+            f"got shape {q.shape}"
+        )
+    weighted = dense / var[:, None]
+    normal = dense.T @ weighted
+    try:
+        g = np.linalg.solve(normal, weighted.T)
+    except np.linalg.LinAlgError:
+        g = np.linalg.pinv(normal) @ weighted.T
+    return q @ g
+
+
+def gls_estimate(
+    queries: np.ndarray,
+    strategy: np.ndarray,
+    variances: np.ndarray,
+    z: np.ndarray,
+) -> np.ndarray:
+    """Answer ``y = Q x_hat`` without materialising the recovery matrix."""
+    x_hat = gls_solution(strategy, variances, z)
+    q = np.asarray(queries, dtype=np.float64)
+    if q.ndim != 2 or q.shape[1] != x_hat.shape[0]:
+        raise RecoveryError(
+            f"queries must have {x_hat.shape[0]} columns to match the strategy, "
+            f"got shape {q.shape}"
+        )
+    return q @ x_hat
+
+
+def recovery_variances(
+    recovery: np.ndarray, variances: np.ndarray
+) -> np.ndarray:
+    """Per-answer output variances ``Var(y_i) = sum_j R_ij**2 * sigma_j**2``."""
+    dense = np.asarray(recovery, dtype=np.float64)
+    var = np.asarray(variances, dtype=np.float64)
+    if dense.ndim != 2 or dense.shape[1] != var.shape[0]:
+        raise RecoveryError(
+            f"recovery of shape {dense.shape} is incompatible with {var.shape[0]} row variances"
+        )
+    return (dense**2) @ var

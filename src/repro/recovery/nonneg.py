@@ -1,0 +1,63 @@
+"""Non-negativity and integrality post-processing.
+
+The paper's concluding remarks (Section 6) point out that applications often
+additionally require the released marginals to look like they came from a
+real data set: counts should be non-negative and integral, and the marginals
+should remain mutually consistent.  These helpers implement the simple
+post-processing steps the paper sketches; because they are data-independent
+transformations of already-private outputs, they do not affect the privacy
+guarantee (post-processing invariance of differential privacy).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConsistencyError
+from repro.queries.workload import MarginalWorkload
+from repro.recovery.consistency import ConsistencyResult, fourier_consistency
+
+
+def project_nonnegative(marginals: Sequence[np.ndarray]) -> List[np.ndarray]:
+    """Clip negative cells to zero (per marginal).
+
+    Note that clipping may break cross-marginal consistency; use
+    :func:`nonnegative_consistent` to restore it afterwards.
+    """
+    return [np.maximum(np.asarray(m, dtype=np.float64), 0.0) for m in marginals]
+
+
+def round_to_integers(marginals: Sequence[np.ndarray]) -> List[np.ndarray]:
+    """Round every cell to the nearest integer (ties to even, numpy default)."""
+    return [np.rint(np.asarray(m, dtype=np.float64)) for m in marginals]
+
+
+def nonnegative_consistent(
+    workload: MarginalWorkload,
+    marginals: Sequence[np.ndarray],
+    *,
+    iterations: int = 8,
+    tol: float = 1e-9,
+) -> ConsistencyResult:
+    """Alternate non-negativity clipping with the consistency projection.
+
+    A simple alternating-projection heuristic: clip, re-project onto the
+    consistent subspace, and repeat.  It converges quickly in practice because
+    the consistent subspace is affine; the loop stops early once the clipped
+    values change by less than ``tol``.
+    """
+    if iterations < 1:
+        raise ConsistencyError(f"iterations must be at least 1, got {iterations}")
+    current = [np.asarray(m, dtype=np.float64) for m in marginals]
+    result: ConsistencyResult = fourier_consistency(workload, current)
+    for _ in range(iterations):
+        clipped = project_nonnegative(result.marginals)
+        change = max(
+            float(np.abs(c - m).max(initial=0.0)) for c, m in zip(clipped, result.marginals)
+        )
+        result = fourier_consistency(workload, clipped)
+        if change <= tol:
+            break
+    return result

@@ -1,0 +1,39 @@
+"""Strategy matrices for the strategy/recovery framework.
+
+Each strategy answers a marginal workload by measuring a (possibly different)
+set of linear queries with per-group noise and reconstructing the requested
+marginals from the noisy measurements.  The strategies mirror the ones
+evaluated in the paper:
+
+* :class:`IdentityStrategy`     — ``S = I`` (noisy base counts);
+* :class:`MarginalSetStrategy`  — ``S`` is a set of marginals (``S = Q`` as a
+  special case via :func:`query_strategy`);
+* :class:`FourierStrategy`      — ``S`` is the relevant slice of the Hadamard
+  transform (Barak et al. [1]);
+* :class:`ClusteringStrategy`   — the greedy marginal-clustering strategy of
+  Ding et al. [6];
+* :class:`ExplicitMatrixStrategy` — any dense matrix (wavelet, hierarchical,
+  random projections, ...) on small domains, with GLS recovery.
+"""
+
+from repro.strategies.base import Measurement, Strategy
+from repro.strategies.identity import IdentityStrategy
+from repro.strategies.marginal import MarginalSetStrategy, query_strategy
+from repro.strategies.fourier import FourierStrategy
+from repro.strategies.clustering import ClusteringStrategy, greedy_cluster_masks
+from repro.strategies.explicit import ExplicitMatrixStrategy
+from repro.strategies.registry import available_strategies, make_strategy
+
+__all__ = [
+    "Strategy",
+    "Measurement",
+    "IdentityStrategy",
+    "MarginalSetStrategy",
+    "query_strategy",
+    "FourierStrategy",
+    "ClusteringStrategy",
+    "greedy_cluster_masks",
+    "ExplicitMatrixStrategy",
+    "available_strategies",
+    "make_strategy",
+]

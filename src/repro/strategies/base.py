@@ -1,0 +1,195 @@
+"""The strategy interface and measurement container.
+
+A :class:`Strategy` encapsulates the first two steps of the paper's
+framework for a fixed marginal workload ``Q``:
+
+1. it describes the *group structure* of its strategy matrix ``S``
+   (Definition 3.1) through :meth:`Strategy.group_specs`, which is all the
+   budget allocator needs;
+2. it *measures* the strategy queries on a count vector with the noise
+   dictated by a :class:`~repro.budget.allocation.NoiseAllocation`
+   (:meth:`Strategy.measure`);
+3. it *estimates* the workload answers from the noisy measurement
+   (:meth:`Strategy.estimate`) — this is the initial recovery ``R`` the
+   strategy is defined with; an optional consistency step
+   (:mod:`repro.recovery.consistency`) can be applied afterwards.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.budget.allocation import NoiseAllocation
+from repro.budget.grouping import GroupSpec
+from repro.exceptions import BudgetError, WorkloadError
+from repro.queries.workload import MarginalWorkload
+from repro.utils.rng import RngLike
+
+
+@dataclass
+class Measurement:
+    """Noisy answers to a strategy's queries.
+
+    Attributes
+    ----------
+    strategy_name:
+        Name of the strategy that produced the measurement.
+    allocation:
+        The noise allocation used, including the privacy budget.
+    values:
+        Noisy strategy answers keyed by group label.  The meaning of each
+        array is strategy-specific (marginal cells, Fourier coefficients,
+        base counts, ...); only the owning strategy interprets them.
+    metadata:
+        Free-form extras a strategy may need at reconstruction time.
+    """
+
+    strategy_name: str
+    allocation: NoiseAllocation
+    values: Dict[str, np.ndarray]
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def budget(self):
+        """The total privacy budget the measurement satisfies."""
+        return self.allocation.budget
+
+    def group_values(self, label: str) -> np.ndarray:
+        """Noisy values of the group with the given label."""
+        if label not in self.values:
+            raise BudgetError(f"measurement has no group labelled {label!r}")
+        return self.values[label]
+
+
+class Strategy(ABC):
+    """Abstract base class of all strategies.
+
+    Parameters
+    ----------
+    workload:
+        The marginal workload the strategy is built for.
+    name:
+        Short identifier used in allocations, reports and experiments.
+    """
+
+    #: Whether the strategy's own recovery already yields mutually consistent
+    #: marginals (true when all answers derive from one estimate of the data,
+    #: e.g. noisy base counts or a single Fourier coefficient vector).  When
+    #: false, the release engine applies the consistency projection of
+    #: Section 4.3 on top of :meth:`estimate`.
+    inherently_consistent: bool = False
+
+    def __init__(self, workload: MarginalWorkload, *, name: str):
+        if len(workload) == 0:
+            raise WorkloadError("cannot build a strategy for an empty workload")
+        self._workload = workload
+        self._name = name
+
+    # ------------------------------------------------------------------ #
+    @property
+    def workload(self) -> MarginalWorkload:
+        """The workload this strategy answers."""
+        return self._workload
+
+    @property
+    def name(self) -> str:
+        """Short strategy identifier (``"I"``, ``"Q"``, ``"F"``, ``"C"``, ...)."""
+        return self._name
+
+    @property
+    def dimension(self) -> int:
+        """Number of binary attributes of the underlying domain."""
+        return self._workload.dimension
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self._name!r}, workload={self._workload.name!r})"
+
+    # ------------------------------------------------------------------ #
+    # interface
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def group_specs(self, a: Optional[Sequence[float]] = None) -> List[GroupSpec]:
+        """Group summaries ``(C_r, s_r)`` of the strategy matrix.
+
+        ``a`` contains optional non-negative per-query weights (one per
+        workload query, applied to all cells of that query); ``None`` means
+        uniform weights, i.e. the sum of variances over all released cells.
+        """
+
+    @abstractmethod
+    def measure(
+        self, x: np.ndarray, allocation: NoiseAllocation, rng: RngLike = None
+    ) -> Measurement:
+        """Answer the strategy queries on the count vector ``x`` with noise.
+
+        The per-group noise level is dictated by ``allocation`` (which must
+        have been computed from this strategy's :meth:`group_specs`).
+        """
+
+    @abstractmethod
+    def estimate(self, measurement: Measurement) -> List[np.ndarray]:
+        """Reconstruct the workload answers from a measurement.
+
+        Returns one vector per workload query, in workload order.
+        """
+
+    # ------------------------------------------------------------------ #
+    # shared helpers
+    # ------------------------------------------------------------------ #
+    def resolve_query_weights(self, a: Optional[Sequence[float]]) -> np.ndarray:
+        """Validate per-query weights (defaulting to all-ones)."""
+        if a is None:
+            return np.ones(len(self._workload), dtype=np.float64)
+        weights = np.asarray(a, dtype=np.float64)
+        if weights.shape != (len(self._workload),):
+            raise WorkloadError(
+                f"expected {len(self._workload)} per-query weights, got shape {weights.shape}"
+            )
+        if np.any(weights < 0):
+            raise WorkloadError("per-query weights must be non-negative")
+        return weights
+
+    def default_group_specs(self) -> List[GroupSpec]:
+        """Group specs for unit query weights, computed once and cached."""
+        cached = getattr(self, "_default_group_specs", None)
+        if cached is None:
+            cached = self.group_specs()
+            self._default_group_specs = cached
+        return cached
+
+    def check_allocation(self, allocation: NoiseAllocation) -> None:
+        """Verify that ``allocation`` matches this strategy's group labels."""
+        expected = [group.label for group in self.default_group_specs()]
+        provided = [group.label for group in allocation.groups]
+        if expected != provided:
+            raise BudgetError(
+                f"allocation groups do not match strategy {self._name!r}: "
+                f"expected {len(expected)} groups starting with {expected[:3]}, "
+                f"got {len(provided)} starting with {provided[:3]}"
+            )
+
+    def check_vector(self, x: np.ndarray) -> np.ndarray:
+        """Validate that ``x`` is a count vector over the workload's domain."""
+        vector = np.asarray(x, dtype=np.float64)
+        if vector.ndim != 1 or vector.shape[0] != self._workload.domain_size:
+            raise WorkloadError(
+                f"count vector must have length {self._workload.domain_size}, "
+                f"got shape {vector.shape}"
+            )
+        return vector
+
+    def sensitivity(self, *, pure: bool = True) -> float:
+        """Classic (uniform-noise) sensitivity of the strategy matrix.
+
+        ``Delta_1 = sum_r C_r`` for pure differential privacy and
+        ``Delta_2 = sqrt(sum_r C_r**2)`` for approximate differential
+        privacy, both following from the grouping property.
+        """
+        constants = np.array([group.constant for group in self.default_group_specs()])
+        if pure:
+            return float(constants.sum())
+        return float(np.sqrt((constants**2).sum()))

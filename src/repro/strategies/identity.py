@@ -1,0 +1,76 @@
+"""The identity strategy ``S = I``: noisy base counts.
+
+Every cell of the full contingency table is released with (the same) noise
+and marginals are obtained by aggregating the noisy cells.  All rows of ``I``
+form a single group with constant ``C = 1``, so the uniform allocation is
+always optimal for this strategy (as the paper notes); the answers are
+automatically consistent because they are all computed from one noisy table.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.budget.allocation import NoiseAllocation
+from repro.budget.grouping import GroupSpec
+from repro.domain.contingency import marginal_from_vector
+from repro.mechanisms.noise import gaussian_noise, gaussian_sigma_for_budget, laplace_noise, laplace_scale_for_budget
+from repro.queries.workload import MarginalWorkload
+from repro.strategies.base import Measurement, Strategy
+from repro.utils.rng import RngLike, ensure_rng
+
+_GROUP_LABEL = "base-counts"
+
+
+class IdentityStrategy(Strategy):
+    """Release noisy base counts and aggregate them into the marginals."""
+
+    inherently_consistent = True
+
+    def __init__(self, workload: MarginalWorkload, *, name: str = "I"):
+        super().__init__(workload, name=name)
+
+    # ------------------------------------------------------------------ #
+    def group_specs(self, a: Optional[Sequence[float]] = None) -> List[GroupSpec]:
+        weights = self.resolve_query_weights(a)
+        # Each base cell contributes (with coefficient 1) to exactly one cell
+        # of every query, so its recovery weight is sum_q a_q and the group
+        # weight is N times that.
+        total_weight = float(self._workload.domain_size * weights.sum())
+        return [
+            GroupSpec(
+                label=_GROUP_LABEL,
+                size=self._workload.domain_size,
+                constant=1.0,
+                weight=total_weight,
+            )
+        ]
+
+    def measure(
+        self, x: np.ndarray, allocation: NoiseAllocation, rng: RngLike = None
+    ) -> Measurement:
+        vector = self.check_vector(x)
+        self.check_allocation(allocation)
+        generator = ensure_rng(rng)
+        eta = allocation.budget_for(_GROUP_LABEL)
+        size = vector.shape[0]
+        if allocation.is_pure:
+            noise = laplace_noise(laplace_scale_for_budget(eta), size, generator)
+        else:
+            sigma = gaussian_sigma_for_budget(eta, allocation.budget.delta)
+            noise = gaussian_noise(sigma, size, generator)
+        return Measurement(
+            strategy_name=self._name,
+            allocation=allocation,
+            values={_GROUP_LABEL: vector + noise},
+        )
+
+    def estimate(self, measurement: Measurement) -> List[np.ndarray]:
+        noisy_counts = measurement.group_values(_GROUP_LABEL)
+        d = self.dimension
+        return [
+            marginal_from_vector(noisy_counts, query.mask, d)
+            for query in self._workload.queries
+        ]

@@ -1,0 +1,52 @@
+"""Strategy registry: build the paper's strategies by short name.
+
+The experimental section compares the strategies ``I`` (noisy base counts),
+``Q`` (noise per requested marginal), ``F`` (Fourier coefficients) and ``C``
+(greedy clustering), each with uniform or optimal non-uniform budgeting.  The
+budgeting choice lives in :mod:`repro.budget.allocation`; this registry only
+resolves the strategy itself.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.exceptions import WorkloadError
+from repro.queries.workload import MarginalWorkload
+from repro.strategies.base import Strategy
+from repro.strategies.clustering import ClusteringStrategy
+from repro.strategies.fourier import FourierStrategy
+from repro.strategies.identity import IdentityStrategy
+from repro.strategies.marginal import query_strategy
+
+_BUILDERS: Dict[str, Callable[[MarginalWorkload], Strategy]] = {
+    "I": lambda workload: IdentityStrategy(workload),
+    "identity": lambda workload: IdentityStrategy(workload),
+    "Q": lambda workload: query_strategy(workload),
+    "query": lambda workload: query_strategy(workload),
+    "F": lambda workload: FourierStrategy(workload),
+    "fourier": lambda workload: FourierStrategy(workload),
+    "C": lambda workload: ClusteringStrategy(workload),
+    "cluster": lambda workload: ClusteringStrategy(workload),
+    "clustering": lambda workload: ClusteringStrategy(workload),
+}
+
+
+def available_strategies() -> tuple:
+    """Canonical short names of the built-in strategies."""
+    return ("I", "Q", "F", "C")
+
+
+def make_strategy(name: str, workload: MarginalWorkload) -> Strategy:
+    """Build the strategy registered under ``name`` for ``workload``.
+
+    Accepts both the single-letter names used in the paper's plots
+    (``"I"``, ``"Q"``, ``"F"``, ``"C"``) and spelled-out aliases
+    (``"identity"``, ``"query"``, ``"fourier"``, ``"cluster"``).
+    """
+    key = name if name in _BUILDERS else name.lower()
+    if key not in _BUILDERS:
+        raise WorkloadError(
+            f"unknown strategy {name!r}; available: {sorted(set(_BUILDERS))}"
+        )
+    return _BUILDERS[key](workload)

@@ -1,0 +1,149 @@
+"""Walsh–Hadamard (Fourier) transform over the Boolean hypercube.
+
+The Fourier basis of Section 4.1 is ``f^alpha_beta = 2**(-d/2) * (-1)**<alpha, beta>``.
+The coefficient of ``x`` at ``alpha`` is ``<f^alpha, x>``; the full coefficient
+vector is the orthonormal Walsh–Hadamard transform of ``x``, computed here in
+``O(N log N)`` with the standard in-place butterfly.
+
+Two facts from the paper drive the targeted helpers below:
+
+* a marginal ``C^alpha x`` depends only on the ``2**||alpha||`` coefficients at
+  masks ``beta ⪯ alpha`` (Theorem 4.1(2)), and those coefficients can be read
+  off a *small* Hadamard transform of the exact marginal itself
+  (:func:`fourier_coefficients_for_mask`);
+* conversely the marginal is recovered from those coefficients by a small
+  inverse transform scaled by ``2**(d/2 - ||alpha||)``
+  (:func:`marginal_from_fourier`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.domain.contingency import marginal_from_vector
+from repro.utils.bits import hamming_weight, iter_submasks, project_index
+
+
+def _unnormalised_fwht_inplace(values: np.ndarray) -> None:
+    """In-place unnormalised Walsh–Hadamard butterfly (length must be a power of 2)."""
+    n = values.shape[0]
+    h = 1
+    while h < n:
+        # Combine blocks of width 2 * h: (a, b) -> (a + b, a - b).
+        for start in range(0, n, 2 * h):
+            left = values[start : start + h]
+            right = values[start + h : start + 2 * h]
+            upper = left + right
+            lower = left - right
+            values[start : start + h] = upper
+            values[start + h : start + 2 * h] = lower
+        h *= 2
+
+
+def fwht(x: np.ndarray) -> np.ndarray:
+    """Orthonormal Walsh–Hadamard transform of a length-``2**d`` vector.
+
+    Returns the coefficient vector ``x_hat`` with
+    ``x_hat[alpha] = 2**(-d/2) * sum_beta (-1)**<alpha, beta> x[beta]``.
+    The transform is involutive: ``fwht(fwht(x)) == x``.
+    """
+    values = np.array(x, dtype=np.float64, copy=True)
+    n = values.shape[0]
+    if n == 0 or n & (n - 1):
+        raise ValueError(f"input length must be a power of two, got {n}")
+    _unnormalised_fwht_inplace(values)
+    values /= np.sqrt(n)
+    return values
+
+
+def inverse_fwht(coefficients: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`fwht` (identical, since the transform is involutive)."""
+    return fwht(coefficients)
+
+
+def fourier_coefficient(x: np.ndarray, mask: int) -> float:
+    """Single Fourier coefficient ``<f^mask, x>`` in ``O(N)`` time."""
+    x = np.asarray(x, dtype=np.float64)
+    n = x.shape[0]
+    if n == 0 or n & (n - 1):
+        raise ValueError(f"input length must be a power of two, got {n}")
+    d = n.bit_length() - 1
+    if not (0 <= mask < n):
+        raise ValueError(f"mask {mask} outside a domain of {n} cells")
+    # <mask, gamma> only depends on gamma restricted to the bits of ``mask``,
+    # so we can first collapse x onto the marginal over ``mask``.
+    marginal = marginal_from_vector(x, mask, d)
+    signs = np.fromiter(
+        ((-1.0) ** hamming_weight(c) for c in range(marginal.shape[0])),
+        dtype=np.float64,
+        count=marginal.shape[0],
+    )
+    return float(np.dot(signs, marginal) / np.sqrt(n))
+
+
+def fourier_coefficients_for_mask(x: np.ndarray, mask: int, d: int) -> Dict[int, float]:
+    """All coefficients ``{beta: <f^beta, x>}`` for ``beta ⪯ mask``.
+
+    Computed as a small Hadamard transform of the exact marginal ``C^mask x``,
+    which costs ``O(N + k 2**k)`` for ``k = ||mask||`` instead of ``O(N 2**k)``.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.shape[0] != (1 << d):
+        raise ValueError(f"x must have length 2**{d}, got {x.shape[0]}")
+    marginal = marginal_from_vector(x, mask, d)
+    local = np.array(marginal, dtype=np.float64, copy=True)
+    _unnormalised_fwht_inplace(local)
+    local /= 2.0 ** (d / 2.0)
+    bits = [b for b in range(d) if (mask >> b) & 1]
+    coefficients: Dict[int, float] = {}
+    for compact in range(local.shape[0]):
+        beta = 0
+        for j, bit in enumerate(bits):
+            if (compact >> j) & 1:
+                beta |= 1 << bit
+        coefficients[beta] = float(local[compact])
+    return coefficients
+
+
+def fourier_coefficients_for_masks(
+    x: np.ndarray, masks: Iterable[int], d: int
+) -> Dict[int, float]:
+    """Coefficients for an arbitrary collection of masks (union of supports).
+
+    ``masks`` is typically ``workload.fourier_masks()`` or the workload's
+    query masks; in the latter case all dominated coefficients are included.
+    """
+    coefficients: Dict[int, float] = {}
+    for mask in sorted(set(int(m) for m in masks), key=hamming_weight, reverse=True):
+        if mask in coefficients:
+            continue
+        coefficients.update(
+            (beta, value)
+            for beta, value in fourier_coefficients_for_mask(x, mask, d).items()
+            if beta not in coefficients
+        )
+    return coefficients
+
+
+def marginal_from_fourier(
+    coefficients: Mapping[int, float], mask: int, d: int
+) -> np.ndarray:
+    """Reconstruct the marginal ``C^mask x`` from Fourier coefficients.
+
+    ``coefficients`` must contain every ``beta ⪯ mask``; extra entries are
+    ignored.  The reconstruction uses Theorem 4.1(2):
+    ``(C^mask x)_gamma = 2**(d/2 - ||mask||) * sum_{beta ⪯ mask} x_hat[beta] * (-1)**<beta, gamma>``.
+    """
+    bits = [b for b in range(d) if (mask >> b) & 1]
+    k = len(bits)
+    local = np.zeros(1 << k, dtype=np.float64)
+    for beta in iter_submasks(mask):
+        if beta not in coefficients:
+            raise KeyError(
+                f"missing Fourier coefficient for mask {beta:#x}, required by marginal {mask:#x}"
+            )
+        local[project_index(beta, mask)] = coefficients[beta]
+    _unnormalised_fwht_inplace(local)
+    return local * (2.0 ** (d / 2.0 - k))

@@ -1,0 +1,119 @@
+"""Sparse random projections (sketches) as a strategy matrix.
+
+The paper lists sketches among the groupable strategies: a sketch partitions
+the domain cells into ``width`` buckets with random signs and repeats the
+partition ``repetitions`` times, so every repetition forms one group
+(disjoint supports, entries of magnitude 1) and the grouping number equals
+the number of repetitions (Section 3.1, "Sparse random projections").
+
+This module builds such count-sketch style matrices for small domains so they
+can be plugged into :class:`repro.strategies.explicit.ExplicitMatrixStrategy`.
+Because a sketch is lossy, exact recovery of arbitrary marginals requires the
+combined row space to cover the workload; :func:`sketch_matrix` therefore also
+exposes the option to append the all-ones row (total count) and the tests
+treat sketches primarily as a vehicle for validating the grouping machinery,
+mirroring how the paper uses them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.exceptions import DomainSizeError
+from repro.utils.rng import RngLike, ensure_rng
+
+#: Guard rail: sketches are materialised densely, keep domains small.
+_DENSE_LIMIT = 1 << 20
+
+
+def sketch_matrix(
+    domain_size: int,
+    *,
+    width: int,
+    repetitions: int,
+    signed: bool = True,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """Build a count-sketch style strategy matrix.
+
+    Parameters
+    ----------
+    domain_size:
+        Number of domain cells (columns).
+    width:
+        Number of buckets per repetition (rows per group).
+    repetitions:
+        Number of independent repetitions (the grouping number ``g``).
+    signed:
+        Whether cells carry random ±1 signs (count sketch) or plain 0/1
+        bucketing (count-min style).
+    rng:
+        Seed or generator for the random hash functions.
+
+    Returns
+    -------
+    numpy.ndarray
+        A ``(repetitions * width) x domain_size`` matrix whose rows are
+        grouped repetition by repetition (use :func:`sketch_groups`).
+    """
+    if domain_size <= 0 or width <= 0 or repetitions <= 0:
+        raise ValueError("domain_size, width and repetitions must all be positive")
+    if domain_size > _DENSE_LIMIT:
+        raise DomainSizeError(
+            f"refusing to materialise a dense sketch over {domain_size} cells"
+        )
+    if width > domain_size:
+        raise ValueError("width cannot exceed the domain size")
+    generator = ensure_rng(rng)
+    matrix = np.zeros((repetitions * width, domain_size), dtype=np.float64)
+    for repetition in range(repetitions):
+        buckets = generator.integers(0, width, size=domain_size)
+        # Every bucket must be hit at least once so each group has full column
+        # cover (the strict Definition 3.1); re-draw empty buckets onto cells.
+        for bucket in range(width):
+            if not np.any(buckets == bucket):
+                buckets[generator.integers(0, domain_size)] = bucket
+        signs = (
+            generator.choice([-1.0, 1.0], size=domain_size)
+            if signed
+            else np.ones(domain_size)
+        )
+        rows = repetition * width + buckets
+        matrix[rows, np.arange(domain_size)] = signs
+    return matrix
+
+
+def sketch_groups(width: int, repetitions: int) -> List[List[int]]:
+    """Row groups of :func:`sketch_matrix`: one group per repetition."""
+    if width <= 0 or repetitions <= 0:
+        raise ValueError("width and repetitions must be positive")
+    return [
+        list(range(repetition * width, (repetition + 1) * width))
+        for repetition in range(repetitions)
+    ]
+
+
+def sketch_with_totals(
+    domain_size: int,
+    *,
+    width: int,
+    repetitions: int,
+    rng: RngLike = None,
+) -> Tuple[np.ndarray, List[List[int]]]:
+    """A sketch augmented with the identity rows so any workload is recoverable.
+
+    Returns the stacked matrix (identity first, then the sketch repetitions)
+    and its row groups.  This mirrors how a lossy projection would be combined
+    with exact low-order measurements in practice while remaining groupable.
+    """
+    sketch = sketch_matrix(
+        domain_size, width=width, repetitions=repetitions, signed=True, rng=rng
+    )
+    identity = np.eye(domain_size)
+    matrix = np.vstack([identity, sketch])
+    groups = [list(range(domain_size))] + [
+        [domain_size + row for row in group] for group in sketch_groups(width, repetitions)
+    ]
+    return matrix, groups

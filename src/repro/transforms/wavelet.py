@@ -1,0 +1,99 @@
+"""One-dimensional orthonormal Haar wavelet transform.
+
+The wavelet strategy of Xiao et al. answers range-query workloads by
+releasing noisy Haar coefficients of the linearised domain.  The paper uses
+it as an example of a groupable strategy: the rows belonging to the same
+resolution level have disjoint supports and equal entry magnitudes, so the
+grouping number is ``log2(N) + 1`` (Definition 3.1 discussion).
+
+The transform here is the standard orthonormal Haar pyramid; the matrix form
+is exposed for small domains so it can be plugged into
+:class:`repro.strategies.explicit.ExplicitMatrixStrategy` and so the grouping
+structure can be verified explicitly in tests.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+_SQRT2 = np.sqrt(2.0)
+
+
+def _check_power_of_two(n: int) -> int:
+    if n <= 0 or n & (n - 1):
+        raise ValueError(f"length must be a positive power of two, got {n}")
+    return n.bit_length() - 1
+
+
+def haar_transform(x: np.ndarray) -> np.ndarray:
+    """Orthonormal Haar transform of a length-``2**n`` vector.
+
+    The output ordering is ``[scaling coefficient, coarsest detail, ...,
+    finest details]``, matching the rows of :func:`haar_matrix`.
+    """
+    values = np.asarray(x, dtype=np.float64)
+    _check_power_of_two(values.shape[0])
+    pieces: List[np.ndarray] = []
+    current = values.copy()
+    while current.shape[0] > 1:
+        even = current[0::2]
+        odd = current[1::2]
+        pieces.append((even - odd) / _SQRT2)
+        current = (even + odd) / _SQRT2
+    pieces.append(current)
+    return np.concatenate(list(reversed(pieces)))
+
+
+def inverse_haar_transform(coefficients: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`haar_transform`."""
+    values = np.asarray(coefficients, dtype=np.float64)
+    n_levels = _check_power_of_two(values.shape[0])
+    current = values[:1].copy()
+    offset = 1
+    for level in range(n_levels):
+        details = values[offset : offset + current.shape[0]]
+        offset += current.shape[0]
+        even = (current + details) / _SQRT2
+        odd = (current - details) / _SQRT2
+        merged = np.empty(2 * current.shape[0], dtype=np.float64)
+        merged[0::2] = even
+        merged[1::2] = odd
+        current = merged
+    return current
+
+
+def haar_matrix(length: int) -> np.ndarray:
+    """Dense orthonormal Haar matrix whose rows match :func:`haar_transform`."""
+    _check_power_of_two(length)
+    identity = np.eye(length)
+    return np.vstack([haar_transform(identity[:, column]) for column in range(length)]).T
+
+
+def haar_level_of_row(row: int, length: int) -> int:
+    """Resolution level of a Haar matrix row.
+
+    Level 0 is the scaling (overall average) row; level ``l >= 1`` contains
+    the ``2**(l-1)`` detail rows of support ``length / 2**(l-1)``.  Rows in
+    the same level form one group of Definition 3.1.
+    """
+    levels = _check_power_of_two(length)
+    if not (0 <= row < length):
+        raise ValueError(f"row {row} outside a Haar matrix of size {length}")
+    if row == 0:
+        return 0
+    level = row.bit_length()  # floor(log2(row)) + 1
+    if level > levels:
+        raise ValueError(f"row {row} outside a Haar matrix of size {length}")
+    return level
+
+
+def haar_groups(length: int) -> List[List[int]]:
+    """Row groups of the Haar matrix (one group per resolution level)."""
+    levels = _check_power_of_two(length)
+    groups: List[List[int]] = [[0]]
+    for level in range(1, levels + 1):
+        start = 1 << (level - 1)
+        groups.append(list(range(start, start * 2)))
+    return groups

@@ -1,0 +1,43 @@
+"""Utility helpers shared across the :mod:`repro` package."""
+
+from repro.utils.bits import (
+    bit_indices,
+    dominated_by,
+    dominates,
+    from_bit_indices,
+    hamming_weight,
+    iter_submasks,
+    iter_supersets,
+    mask_to_tuple,
+    masks_of_weight,
+    parity,
+    project_index,
+    tuple_to_mask,
+)
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import (
+    check_epsilon,
+    check_delta,
+    check_positive_int,
+    check_probability,
+)
+
+__all__ = [
+    "bit_indices",
+    "dominated_by",
+    "dominates",
+    "from_bit_indices",
+    "hamming_weight",
+    "iter_submasks",
+    "iter_supersets",
+    "mask_to_tuple",
+    "masks_of_weight",
+    "parity",
+    "project_index",
+    "tuple_to_mask",
+    "ensure_rng",
+    "check_epsilon",
+    "check_delta",
+    "check_positive_int",
+    "check_probability",
+]

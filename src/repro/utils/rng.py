@@ -1,0 +1,51 @@
+"""Random-number-generator plumbing.
+
+Every randomised component of the library accepts either ``None`` (fresh
+entropy), an integer seed, or an existing :class:`numpy.random.Generator`.
+Centralising the coercion keeps experiments reproducible: passing the same
+seed to an end-to-end release always draws the same noise.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+RngLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+
+def ensure_rng(rng: RngLike = None) -> np.random.Generator:
+    """Coerce ``rng`` into a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    rng:
+        ``None`` for OS entropy, an ``int`` seed, a ``SeedSequence``, or an
+        existing generator (returned unchanged).
+    """
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if rng is None or isinstance(rng, (int, np.integer, np.random.SeedSequence)):
+        return np.random.default_rng(rng)
+    raise TypeError(
+        "rng must be None, an int seed, a numpy SeedSequence or a numpy Generator; "
+        f"got {type(rng).__name__}"
+    )
+
+
+def spawn_rngs(rng: RngLike, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` statistically independent child generators.
+
+    Useful when an experiment fans out over repetitions or strategies and
+    each branch should be reproducible in isolation.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    parent = ensure_rng(rng)
+    seeds = parent.bit_generator.seed_seq.spawn(count) if hasattr(
+        parent.bit_generator, "seed_seq"
+    ) and parent.bit_generator.seed_seq is not None else np.random.SeedSequence(
+        parent.integers(0, 2**63 - 1)
+    ).spawn(count)
+    return [np.random.default_rng(seed) for seed in seeds]

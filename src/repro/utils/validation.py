@@ -1,0 +1,44 @@
+"""Small argument-validation helpers used throughout the library.
+
+These raise the library's own exception types so that user-facing failures
+are uniform and easy to catch.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from repro.exceptions import PrivacyError
+
+
+def check_epsilon(epsilon: float, *, name: str = "epsilon") -> float:
+    """Validate a (pure or per-row) privacy budget and return it as ``float``."""
+    value = float(epsilon)
+    if not math.isfinite(value) or value <= 0.0:
+        raise PrivacyError(f"{name} must be a positive finite number, got {epsilon!r}")
+    return value
+
+
+def check_delta(delta: float, *, name: str = "delta") -> float:
+    """Validate the ``delta`` of (epsilon, delta)-differential privacy."""
+    value = float(delta)
+    if not (0.0 < value < 1.0):
+        raise PrivacyError(f"{name} must lie strictly between 0 and 1, got {delta!r}")
+    return value
+
+
+def check_positive_int(value: Any, *, name: str) -> int:
+    """Validate that ``value`` is a positive integer and return it as ``int``."""
+    as_int = int(value)
+    if as_int != value or as_int <= 0:
+        raise ValueError(f"{name} must be a positive integer, got {value!r}")
+    return as_int
+
+
+def check_probability(value: float, *, name: str) -> float:
+    """Validate that ``value`` is a probability in ``[0, 1]``."""
+    as_float = float(value)
+    if not (0.0 <= as_float <= 1.0):
+        raise ValueError(f"{name} must lie in [0, 1], got {value!r}")
+    return as_float

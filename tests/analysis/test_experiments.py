@@ -1,0 +1,126 @@
+"""Tests for the experiment harness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import (
+    MethodSpec,
+    paper_method_suite,
+    run_accuracy_experiment,
+    run_timing_experiment,
+)
+from repro.queries import all_k_way, star_workload
+
+
+@pytest.fixture
+def methods():
+    return [
+        MethodSpec(label="F", strategy="F", non_uniform=False),
+        MethodSpec(label="F+", strategy="F", non_uniform=True),
+    ]
+
+
+class TestPaperMethodSuite:
+    def test_seven_methods_with_clustering(self):
+        labels = [m.label for m in paper_method_suite()]
+        assert labels == ["I", "Q", "Q+", "F", "F+", "C", "C+"]
+
+    def test_five_methods_without_clustering(self):
+        labels = [m.label for m in paper_method_suite(include_clustering=False)]
+        assert labels == ["I", "Q", "Q+", "F", "F+"]
+
+    def test_plus_means_non_uniform(self):
+        for method in paper_method_suite():
+            assert method.non_uniform == method.label.endswith("+")
+
+
+class TestAccuracyExperiment:
+    def test_point_grid(self, small_dataset, methods):
+        workload = all_k_way(small_dataset.schema, 1)
+        result = run_accuracy_experiment(
+            small_dataset,
+            workload,
+            methods=methods,
+            epsilons=[0.1, 1.0],
+            repetitions=2,
+            rng=0,
+        )
+        assert len(result.points) == len(methods) * 2
+        assert result.methods() == ["F", "F+"]
+        assert result.epsilons() == [0.1, 1.0]
+        for point in result.points:
+            assert point.repetitions == 2
+            assert point.mean_relative_error >= 0.0
+            assert point.mean_seconds > 0.0
+
+    def test_error_decreases_with_epsilon(self, small_dataset, methods):
+        workload = all_k_way(small_dataset.schema, 2)
+        result = run_accuracy_experiment(
+            small_dataset,
+            workload,
+            methods=methods[:1],
+            epsilons=[0.05, 5.0],
+            repetitions=3,
+            rng=1,
+        )
+        low = result.filter(method="F")[0]
+        high = result.filter(method="F")[1]
+        assert high.epsilon > low.epsilon
+        assert high.mean_relative_error < low.mean_relative_error
+
+    def test_filter(self, small_dataset, methods):
+        workload = all_k_way(small_dataset.schema, 1)
+        result = run_accuracy_experiment(
+            small_dataset, workload, methods=methods, epsilons=[0.5], repetitions=1, rng=0
+        )
+        assert len(result.filter(method="F+")) == 1
+        assert len(result.filter(workload="Q1")) == 2
+        assert result.filter(method="nope") == []
+
+    def test_non_uniform_no_worse_on_average(self, small_dataset):
+        """F+ should not lose to F by more than noise on a mixed-order workload."""
+        workload = star_workload(small_dataset.schema, 1)
+        result = run_accuracy_experiment(
+            small_dataset,
+            workload,
+            methods=[
+                MethodSpec(label="F", strategy="F", non_uniform=False),
+                MethodSpec(label="F+", strategy="F", non_uniform=True),
+            ],
+            epsilons=[0.3],
+            repetitions=8,
+            rng=3,
+        )
+        plain = result.filter(method="F")[0].mean_relative_error
+        plus = result.filter(method="F+")[0].mean_relative_error
+        assert plus <= plain * 1.25
+
+
+class TestTimingExperiment:
+    def test_points_cover_grid(self, small_dataset, methods):
+        workloads = [all_k_way(small_dataset.schema, 1), all_k_way(small_dataset.schema, 2)]
+        points = run_timing_experiment(
+            small_dataset, workloads, methods=methods, epsilon=1.0, rng=0
+        )
+        assert len(points) == 4
+        assert all(p.total_seconds > 0 for p in points)
+        assert {p.workload for p in points} == {"Q1", "Q2"}
+
+    def test_clustering_setup_dominates(self, small_dataset):
+        """The clustering strategy's setup (the greedy search) should be slower
+        than the Fourier strategy's — the qualitative content of Figure 6."""
+        workload = all_k_way(small_dataset.schema, 2)
+        points = run_timing_experiment(
+            small_dataset,
+            [workload],
+            methods=[
+                MethodSpec(label="F", strategy="F", non_uniform=True),
+                MethodSpec(label="C", strategy="C", non_uniform=True),
+            ],
+            epsilon=1.0,
+            rng=0,
+        )
+        by_label = {p.method: p for p in points}
+        assert by_label["C"].setup_seconds > by_label["F"].setup_seconds

@@ -1,0 +1,98 @@
+"""Tests for error metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import (
+    average_absolute_error,
+    average_relative_error,
+    max_absolute_error,
+    per_query_absolute_error,
+    per_query_relative_error,
+    total_squared_error,
+)
+from repro.exceptions import WorkloadError
+from repro.queries import all_k_way
+
+
+@pytest.fixture
+def setup(binary_schema_5, random_counts_5):
+    workload = all_k_way(binary_schema_5, 1)
+    truth = workload.true_answers(random_counts_5)
+    return workload, random_counts_5, truth
+
+
+class TestAbsoluteError:
+    def test_zero_for_exact_answers(self, setup):
+        workload, x, truth = setup
+        assert average_absolute_error(workload, x, truth) == 0.0
+        assert np.allclose(per_query_absolute_error(workload, x, truth), 0.0)
+
+    def test_constant_offset(self, setup):
+        workload, x, truth = setup
+        shifted = [t + 3.0 for t in truth]
+        assert average_absolute_error(workload, x, shifted) == pytest.approx(3.0)
+        assert np.allclose(per_query_absolute_error(workload, x, shifted), 3.0)
+
+    def test_accepts_table_vector_and_marginal_truth(self, setup, binary_schema_5):
+        from repro.domain import ContingencyTable
+
+        workload, x, truth = setup
+        shifted = [t + 1.0 for t in truth]
+        table = ContingencyTable(binary_schema_5, x)
+        assert average_absolute_error(workload, table, shifted) == pytest.approx(1.0)
+        assert average_absolute_error(workload, truth, shifted) == pytest.approx(1.0)
+
+    def test_mismatched_released_count(self, setup):
+        workload, x, truth = setup
+        with pytest.raises(WorkloadError):
+            average_absolute_error(workload, x, truth[:-1])
+
+    def test_mismatched_truth_shape(self, setup):
+        workload, x, truth = setup
+        broken = list(truth)
+        broken[0] = np.zeros(3)
+        with pytest.raises(WorkloadError):
+            average_absolute_error(workload, broken, truth)
+
+
+class TestRelativeError:
+    def test_scaling_by_mean_true_answer(self, setup):
+        workload, x, truth = setup
+        shifted = [t + 2.0 for t in truth]
+        expected = np.mean([2.0 / t.mean() for t in truth])
+        assert average_relative_error(workload, x, shifted) == pytest.approx(expected)
+
+    def test_per_query_relative(self, setup):
+        workload, x, truth = setup
+        shifted = [t + 5.0 for t in truth]
+        per_query = per_query_relative_error(workload, x, shifted)
+        assert np.allclose(per_query, [5.0 / t.mean() for t in truth])
+
+    def test_weighted_average_over_cells_not_queries(self, binary_schema_5, random_counts_5):
+        """The paper's metric averages per-entry scaled errors, so queries with
+        more cells contribute proportionally more."""
+        workload = all_k_way(binary_schema_5, 1).union(all_k_way(binary_schema_5, 3))
+        truth = workload.true_answers(random_counts_5)
+        shifted = [t + 1.0 for t in truth]
+        manual = sum(
+            (1.0 / t.mean()) * t.size for t in truth
+        ) / workload.total_cells
+        assert average_relative_error(workload, random_counts_5, shifted) == pytest.approx(manual)
+
+
+class TestOtherMetrics:
+    def test_total_squared_error(self, setup):
+        workload, x, truth = setup
+        shifted = [t + 2.0 for t in truth]
+        assert total_squared_error(workload, x, shifted) == pytest.approx(
+            4.0 * workload.total_cells
+        )
+
+    def test_max_absolute_error(self, setup):
+        workload, x, truth = setup
+        shifted = [t.copy() for t in truth]
+        shifted[2][1] += 17.0
+        assert max_absolute_error(workload, x, shifted) == pytest.approx(17.0)

@@ -1,0 +1,83 @@
+"""Tests for text reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import ExperimentPoint, ExperimentResult, TimingPoint
+from repro.analysis.reporting import (
+    format_series_table,
+    format_table,
+    format_timing_table,
+    series_by_method,
+)
+
+
+@pytest.fixture
+def experiment():
+    result = ExperimentResult(dataset="unit")
+    for method in ("F", "F+"):
+        for epsilon in (0.1, 1.0):
+            result.points.append(
+                ExperimentPoint(
+                    workload="Q1",
+                    method=method,
+                    epsilon=epsilon,
+                    mean_relative_error=1.0 / epsilon if method == "F" else 0.8 / epsilon,
+                    std_relative_error=0.01,
+                    repetitions=3,
+                    mean_seconds=0.01,
+                )
+            )
+    return result
+
+
+class TestFormatTable:
+    def test_alignment_and_headers(self):
+        text = format_table(["name", "value"], [["a", 1.0], ["bbbb", 22.5]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert len(lines) == 4
+        assert "22.5" in lines[3]
+
+    def test_empty_rows(self):
+        text = format_table(["only"], [])
+        assert "only" in text
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[0.123456789]], float_format="{:.2f}")
+        assert "0.12" in text
+
+
+class TestSeries:
+    def test_series_by_method(self, experiment):
+        series = series_by_method(experiment)
+        assert set(series) == {"F", "F+"}
+        assert [p.epsilon for p in series["F"]] == [0.1, 1.0]
+
+    def test_series_table_contains_all_methods(self, experiment):
+        text = format_series_table(experiment, title="Figure X")
+        assert text.startswith("Figure X")
+        assert "F+" in text
+        assert "epsilon" in text
+        # one row per epsilon plus header, separator and title
+        assert len(text.splitlines()) == 1 + 2 + 2
+
+    def test_series_table_workload_filter(self, experiment):
+        assert "0.1" in format_series_table(experiment, workload="Q1")
+        missing = format_series_table(experiment, workload="Q9")
+        assert "epsilon" in missing  # header still renders
+
+
+class TestTimingTable:
+    def test_layout(self):
+        points = [
+            TimingPoint(workload="Q1", method="F", setup_seconds=0.1, release_seconds=0.2),
+            TimingPoint(workload="Q1", method="C", setup_seconds=1.0, release_seconds=0.5),
+            TimingPoint(workload="Q2", method="F", setup_seconds=0.2, release_seconds=0.3),
+        ]
+        text = format_timing_table(points, title="Figure 6")
+        assert text.startswith("Figure 6")
+        lines = text.splitlines()
+        assert "workload" in lines[1]
+        assert any(line.startswith("Q2") for line in lines)

@@ -1,0 +1,217 @@
+"""Tests for uniform and optimal noise-budget allocation (Section 3.1)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.budget.allocation import (
+    NoiseAllocation,
+    allocation_for,
+    optimal_allocation,
+    predicted_total_variance,
+    uniform_allocation,
+)
+from repro.budget.grouping import GroupSpec
+from repro.exceptions import BudgetError
+from repro.mechanisms import PrivacyBudget
+
+
+def make_groups(weights, constants=None, sizes=None):
+    constants = constants or [1.0] * len(weights)
+    sizes = sizes or [1] * len(weights)
+    return [
+        GroupSpec(label=f"g{i}", size=sizes[i], constant=constants[i], weight=weights[i])
+        for i in range(len(weights))
+    ]
+
+
+group_lists = st.lists(
+    st.tuples(
+        st.floats(min_value=0.1, max_value=1000.0),
+        st.floats(min_value=0.01, max_value=10.0),
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+
+class TestUniformAllocation:
+    def test_common_budget_is_epsilon_over_sensitivity(self):
+        groups = make_groups([2.0, 4.0])
+        allocation = uniform_allocation(groups, PrivacyBudget.pure(1.0))
+        assert np.allclose(allocation.group_budgets, 0.5)
+        assert allocation.verify_privacy()
+
+    def test_gaussian_uses_l2_sensitivity(self):
+        groups = make_groups([1.0, 1.0], constants=[1.0, 1.0])
+        allocation = uniform_allocation(groups, PrivacyBudget.approximate(1.0, 1e-6))
+        assert np.allclose(allocation.group_budgets, 1.0 / math.sqrt(2.0))
+        assert allocation.verify_privacy()
+
+    def test_empty_groups_rejected(self):
+        with pytest.raises(BudgetError):
+            uniform_allocation([], PrivacyBudget.pure(1.0))
+
+
+class TestOptimalAllocationPure:
+    def test_intro_example_without_recovery_change(self):
+        """The introduction: S = Q with groups of weight 2 (marginal on A) and
+        4 (marginal on A,B) gives total variance 46.17/eps**2, down from the
+        uniform 48/eps**2."""
+        groups = make_groups([2.0, 4.0], sizes=[2, 4])
+        eps = 1.0
+        uniform = uniform_allocation(groups, PrivacyBudget.pure(eps))
+        optimal = optimal_allocation(groups, PrivacyBudget.pure(eps))
+        assert uniform.total_weighted_variance() == pytest.approx(48.0, rel=1e-6)
+        assert optimal.total_weighted_variance() == pytest.approx(46.17, rel=1e-3)
+        # The optimal budgets are close to the 4 eps / 9 and 5 eps / 9 the
+        # paper quotes for illustration (the exact optimum is (2/(2+4^(1/3)...))
+        # and attains a marginally smaller objective).
+        assert optimal.budget_for("g0") == pytest.approx(4.0 / 9.0, rel=0.01)
+        assert optimal.budget_for("g1") == pytest.approx(5.0 / 9.0, rel=0.01)
+        assert optimal.total_weighted_variance() <= 46.17 + 1e-6
+
+    def test_budget_constraint_tight(self):
+        groups = make_groups([1.0, 10.0, 100.0], constants=[1.0, 2.0, 0.5])
+        allocation = optimal_allocation(groups, PrivacyBudget.pure(0.7))
+        spent = sum(g.constant * eta for g, eta in zip(allocation.groups, allocation.group_budgets))
+        assert spent == pytest.approx(0.7)
+        assert allocation.verify_privacy()
+
+    def test_closed_form_matches_corollary_33(self):
+        """Corollary 3.3 with equal constants C: objective C^2 (sum s^(1/3))^3
+        (paper's s includes the factor 2 we keep in the variance constant)."""
+        weights = [3.0, 5.0, 11.0]
+        constant = 0.25
+        eps = 2.0
+        groups = make_groups(weights, constants=[constant] * 3)
+        allocation = optimal_allocation(groups, PrivacyBudget.pure(eps))
+        expected = 2.0 * constant**2 * sum(w ** (1.0 / 3.0) for w in weights) ** 3 / eps**2
+        assert allocation.total_weighted_variance() == pytest.approx(expected)
+        assert predicted_total_variance(groups, PrivacyBudget.pure(eps)) == pytest.approx(expected)
+
+    def test_zero_weight_group_gets_zero_budget(self):
+        groups = make_groups([0.0, 4.0])
+        allocation = optimal_allocation(groups, PrivacyBudget.pure(1.0))
+        assert allocation.budget_for("g0") == 0.0
+        assert allocation.budget_for("g1") == pytest.approx(1.0)
+
+    def test_all_zero_weights_rejected(self):
+        with pytest.raises(BudgetError):
+            optimal_allocation(make_groups([0.0, 0.0]), PrivacyBudget.pure(1.0))
+
+    def test_equal_groups_reduce_to_uniform(self):
+        groups = make_groups([5.0, 5.0, 5.0])
+        optimal = optimal_allocation(groups, PrivacyBudget.pure(1.0))
+        uniform = uniform_allocation(groups, PrivacyBudget.pure(1.0))
+        assert np.allclose(optimal.group_budgets, uniform.group_budgets)
+
+    @settings(max_examples=60, deadline=None)
+    @given(group_lists, st.floats(min_value=0.05, max_value=5.0))
+    def test_never_worse_than_uniform(self, params, eps):
+        groups = make_groups([w for w, _ in params], constants=[c for _, c in params])
+        budget = PrivacyBudget.pure(eps)
+        optimal = optimal_allocation(groups, budget)
+        uniform = uniform_allocation(groups, budget)
+        assert optimal.total_weighted_variance() <= uniform.total_weighted_variance() * (1 + 1e-9)
+        assert optimal.verify_privacy()
+        assert uniform.verify_privacy()
+
+    @settings(max_examples=60, deadline=None)
+    @given(group_lists, st.floats(min_value=0.05, max_value=5.0))
+    def test_predicted_matches_attained(self, params, eps):
+        groups = make_groups([w for w, _ in params], constants=[c for _, c in params])
+        budget = PrivacyBudget.pure(eps)
+        for non_uniform in (True, False):
+            allocation = allocation_for(groups, budget, non_uniform=non_uniform)
+            assert allocation.total_weighted_variance() == pytest.approx(
+                predicted_total_variance(groups, budget, non_uniform=non_uniform), rel=1e-9
+            )
+
+    @settings(max_examples=40, deadline=None)
+    @given(group_lists)
+    def test_scaling_with_epsilon(self, params):
+        """Total variance scales as 1/eps**2 for any fixed group structure."""
+        groups = make_groups([w for w, _ in params], constants=[c for _, c in params])
+        var_1 = optimal_allocation(groups, PrivacyBudget.pure(1.0)).total_weighted_variance()
+        var_2 = optimal_allocation(groups, PrivacyBudget.pure(2.0)).total_weighted_variance()
+        assert var_1 == pytest.approx(4.0 * var_2, rel=1e-9)
+
+
+class TestOptimalAllocationApproximate:
+    def test_budget_constraint_tight(self):
+        groups = make_groups([1.0, 7.0], constants=[2.0, 0.3])
+        budget = PrivacyBudget.approximate(0.9, 1e-6)
+        allocation = optimal_allocation(groups, budget)
+        spent_sq = sum(
+            (g.constant * eta) ** 2 for g, eta in zip(allocation.groups, allocation.group_budgets)
+        )
+        assert math.sqrt(spent_sq) == pytest.approx(0.9)
+
+    def test_closed_form_matches_corollary_33(self):
+        """(eps, delta) case: objective 2 log(2/delta) C^2 (sum sqrt(s))^2 / eps^2."""
+        weights = [2.0, 8.0]
+        constant = 0.5
+        eps, delta = 1.5, 1e-5
+        groups = make_groups(weights, constants=[constant] * 2)
+        allocation = optimal_allocation(groups, PrivacyBudget.approximate(eps, delta))
+        expected = (
+            2.0
+            * math.log(2.0 / delta)
+            * constant**2
+            * sum(math.sqrt(w) for w in weights) ** 2
+            / eps**2
+        )
+        assert allocation.total_weighted_variance() == pytest.approx(expected)
+
+    @settings(max_examples=40, deadline=None)
+    @given(group_lists, st.floats(min_value=0.05, max_value=5.0))
+    def test_never_worse_than_uniform(self, params, eps):
+        groups = make_groups([w for w, _ in params], constants=[c for _, c in params])
+        budget = PrivacyBudget.approximate(eps, 1e-6)
+        optimal = optimal_allocation(groups, budget)
+        uniform = uniform_allocation(groups, budget)
+        assert optimal.total_weighted_variance() <= uniform.total_weighted_variance() * (1 + 1e-9)
+
+
+class TestNoiseAllocationContainer:
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(BudgetError):
+            NoiseAllocation(
+                groups=tuple(make_groups([1.0, 2.0])),
+                group_budgets=(1.0,),
+                budget=PrivacyBudget.pure(1.0),
+                kind="optimal",
+            )
+
+    def test_negative_budgets_rejected(self):
+        with pytest.raises(BudgetError):
+            NoiseAllocation(
+                groups=tuple(make_groups([1.0])),
+                group_budgets=(-0.1,),
+                budget=PrivacyBudget.pure(1.0),
+                kind="optimal",
+            )
+
+    def test_budget_lookup(self):
+        allocation = uniform_allocation(make_groups([1.0, 2.0]), PrivacyBudget.pure(1.0))
+        assert allocation.budget_for("g1") == pytest.approx(0.5)
+        assert set(allocation.budgets_by_label()) == {"g0", "g1"}
+        with pytest.raises(BudgetError):
+            allocation.budget_for("missing")
+
+    def test_mechanism_name(self):
+        pure = uniform_allocation(make_groups([1.0]), PrivacyBudget.pure(1.0))
+        approx = uniform_allocation(make_groups([1.0]), PrivacyBudget.approximate(1.0, 1e-6))
+        assert pure.mechanism == "laplace"
+        assert approx.mechanism == "gaussian"
+
+    def test_noise_variance_for_zero_budget_is_infinite(self):
+        groups = make_groups([0.0, 1.0])
+        allocation = optimal_allocation(groups, PrivacyBudget.pure(1.0))
+        assert math.isinf(allocation.noise_variance_for("g0"))
+        assert allocation.total_weighted_variance() < math.inf

@@ -1,0 +1,138 @@
+"""Tests for the Table 1 theoretical bounds."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.bounds import (
+    all_k_way_error_bound,
+    base_counts_bound,
+    fourier_nonuniform_bound,
+    fourier_total_variance_all_k_way,
+    fourier_uniform_bound,
+    lower_bound,
+    marginals_bound,
+    table1_bounds,
+)
+from repro.exceptions import PrivacyError
+
+
+class TestIndividualBounds:
+    def test_all_scale_as_one_over_epsilon(self):
+        for bound in (
+            base_counts_bound,
+            marginals_bound,
+            fourier_uniform_bound,
+            fourier_nonuniform_bound,
+            lower_bound,
+        ):
+            assert bound(10, 2, 0.5) == pytest.approx(2.0 * bound(10, 2, 1.0))
+
+    def test_base_counts_formula(self):
+        assert base_counts_bound(10, 2, 1.0) == pytest.approx(2.0 ** 6)
+
+    def test_marginals_formula(self):
+        assert marginals_bound(10, 2, 1.0) == pytest.approx(4 * math.comb(10, 2))
+
+    def test_fourier_uniform_formula(self):
+        assert fourier_uniform_bound(10, 2, 1.0) == pytest.approx(
+            2 * math.comb(10, 2) * math.sqrt(4)
+        )
+
+    def test_fourier_nonuniform_formula(self):
+        assert fourier_nonuniform_bound(10, 2, 1.0) == pytest.approx(
+            2 * math.sqrt(math.comb(10, 2) * math.comb(12, 2))
+        )
+
+    def test_lower_bound_formula(self):
+        assert lower_bound(10, 2, 1.0) == pytest.approx(math.sqrt(math.comb(10, 2)))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            base_counts_bound(4, 5, 1.0)
+        with pytest.raises(ValueError):
+            base_counts_bound(4, 0, 1.0)
+        with pytest.raises(Exception):
+            base_counts_bound(4, 2, -1.0)
+
+    def test_dispatch(self):
+        assert all_k_way_error_bound("marginals", 8, 2, 1.0) == marginals_bound(8, 2, 1.0)
+        with pytest.raises(PrivacyError):
+            all_k_way_error_bound("unknown", 8, 2, 1.0)
+
+
+class TestOrderingsFromTable1:
+    """The qualitative content of Table 1: which method wins in which regime."""
+
+    def test_nonuniform_fourier_beats_uniform_fourier(self):
+        for d in (10, 16, 20):
+            for k in range(1, d // 2):
+                assert fourier_nonuniform_bound(d, k, 1.0) <= fourier_uniform_bound(d, k, 1.0) * 1.01
+
+    def test_nonuniform_fourier_beats_direct_marginals_for_small_k(self):
+        for d in (16, 20, 30):
+            for k in (1, 2, 3):
+                assert fourier_nonuniform_bound(d, k, 1.0) < marginals_bound(d, k, 1.0)
+
+    def test_everything_above_lower_bound(self):
+        for d in (10, 16):
+            for k in (1, 2, 3):
+                floor = lower_bound(d, k, 1.0)
+                for method in ("base_counts", "marginals", "fourier_uniform", "fourier_nonuniform"):
+                    assert all_k_way_error_bound(method, d, k, 1.0) >= floor * 0.99
+
+    def test_base_counts_win_for_high_order_marginals(self):
+        """For k close to d the base-count strategy dominates — the regime the
+        paper's Figure 5(e)-(f) discussion points to."""
+        d = 16
+        assert base_counts_bound(d, d - 2, 1.0) < marginals_bound(d, d - 2, 1.0)
+
+    def test_approximate_dp_columns_are_smaller_for_large_workloads(self):
+        d, k, eps, delta = 20, 3, 1.0, 1e-6
+        assert marginals_bound(d, k, eps, delta) < marginals_bound(d, k, eps)
+        assert fourier_nonuniform_bound(d, k, eps, delta) < fourier_nonuniform_bound(d, k, eps)
+
+
+class TestTable1Rows:
+    def test_all_methods_present(self):
+        rows = table1_bounds(16, 2, 1.0)
+        assert set(rows) == {
+            "base_counts",
+            "marginals",
+            "fourier_uniform",
+            "fourier_nonuniform",
+            "lower_bound",
+        }
+
+    def test_rows_contain_both_privacy_regimes(self):
+        rows = table1_bounds(16, 2, 1.0, delta=1e-6)
+        for row in rows.values():
+            assert row.pure > 0 and row.approximate > 0
+
+
+class TestExactFourierVariance:
+    def test_nonuniform_no_worse_than_uniform(self):
+        for d in (5, 10, 16):
+            for k in (1, 2):
+                assert fourier_total_variance_all_k_way(
+                    d, k, 1.0, non_uniform=True
+                ) <= fourier_total_variance_all_k_way(d, k, 1.0, non_uniform=False) * (1 + 1e-12)
+
+    def test_epsilon_scaling(self):
+        assert fourier_total_variance_all_k_way(10, 2, 2.0) == pytest.approx(
+            fourier_total_variance_all_k_way(10, 2, 1.0) / 4.0
+        )
+
+    def test_k1_closed_form(self):
+        """For k = 1 the uniform total variance can be checked by hand:
+        m = d + 1 coefficients, C = 2^{-d/2}, each marginal uses the empty and
+        its own coefficient with weight 2^{d-1}."""
+        d, eps = 6, 1.0
+        sum_c = (d + 1) * 2.0 ** (-d / 2.0)
+        sum_s = (2.0 ** (d - 1)) * (d + d)  # beta=0 counted d times, each singleton once
+        expected = 2.0 * sum_c**2 * sum_s / eps**2
+        assert fourier_total_variance_all_k_way(d, 1, eps, non_uniform=False) == pytest.approx(
+            expected
+        )

@@ -1,0 +1,145 @@
+"""End-to-end tests for the release engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import MarginalReleaseEngine, release_marginals
+from repro.exceptions import WorkloadError
+from repro.mechanisms import PrivacyBudget
+from repro.queries import all_k_way, star_workload
+from repro.strategies import FourierStrategy, query_strategy
+from tests.conftest import marginals_are_consistent
+
+
+class TestEngineConstruction:
+    def test_strategy_by_name(self, workload_2way_5):
+        engine = MarginalReleaseEngine(workload_2way_5, "F")
+        assert isinstance(engine.strategy, FourierStrategy)
+        assert engine.non_uniform is True
+
+    def test_strategy_instance(self, workload_2way_5):
+        strategy = query_strategy(workload_2way_5)
+        engine = MarginalReleaseEngine(workload_2way_5, strategy)
+        assert engine.strategy is strategy
+
+    def test_strategy_for_other_workload_rejected(self, workload_2way_5, binary_schema_5):
+        other = all_k_way(binary_schema_5, 1)
+        with pytest.raises(WorkloadError):
+            MarginalReleaseEngine(workload_2way_5, query_strategy(other))
+
+    def test_allocation_kind_follows_flag(self, workload_2way_5):
+        optimal = MarginalReleaseEngine(workload_2way_5, "F", non_uniform=True)
+        uniform = MarginalReleaseEngine(workload_2way_5, "F", non_uniform=False)
+        assert optimal.allocation(1.0).kind == "optimal"
+        assert uniform.allocation(1.0).kind == "uniform"
+
+    def test_expected_total_variance_matches_allocation(self, workload_2way_5):
+        engine = MarginalReleaseEngine(workload_2way_5, "Q")
+        assert engine.expected_total_variance(0.5) == pytest.approx(
+            engine.allocation(0.5).total_weighted_variance()
+        )
+
+
+class TestRelease:
+    @pytest.mark.parametrize("strategy", ["I", "Q", "F", "C"])
+    def test_all_strategies_produce_valid_results(self, strategy, small_dataset):
+        workload = all_k_way(small_dataset.schema, 2)
+        result = release_marginals(
+            small_dataset, workload, budget=1.0, strategy=strategy, rng=0
+        )
+        assert len(result.marginals) == len(workload)
+        assert result.strategy_name == strategy
+        assert result.budget.epsilon == 1.0
+        assert all(np.all(np.isfinite(m)) for m in result.marginals)
+
+    @pytest.mark.parametrize("strategy", ["I", "Q", "F", "C"])
+    def test_results_are_consistent(self, strategy, small_dataset):
+        workload = all_k_way(small_dataset.schema, 2)
+        result = release_marginals(
+            small_dataset, workload, budget=0.8, strategy=strategy, rng=1
+        )
+        assert result.consistent
+        assert marginals_are_consistent(workload, result.marginals)
+
+    def test_accepts_dataset_table_and_vector(self, small_dataset):
+        workload = all_k_way(small_dataset.schema, 1)
+        table = small_dataset.contingency_table()
+        for data in (small_dataset, table, table.counts):
+            result = release_marginals(data, workload, budget=1.0, strategy="F", rng=3)
+            assert len(result.marginals) == len(workload)
+
+    def test_schema_mismatch_rejected(self, small_dataset, binary_schema_3):
+        workload = all_k_way(binary_schema_3, 1)
+        with pytest.raises(WorkloadError):
+            release_marginals(small_dataset, workload, budget=1.0)
+
+    def test_vector_length_mismatch_rejected(self, workload_2way_5):
+        with pytest.raises(WorkloadError):
+            release_marginals(np.zeros(8), workload_2way_5, budget=1.0)
+
+    def test_reproducible_with_seed(self, small_dataset):
+        workload = all_k_way(small_dataset.schema, 2)
+        a = release_marginals(small_dataset, workload, budget=0.5, strategy="F", rng=7)
+        b = release_marginals(small_dataset, workload, budget=0.5, strategy="F", rng=7)
+        for x, y in zip(a.marginals, b.marginals):
+            assert np.array_equal(x, y)
+
+    def test_different_seeds_differ(self, small_dataset):
+        workload = all_k_way(small_dataset.schema, 1)
+        a = release_marginals(small_dataset, workload, budget=0.5, strategy="F", rng=1)
+        b = release_marginals(small_dataset, workload, budget=0.5, strategy="F", rng=2)
+        assert any(not np.array_equal(x, y) for x, y in zip(a.marginals, b.marginals))
+
+    def test_error_decreases_with_epsilon(self, small_dataset):
+        workload = all_k_way(small_dataset.schema, 2)
+        table = small_dataset.contingency_table()
+        errors = {}
+        for epsilon in (0.05, 5.0):
+            values = [
+                release_marginals(
+                    small_dataset, workload, budget=epsilon, strategy="F", rng=seed
+                ).absolute_error(table)
+                for seed in range(5)
+            ]
+            errors[epsilon] = np.mean(values)
+        assert errors[5.0] < errors[0.05]
+
+    def test_non_uniform_not_worse_in_expectation(self, small_dataset):
+        workload = star_workload(small_dataset.schema, 1)
+        plus = MarginalReleaseEngine(workload, "F", non_uniform=True)
+        plain = MarginalReleaseEngine(workload, "F", non_uniform=False)
+        assert plus.expected_total_variance(1.0) <= plain.expected_total_variance(1.0)
+
+    def test_approximate_dp_budget(self, small_dataset):
+        workload = all_k_way(small_dataset.schema, 1)
+        budget = PrivacyBudget.approximate(1.0, 1e-6)
+        result = release_marginals(small_dataset, workload, budget=budget, strategy="F", rng=0)
+        assert result.budget.is_approximate
+
+    def test_consistency_can_be_disabled(self, small_dataset):
+        workload = all_k_way(small_dataset.schema, 2)
+        result = release_marginals(
+            small_dataset, workload, budget=0.3, strategy="Q", consistency=False, rng=0
+        )
+        assert not result.consistent
+
+    def test_timings_recorded(self, small_dataset):
+        workload = all_k_way(small_dataset.schema, 2)
+        result = release_marginals(small_dataset, workload, budget=1.0, strategy="Q", rng=0)
+        assert {"budgeting", "measurement", "recovery", "consistency"} <= set(
+            result.elapsed_seconds
+        )
+        assert result.total_time >= 0.0
+
+    def test_query_weights_change_allocation(self, small_dataset):
+        workload = star_workload(small_dataset.schema, 1)
+        weights = np.ones(len(workload))
+        weights[0] = 50.0
+        weighted = MarginalReleaseEngine(workload, "Q", query_weights=weights)
+        unweighted = MarginalReleaseEngine(workload, "Q")
+        budget_weighted = weighted.allocation(1.0)
+        budget_unweighted = unweighted.allocation(1.0)
+        label = budget_weighted.groups[0].label
+        assert budget_weighted.budget_for(label) > budget_unweighted.budget_for(label)

@@ -1,0 +1,82 @@
+"""Tests for the release result container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import release_marginals
+from repro.core.result import ReleaseResult
+from repro.exceptions import WorkloadError
+from repro.queries import all_k_way
+
+
+@pytest.fixture
+def result(small_dataset):
+    workload = all_k_way(small_dataset.schema, 2)
+    return release_marginals(small_dataset, workload, budget=1.0, strategy="F", rng=0)
+
+
+class TestReleaseResult:
+    def test_marginal_count_validated(self, small_dataset):
+        workload = all_k_way(small_dataset.schema, 1)
+        good = release_marginals(small_dataset, workload, budget=1.0, strategy="I", rng=0)
+        with pytest.raises(WorkloadError):
+            ReleaseResult(
+                workload=workload,
+                marginals=good.marginals[:-1],
+                strategy_name="I",
+                allocation=good.allocation,
+                consistent=True,
+                expected_total_variance=1.0,
+            )
+
+    def test_marginal_shape_validated(self, small_dataset):
+        workload = all_k_way(small_dataset.schema, 1)
+        good = release_marginals(small_dataset, workload, budget=1.0, strategy="I", rng=0)
+        broken = list(good.marginals)
+        broken[0] = np.zeros(5)
+        with pytest.raises(WorkloadError):
+            ReleaseResult(
+                workload=workload,
+                marginals=broken,
+                strategy_name="I",
+                allocation=good.allocation,
+                consistent=True,
+                expected_total_variance=1.0,
+            )
+
+    def test_marginal_lookup_by_attributes(self, result, small_dataset):
+        names = small_dataset.schema.names[:2]
+        marginal = result.marginal_for(names)
+        assert marginal.shape == (4,)
+
+    def test_marginal_lookup_by_mask(self, result, small_dataset):
+        mask = small_dataset.schema.mask_of(small_dataset.schema.names[:2])
+        assert np.array_equal(result.marginal_for(mask), result.marginal_for(small_dataset.schema.names[:2]))
+
+    def test_marginal_lookup_missing(self, result, small_dataset):
+        with pytest.raises(WorkloadError):
+            result.marginal_for([small_dataset.schema.names[0]])  # 1-way not in Q2
+
+    def test_as_dict_keys(self, result):
+        mapping = result.as_dict()
+        assert set(mapping) == set(result.workload.masks)
+
+    def test_budgeting_label(self, result):
+        assert result.budgeting == "optimal"
+
+    def test_error_helpers_match_metrics_module(self, result, small_dataset):
+        from repro.analysis.metrics import average_absolute_error, average_relative_error
+
+        table = small_dataset.contingency_table()
+        assert result.absolute_error(table) == pytest.approx(
+            average_absolute_error(result.workload, table, result.marginals)
+        )
+        assert result.relative_error(table) == pytest.approx(
+            average_relative_error(result.workload, table, result.marginals)
+        )
+
+    def test_repr_mentions_strategy_and_epsilon(self, result):
+        text = repr(result)
+        assert "F" in text and "epsilon=1" in text

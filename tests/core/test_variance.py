@@ -1,0 +1,112 @@
+"""Tests for analytic per-query variances."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.budget.allocation import optimal_allocation, uniform_allocation
+from repro.core.variance import per_query_variances, total_weighted_variance
+from repro.exceptions import BudgetError
+from repro.mechanisms import PrivacyBudget
+from repro.queries import all_k_way, star_workload
+from repro.strategies import (
+    ExplicitMatrixStrategy,
+    FourierStrategy,
+    IdentityStrategy,
+    query_strategy,
+)
+
+
+@pytest.fixture(params=["I", "Q", "F"])
+def strategy(request, binary_schema_5):
+    workload = star_workload(binary_schema_5, 1)
+    if request.param == "I":
+        return IdentityStrategy(workload)
+    if request.param == "Q":
+        return query_strategy(workload)
+    return FourierStrategy(workload)
+
+
+class TestPerQueryVariances:
+    def test_sum_matches_allocation_objective(self, strategy):
+        """sum_q Var(query q) equals the allocation's weighted objective
+        (with unit weights) — the quantity the budgeting optimises."""
+        for non_uniform in (True, False):
+            budget = PrivacyBudget.pure(0.7)
+            allocation = (
+                optimal_allocation(strategy.group_specs(), budget)
+                if non_uniform
+                else uniform_allocation(strategy.group_specs(), budget)
+            )
+            per_query = per_query_variances(strategy, allocation)
+            assert per_query.shape == (len(strategy.workload),)
+            assert per_query.sum() == pytest.approx(allocation.total_weighted_variance())
+
+    def test_total_weighted_variance_with_weights(self, strategy):
+        budget = PrivacyBudget.pure(1.0)
+        weights = np.linspace(1.0, 2.0, len(strategy.workload))
+        allocation = optimal_allocation(strategy.group_specs(weights), budget)
+        per_query = per_query_variances(strategy, allocation)
+        assert total_weighted_variance(strategy, allocation, weights) == pytest.approx(
+            float(np.dot(weights, per_query))
+        )
+
+    def test_gaussian_budget_supported(self, strategy):
+        budget = PrivacyBudget.approximate(1.0, 1e-6)
+        allocation = optimal_allocation(strategy.group_specs(), budget)
+        per_query = per_query_variances(strategy, allocation)
+        assert per_query.sum() == pytest.approx(allocation.total_weighted_variance())
+
+    def test_explicit_strategy_supported(self, binary_schema_5):
+        workload = all_k_way(binary_schema_5, 1)
+        strategy = ExplicitMatrixStrategy(workload, np.eye(32), name="identity")
+        allocation = uniform_allocation(strategy.group_specs(), PrivacyBudget.pure(1.0))
+        per_query = per_query_variances(strategy, allocation)
+        # Identity strategy: each 1-way marginal sums all 32 noisy cells,
+        # each of variance 2, so the total variance per marginal is 64.
+        assert np.allclose(per_query, 64.0)
+
+    def test_unknown_strategy_type_rejected(self, workload_2way_5):
+        from repro.strategies.base import Strategy
+
+        class Mystery(Strategy):
+            def group_specs(self, a=None):
+                return []
+
+            def measure(self, x, allocation, rng=None):
+                raise NotImplementedError
+
+            def estimate(self, measurement):
+                raise NotImplementedError
+
+        mystery = Mystery(workload_2way_5, name="mystery")
+        allocation = uniform_allocation(
+            query_strategy(workload_2way_5).group_specs(), PrivacyBudget.pure(1.0)
+        )
+        with pytest.raises(BudgetError):
+            per_query_variances(mystery, allocation)
+
+
+class TestEmpiricalAgreement:
+    @pytest.mark.parametrize("name", ["I", "Q", "F"])
+    def test_monte_carlo_matches_analytic(self, binary_schema_3, name):
+        """Measured squared error over many draws matches the analytic
+        per-query variance within Monte-Carlo tolerance."""
+        from repro.strategies import make_strategy
+
+        workload = all_k_way(binary_schema_3, 1)
+        strategy = make_strategy(name, workload)
+        allocation = optimal_allocation(strategy.group_specs(), PrivacyBudget.pure(1.0))
+        analytic = per_query_variances(strategy, allocation)
+        x = np.zeros(workload.domain_size)
+        truth = workload.true_answers(x)
+        rng = np.random.default_rng(0)
+        totals = np.zeros(len(workload))
+        repetitions = 400
+        for _ in range(repetitions):
+            estimates = strategy.estimate(strategy.measure(x, allocation, rng=rng))
+            for position, (estimate, true_marginal) in enumerate(zip(estimates, truth)):
+                totals[position] += float(((estimate - true_marginal) ** 2).sum())
+        empirical = totals / repetitions
+        assert np.allclose(empirical, analytic, rtol=0.2)

@@ -1,0 +1,125 @@
+"""Tests for the Adult schema, synthetic stand-in and CSV loader."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.adult import (
+    ADULT_ATTRIBUTE_NAMES,
+    ADULT_N_RECORDS,
+    ADULT_SCHEMA,
+    load_adult_csv,
+    synthetic_adult,
+)
+from repro.exceptions import DataError
+
+
+class TestSchema:
+    def test_cardinalities_match_paper(self):
+        expected = {
+            "workclass": 9,
+            "education": 16,
+            "marital_status": 7,
+            "occupation": 15,
+            "relationship": 6,
+            "race": 5,
+            "sex": 2,
+            "salary": 2,
+        }
+        for name, cardinality in expected.items():
+            assert ADULT_SCHEMA.attribute(name).cardinality == cardinality
+
+    def test_total_bits_is_23(self):
+        """The paper's Adult domain: 4+4+3+4+3+3+1+1 = 23 binary attributes."""
+        assert ADULT_SCHEMA.total_bits == 23
+        assert ADULT_SCHEMA.domain_size == 2**23
+
+    def test_attribute_order(self):
+        assert ADULT_SCHEMA.names == ADULT_ATTRIBUTE_NAMES
+
+
+class TestSyntheticAdult:
+    def test_default_size(self):
+        data = synthetic_adult(n_records=2000, rng=0)
+        assert len(data) == 2000
+        assert data.schema == ADULT_SCHEMA
+
+    def test_default_record_count_constant(self):
+        assert ADULT_N_RECORDS == 32_561
+
+    def test_reproducible(self):
+        a = synthetic_adult(n_records=500, rng=1).records
+        b = synthetic_adult(n_records=500, rng=1).records
+        assert np.array_equal(a, b)
+
+    def test_values_within_domains(self):
+        data = synthetic_adult(n_records=3000, rng=2)
+        for column, attr in enumerate(ADULT_SCHEMA.attributes):
+            assert data.records[:, column].max() < attr.cardinality
+            assert data.records[:, column].min() >= 0
+
+    def test_marginals_are_skewed_like_adult(self):
+        """Majority categories should dominate their attributes (e.g. the most
+        common salary bracket is <=50K and the most common sex code is Male)."""
+        data = synthetic_adult(n_records=20_000, rng=3)
+        salary = data.marginal(["salary"])
+        assert salary[0] > salary[1]
+        sex = data.marginal(["sex"])
+        assert sex[0] > sex[1]
+        workclass = data.marginal(["workclass"])[: ADULT_SCHEMA.attribute("workclass").cardinality]
+        assert int(np.argmax(workclass)) == 0  # "Private"
+
+    def test_invalid_parameters(self):
+        with pytest.raises(DataError):
+            synthetic_adult(n_records=0)
+        with pytest.raises(DataError):
+            synthetic_adult(n_records=10, correlation_strength=1.5)
+
+
+class TestLoadAdultCsv:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DataError):
+            load_adult_csv(tmp_path / "nope.data")
+
+    def test_parses_raw_rows(self, tmp_path):
+        row = (
+            "39, State-gov, 77516, Bachelors, 13, Never-married, Adm-clerical,"
+            " Not-in-family, White, Male, 2174, 0, 40, United-States, <=50K"
+        )
+        row_unknown = (
+            "50, ?, 83311, HS-grad, 13, Divorced, ?,"
+            " Unmarried, Black, Female, 0, 0, 13, United-States, >50K"
+        )
+        path = tmp_path / "adult.data"
+        path.write_text(row + "\n" + row_unknown + "\n\n")
+        data = load_adult_csv(path)
+        assert len(data) == 2
+        decoded = data.records
+        assert decoded[0, ADULT_ATTRIBUTE_NAMES.index("salary")] == 0  # <=50K
+        assert decoded[1, ADULT_ATTRIBUTE_NAMES.index("salary")] == 1  # >50K
+        # '?' maps to the Unknown code of workclass/occupation.
+        workclass_labels = ADULT_SCHEMA.attribute("workclass").labels
+        assert workclass_labels[decoded[1, ADULT_ATTRIBUTE_NAMES.index("workclass")]] == "Unknown"
+
+    def test_unmappable_rows_skipped_or_strict(self, tmp_path):
+        bad = (
+            "39, Martian-gov, 77516, Bachelors, 13, Never-married, Adm-clerical,"
+            " Not-in-family, White, Male, 2174, 0, 40, Mars, <=50K"
+        )
+        good = (
+            "39, Private, 77516, Bachelors, 13, Never-married, Adm-clerical,"
+            " Not-in-family, White, Male, 2174, 0, 40, United-States, <=50K"
+        )
+        path = tmp_path / "adult.data"
+        path.write_text(bad + "\n" + good + "\n")
+        data = load_adult_csv(path)
+        assert len(data) == 1
+        with pytest.raises(DataError):
+            load_adult_csv(path, strict=True)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "adult.data"
+        path.write_text("\n")
+        with pytest.raises(DataError):
+            load_adult_csv(path)

@@ -1,0 +1,91 @@
+"""Tests for generic CSV loading and schema inference."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.loader import infer_schema_from_records, load_csv
+from repro.exceptions import DataError
+
+
+class TestInferSchema:
+    def test_basic_inference(self):
+        rows = [["red", "yes"], ["blue", "no"], ["red", "no"]]
+        schema, matrix = infer_schema_from_records(["colour", "flag"], rows)
+        assert schema.names == ("colour", "flag")
+        assert schema.attribute("colour").cardinality == 2
+        assert matrix.shape == (3, 2)
+        # Values encoded by sorted order: blue=0, red=1; no=0, yes=1.
+        assert matrix[0].tolist() == [1, 1]
+
+    def test_single_valued_column_rejected(self):
+        with pytest.raises(DataError):
+            infer_schema_from_records(["only"], [["a"], ["a"]])
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(DataError):
+            infer_schema_from_records(["a", "b"], [["x", "y"], ["z"]])
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataError):
+            infer_schema_from_records(["a"], [])
+
+
+class TestLoadCsv:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("city,tier\nparis,a\nrome,b\nparis,b\n")
+        data = load_csv(path)
+        assert data.schema.names == ("city", "tier")
+        assert len(data) == 3
+        assert data.name == "data"
+
+    def test_column_selection(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("a,b,c\n1,x,p\n2,y,q\n1,x,q\n")
+        data = load_csv(path, columns=["c", "a"])
+        assert data.schema.names == ("c", "a")
+        assert data.records.shape == (3, 2)
+
+    def test_missing_column_rejected(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("a,b\n1,2\n3,4\n")
+        with pytest.raises(DataError):
+            load_csv(path, columns=["missing"])
+
+    def test_no_header(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("x,1\ny,2\nx,2\n")
+        data = load_csv(path, has_header=False)
+        assert data.schema.names == ("column_0", "column_1")
+        assert len(data) == 3
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DataError):
+            load_csv(tmp_path / "absent.csv")
+
+    def test_header_only_rejected(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("a,b\n")
+        with pytest.raises(DataError):
+            load_csv(path)
+
+    def test_loaded_dataset_supports_release(self, tmp_path):
+        """Loaded data feeds straight into the release pipeline."""
+        from repro import all_k_way, release_marginals
+
+        path = tmp_path / "survey.csv"
+        rows = ["smoker,region,income"]
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            rows.append(
+                f"{'yes' if rng.random() < 0.3 else 'no'},"
+                f"{rng.choice(['north', 'south', 'east', 'west'])},"
+                f"{rng.choice(['low', 'mid', 'high'])}"
+            )
+        path.write_text("\n".join(rows) + "\n")
+        data = load_csv(path)
+        workload = all_k_way(data.schema, 2)
+        result = release_marginals(data, workload, budget=1.0, strategy="F", rng=0)
+        assert len(result.marginals) == len(workload)

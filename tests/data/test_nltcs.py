@@ -1,0 +1,104 @@
+"""Tests for the NLTCS schema, synthetic stand-in and loader."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.nltcs import (
+    NLTCS_ATTRIBUTE_NAMES,
+    NLTCS_N_RECORDS,
+    NLTCS_SCHEMA,
+    load_nltcs_csv,
+    synthetic_nltcs,
+)
+from repro.exceptions import DataError
+
+
+class TestSchema:
+    def test_sixteen_binary_attributes(self):
+        assert len(NLTCS_SCHEMA) == 16
+        assert NLTCS_SCHEMA.is_binary
+        assert NLTCS_SCHEMA.total_bits == 16
+        assert NLTCS_SCHEMA.domain_size == 2**16
+
+    def test_adl_and_iadl_split(self):
+        adls = [name for name in NLTCS_ATTRIBUTE_NAMES if name.startswith("adl_")]
+        iadls = [name for name in NLTCS_ATTRIBUTE_NAMES if name.startswith("iadl_")]
+        assert len(adls) == 6
+        assert len(iadls) == 10
+
+
+class TestSyntheticNltcs:
+    def test_size_and_schema(self):
+        data = synthetic_nltcs(n_records=4000, rng=0)
+        assert len(data) == 4000
+        assert data.schema == NLTCS_SCHEMA
+        assert NLTCS_N_RECORDS == 21_576
+
+    def test_reproducible(self):
+        a = synthetic_nltcs(n_records=1000, rng=9).records
+        b = synthetic_nltcs(n_records=1000, rng=9).records
+        assert np.array_equal(a, b)
+
+    def test_binary_values(self):
+        data = synthetic_nltcs(n_records=2000, rng=1)
+        assert set(np.unique(data.records)) <= {0, 1}
+
+    def test_all_zero_pattern_is_most_common(self):
+        """The healthy (all-zero) cell dominates the real NLTCS; the synthetic
+        stand-in must reproduce that shape."""
+        data = synthetic_nltcs(n_records=20_000, rng=2)
+        counts = data.to_vector()
+        assert int(np.argmax(counts)) == 0
+
+    def test_items_are_positively_correlated(self):
+        """Disabilities co-occur (latent severity), so the covariance between
+        any two ADL items should be positive."""
+        data = synthetic_nltcs(n_records=20_000, rng=3)
+        records = data.records[:, :6].astype(float)
+        covariance = np.cov(records, rowvar=False)
+        off_diagonal = covariance[np.triu_indices(6, k=1)]
+        assert np.all(off_diagonal > 0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(DataError):
+            synthetic_nltcs(n_records=0)
+        with pytest.raises(DataError):
+            synthetic_nltcs(n_records=10, class_severities=[0.5], class_weights=[0.5, 0.5])
+        with pytest.raises(DataError):
+            synthetic_nltcs(n_records=10, class_severities=[2.0], class_weights=[1.0])
+        with pytest.raises(DataError):
+            synthetic_nltcs(n_records=10, class_severities=[0.5, 0.6], class_weights=[0.7, 0.7])
+
+
+class TestLoadNltcsCsv:
+    def test_sixteen_column_format(self, tmp_path):
+        path = tmp_path / "nltcs.csv"
+        path.write_text("0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0\n1,1,0,0,0,0,1,0,0,0,0,0,0,0,0,0\n")
+        data = load_nltcs_csv(path)
+        assert len(data) == 2
+        assert data.records[1, 0] == 1
+
+    def test_packed_string_format(self, tmp_path):
+        path = tmp_path / "nltcs.txt"
+        path.write_text("0000000000000000\n1100001000000000\n")
+        data = load_nltcs_csv(path)
+        assert len(data) == 2
+        assert data.records[1, :3].tolist() == [1, 1, 0]
+
+    def test_bad_rows_skipped(self, tmp_path):
+        path = tmp_path / "nltcs.csv"
+        path.write_text("0,1\n" + ",".join(["0"] * 16) + "\n")
+        data = load_nltcs_csv(path)
+        assert len(data) == 1
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DataError):
+            load_nltcs_csv(tmp_path / "missing.csv")
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "nltcs.csv"
+        path.write_text("\n")
+        with pytest.raises(DataError):
+            load_nltcs_csv(path)

@@ -1,0 +1,112 @@
+"""Tests for the generic synthetic data generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import (
+    independent_dataset,
+    latent_class_dataset,
+    planted_correlation_dataset,
+)
+from repro.domain import Attribute, Schema
+from repro.exceptions import DataError
+
+
+@pytest.fixture
+def schema():
+    return Schema([Attribute("a", 4), Attribute("b", 3), Attribute("c", 2)])
+
+
+class TestIndependentDataset:
+    def test_shape_and_domain(self, schema):
+        data = independent_dataset(schema, 500, rng=0)
+        assert len(data) == 500
+        assert data.records.shape == (500, 3)
+        for column, attr in enumerate(schema.attributes):
+            assert data.records[:, column].max() < attr.cardinality
+
+    def test_reproducible(self, schema):
+        a = independent_dataset(schema, 100, rng=5).records
+        b = independent_dataset(schema, 100, rng=5).records
+        assert np.array_equal(a, b)
+
+    def test_zipf_skew_prefers_small_codes(self, schema):
+        data = independent_dataset(schema, 5000, skew=2.0, rng=0)
+        marginal = data.marginal(["a"])
+        assert marginal[0] > marginal[3]
+
+    def test_explicit_probabilities(self, schema):
+        probabilities = [
+            np.array([1.0, 0.0, 0.0, 0.0]),
+            np.array([0.0, 1.0, 0.0]),
+            np.array([0.5, 0.5]),
+        ]
+        data = independent_dataset(schema, 200, probabilities=probabilities, rng=0)
+        assert np.all(data.records[:, 0] == 0)
+        assert np.all(data.records[:, 1] == 1)
+
+    def test_invalid_probabilities_rejected(self, schema):
+        with pytest.raises(DataError):
+            independent_dataset(schema, 10, probabilities=[np.array([0.5, 0.5])] * 3, rng=0)
+
+    def test_invalid_record_count(self, schema):
+        with pytest.raises(ValueError):
+            independent_dataset(schema, 0, rng=0)
+
+
+class TestLatentClassDataset:
+    def test_shape_and_reproducibility(self, schema):
+        a = latent_class_dataset(schema, 300, rng=1).records
+        b = latent_class_dataset(schema, 300, rng=1).records
+        assert a.shape == (300, 3)
+        assert np.array_equal(a, b)
+
+    def test_class_weights_validated(self, schema):
+        with pytest.raises(DataError):
+            latent_class_dataset(schema, 10, n_classes=2, class_weights=[0.4, 0.4], rng=0)
+
+    def test_concentration_validated(self, schema):
+        with pytest.raises(DataError):
+            latent_class_dataset(schema, 10, concentration=0.0, rng=0)
+
+    def test_induces_correlation(self):
+        """With few, sharp classes the attributes should be visibly dependent:
+        the 2-way contingency table differs from the product of marginals.
+        (Class distributions are random, so we check the dependence appears
+        for at least one of a handful of seeds.)"""
+        schema = Schema([Attribute("u", 2), Attribute("v", 2)])
+        dependence = []
+        for seed in range(5):
+            data = latent_class_dataset(
+                schema,
+                20_000,
+                n_classes=2,
+                concentration=0.2,
+                class_weights=[0.5, 0.5],
+                rng=seed,
+            )
+            joint = data.marginal(["u", "v"]) / len(data)
+            pu = data.marginal(["u"]) / len(data)
+            pv = data.marginal(["v"]) / len(data)
+            independent = np.outer(pv, pu).reshape(-1)  # compact index: u varies fastest
+            dependence.append(np.abs(joint - independent).max())
+        assert max(dependence) > 0.02
+
+
+class TestPlantedCorrelationDataset:
+    def test_shape(self, schema):
+        data = planted_correlation_dataset(schema, 400, rng=0)
+        assert data.records.shape == (400, 3)
+
+    def test_copy_probability_validated(self, schema):
+        with pytest.raises(DataError):
+            planted_correlation_dataset(schema, 10, copy_probability=1.5, rng=0)
+
+    def test_strong_copying_gives_high_agreement(self):
+        schema = Schema([Attribute("p", 2), Attribute("q", 2)])
+        data = planted_correlation_dataset(schema, 5000, copy_probability=0.95, rng=1)
+        records = data.records
+        agreement = float((records[:, 0] % 2 == records[:, 1]).mean())
+        assert agreement > 0.9

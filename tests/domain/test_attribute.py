@@ -1,0 +1,79 @@
+"""Tests for attribute descriptions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.domain.attribute import Attribute, binary_attribute
+from repro.exceptions import SchemaError
+
+
+class TestConstruction:
+    def test_basic(self):
+        attr = Attribute("education", 16)
+        assert attr.name == "education"
+        assert attr.cardinality == 16
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("", 2)
+
+    @pytest.mark.parametrize("cardinality", [0, 1, -3])
+    def test_small_cardinality_rejected(self, cardinality):
+        with pytest.raises(SchemaError):
+            Attribute("x", cardinality)
+
+    def test_label_count_must_match(self):
+        with pytest.raises(SchemaError):
+            Attribute("sex", 2, labels=("Male",))
+
+    def test_frozen(self):
+        attr = Attribute("x", 2)
+        with pytest.raises(AttributeError):
+            attr.cardinality = 4  # type: ignore[misc]
+
+
+class TestBitWidths:
+    @pytest.mark.parametrize(
+        "cardinality, bits",
+        [(2, 1), (3, 2), (4, 2), (5, 3), (7, 3), (8, 3), (9, 4), (15, 4), (16, 4), (17, 5)],
+    )
+    def test_bits(self, cardinality, bits):
+        assert Attribute("x", cardinality).bits == bits
+
+    def test_encoded_cardinality_is_power_of_two(self):
+        attr = Attribute("occupation", 15)
+        assert attr.encoded_cardinality == 16
+        assert attr.encoded_cardinality >= attr.cardinality
+
+    def test_paper_adult_bit_total(self):
+        # workclass 9, education 16, marital 7, occupation 15, relationship 6,
+        # race 5, sex 2, salary 2 -> 4+4+3+4+3+3+1+1 = 23 bits.
+        cardinalities = [9, 16, 7, 15, 6, 5, 2, 2]
+        assert sum(Attribute(f"a{i}", c).bits for i, c in enumerate(cardinalities)) == 23
+
+
+class TestValuesAndLabels:
+    def test_is_binary(self):
+        assert Attribute("sex", 2).is_binary
+        assert not Attribute("race", 5).is_binary
+
+    def test_validate_value(self):
+        attr = Attribute("x", 3)
+        assert attr.validate_value(2) == 2
+        with pytest.raises(SchemaError):
+            attr.validate_value(3)
+        with pytest.raises(SchemaError):
+            attr.validate_value(-1)
+
+    def test_label_of_with_labels(self):
+        attr = Attribute("sex", 2, labels=("Male", "Female"))
+        assert attr.label_of(1) == "Female"
+
+    def test_label_of_without_labels(self):
+        assert Attribute("x", 4).label_of(3) == "3"
+
+    def test_binary_attribute_helper(self):
+        attr = binary_attribute("flag", labels=["no", "yes"])
+        assert attr.cardinality == 2
+        assert attr.label_of(1) == "yes"

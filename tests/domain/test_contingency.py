@@ -1,0 +1,145 @@
+"""Tests for contingency tables and marginalisation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.domain import Attribute, ContingencyTable, Dataset, Schema
+from repro.domain.contingency import marginal_from_vector
+from repro.exceptions import SchemaError
+from tests.conftest import brute_force_marginal
+
+
+class TestMarginalFromVector:
+    def test_full_mask_returns_copy(self):
+        x = np.arange(8.0)
+        result = marginal_from_vector(x, 0b111, 3)
+        assert np.array_equal(result, x)
+        result[0] = 99
+        assert x[0] == 0
+
+    def test_zero_mask_is_total(self):
+        x = np.arange(16.0)
+        assert marginal_from_vector(x, 0, 4) == pytest.approx(x.sum())
+
+    def test_paper_example_values(self, paper_example_table):
+        # Figure 1(a): the five tuples of table D.  In this library A is bit 0,
+        # B bit 1 and C bit 2 (the paper linearises with A most significant,
+        # so the raw vector layout differs but the marginals must not).
+        x = paper_example_table.counts
+        assert x.sum() == 5
+        # Marginal over A, B: (0,0)=3, (1,0)=0, (0,1)=1, (1,1)=1.
+        ab = marginal_from_vector(x, 0b011, 3)
+        assert ab.tolist() == [3.0, 0.0, 1.0, 1.0]
+        a = marginal_from_vector(x, 0b001, 3)
+        assert a.tolist() == [4.0, 1.0]
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            marginal_from_vector(np.zeros(7), 0b1, 3)
+
+    def test_mask_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            marginal_from_vector(np.zeros(8), 0b1000, 3)
+
+    def test_matches_brute_force_fixed(self, random_counts_5):
+        for mask in [0b00001, 0b10101, 0b01110, 0b11111, 0b10000]:
+            fast = marginal_from_vector(random_counts_5, mask, 5)
+            slow = brute_force_marginal(random_counts_5, mask, 5)
+            assert np.allclose(fast, slow)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        data=st.lists(st.integers(0, 20), min_size=16, max_size=16),
+        mask=st.integers(0, 15),
+    )
+    def test_matches_brute_force_property(self, data, mask):
+        x = np.array(data, dtype=float)
+        assert np.allclose(
+            marginal_from_vector(x, mask, 4), brute_force_marginal(x, mask, 4)
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        data=st.lists(st.integers(0, 20), min_size=32, max_size=32),
+        mask=st.integers(0, 31),
+    )
+    def test_total_preserved(self, data, mask):
+        x = np.array(data, dtype=float)
+        assert marginal_from_vector(x, mask, 5).sum() == pytest.approx(x.sum())
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        data=st.lists(st.integers(0, 20), min_size=32, max_size=32),
+        sub=st.integers(0, 31),
+        sup=st.integers(0, 31),
+    )
+    def test_marginal_of_marginal(self, data, sub, sup):
+        """Aggregating a marginal further equals marginalising directly."""
+        from repro.strategies.marginal import submarginal
+
+        x = np.array(data, dtype=float)
+        sub = sub & sup  # ensure sub is dominated by sup
+        direct = marginal_from_vector(x, sub, 5)
+        via_super = submarginal(marginal_from_vector(x, sup, 5), sup, sub)
+        assert np.allclose(direct, via_super)
+
+
+class TestContingencyTable:
+    def test_from_records_counts(self, binary_schema_3):
+        table = ContingencyTable.from_records(
+            binary_schema_3, [(0, 0, 1), (0, 1, 1), (0, 0, 0), (0, 0, 1), (1, 1, 0)]
+        )
+        assert table.total == 5
+        assert table.domain_size == 8
+        assert table.counts.sum() == 5
+
+    def test_shape_validation(self, binary_schema_3):
+        with pytest.raises(SchemaError):
+            ContingencyTable(binary_schema_3, np.zeros(7))
+
+    def test_marginal_by_attribute_names(self, paper_example_table):
+        ab = paper_example_table.marginal(["A", "B"])
+        assert ab.tolist() == [3.0, 0.0, 1.0, 1.0]
+        c = paper_example_table.marginal(["C"])
+        assert c.tolist() == [2.0, 3.0]
+
+    def test_marginal_by_mask(self, paper_example_table):
+        assert paper_example_table.marginal_by_mask(0b001).tolist() == [4.0, 1.0]
+
+    def test_marginal_accepts_raw_mask_via_marginal(self, paper_example_table):
+        assert np.array_equal(
+            paper_example_table.marginal(0b011), paper_example_table.marginal(["A", "B"])
+        )
+
+    def test_resolve_mask_out_of_range(self, paper_example_table):
+        with pytest.raises(SchemaError):
+            paper_example_table.resolve_mask(1 << 10)
+
+    def test_marginal_size(self, paper_example_table):
+        assert paper_example_table.marginal_size(["A", "B"]) == 4
+        assert paper_example_table.marginal_size(["A"]) == 2
+
+    def test_zeros_and_copy(self, binary_schema_3):
+        table = ContingencyTable.zeros(binary_schema_3)
+        assert table.total == 0
+        copy = table.copy()
+        copy.counts[0] = 5
+        assert table.counts[0] == 0
+
+    def test_counts_are_copied_on_construction(self, binary_schema_3):
+        raw = np.zeros(8)
+        table = ContingencyTable(binary_schema_3, raw)
+        raw[0] = 7
+        assert table.counts[0] == 0
+
+    def test_mixed_cardinality_padding_cells_are_zero(self):
+        schema = Schema([Attribute("y", 3)])
+        table = ContingencyTable.from_records(schema, [(0,), (1,), (2,), (2,)])
+        # Domain has 4 cells; code 3 is padding and must stay zero.
+        assert table.counts.tolist() == [1.0, 1.0, 2.0, 0.0]
+
+    def test_repr_mentions_dimensions(self, paper_example_table):
+        assert "d=3" in repr(paper_example_table)

@@ -1,0 +1,100 @@
+"""Tests for the privacy accountant."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import PrivacyError
+from repro.mechanisms import PrivacyBudget
+from repro.mechanisms.accountant import LedgerEntry, PrivacyAccountant
+
+
+class TestBasicAccounting:
+    def test_initial_state(self):
+        accountant = PrivacyAccountant(PrivacyBudget.pure(1.0))
+        assert accountant.spent_epsilon() == 0.0
+        assert accountant.remaining().epsilon == pytest.approx(1.0)
+        assert accountant.entries == []
+
+    def test_requires_budget_object(self):
+        with pytest.raises(PrivacyError):
+            PrivacyAccountant(1.0)  # type: ignore[arg-type]
+
+    def test_charging_accumulates(self):
+        accountant = PrivacyAccountant(PrivacyBudget.pure(1.0))
+        accountant.charge(PrivacyBudget.pure(0.3), label="first")
+        accountant.charge(PrivacyBudget.pure(0.2), label="second")
+        assert accountant.spent_epsilon() == pytest.approx(0.5)
+        assert accountant.remaining().epsilon == pytest.approx(0.5)
+        assert [entry.label for entry in accountant.entries] == ["first", "second"]
+
+    def test_spent_requires_a_charge(self):
+        accountant = PrivacyAccountant(PrivacyBudget.pure(1.0))
+        with pytest.raises(PrivacyError):
+            accountant.spent()
+        accountant.charge(PrivacyBudget.pure(0.1))
+        assert accountant.spent().epsilon == pytest.approx(0.1)
+
+    def test_overspending_rejected(self):
+        accountant = PrivacyAccountant(PrivacyBudget.pure(0.5))
+        accountant.charge(PrivacyBudget.pure(0.4))
+        with pytest.raises(PrivacyError):
+            accountant.charge(PrivacyBudget.pure(0.2))
+        # The failed charge is not recorded.
+        assert accountant.spent_epsilon() == pytest.approx(0.4)
+
+    def test_exact_exhaustion_allowed_then_no_remaining(self):
+        accountant = PrivacyAccountant(PrivacyBudget.pure(0.5))
+        accountant.charge(PrivacyBudget.pure(0.5))
+        with pytest.raises(PrivacyError):
+            accountant.remaining()
+
+    def test_can_afford(self):
+        accountant = PrivacyAccountant(PrivacyBudget.pure(1.0))
+        assert accountant.can_afford(PrivacyBudget.pure(1.0))
+        accountant.charge(PrivacyBudget.pure(0.7))
+        assert accountant.can_afford(PrivacyBudget.pure(0.3))
+        assert not accountant.can_afford(PrivacyBudget.pure(0.4))
+
+
+class TestApproximateBudgets:
+    def test_delta_accumulates(self):
+        accountant = PrivacyAccountant(PrivacyBudget.approximate(1.0, 1e-5))
+        accountant.charge(PrivacyBudget.approximate(0.5, 4e-6))
+        assert accountant.spent_delta() == pytest.approx(4e-6)
+        remaining = accountant.remaining()
+        assert remaining.epsilon == pytest.approx(0.5)
+        assert remaining.delta == pytest.approx(6e-6)
+
+    def test_delta_overspend_rejected(self):
+        accountant = PrivacyAccountant(PrivacyBudget.approximate(1.0, 1e-6))
+        with pytest.raises(PrivacyError):
+            accountant.charge(PrivacyBudget.approximate(0.1, 1e-5))
+
+    def test_approximate_charge_against_pure_budget_rejected(self):
+        accountant = PrivacyAccountant(PrivacyBudget.pure(1.0))
+        with pytest.raises(PrivacyError):
+            accountant.charge(PrivacyBudget.approximate(0.1, 1e-6))
+
+    def test_pure_charge_against_approximate_budget_allowed(self):
+        accountant = PrivacyAccountant(PrivacyBudget.approximate(1.0, 1e-6))
+        accountant.charge(PrivacyBudget.pure(0.4))
+        assert accountant.remaining().delta == pytest.approx(1e-6)
+
+
+class TestChargeRelease:
+    def test_charges_release_result(self, small_dataset):
+        from repro import all_k_way, release_marginals
+
+        workload = all_k_way(small_dataset.schema, 1)
+        result = release_marginals(small_dataset, workload, budget=0.25, strategy="F", rng=0)
+        accountant = PrivacyAccountant(PrivacyBudget.pure(1.0))
+        accountant.charge_release(result)
+        assert accountant.spent_epsilon() == pytest.approx(0.25)
+        assert accountant.entries[0].label == "F:Q1"
+
+    def test_repr(self):
+        accountant = PrivacyAccountant(PrivacyBudget.pure(2.0))
+        accountant.charge(PrivacyBudget.pure(0.5))
+        assert "0.5" in repr(accountant)
+        assert "releases=1" in repr(accountant)

@@ -1,0 +1,114 @@
+"""Tests for the Laplace and Gaussian mechanisms."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PrivacyError
+from repro.mechanisms import GaussianMechanism, LaplaceMechanism, PrivacyBudget
+
+
+class TestLaplaceMechanism:
+    def test_release_adds_noise_of_right_variance(self):
+        mechanism = LaplaceMechanism(rng=0)
+        values = np.zeros(100_000)
+        noisy = mechanism.release(values, sensitivity=2.0, budget=1.0)
+        assert noisy.var() == pytest.approx(2.0 * (2.0 / 1.0) ** 2, rel=0.05)
+
+    def test_release_is_unbiased(self):
+        mechanism = LaplaceMechanism(rng=1)
+        values = np.full(100_000, 10.0)
+        noisy = mechanism.release(values, sensitivity=1.0, budget=2.0)
+        assert noisy.mean() == pytest.approx(10.0, abs=0.05)
+
+    def test_accepts_privacy_budget(self):
+        mechanism = LaplaceMechanism(rng=0)
+        noisy = mechanism.release(np.zeros(10), sensitivity=1.0, budget=PrivacyBudget.pure(1.0))
+        assert noisy.shape == (10,)
+
+    def test_rejects_approximate_budget(self):
+        mechanism = LaplaceMechanism(rng=0)
+        with pytest.raises(PrivacyError):
+            mechanism.release(
+                np.zeros(3), sensitivity=1.0, budget=PrivacyBudget.approximate(1.0, 1e-6)
+            )
+
+    def test_rejects_bad_parameters(self):
+        mechanism = LaplaceMechanism(rng=0)
+        with pytest.raises(PrivacyError):
+            mechanism.release(np.zeros(3), sensitivity=0.0, budget=1.0)
+        with pytest.raises(PrivacyError):
+            mechanism.release(np.zeros(3), sensitivity=1.0, budget=-1.0)
+
+    def test_release_with_budgets_per_row_variance(self):
+        mechanism = LaplaceMechanism(rng=0)
+        budgets = np.array([0.5] * 50_000 + [2.0] * 50_000)
+        noisy = mechanism.release_with_budgets(np.zeros(100_000), budgets)
+        assert noisy[:50_000].var() == pytest.approx(2.0 / 0.25, rel=0.05)
+        assert noisy[50_000:].var() == pytest.approx(2.0 / 4.0, rel=0.05)
+
+    def test_release_with_budgets_shape_check(self):
+        mechanism = LaplaceMechanism(rng=0)
+        with pytest.raises(PrivacyError):
+            mechanism.release_with_budgets(np.zeros(5), np.ones(4))
+
+    def test_noise_variance_formula(self):
+        mechanism = LaplaceMechanism()
+        assert mechanism.noise_variance(sensitivity=3.0, epsilon=1.5) == pytest.approx(
+            2.0 * (3.0 / 1.5) ** 2
+        )
+
+    def test_reproducible_with_seed(self):
+        a = LaplaceMechanism(rng=42).release(np.zeros(20), sensitivity=1.0, budget=1.0)
+        b = LaplaceMechanism(rng=42).release(np.zeros(20), sensitivity=1.0, budget=1.0)
+        assert np.array_equal(a, b)
+
+
+class TestGaussianMechanism:
+    def test_release_adds_noise_of_right_variance(self):
+        delta = 1e-5
+        mechanism = GaussianMechanism(rng=0)
+        noisy = mechanism.release(
+            np.zeros(100_000), sensitivity=1.0, budget=PrivacyBudget.approximate(1.0, delta)
+        )
+        expected = 2.0 * math.log(2.0 / delta)
+        assert noisy.var() == pytest.approx(expected, rel=0.05)
+
+    def test_accepts_tuple_budget(self):
+        mechanism = GaussianMechanism(rng=0)
+        noisy = mechanism.release(np.zeros(10), sensitivity=1.0, budget=(1.0, 1e-6))
+        assert noisy.shape == (10,)
+
+    def test_rejects_pure_budget(self):
+        mechanism = GaussianMechanism(rng=0)
+        with pytest.raises(PrivacyError):
+            mechanism.release(np.zeros(3), sensitivity=1.0, budget=PrivacyBudget.pure(1.0))
+
+    def test_rejects_bad_parameters(self):
+        mechanism = GaussianMechanism(rng=0)
+        with pytest.raises(PrivacyError):
+            mechanism.release(np.zeros(3), sensitivity=-1.0, budget=(1.0, 1e-6))
+        with pytest.raises(PrivacyError):
+            mechanism.release(np.zeros(3), sensitivity=1.0, budget=(0.0, 1e-6))
+
+    def test_release_with_budgets(self):
+        delta = 1e-4
+        mechanism = GaussianMechanism(rng=0)
+        budgets = np.full(100_000, 2.0)
+        noisy = mechanism.release_with_budgets(np.zeros(100_000), budgets, delta=delta)
+        assert noisy.var() == pytest.approx(2.0 * math.log(2.0 / delta) / 4.0, rel=0.05)
+
+    def test_release_with_budgets_shape_check(self):
+        mechanism = GaussianMechanism(rng=0)
+        with pytest.raises(PrivacyError):
+            mechanism.release_with_budgets(np.zeros(5), np.ones(4), delta=1e-6)
+
+    def test_noise_variance_formula(self):
+        mechanism = GaussianMechanism()
+        delta = 1e-6
+        assert mechanism.noise_variance(sensitivity=2.0, epsilon=0.5, delta=delta) == pytest.approx(
+            2.0 * 4.0 * math.log(2.0 / delta) / 0.25
+        )

@@ -1,0 +1,106 @@
+"""Tests for the noise samplers and budget/parameter conversions."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PrivacyError
+from repro.mechanisms.noise import (
+    gaussian_noise,
+    gaussian_sigma_for_budget,
+    gaussian_variance_for_budget,
+    laplace_noise,
+    laplace_scale_for_budget,
+    laplace_variance_for_budget,
+)
+
+
+class TestConversions:
+    def test_laplace_scale(self):
+        assert laplace_scale_for_budget(2.0) == pytest.approx(0.5)
+        assert np.allclose(laplace_scale_for_budget(np.array([1.0, 4.0])), [1.0, 0.25])
+
+    def test_laplace_variance(self):
+        # Proposition 3.1(i): variance 2 / eps_i**2.
+        assert laplace_variance_for_budget(1.0) == pytest.approx(2.0)
+        assert laplace_variance_for_budget(2.0) == pytest.approx(0.5)
+
+    def test_laplace_variance_is_scale_relation(self):
+        eps = np.array([0.3, 1.7, 4.0])
+        assert np.allclose(
+            laplace_variance_for_budget(eps), 2.0 * laplace_scale_for_budget(eps) ** 2
+        )
+
+    def test_gaussian_variance(self):
+        # Proposition 3.1(ii): variance 2 log(2/delta) / eps_i**2.
+        delta = 1e-5
+        assert gaussian_variance_for_budget(1.0, delta) == pytest.approx(
+            2.0 * math.log(2.0 / delta)
+        )
+
+    def test_gaussian_sigma_matches_variance(self):
+        delta = 1e-4
+        eps = np.array([0.5, 2.0])
+        assert np.allclose(
+            gaussian_sigma_for_budget(eps, delta) ** 2,
+            gaussian_variance_for_budget(eps, delta),
+        )
+
+    @pytest.mark.parametrize("value", [0.0, -1.0, np.inf])
+    def test_invalid_budgets_rejected(self, value):
+        with pytest.raises(PrivacyError):
+            laplace_scale_for_budget(value)
+        with pytest.raises(PrivacyError):
+            gaussian_sigma_for_budget(value, 1e-6)
+
+
+class TestLaplaceSampler:
+    def test_reproducible(self):
+        a = laplace_noise(1.0, 100, rng=7)
+        b = laplace_noise(1.0, 100, rng=7)
+        assert np.array_equal(a, b)
+
+    def test_empirical_variance(self):
+        scale = 2.0
+        samples = laplace_noise(scale, 200_000, rng=0)
+        assert samples.var() == pytest.approx(2.0 * scale**2, rel=0.05)
+        assert samples.mean() == pytest.approx(0.0, abs=0.05)
+
+    def test_per_component_scales(self):
+        scales = np.array([0.5] * 50_000 + [5.0] * 50_000)
+        samples = laplace_noise(scales, 100_000, rng=1)
+        assert samples[:50_000].var() == pytest.approx(2.0 * 0.25, rel=0.1)
+        assert samples[50_000:].var() == pytest.approx(2.0 * 25.0, rel=0.1)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(PrivacyError):
+            laplace_noise(np.array([1.0, 2.0]), 3, rng=0)
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(PrivacyError):
+            laplace_noise(0.0, 5, rng=0)
+
+
+class TestGaussianSampler:
+    def test_reproducible(self):
+        a = gaussian_noise(1.0, 100, rng=3)
+        b = gaussian_noise(1.0, 100, rng=3)
+        assert np.array_equal(a, b)
+
+    def test_empirical_variance(self):
+        sigma = 3.0
+        samples = gaussian_noise(sigma, 200_000, rng=0)
+        assert samples.var() == pytest.approx(sigma**2, rel=0.05)
+
+    def test_per_component_sigmas(self):
+        sigmas = np.array([1.0] * 50_000 + [4.0] * 50_000)
+        samples = gaussian_noise(sigmas, 100_000, rng=2)
+        assert samples[:50_000].var() == pytest.approx(1.0, rel=0.1)
+        assert samples[50_000:].var() == pytest.approx(16.0, rel=0.1)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(PrivacyError):
+            gaussian_noise(np.array([1.0, 2.0, 3.0]), 2, rng=0)

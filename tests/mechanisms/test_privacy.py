@@ -1,0 +1,74 @@
+"""Tests for privacy budgets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import PrivacyError
+from repro.mechanisms import PrivacyBudget
+
+
+class TestConstruction:
+    def test_pure(self):
+        budget = PrivacyBudget.pure(0.5)
+        assert budget.epsilon == 0.5
+        assert budget.delta == 0.0
+        assert budget.is_pure and not budget.is_approximate
+
+    def test_approximate(self):
+        budget = PrivacyBudget.approximate(1.0, 1e-6)
+        assert budget.is_approximate and not budget.is_pure
+
+    @pytest.mark.parametrize("epsilon", [0.0, -1.0])
+    def test_invalid_epsilon(self, epsilon):
+        with pytest.raises(PrivacyError):
+            PrivacyBudget(epsilon)
+
+    @pytest.mark.parametrize("delta", [-0.1, 1.0, 2.0])
+    def test_invalid_delta(self, delta):
+        with pytest.raises(PrivacyError):
+            PrivacyBudget(1.0, delta)
+
+    def test_repr(self):
+        assert "delta" not in repr(PrivacyBudget.pure(1.0))
+        assert "delta" in repr(PrivacyBudget.approximate(1.0, 0.01))
+
+
+class TestComposition:
+    def test_compose_adds(self):
+        combined = PrivacyBudget(0.3, 1e-7) + PrivacyBudget(0.2, 1e-7)
+        assert combined.epsilon == pytest.approx(0.5)
+        assert combined.delta == pytest.approx(2e-7)
+
+    def test_split_equal(self):
+        parts = PrivacyBudget.pure(1.0).split(4)
+        assert len(parts) == 4
+        assert all(p.epsilon == pytest.approx(0.25) for p in parts)
+        total = sum((p.epsilon for p in parts))
+        assert total == pytest.approx(1.0)
+
+    def test_split_invalid(self):
+        with pytest.raises(PrivacyError):
+            PrivacyBudget.pure(1.0).split(0)
+
+    def test_split_weighted(self):
+        parts = PrivacyBudget.pure(1.0).split_weighted([1, 3])
+        assert parts[0].epsilon == pytest.approx(0.25)
+        assert parts[1].epsilon == pytest.approx(0.75)
+
+    def test_split_weighted_rejects_zero_weight(self):
+        with pytest.raises(PrivacyError):
+            PrivacyBudget.pure(1.0).split_weighted([1, 0])
+
+    def test_split_weighted_rejects_negatives(self):
+        with pytest.raises(PrivacyError):
+            PrivacyBudget.pure(1.0).split_weighted([-1, 2])
+
+    def test_scaled(self):
+        budget = PrivacyBudget.approximate(1.0, 1e-6).scaled(0.5)
+        assert budget.epsilon == pytest.approx(0.5)
+        assert budget.delta == pytest.approx(5e-7)
+
+    def test_scaled_invalid(self):
+        with pytest.raises(PrivacyError):
+            PrivacyBudget.pure(1.0).scaled(0)

@@ -1,0 +1,83 @@
+"""Tests for sensitivity computations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PrivacyError
+from repro.mechanisms.sensitivity import (
+    l1_sensitivity,
+    l2_sensitivity,
+    lp_sensitivity,
+    neighboring_factor,
+    weighted_l1_column_bound,
+    weighted_l2_column_bound,
+)
+from repro.queries.matrix import fourier_basis_matrix, workload_matrix
+
+
+class TestNeighboringFactor:
+    def test_values(self):
+        assert neighboring_factor("add_remove") == 1.0
+        assert neighboring_factor("replace") == 2.0
+
+    def test_invalid(self):
+        with pytest.raises(PrivacyError):
+            neighboring_factor("swap")
+
+
+class TestMatrixSensitivity:
+    def test_identity(self):
+        identity = np.eye(8)
+        assert l1_sensitivity(identity) == 1.0
+        assert l2_sensitivity(identity) == 1.0
+
+    def test_replace_doubles(self):
+        identity = np.eye(4)
+        assert l1_sensitivity(identity, neighboring="replace") == 2.0
+
+    def test_figure_1b_query_matrix(self, paper_example_workload):
+        # Every column of Q (marginal on A plus marginal on A,B) has two ones.
+        q = workload_matrix(paper_example_workload)
+        assert l1_sensitivity(q) == 2.0
+        assert l2_sensitivity(q) == pytest.approx(np.sqrt(2.0))
+
+    def test_fourier_matrix(self):
+        d = 4
+        f = fourier_basis_matrix(d)
+        assert l1_sensitivity(f) == pytest.approx(2.0 ** (d / 2.0))
+        assert l2_sensitivity(f) == pytest.approx(1.0)
+
+    def test_lp_general(self):
+        matrix = np.array([[1.0, 0.0], [2.0, 1.0]])
+        assert lp_sensitivity(matrix, 1) == 3.0
+        assert lp_sensitivity(matrix, 2) == pytest.approx(np.sqrt(5.0))
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            l1_sensitivity(np.zeros(3))
+        with pytest.raises(ValueError):
+            lp_sensitivity(np.eye(2), 0)
+
+
+class TestWeightedColumnBounds:
+    def test_uniform_budgets_reduce_to_sensitivity(self, paper_example_workload):
+        q = workload_matrix(paper_example_workload)
+        eps = np.full(q.shape[0], 0.5)
+        assert weighted_l1_column_bound(q, eps) == pytest.approx(0.5 * l1_sensitivity(q))
+        assert weighted_l2_column_bound(q, eps) == pytest.approx(0.5 * l2_sensitivity(q))
+
+    def test_non_uniform_example(self, paper_example_workload):
+        """The introduction's allocation: 4eps/9 on the A marginal rows and
+        5eps/9 on the A,B rows exactly exhausts the budget eps."""
+        q = workload_matrix(paper_example_workload)
+        eps = 1.3
+        budgets = np.array([4 * eps / 9] * 2 + [5 * eps / 9] * 4)
+        assert weighted_l1_column_bound(q, budgets) == pytest.approx(eps)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            weighted_l1_column_bound(np.eye(3), np.ones(2))
+        with pytest.raises(ValueError):
+            weighted_l2_column_bound(np.eye(3), np.ones(4))

@@ -1,0 +1,106 @@
+"""Tests for marginal queries."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.domain import Attribute, Schema
+from repro.exceptions import WorkloadError
+from repro.queries import MarginalQuery
+from repro.utils.bits import hamming_weight
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        query = MarginalQuery(mask=0b0101, dimension=4)
+        assert query.order == 2
+        assert query.size == 4
+        assert query.domain_size == 16
+
+    def test_mask_must_fit_dimension(self):
+        with pytest.raises(WorkloadError):
+            MarginalQuery(mask=0b10000, dimension=4)
+
+    def test_dimension_must_be_positive(self):
+        with pytest.raises(WorkloadError):
+            MarginalQuery(mask=0, dimension=0)
+
+    def test_total_and_identity_helpers(self):
+        total = MarginalQuery.total_query(5)
+        identity = MarginalQuery.identity_query(5)
+        assert total.order == 0 and total.size == 1
+        assert identity.order == 5 and identity.size == 32
+
+    def test_ordering_and_hash(self):
+        a = MarginalQuery(1, 4)
+        b = MarginalQuery(1, 4)
+        c = MarginalQuery(2, 4)
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+        assert sorted([c, a]) == [a, c]
+
+
+class TestFromAttributes:
+    def test_single_attribute(self, mixed_schema):
+        query = MarginalQuery.from_attributes(mixed_schema, ["y"])
+        assert query.mask == mixed_schema.attribute_mask("y")
+        assert query.order == 2
+
+    def test_multiple_attributes(self, mixed_schema):
+        query = MarginalQuery.from_attributes(mixed_schema, ["x", "z"])
+        assert query.mask == 0b11001
+        assert query.attribute_names(mixed_schema) == ("x", "z")
+
+    def test_attribute_names_requires_matching_schema(self, mixed_schema, binary_schema_3):
+        query = MarginalQuery.from_attributes(mixed_schema, ["x"])
+        with pytest.raises(WorkloadError):
+            query.attribute_names(binary_schema_3)
+
+
+class TestEvaluation:
+    def test_evaluate_matches_table(self, paper_example_table):
+        query = MarginalQuery.from_attributes(paper_example_table.schema, ["A", "B"])
+        via_vector = query.evaluate(paper_example_table.counts)
+        via_table = query.evaluate_table(paper_example_table)
+        assert np.array_equal(via_vector, via_table)
+        assert via_vector.tolist() == [3.0, 0.0, 1.0, 1.0]
+
+    def test_evaluate_table_dimension_mismatch(self, paper_example_table, binary_schema_5):
+        query = MarginalQuery(mask=1, dimension=5)
+        with pytest.raises(WorkloadError):
+            query.evaluate_table(paper_example_table)
+
+    def test_evaluate_preserves_total(self, random_counts_5):
+        query = MarginalQuery(mask=0b01010, dimension=5)
+        assert query.evaluate(random_counts_5).sum() == pytest.approx(random_counts_5.sum())
+
+
+class TestFourierSupport:
+    def test_support_size(self):
+        query = MarginalQuery(mask=0b1011, dimension=4)
+        support = query.fourier_support()
+        assert len(support) == query.size == 8
+        assert len(set(support)) == 8
+
+    def test_support_is_dominated(self):
+        query = MarginalQuery(mask=0b0110, dimension=4)
+        assert all(beta & query.mask == beta for beta in query.fourier_support())
+
+    def test_support_contains_zero_and_self(self):
+        query = MarginalQuery(mask=0b101, dimension=3)
+        support = query.fourier_support()
+        assert 0 in support and query.mask in support
+
+
+class TestDominance:
+    def test_is_dominated_by(self):
+        small = MarginalQuery(0b001, 3)
+        big = MarginalQuery(0b011, 3)
+        assert small.is_dominated_by(big)
+        assert not big.is_dominated_by(small)
+        assert big.is_dominated_by(big)
+
+    def test_cross_dimension_comparison_rejected(self):
+        with pytest.raises(WorkloadError):
+            MarginalQuery(1, 3).is_dominated_by(MarginalQuery(1, 4))

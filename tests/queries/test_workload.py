@@ -1,0 +1,210 @@
+"""Tests for marginal workloads and the paper's workload families."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.domain import Attribute, Schema
+from repro.exceptions import WorkloadError
+from repro.queries import (
+    MarginalQuery,
+    MarginalWorkload,
+    all_k_way,
+    anchored_workload,
+    datacube_workload,
+    star_workload,
+)
+from repro.queries.workload import paper_workloads
+from repro.utils.bits import dominated_by
+
+
+class TestWorkloadContainer:
+    def test_duplicates_collapsed(self, binary_schema_3):
+        query = MarginalQuery.from_attributes(binary_schema_3, ["A"])
+        workload = MarginalWorkload(binary_schema_3, [query, query])
+        assert len(workload) == 1
+
+    def test_empty_rejected(self, binary_schema_3):
+        with pytest.raises(WorkloadError):
+            MarginalWorkload(binary_schema_3, [])
+
+    def test_dimension_mismatch_rejected(self, binary_schema_3):
+        with pytest.raises(WorkloadError):
+            MarginalWorkload(binary_schema_3, [MarginalQuery(1, 5)])
+
+    def test_total_cells(self, paper_example_workload):
+        assert paper_example_workload.total_cells == 2 + 4
+
+    def test_masks_and_orders(self, paper_example_workload):
+        assert paper_example_workload.masks == (0b001, 0b011)
+        assert paper_example_workload.orders == (1, 2)
+        assert paper_example_workload.max_order == 2
+
+    def test_indexing_and_iteration(self, paper_example_workload):
+        assert paper_example_workload[0].mask == 0b001
+        assert [q.mask for q in paper_example_workload] == [0b001, 0b011]
+
+    def test_queries_by_mask(self, paper_example_workload):
+        lookup = paper_example_workload.queries_by_mask()
+        assert set(lookup) == {0b001, 0b011}
+
+
+class TestFourierMasks:
+    def test_example_support(self, paper_example_workload):
+        # Submasks of {A} and {A, B}: 0, A, B, AB.
+        assert set(paper_example_workload.fourier_masks()) == {0b000, 0b001, 0b010, 0b011}
+
+    def test_all_k_way_support_size(self, binary_schema_5):
+        workload = all_k_way(binary_schema_5, 2)
+        expected = sum(math.comb(5, i) for i in range(3))
+        assert len(workload.fourier_masks()) == expected
+
+    def test_support_closed_under_domination(self, workload_2way_5):
+        support = set(workload_2way_5.fourier_masks())
+        for beta in support:
+            for sub in range(beta + 1):
+                if dominated_by(sub, beta):
+                    assert sub in support
+
+
+class TestEvaluation:
+    def test_true_answers_and_flat_round_trip(self, paper_example_table, paper_example_workload):
+        answers = paper_example_workload.true_answers(paper_example_table)
+        flat = paper_example_workload.true_answers_flat(paper_example_table)
+        assert np.array_equal(np.concatenate(answers), flat)
+        split = paper_example_workload.split_flat(flat)
+        for original, recovered in zip(answers, split):
+            assert np.array_equal(original, recovered)
+
+    def test_true_answers_accepts_raw_vector(self, paper_example_table, paper_example_workload):
+        by_table = paper_example_workload.true_answers(paper_example_table)
+        by_vector = paper_example_workload.true_answers(paper_example_table.counts)
+        for a, b in zip(by_table, by_vector):
+            assert np.array_equal(a, b)
+
+    def test_split_flat_rejects_wrong_length(self, paper_example_workload):
+        with pytest.raises(WorkloadError):
+            paper_example_workload.split_flat(np.zeros(5))
+
+
+class TestComposition:
+    def test_union_collapses_duplicates(self, binary_schema_5):
+        q1 = all_k_way(binary_schema_5, 1)
+        q2 = all_k_way(binary_schema_5, 2)
+        union = q1.union(q2, name="both")
+        assert len(union) == len(q1) + len(q2)
+        again = union.union(q1)
+        assert len(again) == len(union)
+
+    def test_union_requires_same_schema(self, binary_schema_5, binary_schema_3):
+        with pytest.raises(WorkloadError):
+            all_k_way(binary_schema_5, 1).union(all_k_way(binary_schema_3, 1))
+
+    def test_restrict_to_orders(self, binary_schema_5):
+        workload = star_workload(binary_schema_5, 1)
+        ones = workload.restrict_to_orders([1])
+        assert all(q.order == 1 for q in ones)
+        with pytest.raises(WorkloadError):
+            workload.restrict_to_orders([4])
+
+
+class TestAllKWay:
+    def test_count_matches_binomial(self, binary_schema_5):
+        for k in range(1, 6):
+            assert len(all_k_way(binary_schema_5, k)) == math.comb(5, k)
+
+    def test_orders_are_uniform_for_binary_schema(self, binary_schema_5):
+        workload = all_k_way(binary_schema_5, 3)
+        assert set(workload.orders) == {3}
+
+    def test_mixed_cardinality_orders_use_bit_blocks(self, mixed_schema):
+        workload = all_k_way(mixed_schema, 1)
+        # x is 1 bit, y and z are 2 bits each.
+        assert sorted(workload.orders) == [1, 2, 2]
+
+    def test_invalid_k_rejected(self, binary_schema_5):
+        with pytest.raises(WorkloadError):
+            all_k_way(binary_schema_5, 0)
+        with pytest.raises(WorkloadError):
+            all_k_way(binary_schema_5, 6)
+
+    def test_default_name(self, binary_schema_5):
+        assert all_k_way(binary_schema_5, 2).name == "Q2"
+
+
+class TestStarWorkload:
+    def test_size_is_k_plus_half_of_k_plus_one(self, binary_schema_5):
+        workload = star_workload(binary_schema_5, 1)
+        expected_extra = round(0.5 * math.comb(5, 2))
+        assert len(workload) == math.comb(5, 1) + expected_extra
+
+    def test_custom_fraction(self, binary_schema_5):
+        workload = star_workload(binary_schema_5, 1, fraction=1.0)
+        assert len(workload) == math.comb(5, 1) + math.comb(5, 2)
+
+    def test_random_selection_is_seeded(self, binary_schema_5):
+        a = star_workload(binary_schema_5, 1, rng=3).masks
+        b = star_workload(binary_schema_5, 1, rng=3).masks
+        c = star_workload(binary_schema_5, 1, rng=4).masks
+        assert a == b
+        assert a != c or len(set([a, c])) == 1  # different seeds usually differ
+
+    def test_invalid_parameters(self, binary_schema_5):
+        with pytest.raises(WorkloadError):
+            star_workload(binary_schema_5, 5)
+        with pytest.raises(WorkloadError):
+            star_workload(binary_schema_5, 1, fraction=1.5)
+
+    def test_contains_all_k_way(self, binary_schema_5):
+        base = set(all_k_way(binary_schema_5, 2).masks)
+        star = set(star_workload(binary_schema_5, 2).masks)
+        assert base <= star
+
+
+class TestAnchoredWorkload:
+    def test_extra_marginals_contain_anchor(self, binary_schema_5):
+        workload = anchored_workload(binary_schema_5, 1, "c")
+        anchor_mask = binary_schema_5.attribute_mask("c")
+        higher = [q for q in workload if q.order == 2]
+        assert len(higher) == 4
+        assert all(q.mask & anchor_mask for q in higher)
+
+    def test_size(self, binary_schema_5):
+        workload = anchored_workload(binary_schema_5, 2, "a")
+        assert len(workload) == math.comb(5, 2) + math.comb(4, 2)
+
+    def test_invalid_anchor_rejected(self, binary_schema_5):
+        with pytest.raises(Exception):
+            anchored_workload(binary_schema_5, 1, "nope")
+
+
+class TestDatacubeWorkload:
+    def test_full_datacube_size(self, binary_schema_3):
+        workload = datacube_workload(binary_schema_3)
+        assert len(workload) == 2**3 - 1  # all non-empty attribute subsets
+
+    def test_with_total(self, binary_schema_3):
+        workload = datacube_workload(binary_schema_3, include_total=True)
+        assert len(workload) == 2**3
+        assert 0 in workload.masks
+
+    def test_truncated(self, binary_schema_5):
+        workload = datacube_workload(binary_schema_5, max_order=2)
+        assert len(workload) == math.comb(5, 1) + math.comb(5, 2)
+
+    def test_invalid_order(self, binary_schema_5):
+        with pytest.raises(WorkloadError):
+            datacube_workload(binary_schema_5, max_order=0)
+
+
+class TestPaperWorkloads:
+    def test_six_workloads(self, binary_schema_5):
+        workloads = paper_workloads(binary_schema_5)
+        assert set(workloads) == {"Q1", "Q1*", "Q1a", "Q2", "Q2*", "Q2a"}
+
+    def test_names_match_keys(self, binary_schema_5):
+        for key, workload in paper_workloads(binary_schema_5).items():
+            assert workload.name == key

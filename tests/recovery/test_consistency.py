@@ -1,0 +1,153 @@
+"""Tests for the Fourier-coefficient consistency projection (Section 4.3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConsistencyError
+from repro.queries import all_k_way, star_workload
+from repro.queries.matrix import fourier_recovery_matrix
+from repro.recovery.consistency import (
+    fourier_consistency,
+    fourier_consistency_lp,
+    make_consistent,
+)
+from tests.conftest import marginals_are_consistent
+
+
+def noisy_marginals(workload, x, scale, seed):
+    rng = np.random.default_rng(seed)
+    return [truth + rng.laplace(scale=scale, size=truth.shape) for truth in workload.true_answers(x)]
+
+
+class TestFourierConsistencyL2:
+    def test_already_consistent_is_fixed_point(self, workload_2way_5, random_counts_5):
+        truth = workload_2way_5.true_answers(random_counts_5)
+        result = fourier_consistency(workload_2way_5, truth)
+        for projected, original in zip(result.marginals, truth):
+            assert np.allclose(projected, original, atol=1e-8)
+        assert result.residual == pytest.approx(0.0, abs=1e-8)
+
+    def test_output_is_consistent(self, workload_2way_5, random_counts_5):
+        noisy = noisy_marginals(workload_2way_5, random_counts_5, scale=5.0, seed=1)
+        result = fourier_consistency(workload_2way_5, noisy)
+        assert marginals_are_consistent(workload_2way_5, result.marginals)
+
+    def test_matches_dense_least_squares(self, binary_schema_5, random_counts_5):
+        """The closed form (diagonal normal equations) equals the dense
+        least-squares solution over the recovery matrix R."""
+        workload = star_workload(binary_schema_5, 1)
+        noisy = noisy_marginals(workload, random_counts_5, scale=3.0, seed=2)
+        result = fourier_consistency(workload, noisy)
+
+        recovery = fourier_recovery_matrix(workload)
+        target = np.concatenate(noisy)
+        dense_solution, *_ = np.linalg.lstsq(recovery, target, rcond=None)
+        dense_marginals = recovery @ dense_solution
+        assert np.allclose(np.concatenate(result.marginals), dense_marginals, atol=1e-7)
+
+    def test_projection_never_increases_l2_distance_to_truth(self, workload_2way_5, random_counts_5):
+        """Projecting onto the consistent subspace (which contains the truth)
+        cannot increase the L2 distance to the true answers."""
+        truth = np.concatenate(workload_2way_5.true_answers(random_counts_5))
+        for seed in range(5):
+            noisy = noisy_marginals(workload_2way_5, random_counts_5, scale=4.0, seed=seed)
+            result = fourier_consistency(workload_2way_5, noisy)
+            before = np.linalg.norm(np.concatenate(noisy) - truth)
+            after = np.linalg.norm(np.concatenate(result.marginals) - truth)
+            assert after <= before + 1e-9
+
+    def test_weighted_projection_prefers_heavier_queries(self, binary_schema_3):
+        """With overlapping queries, upweighting one pulls the shared Fourier
+        coefficients towards that query's (noisy) values."""
+        workload = star_workload(binary_schema_3, 1, fraction=1.0)
+        x = np.array([5.0, 1.0, 3.0, 2.0, 4.0, 0.0, 1.0, 2.0])
+        noisy = noisy_marginals(workload, x, scale=2.0, seed=3)
+        heavy_index = 0
+        weights = np.ones(len(workload))
+        weights[heavy_index] = 100.0
+        weighted = fourier_consistency(workload, noisy, query_weights=weights)
+        unweighted = fourier_consistency(workload, noisy)
+        heavy_error_weighted = np.abs(weighted.marginals[heavy_index] - noisy[heavy_index]).sum()
+        heavy_error_unweighted = np.abs(unweighted.marginals[heavy_index] - noisy[heavy_index]).sum()
+        assert heavy_error_weighted <= heavy_error_unweighted + 1e-9
+
+    def test_coefficients_cover_support(self, workload_2way_5, random_counts_5):
+        noisy = noisy_marginals(workload_2way_5, random_counts_5, scale=1.0, seed=4)
+        result = fourier_consistency(workload_2way_5, noisy)
+        assert set(result.coefficients) == set(workload_2way_5.fourier_masks())
+
+    def test_input_validation(self, workload_2way_5):
+        with pytest.raises(ConsistencyError):
+            fourier_consistency(workload_2way_5, [np.zeros(4)] * (len(workload_2way_5) - 1))
+        bad_shape = [np.zeros(4)] * len(workload_2way_5)
+        bad_shape[0] = np.zeros(3)
+        with pytest.raises(ConsistencyError):
+            fourier_consistency(workload_2way_5, bad_shape)
+        with_nan = [np.zeros(4)] * len(workload_2way_5)
+        with_nan[0] = np.array([np.nan, 0, 0, 0])
+        with pytest.raises(ConsistencyError):
+            fourier_consistency(workload_2way_5, with_nan)
+        with pytest.raises(ConsistencyError):
+            fourier_consistency(
+                workload_2way_5,
+                [np.zeros(q.size) for q in workload_2way_5.queries],
+                query_weights=np.zeros(len(workload_2way_5)),
+            )
+
+
+class TestFourierConsistencyLp:
+    def test_l1_output_is_consistent(self, binary_schema_5, random_counts_5):
+        workload = all_k_way(binary_schema_5, 1)
+        noisy = noisy_marginals(workload, random_counts_5, scale=4.0, seed=5)
+        result = fourier_consistency_lp(workload, noisy, norm=1)
+        assert marginals_are_consistent(workload, result.marginals, tol=1e-4)
+        assert result.norm == 1
+
+    def test_linf_output_is_consistent(self, binary_schema_5, random_counts_5):
+        workload = all_k_way(binary_schema_5, 1)
+        noisy = noisy_marginals(workload, random_counts_5, scale=4.0, seed=6)
+        result = fourier_consistency_lp(workload, noisy, norm="inf")
+        assert marginals_are_consistent(workload, result.marginals, tol=1e-4)
+        assert result.norm == "inf"
+
+    def test_l1_residual_not_larger_than_l2_projection(self, binary_schema_5, random_counts_5):
+        workload = all_k_way(binary_schema_5, 1)
+        noisy = noisy_marginals(workload, random_counts_5, scale=4.0, seed=7)
+        lp = fourier_consistency_lp(workload, noisy, norm=1)
+        ls = fourier_consistency(workload, noisy)
+        l1_of_ls = sum(
+            float(np.abs(a - b).sum()) for a, b in zip(ls.marginals, noisy)
+        )
+        assert lp.residual <= l1_of_ls + 1e-6
+
+    def test_invalid_norm_rejected(self, workload_2way_5):
+        with pytest.raises(ConsistencyError):
+            fourier_consistency_lp(
+                workload_2way_5, [np.zeros(q.size) for q in workload_2way_5.queries], norm=3
+            )
+
+    def test_already_consistent_is_fixed_point(self, binary_schema_5, random_counts_5):
+        workload = all_k_way(binary_schema_5, 1)
+        truth = workload.true_answers(random_counts_5)
+        result = fourier_consistency_lp(workload, truth, norm=1)
+        for projected, original in zip(result.marginals, truth):
+            assert np.allclose(projected, original, atol=1e-6)
+
+
+class TestMakeConsistent:
+    def test_dispatch_l2(self, workload_2way_5, random_counts_5):
+        noisy = noisy_marginals(workload_2way_5, random_counts_5, scale=2.0, seed=8)
+        assert make_consistent(workload_2way_5, noisy).norm == 2
+
+    def test_dispatch_l1(self, binary_schema_5, random_counts_5):
+        workload = all_k_way(binary_schema_5, 1)
+        noisy = noisy_marginals(workload, random_counts_5, scale=2.0, seed=9)
+        assert make_consistent(workload, noisy, norm=1).norm == 1
+
+    def test_weights_rejected_for_lp(self, binary_schema_5, random_counts_5):
+        workload = all_k_way(binary_schema_5, 1)
+        noisy = noisy_marginals(workload, random_counts_5, scale=2.0, seed=10)
+        with pytest.raises(ConsistencyError):
+            make_consistent(workload, noisy, norm=1, query_weights=np.ones(len(workload)))

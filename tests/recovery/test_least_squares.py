@@ -1,0 +1,136 @@
+"""Tests for generalised least-squares recovery (Section 3.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import RecoveryError
+from repro.queries.matrix import fourier_basis_matrix, workload_matrix
+from repro.recovery.least_squares import (
+    gls_estimate,
+    gls_recovery_matrix,
+    gls_solution,
+    recovery_variances,
+)
+
+
+class TestGlsSolution:
+    def test_noise_free_recovery_exact(self, random_counts_5):
+        strategy = np.eye(32)
+        variances = np.ones(32)
+        assert np.allclose(gls_solution(strategy, variances, random_counts_5), random_counts_5)
+
+    def test_orthonormal_strategy_matches_transpose(self, random_counts_5):
+        """Observation 1: for an orthonormal strategy the GLS solution is S^T z
+        regardless of the noise variances."""
+        strategy = fourier_basis_matrix(5)
+        z = strategy @ random_counts_5
+        rng = np.random.default_rng(0)
+        variances = rng.uniform(0.5, 5.0, size=32)
+        assert np.allclose(gls_solution(strategy, variances, z), strategy.T @ z)
+
+    def test_weighted_average_of_repeated_measurements(self):
+        """Two noisy measurements of the same scalar with different variances
+        must combine by inverse-variance weighting — the defining property of
+        generalised least squares."""
+        strategy = np.array([[1.0], [1.0]])
+        variances = np.array([1.0, 4.0])
+        z = np.array([10.0, 20.0])
+        expected = (10.0 / 1.0 + 20.0 / 4.0) / (1.0 / 1.0 + 1.0 / 4.0)
+        assert gls_solution(strategy, variances, z)[0] == pytest.approx(expected)
+
+    def test_rank_deficient_falls_back_to_least_squares(self):
+        strategy = np.array([[1.0, 1.0], [2.0, 2.0]])
+        variances = np.array([1.0, 1.0])
+        z = strategy @ np.array([1.0, 2.0])
+        solution = gls_solution(strategy, variances, z)
+        # The sum x0 + x1 = 3 is identifiable even though x itself is not.
+        assert solution.sum() == pytest.approx(3.0, rel=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(RecoveryError):
+            gls_solution(np.eye(3), np.ones(2), np.zeros(3))
+        with pytest.raises(RecoveryError):
+            gls_solution(np.eye(3), np.array([1.0, -1.0, 1.0]), np.zeros(3))
+        with pytest.raises(RecoveryError):
+            gls_solution(np.eye(3), np.ones(3), np.zeros(4))
+        with pytest.raises(RecoveryError):
+            gls_solution(np.zeros(3), np.ones(3), np.zeros(3))
+
+
+class TestGlsRecoveryMatrix:
+    def test_satisfies_q_equals_rs(self, paper_example_workload):
+        q = workload_matrix(paper_example_workload)
+        strategy = q.copy()
+        variances = np.array([1.0, 1.0, 0.5, 0.5, 0.5, 0.5])
+        recovery = gls_recovery_matrix(q, strategy, variances)
+        assert np.allclose(recovery @ strategy, q, atol=1e-8)
+
+    def test_estimate_matches_matrix_application(self, paper_example_workload, paper_example_table):
+        q = workload_matrix(paper_example_workload)
+        strategy = q.copy()
+        variances = np.array([2.0, 2.0, 1.0, 1.0, 1.0, 1.0])
+        rng = np.random.default_rng(0)
+        z = strategy @ paper_example_table.counts + rng.normal(size=6)
+        recovery = gls_recovery_matrix(q, strategy, variances)
+        assert np.allclose(recovery @ z, gls_estimate(q, strategy, variances, z))
+
+    def test_intro_example_variance_reduction(self, paper_example_workload):
+        """The introduction's final trick: with S = Q and the non-uniform
+        budgets (4/9, 5/9), answering the marginal on A by averaging the noisy
+        A count with the sum of the matching A,B cells drops its variance to
+        5.77/eps^2 and the total to 34.6/eps^2; the full least-squares
+        recovery can only do better still."""
+        q = workload_matrix(paper_example_workload)
+        eps = 1.0
+        budgets = np.array([4 * eps / 9] * 2 + [5 * eps / 9] * 4)
+        variances = 2.0 / budgets**2
+
+        # The paper's hand-crafted recovery for the A marginal: answer the
+        # count of A=0 by z1/2 + (z3 + z5)/2 where z3, z5 are the matching
+        # A,B cells.  Columns of R index the strategy rows in the order
+        # (A=0, A=1, AB=00, AB=10, AB=01, AB=11).
+        paper_recovery_a = np.array(
+            [
+                [0.5, 0.0, 0.5, 0.0, 0.5, 0.0],
+                [0.0, 0.5, 0.0, 0.5, 0.0, 0.5],
+            ]
+        )
+        # The combination really recovers the A marginal exactly ...
+        assert np.allclose(paper_recovery_a @ q, q[:2])
+        # ... and its per-answer variance is the 5.77/eps^2 the paper quotes.
+        paper_per_answer = recovery_variances(paper_recovery_a, variances)
+        assert paper_per_answer[0] == pytest.approx(5.77, rel=2e-2)
+        assert paper_per_answer[1] == pytest.approx(5.77, rel=2e-2)
+
+        gls = gls_recovery_matrix(q, q, variances)
+        per_answer = recovery_variances(gls, variances)
+        # The optimal recovery is at least as good as both the trivial
+        # recovery (46.17/eps^2) and the paper's 34.6/eps^2 combination.
+        assert per_answer.sum() <= 34.6 + 1e-6
+        assert per_answer.sum() < 46.17
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(RecoveryError):
+            gls_recovery_matrix(np.eye(3), np.eye(4), np.ones(4))
+
+
+class TestRecoveryVariances:
+    def test_simple(self):
+        recovery = np.array([[1.0, 1.0], [0.5, 0.0]])
+        variances = np.array([2.0, 3.0])
+        assert np.allclose(recovery_variances(recovery, variances), [5.0, 0.5])
+
+    def test_shape_checks(self):
+        with pytest.raises(RecoveryError):
+            recovery_variances(np.eye(2), np.ones(3))
+
+    def test_gls_minimises_variance_among_unbiased_recoveries(self, paper_example_workload):
+        """Any other valid recovery (Q = RS) has at least the GLS variance."""
+        q = workload_matrix(paper_example_workload)
+        variances = np.array([3.0, 3.0, 1.0, 1.0, 1.0, 1.0])
+        gls = gls_recovery_matrix(q, q, variances)
+        gls_total = recovery_variances(gls, variances).sum()
+        trivial_total = recovery_variances(np.eye(6), variances).sum()
+        assert gls_total <= trivial_total + 1e-9

@@ -1,0 +1,74 @@
+"""Tests for non-negativity and integrality post-processing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConsistencyError
+from repro.recovery.nonneg import (
+    nonnegative_consistent,
+    project_nonnegative,
+    round_to_integers,
+)
+from tests.conftest import marginals_are_consistent
+
+
+class TestProjectNonnegative:
+    def test_clips_negative_cells(self):
+        marginals = [np.array([1.0, -2.0, 3.0]), np.array([-0.5, 0.0])]
+        clipped = project_nonnegative(marginals)
+        assert clipped[0].tolist() == [1.0, 0.0, 3.0]
+        assert clipped[1].tolist() == [0.0, 0.0]
+
+    def test_does_not_modify_input(self):
+        marginal = np.array([-1.0, 2.0])
+        project_nonnegative([marginal])
+        assert marginal[0] == -1.0
+
+    def test_nonnegative_input_unchanged(self):
+        marginal = np.array([0.0, 5.0, 2.0])
+        assert np.array_equal(project_nonnegative([marginal])[0], marginal)
+
+
+class TestRoundToIntegers:
+    def test_rounds(self):
+        rounded = round_to_integers([np.array([1.2, 2.7, -0.4])])[0]
+        assert rounded.tolist() == [1.0, 3.0, -0.0]
+
+    def test_integers_unchanged(self):
+        marginal = np.array([1.0, 4.0])
+        assert np.array_equal(round_to_integers([marginal])[0], marginal)
+
+
+class TestNonnegativeConsistent:
+    def test_output_is_consistent_and_nearly_nonnegative(self, workload_2way_5):
+        # A very sparse table: most marginal cells are zero, so additive noise
+        # routinely produces negative released counts.
+        x = np.zeros(workload_2way_5.domain_size)
+        x[3] = 12.0
+        x[17] = 5.0
+        rng = np.random.default_rng(0)
+        noisy = [
+            truth + rng.laplace(scale=4.0, size=truth.shape)
+            for truth in workload_2way_5.true_answers(x)
+        ]
+        baseline_negative = min(float(m.min()) for m in noisy)
+        assert baseline_negative < 0  # the scenario actually exercises clipping
+        result = nonnegative_consistent(workload_2way_5, noisy, iterations=12)
+        assert marginals_are_consistent(workload_2way_5, result.marginals)
+        worst_negative = min(float(m.min()) for m in result.marginals)
+        # Alternating projections should substantially reduce negativity.
+        assert worst_negative >= baseline_negative / 2
+        assert worst_negative > -5.0
+
+    def test_nonnegative_consistent_input_is_fixed_point(self, workload_2way_5, random_counts_5):
+        truth = workload_2way_5.true_answers(random_counts_5)
+        result = nonnegative_consistent(workload_2way_5, truth, iterations=3)
+        for projected, original in zip(result.marginals, truth):
+            assert np.allclose(projected, original, atol=1e-6)
+
+    def test_invalid_iterations(self, workload_2way_5, random_counts_5):
+        truth = workload_2way_5.true_answers(random_counts_5)
+        with pytest.raises(ConsistencyError):
+            nonnegative_consistent(workload_2way_5, truth, iterations=0)

@@ -1,0 +1,120 @@
+"""Tests for the greedy clustering strategy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.budget.allocation import optimal_allocation, uniform_allocation
+from repro.exceptions import WorkloadError
+from repro.mechanisms import PrivacyBudget
+from repro.queries import MarginalQuery, MarginalWorkload, all_k_way, star_workload
+from repro.strategies import ClusteringStrategy, greedy_cluster_masks, query_strategy
+from repro.utils.bits import dominated_by
+
+
+class TestGreedyClusterMasks:
+    def test_covering(self, workload_2way_5):
+        masks, assignment = greedy_cluster_masks(workload_2way_5)
+        assert set(assignment) == set(workload_2way_5.masks)
+        for query_mask, centroid in assignment.items():
+            assert centroid in masks
+            assert dominated_by(query_mask, centroid)
+
+    def test_single_query_stays_alone(self, binary_schema_3):
+        workload = MarginalWorkload(
+            binary_schema_3, [MarginalQuery.from_attributes(binary_schema_3, ["A"])]
+        )
+        masks, assignment = greedy_cluster_masks(workload)
+        assert masks == [workload.masks[0]]
+
+    def test_nested_queries_merge(self, binary_schema_3):
+        """A marginal and a super-marginal should collapse into one cluster:
+        measuring the super-marginal answers both with sensitivity 1."""
+        workload = MarginalWorkload(
+            binary_schema_3,
+            [
+                MarginalQuery.from_attributes(binary_schema_3, ["A"]),
+                MarginalQuery.from_attributes(binary_schema_3, ["A", "B"]),
+            ],
+        )
+        masks, assignment = greedy_cluster_masks(workload)
+        assert masks == [0b011]
+        assert assignment == {0b001: 0b011, 0b011: 0b011}
+
+    def test_never_worse_than_query_strategy_cost(self, binary_schema_5):
+        """The greedy merge only accepts cost-reducing merges, so the uniform
+        cost of the clustering is at most that of the singleton clustering."""
+        workload = star_workload(binary_schema_5, 1)
+        masks, assignment = greedy_cluster_masks(workload, cost_model="uniform")
+
+        def uniform_cost(mask_list, assign):
+            cells = {m: 0.0 for m in mask_list}
+            for query_mask, centroid in assign.items():
+                cells[centroid] += 2.0 ** bin(centroid).count("1")
+            return len(mask_list) ** 2 * sum(cells.values())
+
+        singleton_cost = uniform_cost(
+            list(workload.masks), {m: m for m in workload.masks}
+        )
+        assert uniform_cost(masks, assignment) <= singleton_cost + 1e-9
+
+    def test_max_merges_caps_work(self, workload_2way_5):
+        masks_unlimited, _ = greedy_cluster_masks(workload_2way_5)
+        masks_capped, _ = greedy_cluster_masks(workload_2way_5, max_merges=1)
+        assert len(masks_capped) >= len(masks_unlimited)
+        assert len(masks_capped) >= len(workload_2way_5) - 1
+
+    def test_invalid_cost_model(self, workload_2way_5):
+        with pytest.raises(WorkloadError):
+            greedy_cluster_masks(workload_2way_5, cost_model="bogus")
+
+    def test_query_weights_length_checked(self, workload_2way_5):
+        with pytest.raises(WorkloadError):
+            greedy_cluster_masks(workload_2way_5, query_weights=[1.0])
+
+    def test_optimal_cost_model_also_covers(self, workload_2way_5):
+        masks, assignment = greedy_cluster_masks(workload_2way_5, cost_model="optimal")
+        assert all(dominated_by(q, assignment[q]) for q in workload_2way_5.masks)
+
+
+class TestClusteringStrategy:
+    def test_is_marginal_set_strategy(self, workload_2way_5):
+        strategy = ClusteringStrategy(workload_2way_5)
+        assert strategy.cluster_count == len(strategy.strategy_masks)
+        assert strategy.name == "C"
+        assert strategy.cost_model == "uniform"
+
+    def test_sensitivity_is_cluster_count(self, workload_2way_5):
+        strategy = ClusteringStrategy(workload_2way_5)
+        assert strategy.sensitivity(pure=True) == strategy.cluster_count
+
+    def test_end_to_end_release(self, workload_2way_5, random_counts_5):
+        strategy = ClusteringStrategy(workload_2way_5)
+        allocation = optimal_allocation(strategy.group_specs(), PrivacyBudget.pure(5000.0))
+        measurement = strategy.measure(random_counts_5, allocation, rng=0)
+        estimates = strategy.estimate(measurement)
+        for estimate, truth in zip(estimates, workload_2way_5.true_answers(random_counts_5)):
+            assert np.allclose(estimate, truth, atol=1.0)
+
+    def test_expected_variance_not_worse_than_query_strategy(self, binary_schema_5):
+        """The clustering exists to beat S = Q under uniform noise; check the
+        analytic total variance reflects that on a nested workload."""
+        workload = star_workload(binary_schema_5, 1)
+        budget = PrivacyBudget.pure(1.0)
+        cluster = ClusteringStrategy(workload)
+        query = query_strategy(workload)
+        cluster_var = uniform_allocation(cluster.group_specs(), budget).total_weighted_variance()
+        query_var = uniform_allocation(query.group_specs(), budget).total_weighted_variance()
+        assert cluster_var <= query_var * (1 + 1e-9)
+
+    def test_nonuniform_budgeting_helps_or_matches(self, workload_2way_5):
+        strategy = ClusteringStrategy(workload_2way_5)
+        budget = PrivacyBudget.pure(1.0)
+        optimal = optimal_allocation(strategy.group_specs(), budget)
+        uniform = uniform_allocation(strategy.group_specs(), budget)
+        assert optimal.total_weighted_variance() <= uniform.total_weighted_variance() * (1 + 1e-9)
+
+    def test_max_merges_parameter(self, workload_2way_5):
+        capped = ClusteringStrategy(workload_2way_5, max_merges=0)
+        assert capped.cluster_count == len(workload_2way_5)

@@ -1,0 +1,113 @@
+"""Tests for explicit dense-matrix strategies (wavelet, hierarchical, ...)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.budget.allocation import optimal_allocation, uniform_allocation
+from repro.exceptions import RecoveryError, WorkloadError
+from repro.mechanisms import PrivacyBudget
+from repro.queries import all_k_way, datacube_workload
+from repro.queries.matrix import fourier_basis_matrix, workload_matrix
+from repro.strategies import ExplicitMatrixStrategy
+from repro.transforms.hierarchical import hierarchical_matrix
+from repro.transforms.wavelet import haar_matrix
+from tests.conftest import marginals_are_consistent
+
+
+@pytest.fixture
+def workload(binary_schema_5):
+    return all_k_way(binary_schema_5, 1)
+
+
+class TestConstruction:
+    def test_identity_strategy(self, workload):
+        strategy = ExplicitMatrixStrategy(workload, np.eye(32), name="dense-identity")
+        assert strategy.strategy_matrix.shape == (32, 32)
+        assert len(strategy.row_groups) == 1
+
+    def test_wrong_column_count_rejected(self, workload):
+        with pytest.raises(WorkloadError):
+            ExplicitMatrixStrategy(workload, np.eye(16))
+
+    def test_insufficient_row_space_rejected(self, workload):
+        # A single all-ones row cannot express 1-way marginals.
+        with pytest.raises(RecoveryError):
+            ExplicitMatrixStrategy(workload, np.ones((1, 32)))
+
+    def test_wavelet_strategy_groups(self, workload):
+        strategy = ExplicitMatrixStrategy(workload, haar_matrix(32), name="wavelet")
+        # log2(32) + 1 = 6 levels.
+        assert len(strategy.row_groups) == 6
+
+    def test_hierarchical_strategy_groups(self, workload):
+        strategy = ExplicitMatrixStrategy(workload, hierarchical_matrix(32), name="hier")
+        assert len(strategy.row_groups) == 6
+
+    def test_fourier_matrix_groups(self, binary_schema_3):
+        workload = all_k_way(binary_schema_3, 1)
+        strategy = ExplicitMatrixStrategy(workload, fourier_basis_matrix(3), name="dense-fourier")
+        assert len(strategy.row_groups) == 8
+
+
+class TestRelease:
+    @pytest.mark.parametrize(
+        "matrix_builder, name",
+        [
+            (lambda: np.eye(32), "identity"),
+            (lambda: haar_matrix(32), "wavelet"),
+            (lambda: hierarchical_matrix(32), "hierarchical"),
+            (lambda: fourier_basis_matrix(5), "fourier"),
+        ],
+    )
+    def test_high_budget_recovers_truth(self, workload, random_counts_5, matrix_builder, name):
+        strategy = ExplicitMatrixStrategy(workload, matrix_builder(), name=name)
+        allocation = optimal_allocation(strategy.group_specs(), PrivacyBudget.pure(50000.0))
+        measurement = strategy.measure(random_counts_5, allocation, rng=0)
+        estimates = strategy.estimate(measurement)
+        for estimate, truth in zip(estimates, workload.true_answers(random_counts_5)):
+            assert np.allclose(estimate, truth, atol=1.0)
+
+    def test_gls_estimates_are_consistent(self, workload, random_counts_5):
+        strategy = ExplicitMatrixStrategy(workload, haar_matrix(32), name="wavelet")
+        allocation = optimal_allocation(strategy.group_specs(), PrivacyBudget.pure(0.5))
+        measurement = strategy.measure(random_counts_5, allocation, rng=0)
+        estimates = strategy.estimate(measurement)
+        assert marginals_are_consistent(workload, estimates, tol=1e-5)
+
+    def test_nonuniform_never_worse_in_expectation(self, workload):
+        from repro.core.variance import per_query_variances
+
+        budget = PrivacyBudget.pure(1.0)
+        strategy = ExplicitMatrixStrategy(workload, haar_matrix(32), name="wavelet")
+        optimal = optimal_allocation(strategy.group_specs(), budget)
+        uniform = uniform_allocation(strategy.group_specs(), budget)
+        assert per_query_variances(strategy, optimal).sum() <= per_query_variances(
+            strategy, uniform
+        ).sum() * (1 + 1e-9)
+
+    def test_gaussian_release(self, workload, random_counts_5):
+        strategy = ExplicitMatrixStrategy(workload, np.eye(32), name="identity")
+        allocation = optimal_allocation(
+            strategy.group_specs(), PrivacyBudget.approximate(2.0, 1e-6)
+        )
+        estimates = strategy.estimate(strategy.measure(random_counts_5, allocation, rng=0))
+        assert len(estimates) == len(workload)
+
+    def test_row_noise_variances(self, workload):
+        strategy = ExplicitMatrixStrategy(workload, np.eye(32), name="identity")
+        allocation = uniform_allocation(strategy.group_specs(), PrivacyBudget.pure(2.0))
+        variances = strategy.row_noise_variances(allocation)
+        assert variances.shape == (32,)
+        assert np.allclose(variances, 2.0 / 2.0**2)
+
+    def test_datacube_workload_over_small_domain(self, binary_schema_3, paper_example_table):
+        workload = datacube_workload(binary_schema_3)
+        strategy = ExplicitMatrixStrategy(workload, np.eye(8), name="identity")
+        allocation = optimal_allocation(strategy.group_specs(), PrivacyBudget.pure(10000.0))
+        estimates = strategy.estimate(
+            strategy.measure(paper_example_table.counts, allocation, rng=0)
+        )
+        for estimate, truth in zip(estimates, workload.true_answers(paper_example_table)):
+            assert np.allclose(estimate, truth, atol=0.2)

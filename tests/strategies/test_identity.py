@@ -1,0 +1,114 @@
+"""Tests for the identity (noisy base counts) strategy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.budget.allocation import optimal_allocation, uniform_allocation
+from repro.mechanisms import PrivacyBudget
+from repro.queries import all_k_way
+from repro.strategies import IdentityStrategy
+from tests.conftest import marginals_are_consistent
+
+
+@pytest.fixture
+def strategy(workload_2way_5):
+    return IdentityStrategy(workload_2way_5)
+
+
+class TestGroupSpecs:
+    def test_single_group(self, strategy, workload_2way_5):
+        specs = strategy.group_specs()
+        assert len(specs) == 1
+        assert specs[0].constant == 1.0
+        assert specs[0].size == workload_2way_5.domain_size
+
+    def test_weight_is_domain_times_query_count(self, strategy, workload_2way_5):
+        spec = strategy.group_specs()[0]
+        assert spec.weight == pytest.approx(workload_2way_5.domain_size * len(workload_2way_5))
+
+    def test_per_query_weights(self, strategy, workload_2way_5):
+        a = np.zeros(len(workload_2way_5))
+        a[0] = 2.0
+        spec = strategy.group_specs(a)[0]
+        assert spec.weight == pytest.approx(workload_2way_5.domain_size * 2.0)
+
+    def test_sensitivity_is_one(self, strategy):
+        assert strategy.sensitivity(pure=True) == 1.0
+        assert strategy.sensitivity(pure=False) == 1.0
+
+    def test_uniform_is_optimal(self, strategy):
+        """The paper: for S = I the optimal allocation is always uniform."""
+        specs = strategy.group_specs()
+        budget = PrivacyBudget.pure(0.7)
+        assert optimal_allocation(specs, budget).total_weighted_variance() == pytest.approx(
+            uniform_allocation(specs, budget).total_weighted_variance()
+        )
+
+
+class TestMeasureAndEstimate:
+    def test_estimates_shapes(self, strategy, workload_2way_5, random_counts_5):
+        allocation = uniform_allocation(strategy.group_specs(), PrivacyBudget.pure(1.0))
+        measurement = strategy.measure(random_counts_5, allocation, rng=0)
+        estimates = strategy.estimate(measurement)
+        assert len(estimates) == len(workload_2way_5)
+        for query, estimate in zip(workload_2way_5.queries, estimates):
+            assert estimate.shape == (query.size,)
+
+    def test_estimates_are_consistent(self, strategy, workload_2way_5, random_counts_5):
+        """All marginals are aggregations of one noisy table, hence consistent."""
+        allocation = uniform_allocation(strategy.group_specs(), PrivacyBudget.pure(1.0))
+        measurement = strategy.measure(random_counts_5, allocation, rng=0)
+        estimates = strategy.estimate(measurement)
+        assert marginals_are_consistent(workload_2way_5, estimates)
+        assert strategy.inherently_consistent
+
+    def test_noise_has_expected_magnitude(self, strategy, workload_2way_5):
+        x = np.zeros(workload_2way_5.domain_size)
+        allocation = uniform_allocation(strategy.group_specs(), PrivacyBudget.pure(1.0))
+        rng = np.random.default_rng(0)
+        samples = np.concatenate(
+            [
+                strategy.measure(x, allocation, rng=rng).group_values("base-counts")
+                for _ in range(400)
+            ]
+        )
+        # Uniform allocation with sensitivity 1: per-cell variance 2 / eps^2 = 2.
+        assert samples.var() == pytest.approx(2.0, rel=0.1)
+
+    def test_estimate_unbiased_over_repetitions(self, strategy, workload_2way_5, random_counts_5):
+        allocation = uniform_allocation(strategy.group_specs(), PrivacyBudget.pure(2.0))
+        truth = workload_2way_5.true_answers(random_counts_5)
+        rng = np.random.default_rng(0)
+        sums = [np.zeros(q.size) for q in workload_2way_5.queries]
+        repetitions = 60
+        for _ in range(repetitions):
+            measurement = strategy.measure(random_counts_5, allocation, rng=rng)
+            for accumulator, estimate in zip(sums, strategy.estimate(measurement)):
+                accumulator += estimate
+        for accumulator, true_marginal in zip(sums, truth):
+            mean = accumulator / repetitions
+            # Std of the mean of 2**(d-k)-cell sums is sqrt(2 * 8 / reps) ~ 0.5.
+            assert np.allclose(mean, true_marginal, atol=2.0)
+
+    def test_measure_validates_vector_length(self, strategy):
+        allocation = uniform_allocation(strategy.group_specs(), PrivacyBudget.pure(1.0))
+        with pytest.raises(Exception):
+            strategy.measure(np.zeros(7), allocation, rng=0)
+
+    def test_gaussian_measurement(self, strategy, random_counts_5, workload_2way_5):
+        allocation = uniform_allocation(
+            strategy.group_specs(), PrivacyBudget.approximate(1.0, 1e-6)
+        )
+        measurement = strategy.measure(random_counts_5, allocation, rng=0)
+        estimates = strategy.estimate(measurement)
+        assert len(estimates) == len(workload_2way_5)
+
+    def test_check_allocation_rejects_foreign_allocation(self, strategy, workload_2way_5):
+        from repro.strategies import query_strategy
+
+        other = query_strategy(workload_2way_5)
+        foreign = uniform_allocation(other.group_specs(), PrivacyBudget.pure(1.0))
+        with pytest.raises(Exception):
+            strategy.check_allocation(foreign)

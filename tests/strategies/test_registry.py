@@ -1,0 +1,50 @@
+"""Tests for the strategy registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.strategies import (
+    ClusteringStrategy,
+    FourierStrategy,
+    IdentityStrategy,
+    MarginalSetStrategy,
+    available_strategies,
+    make_strategy,
+)
+
+
+class TestRegistry:
+    def test_available_names(self):
+        assert available_strategies() == ("I", "Q", "F", "C")
+
+    @pytest.mark.parametrize(
+        "name, expected_type",
+        [
+            ("I", IdentityStrategy),
+            ("identity", IdentityStrategy),
+            ("Q", MarginalSetStrategy),
+            ("query", MarginalSetStrategy),
+            ("F", FourierStrategy),
+            ("fourier", FourierStrategy),
+            ("C", ClusteringStrategy),
+            ("cluster", ClusteringStrategy),
+            ("clustering", ClusteringStrategy),
+        ],
+    )
+    def test_builders(self, workload_2way_5, name, expected_type):
+        strategy = make_strategy(name, workload_2way_5)
+        assert isinstance(strategy, expected_type)
+        assert strategy.workload is workload_2way_5
+
+    def test_case_insensitive_aliases(self, workload_2way_5):
+        assert isinstance(make_strategy("Fourier", workload_2way_5), FourierStrategy)
+
+    def test_unknown_name_rejected(self, workload_2way_5):
+        with pytest.raises(WorkloadError):
+            make_strategy("wavelet-of-doom", workload_2way_5)
+
+    def test_paper_labels_match_strategy_names(self, workload_2way_5):
+        for name in available_strategies():
+            assert make_strategy(name, workload_2way_5).name == name

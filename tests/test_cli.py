@@ -1,0 +1,195 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def survey_csv(tmp_path) -> Path:
+    """A small categorical survey file."""
+    rng = np.random.default_rng(0)
+    path = tmp_path / "survey.csv"
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["smoker", "region", "income"])
+        for _ in range(300):
+            writer.writerow(
+                [
+                    "yes" if rng.random() < 0.25 else "no",
+                    rng.choice(["north", "south", "east", "west"]),
+                    rng.choice(["low", "mid", "high"]),
+                ]
+            )
+    return path
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["--input", "x.csv"])
+        assert args.k == 2
+        assert args.epsilon == 1.0
+        assert args.strategy == "F"
+        assert not args.uniform
+        assert args.output is None
+
+    def test_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--input", "x.csv", "--strategy", "wavelet"])
+
+    def test_input_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMain:
+    def test_summary_only_run(self, survey_csv, capsys):
+        exit_code = main(
+            ["--input", str(survey_csv), "--k", "1", "--epsilon", "2.0", "--seed", "1"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "workload" in captured.out
+        assert "Q1" in captured.out
+        assert "epsilon = 2" in captured.out
+
+    def test_writes_marginal_files(self, survey_csv, tmp_path, capsys):
+        output = tmp_path / "released"
+        exit_code = main(
+            [
+                "--input",
+                str(survey_csv),
+                "--k",
+                "2",
+                "--epsilon",
+                "1.0",
+                "--seed",
+                "3",
+                "--output",
+                str(output),
+            ]
+        )
+        assert exit_code == 0
+        files = sorted(p.name for p in output.glob("marginal_*.csv"))
+        assert files == [
+            "marginal_region_income.csv",
+            "marginal_smoker_region.csv",
+            "marginal_smoker_income.csv",
+        ] or len(files) == 3
+        # Each file has a header plus one row per (non-padding) cell.
+        content = (output / files[0]).read_text().splitlines()
+        assert content[0].endswith("count")
+        assert len(content) >= 5
+
+    def test_nonnegative_rounding(self, survey_csv, tmp_path):
+        output = tmp_path / "released"
+        exit_code = main(
+            [
+                "--input",
+                str(survey_csv),
+                "--k",
+                "2",
+                "--epsilon",
+                "0.05",
+                "--seed",
+                "5",
+                "--nonnegative",
+                "--output",
+                str(output),
+            ]
+        )
+        assert exit_code == 0
+        for path in output.glob("marginal_*.csv"):
+            rows = list(csv.reader(path.open()))[1:]
+            values = [float(row[-1]) for row in rows]
+            assert all(value >= 0 for value in values)
+            assert all(value == int(value) for value in values)
+
+    def test_star_and_anchor_workloads(self, survey_csv):
+        assert main(["--input", str(survey_csv), "--k", "1", "--star", "--seed", "0"]) == 0
+        assert (
+            main(
+                [
+                    "--input",
+                    str(survey_csv),
+                    "--k",
+                    "1",
+                    "--anchor",
+                    "smoker",
+                    "--seed",
+                    "0",
+                ]
+            )
+            == 0
+        )
+
+    def test_star_and_anchor_conflict(self, survey_csv, capsys):
+        exit_code = main(
+            [
+                "--input",
+                str(survey_csv),
+                "--k",
+                "1",
+                "--star",
+                "--anchor",
+                "smoker",
+            ]
+        )
+        assert exit_code == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_missing_file_reports_error(self, tmp_path, capsys):
+        exit_code = main(["--input", str(tmp_path / "missing.csv")])
+        assert exit_code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_invalid_k_reports_error(self, survey_csv, capsys):
+        exit_code = main(["--input", str(survey_csv), "--k", "7"])
+        assert exit_code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_approximate_dp_and_uniform_flags(self, survey_csv, capsys):
+        exit_code = main(
+            [
+                "--input",
+                str(survey_csv),
+                "--k",
+                "1",
+                "--epsilon",
+                "1.0",
+                "--delta",
+                "1e-6",
+                "--uniform",
+                "--strategy",
+                "Q",
+                "--seed",
+                "2",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "delta = 1e-06" in captured.out
+        assert "uniform budgeting" in captured.out
+
+    def test_column_selection(self, survey_csv, capsys):
+        exit_code = main(
+            [
+                "--input",
+                str(survey_csv),
+                "--columns",
+                "smoker",
+                "income",
+                "--k",
+                "1",
+                "--seed",
+                "4",
+            ]
+        )
+        assert exit_code == 0
+        assert "2 attributes" in capsys.readouterr().out

@@ -1,0 +1,147 @@
+"""Cross-module integration tests on realistic (small) dataset stand-ins."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    MarginalReleaseEngine,
+    PrivacyBudget,
+    all_k_way,
+    anchored_workload,
+    release_marginals,
+    star_workload,
+)
+from repro.analysis.experiments import MethodSpec, run_accuracy_experiment
+from repro.data import synthetic_adult, synthetic_nltcs
+from repro.data.nltcs import NLTCS_SCHEMA
+from tests.conftest import marginals_are_consistent
+
+
+@pytest.fixture(scope="module")
+def nltcs_small():
+    """A reduced NLTCS stand-in: first 8 items, 4 000 respondents."""
+    full = synthetic_nltcs(n_records=4_000, rng=11)
+    return full.project(NLTCS_SCHEMA.names[:8], name="nltcs-small")
+
+
+class TestNltcsPipeline:
+    def test_all_methods_on_q2(self, nltcs_small):
+        workload = all_k_way(nltcs_small.schema, 2)
+        table = nltcs_small.contingency_table()
+        errors = {}
+        for strategy in ("I", "Q", "F", "C"):
+            result = release_marginals(
+                nltcs_small, workload, budget=1.0, strategy=strategy, rng=5
+            )
+            errors[strategy] = result.relative_error(table)
+            assert marginals_are_consistent(workload, result.marginals)
+        # At eps = 1 on a few thousand records every method should deliver a
+        # usable release (relative error well below 1, the paper's usability bar).
+        assert all(error < 1.0 for error in errors.values())
+
+    def test_identity_is_dominated_on_low_order_marginals_at_full_dimension(self):
+        """Figure 5(a) ordering, checked via the deterministic expected
+        variances on the full 16-attribute NLTCS domain: the base-count
+        strategy is far worse than (non-)uniform Fourier for 1-way marginals,
+        and the optimal budgeting never hurts."""
+        workload = all_k_way(NLTCS_SCHEMA, 1)
+        identity = MarginalReleaseEngine(workload, "I", non_uniform=False)
+        fourier = MarginalReleaseEngine(workload, "F", non_uniform=False)
+        fourier_plus = MarginalReleaseEngine(workload, "F", non_uniform=True)
+        query_plus = MarginalReleaseEngine(workload, "Q", non_uniform=True)
+        epsilon = 1.0
+        assert fourier.expected_total_variance(epsilon) < identity.expected_total_variance(epsilon)
+        assert query_plus.expected_total_variance(epsilon) < identity.expected_total_variance(epsilon)
+        assert fourier_plus.expected_total_variance(epsilon) <= fourier.expected_total_variance(epsilon)
+
+    def test_plus_variants_improve_expected_variance(self, nltcs_small):
+        for name in ("Q", "F", "C"):
+            workload = star_workload(nltcs_small.schema, 1)
+            uniform = MarginalReleaseEngine(workload, name, non_uniform=False)
+            optimal = MarginalReleaseEngine(workload, name, non_uniform=True)
+            assert optimal.expected_total_variance(0.5) <= uniform.expected_total_variance(0.5) * (
+                1 + 1e-9
+            )
+
+    def test_anchored_workload_release(self, nltcs_small):
+        workload = anchored_workload(nltcs_small.schema, 1, nltcs_small.schema.names[0])
+        result = release_marginals(nltcs_small, workload, budget=0.5, strategy="F", rng=2)
+        assert len(result.marginals) == len(workload)
+
+    def test_total_count_preserved_approximately(self, nltcs_small):
+        """Each released marginal should sum to roughly the number of records."""
+        workload = all_k_way(nltcs_small.schema, 1)
+        result = release_marginals(nltcs_small, workload, budget=2.0, strategy="F", rng=3)
+        for marginal in result.marginals:
+            assert marginal.sum() == pytest.approx(len(nltcs_small), rel=0.05)
+
+    def test_accuracy_experiment_orderings(self, nltcs_small):
+        """A tiny version of Figure 5(b): on a mixed-order workload the
+        non-uniform Fourier budgeting does not lose to the uniform one."""
+        workload = star_workload(nltcs_small.schema, 1)
+        result = run_accuracy_experiment(
+            nltcs_small,
+            workload,
+            methods=[
+                MethodSpec(label="F", strategy="F", non_uniform=False),
+                MethodSpec(label="F+", strategy="F", non_uniform=True),
+            ],
+            epsilons=[0.2],
+            repetitions=6,
+            rng=7,
+        )
+        by_method = {p.method: p.mean_relative_error for p in result.points}
+        assert by_method["F+"] <= by_method["F"] * 1.1
+        assert by_method["F+"] < 1.0
+
+
+class TestAdultPipeline:
+    @pytest.fixture(scope="class")
+    def adult_small(self):
+        """A projected Adult stand-in keeping the domain tractable for tests."""
+        data = synthetic_adult(n_records=5_000, rng=4)
+        return data.project(
+            ["marital_status", "relationship", "race", "sex", "salary"], name="adult-small"
+        )
+
+    def test_schema_projection_bits(self, adult_small):
+        assert adult_small.schema.total_bits == 3 + 3 + 3 + 1 + 1
+
+    def test_release_q1_and_q2(self, adult_small):
+        table = adult_small.contingency_table()
+        for k in (1, 2):
+            workload = all_k_way(adult_small.schema, k)
+            result = release_marginals(adult_small, workload, budget=1.0, strategy="F", rng=k)
+            assert result.relative_error(table) < 1.0
+
+    def test_gaussian_release_more_accurate_than_laplace_here(self, adult_small):
+        """With many measured coefficients, (eps, delta)-DP Gaussian noise has
+        lower per-query error than pure-DP Laplace at the same epsilon for the
+        Q strategy (L2 vs L1 sensitivity scaling)."""
+        workload = all_k_way(adult_small.schema, 2)
+        table = adult_small.contingency_table()
+        pure_errors = []
+        approx_errors = []
+        for seed in range(4):
+            pure = release_marginals(
+                adult_small, workload, budget=PrivacyBudget.pure(0.5), strategy="Q", rng=seed
+            )
+            approx = release_marginals(
+                adult_small,
+                workload,
+                budget=PrivacyBudget.approximate(0.5, 1e-6),
+                strategy="Q",
+                rng=seed,
+            )
+            pure_errors.append(pure.relative_error(table))
+            approx_errors.append(approx.relative_error(table))
+        assert np.mean(approx_errors) < np.mean(pure_errors) * 5.0  # sanity: same order of magnitude
+
+    def test_clustering_reduces_measured_marginals(self, adult_small):
+        from repro.strategies import ClusteringStrategy
+
+        workload = star_workload(adult_small.schema, 1)
+        strategy = ClusteringStrategy(workload)
+        assert strategy.cluster_count <= len(workload)

@@ -1,0 +1,85 @@
+"""Reproduction of the paper's worked example (Section 1) end to end.
+
+The introduction walks through releasing the marginal on A and the marginal
+on A, B over a 3-attribute binary table:
+
+* uniform noise on S = Q costs a total variance of 48/eps^2;
+* non-uniform budgets (~4eps/9 and ~5eps/9) reduce it to 46.17/eps^2;
+* additionally recombining the noisy answers (Step 3) reduces it to
+  34.6/eps^2 — a 28% reduction over uniform.
+
+These numbers pin down the whole budgeting + recovery pipeline, so this test
+module exercises them through the public API rather than through internals.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.budget import optimal_allocation, uniform_allocation
+from repro.core import MarginalReleaseEngine
+from repro.mechanisms import PrivacyBudget
+from repro.queries.matrix import workload_matrix
+from repro.recovery.least_squares import gls_recovery_matrix, recovery_variances
+from repro.strategies import query_strategy
+from tests.conftest import marginals_are_consistent
+
+
+EPS = 1.0
+
+
+class TestIntroductionNumbers:
+    def test_uniform_noise_costs_48(self, paper_example_workload):
+        strategy = query_strategy(paper_example_workload)
+        allocation = uniform_allocation(strategy.group_specs(), PrivacyBudget.pure(EPS))
+        # Sensitivity 2 -> per-answer variance 8/eps^2, six answers -> 48/eps^2.
+        assert strategy.sensitivity(pure=True) == 2.0
+        assert allocation.total_weighted_variance() == pytest.approx(48.0 / EPS**2)
+
+    def test_nonuniform_budgets_cost_46_17(self, paper_example_workload):
+        strategy = query_strategy(paper_example_workload)
+        allocation = optimal_allocation(strategy.group_specs(), PrivacyBudget.pure(EPS))
+        assert allocation.total_weighted_variance() == pytest.approx(46.17 / EPS**2, rel=1e-3)
+        assert allocation.verify_privacy()
+
+    def test_recombined_recovery_costs_at_most_34_6(self, paper_example_workload):
+        """Step 3 (optimal recovery) on top of the non-uniform budgets reaches
+        the paper's 34.6/eps^2 — or better, since the paper's recovery is a
+        hand-crafted feasible point rather than the least-squares optimum."""
+        q = workload_matrix(paper_example_workload)
+        budgets = np.array([4 * EPS / 9] * 2 + [5 * EPS / 9] * 4)
+        variances = 2.0 / budgets**2
+        recovery = gls_recovery_matrix(q, q, variances)
+        total = recovery_variances(recovery, variances).sum()
+        assert total <= 34.6 + 1e-6
+        improvement = 1.0 - total / 48.0
+        assert improvement >= 0.28  # the paper's "28% reduction"
+
+    def test_end_to_end_release_on_figure_1_table(self, paper_example_workload, paper_example_table):
+        engine = MarginalReleaseEngine(paper_example_workload, "Q", non_uniform=True)
+        result = engine.release(paper_example_table, EPS, rng=0)
+        assert result.consistent
+        assert marginals_are_consistent(paper_example_workload, result.marginals)
+        # The A marginal obtained directly and by aggregating A,B must agree.
+        a_direct = result.marginals[0]
+        ab = result.marginals[1]
+        assert a_direct[0] == pytest.approx(ab[0] + ab[2], abs=1e-8)
+        assert a_direct[1] == pytest.approx(ab[1] + ab[3], abs=1e-8)
+
+    def test_empirical_variance_tracks_the_analysis(self, paper_example_workload, paper_example_table):
+        """Monte-Carlo total squared error of the Q+ release (before the
+        consistency step) matches the predicted 46.17/eps^2 within tolerance."""
+        strategy = query_strategy(paper_example_workload)
+        allocation = optimal_allocation(strategy.group_specs(), PrivacyBudget.pure(EPS))
+        truth = paper_example_workload.true_answers(paper_example_table)
+        rng = np.random.default_rng(0)
+        totals = []
+        for _ in range(600):
+            estimates = strategy.estimate(
+                strategy.measure(paper_example_table.counts, allocation, rng=rng)
+            )
+            totals.append(
+                sum(float(((e - t) ** 2).sum()) for e, t in zip(estimates, truth))
+            )
+        assert np.mean(totals) == pytest.approx(46.17, rel=0.15)

@@ -1,0 +1,167 @@
+"""End-to-end property-based tests (hypothesis) on the core invariants.
+
+These complement the per-module property tests by driving randomly generated
+schemas, workloads and data through larger slices of the pipeline and
+checking the invariants the paper's correctness rests on:
+
+* the privacy constraint of every allocation is satisfied with equality on
+  the budgeted groups;
+* strategy group weights agree with the dense-matrix computation of b_i;
+* the consistency projection is an idempotent projection onto a subspace that
+  contains the true answers;
+* the whole release is invariant under relabelling that does not change the
+  count vector (adding records only shifts answers by their exact counts).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.budget.allocation import optimal_allocation, uniform_allocation
+from repro.budget.grouping import greedy_grouping, group_specs_from_matrices
+from repro.domain import Schema
+from repro.mechanisms import PrivacyBudget
+from repro.queries import MarginalQuery, MarginalWorkload
+from repro.queries.matrix import strategy_matrix_from_masks, workload_matrix
+from repro.recovery.consistency import fourier_consistency
+from repro.strategies import FourierStrategy, query_strategy
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+# Random workloads over a 5-bit binary domain: between 1 and 6 distinct masks.
+workload_masks = st.lists(st.integers(1, 31), min_size=1, max_size=6, unique=True)
+count_vectors = st.lists(st.integers(0, 25), min_size=32, max_size=32)
+epsilons = st.floats(min_value=0.05, max_value=4.0)
+
+
+def make_workload(masks):
+    schema = Schema.binary(["a", "b", "c", "d", "e"])
+    return MarginalWorkload(
+        schema, [MarginalQuery(mask, 5) for mask in masks], name="random"
+    )
+
+
+class TestAllocationProperties:
+    @SETTINGS
+    @given(workload_masks, epsilons)
+    def test_privacy_constraint_tight_for_query_strategy(self, masks, epsilon):
+        workload = make_workload(masks)
+        strategy = query_strategy(workload)
+        allocation = optimal_allocation(strategy.group_specs(), PrivacyBudget.pure(epsilon))
+        spent = sum(
+            group.constant * eta
+            for group, eta in zip(allocation.groups, allocation.group_budgets)
+        )
+        assert spent == pytest.approx(epsilon, rel=1e-9)
+        assert allocation.verify_privacy()
+
+    @SETTINGS
+    @given(workload_masks, epsilons)
+    def test_fourier_weights_match_dense_computation(self, masks, epsilon):
+        """Analytic Fourier group weights equal the dense b_i = sum_j R_ji^2."""
+        from repro.queries.matrix import fourier_recovery_matrix
+
+        workload = make_workload(masks)
+        strategy = FourierStrategy(workload)
+        analytic = {spec.label: spec.weight for spec in strategy.group_specs()}
+        recovery = fourier_recovery_matrix(workload)
+        dense = (recovery**2).sum(axis=0)
+        for position, beta in enumerate(workload.fourier_masks()):
+            assert analytic[f"fourier-{beta:#x}"] == pytest.approx(dense[position], rel=1e-9)
+
+    @SETTINGS
+    @given(workload_masks, epsilons)
+    def test_optimal_matches_dense_grouping_path(self, masks, epsilon):
+        """The implicit S = Q group specs give the same optimum as grouping the
+        explicit strategy matrix."""
+        workload = make_workload(masks)
+        strategy = query_strategy(workload)
+        budget = PrivacyBudget.pure(epsilon)
+        implicit = optimal_allocation(strategy.group_specs(), budget).total_weighted_variance()
+
+        dense = strategy_matrix_from_masks(list(strategy.strategy_masks), 5)
+        groups = greedy_grouping(dense)
+        specs = group_specs_from_matrices(dense, np.eye(dense.shape[0]), groups)
+        explicit = optimal_allocation(specs, budget).total_weighted_variance()
+        assert implicit == pytest.approx(explicit, rel=1e-9)
+
+    @SETTINGS
+    @given(workload_masks, epsilons)
+    def test_uniform_equals_classic_laplace_variance(self, masks, epsilon):
+        """Uniform budgeting reproduces the classic Laplace mechanism: total
+        variance = 2 * (Delta_1 / eps)^2 * (number of released cells)."""
+        workload = make_workload(masks)
+        strategy = query_strategy(workload)
+        allocation = uniform_allocation(strategy.group_specs(), PrivacyBudget.pure(epsilon))
+        q = workload_matrix(workload)
+        delta_1 = np.abs(q).sum(axis=0).max()
+        expected = 2.0 * (delta_1 / epsilon) ** 2 * workload.total_cells
+        assert allocation.total_weighted_variance() == pytest.approx(expected, rel=1e-9)
+
+
+class TestConsistencyProperties:
+    @SETTINGS
+    @given(workload_masks, count_vectors)
+    def test_truth_is_fixed_point(self, masks, counts):
+        workload = make_workload(masks)
+        x = np.array(counts, dtype=float)
+        truth = workload.true_answers(x)
+        projected = fourier_consistency(workload, truth)
+        for a, b in zip(projected.marginals, truth):
+            assert np.allclose(a, b, atol=1e-6)
+
+    @SETTINGS
+    @given(workload_masks, count_vectors, st.integers(0, 10_000))
+    def test_projection_is_idempotent(self, masks, counts, seed):
+        workload = make_workload(masks)
+        x = np.array(counts, dtype=float)
+        rng = np.random.default_rng(seed)
+        noisy = [
+            truth + rng.laplace(scale=3.0, size=truth.shape)
+            for truth in workload.true_answers(x)
+        ]
+        once = fourier_consistency(workload, noisy)
+        twice = fourier_consistency(workload, once.marginals)
+        for a, b in zip(once.marginals, twice.marginals):
+            assert np.allclose(a, b, atol=1e-6)
+
+    @SETTINGS
+    @given(workload_masks, count_vectors, st.integers(0, 10_000))
+    def test_projection_never_moves_away_from_truth(self, masks, counts, seed):
+        workload = make_workload(masks)
+        x = np.array(counts, dtype=float)
+        truth = np.concatenate(workload.true_answers(x))
+        rng = np.random.default_rng(seed)
+        noisy = [
+            t + rng.laplace(scale=2.0, size=t.shape) for t in workload.true_answers(x)
+        ]
+        projected = fourier_consistency(workload, noisy)
+        before = np.linalg.norm(np.concatenate(noisy) - truth)
+        after = np.linalg.norm(np.concatenate(projected.marginals) - truth)
+        assert after <= before + 1e-9
+
+    @SETTINGS
+    @given(workload_masks, count_vectors, count_vectors)
+    def test_projection_commutes_with_adding_exact_data(self, masks, counts_a, counts_b):
+        """Adding the exact answers of another data vector to consistent
+        marginals keeps them consistent (the subspace is closed under +)."""
+        workload = make_workload(masks)
+        x_a = np.array(counts_a, dtype=float)
+        x_b = np.array(counts_b, dtype=float)
+        rng = np.random.default_rng(0)
+        noisy = [
+            t + rng.laplace(scale=1.0, size=t.shape) for t in workload.true_answers(x_a)
+        ]
+        projected = fourier_consistency(workload, noisy)
+        shifted = [
+            p + t for p, t in zip(projected.marginals, workload.true_answers(x_b))
+        ]
+        reprojected = fourier_consistency(workload, shifted)
+        for a, b in zip(reprojected.marginals, shifted):
+            assert np.allclose(a, b, atol=1e-6)

@@ -1,0 +1,85 @@
+"""Tests for the dyadic hierarchical decomposition."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.budget.grouping import satisfies_grouping_property
+from repro.transforms.hierarchical import (
+    hierarchical_levels,
+    hierarchical_matrix,
+    hierarchical_transform,
+)
+
+
+class TestMatrix:
+    def test_shape(self):
+        matrix = hierarchical_matrix(8)
+        assert matrix.shape == (1 + 2 + 4 + 8, 8)
+
+    def test_without_leaves(self):
+        matrix = hierarchical_matrix(8, include_leaves=False)
+        assert matrix.shape == (7, 8)
+
+    def test_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            hierarchical_matrix(6)
+
+    def test_root_row_is_all_ones(self):
+        matrix = hierarchical_matrix(16)
+        assert np.array_equal(matrix[0], np.ones(16))
+
+    def test_entries_are_binary(self):
+        matrix = hierarchical_matrix(8)
+        assert set(np.unique(matrix)) <= {0.0, 1.0}
+
+    def test_each_level_partitions_domain(self):
+        matrix = hierarchical_matrix(16)
+        for rows in hierarchical_levels(16):
+            assert np.array_equal(matrix[rows].sum(axis=0), np.ones(16))
+
+    def test_column_l1_norm_is_depth(self):
+        """Every column is covered once per level, so the L1 sensitivity of the
+        hierarchy is its depth — the fact the paper's grouping argument uses."""
+        matrix = hierarchical_matrix(16)
+        assert np.array_equal(np.abs(matrix).sum(axis=0), np.full(16, 5.0))
+
+
+class TestTransform:
+    def test_matches_matrix(self, random_counts_5):
+        matrix = hierarchical_matrix(32)
+        assert np.allclose(hierarchical_transform(random_counts_5), matrix @ random_counts_5)
+
+    def test_without_leaves_matches_matrix(self, random_counts_5):
+        matrix = hierarchical_matrix(32, include_leaves=False)
+        assert np.allclose(
+            hierarchical_transform(random_counts_5, include_leaves=False),
+            matrix @ random_counts_5,
+        )
+
+    def test_root_is_total(self, random_counts_5):
+        assert hierarchical_transform(random_counts_5)[0] == pytest.approx(random_counts_5.sum())
+
+
+class TestGrouping:
+    def test_group_count_is_depth(self):
+        """The paper: the binary-tree hierarchy has grouping number log2(N) (+1 with leaves)."""
+        assert len(hierarchical_levels(16)) == 5
+        assert len(hierarchical_levels(16, include_leaves=False)) == 4
+
+    def test_levels_partition_rows(self):
+        levels = hierarchical_levels(8)
+        rows = sorted(r for level in levels for r in level)
+        assert rows == list(range(15))
+
+    def test_levels_satisfy_definition_3_1(self):
+        matrix = hierarchical_matrix(16)
+        assert satisfies_grouping_property(matrix, hierarchical_levels(16))
+
+    def test_greedy_grouping_finds_depth_groups(self):
+        from repro.budget.grouping import greedy_grouping
+
+        matrix = hierarchical_matrix(16)
+        groups = greedy_grouping(matrix)
+        assert len(groups) == len(hierarchical_levels(16))

@@ -1,0 +1,87 @@
+"""Tests for sparse random projection (sketch) strategy matrices."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.budget.grouping import greedy_grouping, satisfies_grouping_property
+from repro.exceptions import DomainSizeError
+from repro.transforms.sketch import sketch_groups, sketch_matrix, sketch_with_totals
+
+
+class TestSketchMatrix:
+    def test_shape(self):
+        matrix = sketch_matrix(32, width=4, repetitions=3, rng=0)
+        assert matrix.shape == (12, 32)
+
+    def test_entries_are_signs(self):
+        matrix = sketch_matrix(32, width=4, repetitions=2, rng=1)
+        assert set(np.unique(matrix)) <= {-1.0, 0.0, 1.0}
+
+    def test_unsigned_variant(self):
+        matrix = sketch_matrix(16, width=4, repetitions=2, signed=False, rng=2)
+        assert set(np.unique(matrix)) <= {0.0, 1.0}
+
+    def test_each_repetition_partitions_columns(self):
+        matrix = sketch_matrix(64, width=8, repetitions=4, rng=3)
+        for rows in sketch_groups(8, 4):
+            assert np.array_equal(np.abs(matrix[rows]).sum(axis=0), np.ones(64))
+
+    def test_reproducible(self):
+        a = sketch_matrix(32, width=4, repetitions=2, rng=7)
+        b = sketch_matrix(32, width=4, repetitions=2, rng=7)
+        assert np.array_equal(a, b)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            sketch_matrix(0, width=2, repetitions=1)
+        with pytest.raises(ValueError):
+            sketch_matrix(8, width=16, repetitions=1)
+        with pytest.raises(ValueError):
+            sketch_matrix(8, width=2, repetitions=0)
+        with pytest.raises(DomainSizeError):
+            sketch_matrix(1 << 22, width=2, repetitions=1)
+
+
+class TestGrouping:
+    def test_grouping_number_is_repetitions(self):
+        """The paper: for sketches the grouping number is the number of
+        repetitions t and every group constant is 1."""
+        matrix = sketch_matrix(64, width=8, repetitions=5, rng=0)
+        groups = sketch_groups(8, 5)
+        assert len(groups) == 5
+        assert satisfies_grouping_property(matrix, groups)
+
+    def test_greedy_grouping_not_larger_than_repetitions(self):
+        matrix = sketch_matrix(32, width=4, repetitions=3, rng=1)
+        assert len(greedy_grouping(matrix)) <= 3 * 4  # never worse than singletons
+        # The declared per-repetition grouping is always valid even when the
+        # greedy heuristic finds a different partition.
+        assert satisfies_grouping_property(matrix, sketch_groups(4, 3))
+
+    def test_sensitivity_equals_repetitions(self):
+        matrix = sketch_matrix(128, width=16, repetitions=4, rng=2)
+        assert np.abs(matrix).sum(axis=0).max() == 4.0
+
+
+class TestSketchWithTotals:
+    def test_supports_marginal_release_via_explicit_strategy(self, binary_schema_5, random_counts_5):
+        from repro.budget.allocation import optimal_allocation
+        from repro.mechanisms import PrivacyBudget
+        from repro.queries import all_k_way
+        from repro.strategies import ExplicitMatrixStrategy
+
+        matrix, groups = sketch_with_totals(32, width=8, repetitions=2, rng=4)
+        workload = all_k_way(binary_schema_5, 1)
+        strategy = ExplicitMatrixStrategy(workload, matrix, name="sketch+identity")
+        allocation = optimal_allocation(strategy.group_specs(), PrivacyBudget.pure(20000.0))
+        estimates = strategy.estimate(strategy.measure(random_counts_5, allocation, rng=0))
+        for estimate, truth in zip(estimates, workload.true_answers(random_counts_5)):
+            assert np.allclose(estimate, truth, atol=1.0)
+
+    def test_groups_partition_all_rows(self):
+        matrix, groups = sketch_with_totals(16, width=4, repetitions=3, rng=5)
+        rows = sorted(r for group in groups for r in group)
+        assert rows == list(range(matrix.shape[0]))
+        assert satisfies_grouping_property(matrix, groups)

@@ -1,0 +1,102 @@
+"""Tests for the Haar wavelet transform."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.budget.grouping import satisfies_grouping_property
+from repro.transforms.wavelet import (
+    haar_groups,
+    haar_level_of_row,
+    haar_matrix,
+    haar_transform,
+    inverse_haar_transform,
+)
+
+vectors = st.lists(
+    st.floats(min_value=-100, max_value=100, allow_nan=False, allow_infinity=False),
+    min_size=16,
+    max_size=16,
+)
+
+
+class TestTransform:
+    def test_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            haar_transform(np.zeros(6))
+
+    def test_round_trip(self, random_counts_5):
+        assert np.allclose(inverse_haar_transform(haar_transform(random_counts_5)), random_counts_5)
+
+    def test_orthonormal_preserves_norm(self, random_counts_5):
+        assert np.linalg.norm(haar_transform(random_counts_5)) == pytest.approx(
+            np.linalg.norm(random_counts_5)
+        )
+
+    def test_first_coefficient_is_scaled_total(self, random_counts_5):
+        coefficients = haar_transform(random_counts_5)
+        assert coefficients[0] == pytest.approx(random_counts_5.sum() / np.sqrt(32))
+
+    def test_constant_vector_has_single_coefficient(self):
+        coefficients = haar_transform(np.full(8, 3.0))
+        assert coefficients[0] == pytest.approx(3.0 * 8 / np.sqrt(8))
+        assert np.allclose(coefficients[1:], 0.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(vectors)
+    def test_round_trip_property(self, data):
+        x = np.array(data)
+        assert np.allclose(inverse_haar_transform(haar_transform(x)), x, atol=1e-8)
+
+
+class TestMatrix:
+    def test_matches_transform(self, random_counts_5):
+        matrix = haar_matrix(32)
+        assert np.allclose(matrix @ random_counts_5, haar_transform(random_counts_5))
+
+    def test_orthonormal(self):
+        matrix = haar_matrix(16)
+        assert np.allclose(matrix @ matrix.T, np.eye(16), atol=1e-10)
+
+    def test_levels_have_uniform_magnitude(self):
+        matrix = haar_matrix(16)
+        for level, rows in enumerate(haar_groups(16)):
+            block = matrix[rows]
+            magnitudes = np.abs(block[np.abs(block) > 1e-12])
+            assert np.allclose(magnitudes, magnitudes[0])
+
+
+class TestGrouping:
+    def test_level_of_row(self):
+        assert haar_level_of_row(0, 16) == 0
+        assert haar_level_of_row(1, 16) == 1
+        assert haar_level_of_row(2, 16) == 2
+        assert haar_level_of_row(3, 16) == 2
+        assert haar_level_of_row(8, 16) == 4
+        assert haar_level_of_row(15, 16) == 4
+
+    def test_level_bounds(self):
+        with pytest.raises(ValueError):
+            haar_level_of_row(16, 16)
+        with pytest.raises(ValueError):
+            haar_level_of_row(-1, 16)
+
+    def test_group_count_matches_paper(self):
+        """The paper: the 1-D Haar wavelet has grouping number log2(N) + 1."""
+        for n in (8, 16, 32):
+            assert len(haar_groups(n)) == int(np.log2(n)) + 1
+
+    def test_groups_partition_rows(self):
+        groups = haar_groups(32)
+        rows = sorted(r for group in groups for r in group)
+        assert rows == list(range(32))
+
+    def test_groups_satisfy_definition_3_1(self):
+        matrix = haar_matrix(16)
+        assert satisfies_grouping_property(matrix, haar_groups(16))
+
+    def test_groups_match_level_of_row(self):
+        for level, rows in enumerate(haar_groups(16)):
+            assert all(haar_level_of_row(r, 16) == level for r in rows)

@@ -1,0 +1,192 @@
+"""Tests for bit-mask helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.bits import (
+    bit_indices,
+    dominated_by,
+    dominates,
+    from_bit_indices,
+    hamming_weight,
+    iter_submasks,
+    iter_supersets,
+    mask_to_tuple,
+    masks_of_weight,
+    parity,
+    project_index,
+    tuple_to_mask,
+)
+
+masks = st.integers(min_value=0, max_value=(1 << 12) - 1)
+
+
+class TestHammingWeight:
+    def test_zero(self):
+        assert hamming_weight(0) == 0
+
+    def test_single_bits(self):
+        for bit in range(20):
+            assert hamming_weight(1 << bit) == 1
+
+    def test_all_ones(self):
+        assert hamming_weight((1 << 10) - 1) == 10
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            hamming_weight(-1)
+
+    @given(masks)
+    def test_matches_binary_string(self, mask):
+        assert hamming_weight(mask) == bin(mask).count("1")
+
+
+class TestParity:
+    @given(masks)
+    def test_parity_is_weight_mod_two(self, mask):
+        assert parity(mask) == hamming_weight(mask) % 2
+
+    def test_small_values(self):
+        assert parity(0) == 0
+        assert parity(1) == 1
+        assert parity(3) == 0
+        assert parity(7) == 1
+
+
+class TestDominance:
+    def test_everything_dominates_zero(self):
+        for mask in (0, 1, 5, 255):
+            assert dominated_by(0, mask)
+            assert dominates(mask, 0)
+
+    def test_strict_example(self):
+        assert dominated_by(0b010, 0b110)
+        assert not dominated_by(0b001, 0b110)
+
+    @given(masks, masks)
+    def test_dominates_is_converse(self, a, b):
+        assert dominated_by(a, b) == dominates(b, a)
+
+    @given(masks, masks)
+    def test_dominance_definition(self, a, b):
+        assert dominated_by(a, b) == ((a & b) == a)
+
+
+class TestBitIndexConversions:
+    def test_round_trip_indices(self):
+        assert from_bit_indices(bit_indices(0b101101)) == 0b101101
+
+    def test_bit_indices_sorted(self):
+        assert bit_indices(0b10110) == (1, 2, 4)
+
+    def test_from_bit_indices_duplicates_collapse(self):
+        assert from_bit_indices([0, 0, 3]) == 0b1001
+
+    def test_from_bit_indices_rejects_negative(self):
+        with pytest.raises(ValueError):
+            from_bit_indices([-1])
+
+    @given(masks)
+    def test_round_trip_property(self, mask):
+        assert from_bit_indices(bit_indices(mask)) == mask
+
+
+class TestTupleConversions:
+    def test_mask_to_tuple_little_endian(self):
+        assert mask_to_tuple(0b011, 3) == (1, 1, 0)
+
+    def test_tuple_round_trip(self):
+        assert tuple_to_mask(mask_to_tuple(0b1010, 4)) == 0b1010
+
+    def test_mask_too_wide(self):
+        with pytest.raises(ValueError):
+            mask_to_tuple(0b1000, 3)
+
+    def test_tuple_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            tuple_to_mask([0, 2, 1])
+
+    @given(masks)
+    def test_round_trip_property(self, mask):
+        width = max(mask.bit_length(), 1)
+        assert tuple_to_mask(mask_to_tuple(mask, width)) == mask
+
+
+class TestSubmaskIteration:
+    def test_count_is_power_of_two(self):
+        mask = 0b10110
+        subs = list(iter_submasks(mask))
+        assert len(subs) == 1 << hamming_weight(mask)
+
+    def test_all_dominated(self):
+        mask = 0b1101
+        assert all(dominated_by(sub, mask) for sub in iter_submasks(mask))
+
+    def test_exclusion_flags(self):
+        mask = 0b11
+        assert 0 not in list(iter_submasks(mask, include_zero=False))
+        assert mask not in list(iter_submasks(mask, include_self=False))
+
+    def test_zero_mask(self):
+        assert list(iter_submasks(0)) == [0]
+        assert list(iter_submasks(0, include_zero=False)) == []
+
+    @given(masks)
+    def test_distinct_and_complete(self, mask):
+        subs = list(iter_submasks(mask))
+        assert len(subs) == len(set(subs)) == 1 << hamming_weight(mask)
+
+
+class TestSupersetIteration:
+    def test_supersets_within_universe(self):
+        universe = 0b1111
+        mask = 0b0101
+        supers = list(iter_supersets(mask, universe))
+        assert len(supers) == 1 << (hamming_weight(universe) - hamming_weight(mask))
+        assert all(dominated_by(mask, sup) and dominated_by(sup, universe) for sup in supers)
+
+    def test_mask_outside_universe_rejected(self):
+        with pytest.raises(ValueError):
+            list(iter_supersets(0b100, 0b011))
+
+
+class TestMasksOfWeight:
+    def test_counts_match_binomial(self):
+        import math
+
+        for d in range(1, 8):
+            for k in range(0, d + 1):
+                assert len(list(masks_of_weight(d, k))) == math.comb(d, k)
+
+    def test_all_have_requested_weight(self):
+        assert all(hamming_weight(m) == 3 for m in masks_of_weight(7, 3))
+
+    def test_out_of_range_is_empty(self):
+        assert list(masks_of_weight(4, 5)) == []
+        assert list(masks_of_weight(4, -1)) == []
+
+
+class TestProjectIndex:
+    def test_identity_mask(self):
+        assert project_index(0b1011, 0b1111) == 0b1011
+
+    def test_single_bit(self):
+        assert project_index(0b100, 0b100) == 1
+        assert project_index(0b011, 0b100) == 0
+
+    def test_compact_reindexing(self):
+        # mask keeps bits 1 and 3; index 0b1010 has both set -> compact 0b11.
+        assert project_index(0b1010, 0b1010) == 0b11
+        # index 0b1000 keeps only bit 3, the second kept bit -> compact 0b10.
+        assert project_index(0b1000, 0b1010) == 0b10
+
+    @given(masks, masks)
+    def test_result_fits_in_mask_weight(self, index, mask):
+        assert 0 <= project_index(index, mask) < (1 << hamming_weight(mask))
+
+    @given(masks)
+    def test_projection_onto_full_mask_is_identity(self, index):
+        full = (1 << 12) - 1
+        assert project_index(index, full) == index

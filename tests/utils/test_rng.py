@@ -1,0 +1,60 @@
+"""Tests for RNG plumbing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_reproducible(self):
+        a = ensure_rng(123).integers(0, 1000, size=10)
+        b = ensure_rng(123).integers(0, 1000, size=10)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = ensure_rng(1).integers(0, 10**9)
+        b = ensure_rng(2).integers(0, 10**9)
+        assert a != b
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(0)
+        assert ensure_rng(generator) is generator
+
+    def test_seed_sequence_accepted(self):
+        sequence = np.random.SeedSequence(7)
+        assert isinstance(ensure_rng(sequence), np.random.Generator)
+
+    def test_invalid_type_rejected(self):
+        with pytest.raises(TypeError):
+            ensure_rng("not a seed")
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        children = spawn_rngs(0, 5)
+        assert len(children) == 5
+        assert all(isinstance(child, np.random.Generator) for child in children)
+
+    def test_children_are_independent_streams(self):
+        children = spawn_rngs(0, 2)
+        a = children[0].integers(0, 10**9, size=5)
+        b = children[1].integers(0, 10**9, size=5)
+        assert not np.array_equal(a, b)
+
+    def test_reproducible_from_seed(self):
+        first = [g.integers(0, 10**9) for g in spawn_rngs(99, 3)]
+        second = [g.integers(0, 10**9) for g in spawn_rngs(99, 3)]
+        assert first == second
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)

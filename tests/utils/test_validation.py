@@ -1,0 +1,64 @@
+"""Tests for argument validation helpers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exceptions import PrivacyError
+from repro.utils.validation import (
+    check_delta,
+    check_epsilon,
+    check_positive_int,
+    check_probability,
+)
+
+
+class TestCheckEpsilon:
+    def test_accepts_positive(self):
+        assert check_epsilon(0.5) == 0.5
+        assert check_epsilon(10) == 10.0
+
+    @pytest.mark.parametrize("value", [0.0, -1.0, math.nan, math.inf])
+    def test_rejects_invalid(self, value):
+        with pytest.raises(PrivacyError):
+            check_epsilon(value)
+
+    def test_custom_name_in_message(self):
+        with pytest.raises(PrivacyError, match="eta"):
+            check_epsilon(-1, name="eta")
+
+
+class TestCheckDelta:
+    def test_accepts_open_interval(self):
+        assert check_delta(1e-9) == 1e-9
+        assert check_delta(0.5) == 0.5
+
+    @pytest.mark.parametrize("value", [0.0, 1.0, -0.1, 2.0])
+    def test_rejects_boundary_and_outside(self, value):
+        with pytest.raises(PrivacyError):
+            check_delta(value)
+
+
+class TestCheckPositiveInt:
+    def test_accepts_positive_integers(self):
+        assert check_positive_int(3, name="n") == 3
+        assert check_positive_int(1, name="n") == 1
+
+    @pytest.mark.parametrize("value", [0, -2, 2.5])
+    def test_rejects_invalid(self, value):
+        with pytest.raises(ValueError):
+            check_positive_int(value, name="n")
+
+
+class TestCheckProbability:
+    def test_accepts_unit_interval(self):
+        assert check_probability(0.0, name="p") == 0.0
+        assert check_probability(1.0, name="p") == 1.0
+        assert check_probability(0.3, name="p") == 0.3
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01, 5])
+    def test_rejects_outside(self, value):
+        with pytest.raises(ValueError):
+            check_probability(value, name="p")
