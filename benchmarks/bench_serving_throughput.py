@@ -1,0 +1,151 @@
+"""Serving throughput: cold vs. cached vs. batched query paths.
+
+The serving layer's promise is that once a release is paid for, query
+traffic is free — but it still has to be *fast*.  This benchmark releases
+all 2-way marginals of the synthetic NLTCS domain (16 binary attributes,
+2**16 cells), stores them, and measures queries/second over a fixed mixed
+workload of sub-marginal and slice queries on three paths:
+
+* **cold** — caching disabled: route, plan (min-variance ancestor search
+  over all released cuboids), aggregate, slice, every time;
+* **cached** — the same queries against a warm LRU cache;
+* **batched** — the cold workload submitted through ``query_batch``, which
+  aggregates each (source cuboid, target) pair once per batch.
+
+Results go to ``benchmarks/results/serving_throughput.{txt,json}``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.core.engine import release_marginals
+from repro.queries import all_k_way
+from repro.serving.service import QueryRequest, QueryService
+from repro.serving.store import ReleaseStore
+from repro.utils.bits import iter_submasks
+
+EPSILON = 1.0
+QUERY_COUNT = 400
+REPEATS = 3
+
+
+def _build_store(tmp_path, data) -> ReleaseStore:
+    workload = all_k_way(data.schema, 2)
+    release = release_marginals(
+        data, workload, budget=EPSILON, strategy="Q", consistency=False, rng=2013
+    )
+    store = ReleaseStore(tmp_path / "store")
+    store.put(release, release_id="bench")
+    return store
+
+
+def _query_mix(store: ReleaseStore, schema) -> List[QueryRequest]:
+    """A fixed mixed workload: 0/1/2-way sub-marginals plus slice queries."""
+    masks = [int(m) for m in store.metadata("bench")["masks"]]
+    requests: List[QueryRequest] = []
+    generator = np.random.default_rng(4)
+    for position in range(QUERY_COUNT):
+        source = masks[int(generator.integers(len(masks)))]
+        submasks = list(iter_submasks(source))
+        target = int(submasks[int(generator.integers(len(submasks)))])
+        if position % 5 == 0 and target not in (0, source):
+            # Every fifth query is a slice: pin the remaining source bits.
+            fixed_names = schema.attributes_of_mask(source & ~target)
+            where = {name: int(generator.integers(2)) for name in fixed_names}
+            requests.append(QueryRequest(mask=target, where=where))
+        else:
+            requests.append(QueryRequest(mask=target))
+    return requests
+
+
+def _run_single(service: QueryService, requests: List[QueryRequest]) -> float:
+    start = time.perf_counter()
+    for request in requests:
+        service.query(mask=request.mask, where=request.where)
+    return time.perf_counter() - start
+
+
+def _run_batch(service: QueryService, requests: List[QueryRequest]) -> float:
+    start = time.perf_counter()
+    service.query_batch(requests)
+    return time.perf_counter() - start
+
+
+def bench_serving_throughput(benchmark, nltcs_data, tmp_path_factory, report_writer, json_report_writer):
+    tmp_path = tmp_path_factory.mktemp("serving-bench")
+    store = _build_store(tmp_path, nltcs_data)
+    requests = _query_mix(store, nltcs_data.schema)
+
+    def run() -> Dict[str, float]:
+        timings: Dict[str, List[float]] = {"cold": [], "cached": [], "batched": []}
+        cold_service = QueryService(store, cache_size=0)
+        warm_service = QueryService(store, cache_size=4096)
+        batch_service = QueryService(store, cache_size=0)
+        _run_single(warm_service, requests)  # warm the cache once
+        for _ in range(REPEATS):
+            timings["cold"].append(_run_single(cold_service, requests))
+            timings["cached"].append(_run_single(warm_service, requests))
+            timings["batched"].append(_run_batch(batch_service, requests))
+        best = {path: min(values) for path, values in timings.items()}
+        return {
+            "queries": float(QUERY_COUNT),
+            "cold_qps": QUERY_COUNT / best["cold"],
+            "cached_qps": QUERY_COUNT / best["cached"],
+            "batched_qps": QUERY_COUNT / best["batched"],
+            "cold_seconds": best["cold"],
+            "cached_seconds": best["cached"],
+            "batched_seconds": best["batched"],
+            "cache_hit_rate": warm_service.stats["cache"]["hit_rate"],
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    speedup_cached = results["cached_qps"] / results["cold_qps"]
+    speedup_batched = results["batched_qps"] / results["cold_qps"]
+    table = format_table(
+        ["path", "queries/s", "total s", "speedup vs cold"],
+        [
+            ["cold", results["cold_qps"], results["cold_seconds"], 1.0],
+            ["cached", results["cached_qps"], results["cached_seconds"], speedup_cached],
+            ["batched", results["batched_qps"], results["batched_seconds"], speedup_batched],
+        ],
+        float_format="{:.4g}",
+    )
+    report_writer("serving_throughput", table)
+    json_report_writer(
+        "serving_throughput",
+        {
+            "domain_bits": nltcs_data.schema.total_bits,
+            "released_cuboids": len(store.metadata("bench")["masks"]),
+            "query_count": QUERY_COUNT,
+            "repeats": REPEATS,
+            "paths": {
+                "cold": {
+                    "qps": results["cold_qps"],
+                    "seconds": results["cold_seconds"],
+                },
+                "cached": {
+                    "qps": results["cached_qps"],
+                    "seconds": results["cached_seconds"],
+                    "speedup_vs_cold": speedup_cached,
+                    "hit_rate": results["cache_hit_rate"],
+                },
+                "batched": {
+                    "qps": results["batched_qps"],
+                    "seconds": results["batched_seconds"],
+                    "speedup_vs_cold": speedup_batched,
+                },
+            },
+        },
+    )
+
+    # The whole point of the cache: a warm hit must be at least an order of
+    # magnitude cheaper than the plan+aggregate cold path.
+    assert speedup_cached >= 10.0, f"cached path only {speedup_cached:.1f}x faster"
+    # Batching must never be slower than issuing the same queries one by one.
+    assert results["batched_qps"] >= results["cold_qps"]

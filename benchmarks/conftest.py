@@ -16,6 +16,7 @@ Environment knobs
 
 from __future__ import annotations
 
+import json
 import os
 import sys
 from pathlib import Path
@@ -74,5 +75,18 @@ def report_writer():
         path = RESULTS_DIR / f"{name}.txt"
         path.write_text(text + "\n")
         print(f"\n===== {name} =====\n{text}\n")
+
+    return write
+
+
+@pytest.fixture(scope="session")
+def json_report_writer():
+    """Persist machine-readable results as benchmarks/results/<name>.json."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, payload: dict) -> None:
+        path = RESULTS_DIR / f"{name}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"\n===== {name} (JSON) =====\n{json.dumps(payload, indent=2, sort_keys=True)}\n")
 
     return write

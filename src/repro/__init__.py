@@ -52,8 +52,15 @@ from repro.core import (
     release_marginals,
     table1_bounds,
 )
+from repro.serving import (
+    AnswerCache,
+    QueryPlanner,
+    QueryService,
+    ReleaseStore,
+    ServedAnswer,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Attribute",
@@ -85,5 +92,10 @@ __all__ = [
     "ReleaseResult",
     "release_marginals",
     "table1_bounds",
+    "AnswerCache",
+    "QueryPlanner",
+    "QueryService",
+    "ReleaseStore",
+    "ServedAnswer",
     "__version__",
 ]

@@ -126,6 +126,31 @@ class NoiseAllocation:
             total += group.weight * variance
         return total
 
+    # ------------------------------------------------------------------ #
+    # serialization
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable description (inverse of :meth:`from_dict`)."""
+        return {
+            "kind": self.kind,
+            "budget": self.budget.to_dict(),
+            "groups": [group.to_dict() for group in self.groups],
+            "group_budgets": list(self.group_budgets),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "NoiseAllocation":
+        """Rebuild an allocation from :meth:`to_dict` output."""
+        kind = str(payload["kind"])
+        if kind not in ("optimal", "uniform"):
+            raise BudgetError(f"unknown allocation kind {kind!r}")
+        return cls(
+            groups=tuple(GroupSpec.from_dict(entry) for entry in payload["groups"]),  # type: ignore[union-attr]
+            group_budgets=tuple(float(eta) for eta in payload["group_budgets"]),  # type: ignore[union-attr]
+            budget=PrivacyBudget.from_dict(payload["budget"]),  # type: ignore[arg-type]
+            kind=kind,  # type: ignore[arg-type]
+        )
+
     def verify_privacy(self, *, tol: float = 1e-9) -> bool:
         """Check that the allocation meets its privacy constraint.
 

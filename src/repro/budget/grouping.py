@@ -66,6 +66,25 @@ class GroupSpec:
                 f"group {self.label!r} has a negative recovery weight {self.weight}"
             )
 
+    def to_dict(self) -> dict:
+        """JSON-serialisable description (inverse of :meth:`from_dict`)."""
+        return {
+            "label": self.label,
+            "size": self.size,
+            "constant": self.constant,
+            "weight": self.weight,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "GroupSpec":
+        """Rebuild a group spec from :meth:`to_dict` output."""
+        return cls(
+            label=str(payload["label"]),
+            size=int(payload["size"]),
+            constant=float(payload["constant"]),
+            weight=float(payload["weight"]),
+        )
+
 
 # --------------------------------------------------------------------------- #
 # grouping of explicit matrices

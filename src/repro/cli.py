@@ -1,29 +1,44 @@
-"""Command-line interface: private marginal release from a CSV file.
+"""Command-line interface: private release and query serving.
 
-Usage (after installing the package)::
+Three entry styles share one ``main``:
 
-    python -m repro --input survey.csv --k 2 --epsilon 0.5 --strategy F \
-        --output released/
+* the classic flag-only form (kept for compatibility)::
 
-reads a categorical CSV, releases all k-way marginals (optionally plus the
-(k+1)-way marginals of ``--star`` / ``--anchor``) under differential privacy
-and writes one CSV per released marginal plus a ``summary.txt`` describing
-the release.  The CLI is a thin wrapper over :func:`repro.core.release_marginals`
-intended for quick experiments; programmatic use should go through the API.
+      python -m repro --input survey.csv --k 2 --epsilon 0.5 --strategy F \
+          --output released/
+
+* ``release`` — same release pipeline, optionally persisting the result into
+  a :class:`~repro.serving.store.ReleaseStore`::
+
+      python -m repro release --input survey.csv --k 2 --epsilon 0.5 \
+          --out store/
+
+* ``query`` — answer marginal / point / slice queries from a store, with
+  per-cell error bars, at zero additional privacy cost::
+
+      python -m repro query --store store/ --attributes region income
+      python -m repro query --store store/ --attributes region \
+          --where smoker=yes
+
+The CLI is a thin wrapper over :func:`repro.core.release_marginals` and
+:class:`~repro.serving.service.QueryService`; programmatic use should go
+through the API.
 """
 
 from __future__ import annotations
 
 import argparse
 import csv
+import json
 import sys
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.engine import release_marginals
 from repro.core.result import ReleaseResult
 from repro.data.loader import load_csv
 from repro.domain.dataset import Dataset
+from repro.domain.schema import Schema
 from repro.exceptions import ReproError
 from repro.mechanisms.privacy import PrivacyBudget
 from repro.queries.workload import (
@@ -33,15 +48,13 @@ from repro.queries.workload import (
     star_workload,
 )
 from repro.recovery.nonneg import project_nonnegative, round_to_integers
+from repro.serving.service import QueryService
+from repro.serving.store import ReleaseStore
 from repro.utils.bits import bit_indices
 
 
-def build_parser() -> argparse.ArgumentParser:
-    """The CLI argument parser (exposed separately for testing and docs)."""
-    parser = argparse.ArgumentParser(
-        prog="repro",
-        description="Differentially private release of marginals from a categorical CSV file.",
-    )
+def _add_release_arguments(parser: argparse.ArgumentParser) -> None:
+    """Arguments shared by the legacy form and the ``release`` subcommand."""
     parser.add_argument("--input", required=True, help="path to the input CSV file")
     parser.add_argument(
         "--columns",
@@ -99,6 +112,84 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="directory for the released marginal CSVs (default: print a summary only)",
     )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The flag-only release parser (exposed separately for testing and docs).
+
+    Abbreviations are disabled so that e.g. a mistyped ``--out`` (a
+    ``release``-subcommand flag) errors instead of silently matching
+    ``--output`` and writing CSV files where a store was expected.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Differentially private release of marginals from a categorical CSV file.",
+        allow_abbrev=False,
+    )
+    _add_release_arguments(parser)
+    return parser
+
+
+def build_release_parser() -> argparse.ArgumentParser:
+    """Parser of the ``release`` subcommand (legacy flags plus store options)."""
+    parser = argparse.ArgumentParser(
+        prog="repro release",
+        description="Release marginals under differential privacy and persist them "
+        "into a queryable release store.",
+        allow_abbrev=False,
+    )
+    _add_release_arguments(parser)
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="release-store directory to persist the release into (created if missing)",
+    )
+    parser.add_argument(
+        "--release-id",
+        default=None,
+        help="id to store the release under (default: an increasing release-NNNN)",
+    )
+    parser.add_argument(
+        "--overwrite",
+        action="store_true",
+        help="replace an existing release with the same id",
+    )
+    return parser
+
+
+def build_query_parser() -> argparse.ArgumentParser:
+    """Parser of the ``query`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro query",
+        description="Answer marginal, point and slice queries from a release store "
+        "(pure post-processing: no additional privacy budget is consumed).",
+        allow_abbrev=False,
+    )
+    parser.add_argument("--store", required=True, help="release-store directory")
+    parser.add_argument(
+        "--release",
+        default=None,
+        help="release id to query (default: the newest release covering the query)",
+    )
+    parser.add_argument(
+        "--attributes",
+        nargs="*",
+        default=[],
+        help="attributes of the queried marginal (empty plus --where: a point/slice query; "
+        "empty alone: the total count)",
+    )
+    parser.add_argument(
+        "--where",
+        action="append",
+        default=[],
+        metavar="ATTR=VALUE",
+        help="fix an attribute to a value (label or integer code); repeatable",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the answer as JSON instead of a table",
+    )
     return parser
 
 
@@ -117,14 +208,12 @@ def _build_workload(dataset: Dataset, args: argparse.Namespace) -> MarginalWorkl
     return all_k_way(schema, args.k)
 
 
-def _marginal_rows(dataset: Dataset, mask: int, values) -> List[List[str]]:
-    """Rows (one per cell) for a released marginal, with value labels."""
-    schema = dataset.schema
+def _labelled_cells(schema: Schema, mask: int, values) -> List[tuple]:
+    """``(labels, value)`` per marginal cell, skipping padding cells."""
     names = schema.attributes_of_mask(mask)
-    positions = [schema.position(name) for name in names]
     blocks = [schema.bit_block(name) for name in names]
     bits = bit_indices(mask)
-    rows: List[List[str]] = []
+    cells: List[tuple] = []
     for cell, value in enumerate(values):
         # Recover each attribute's code from the compact cell index.
         full = 0
@@ -142,7 +231,20 @@ def _marginal_rows(dataset: Dataset, mask: int, values) -> List[List[str]]:
             labels.append(attribute.label_of(code))
         if padding:
             continue  # padding cells of non-power-of-two attributes are always zero
-        rows.append(labels + [f"{float(value):.4f}"])
+        cells.append((labels, float(value)))
+    return cells
+
+
+def _marginal_rows(
+    schema: Schema, mask: int, values, *, std_error: Optional[float] = None
+) -> List[List[str]]:
+    """Rows (one per cell) for a released marginal, with value labels."""
+    rows: List[List[str]] = []
+    for labels, value in _labelled_cells(schema, mask, values):
+        row = labels + [f"{value:.4f}"]
+        if std_error is not None:
+            row.append(f"{std_error:.4f}")
+        rows.append(row)
     return rows
 
 
@@ -155,7 +257,7 @@ def _write_outputs(dataset: Dataset, result: ReleaseResult, output: Path) -> Lis
         with file_path.open("w", newline="") as handle:
             writer = csv.writer(handle)
             writer.writerow(list(names) + ["count"])
-            writer.writerows(_marginal_rows(dataset, query.mask, values))
+            writer.writerows(_marginal_rows(dataset.schema, query.mask, values))
         written.append(file_path)
     return written
 
@@ -180,41 +282,42 @@ def _summary(dataset: Dataset, result: ReleaseResult) -> str:
     return "\n".join(lines)
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
-    """Entry point; returns a process exit code."""
-    parser = build_parser()
-    args = parser.parse_args(argv)
+def _run_release(args: argparse.Namespace):
+    """Shared release pipeline of the legacy form and the ``release`` subcommand."""
+    dataset = load_csv(args.input, columns=args.columns, has_header=not args.no_header)
+    workload = _build_workload(dataset, args)
+    budget = (
+        PrivacyBudget.pure(args.epsilon)
+        if args.delta is None
+        else PrivacyBudget.approximate(args.epsilon, args.delta)
+    )
+    result = release_marginals(
+        dataset,
+        workload,
+        budget,
+        strategy=args.strategy,
+        non_uniform=not args.uniform,
+        consistency=not args.no_consistency,
+        rng=args.seed,
+    )
+    if args.nonnegative:
+        marginals = round_to_integers(project_nonnegative(result.marginals))
+        result = ReleaseResult(
+            workload=result.workload,
+            marginals=marginals,
+            strategy_name=result.strategy_name,
+            allocation=result.allocation,
+            consistent=False,  # clipping/rounding may break exact consistency
+            expected_total_variance=result.expected_total_variance,
+            elapsed_seconds=result.elapsed_seconds,
+        )
+    return dataset, result
+
+
+def _main_legacy(argv: Optional[Sequence[str]]) -> int:
+    args = build_parser().parse_args(argv)
     try:
-        dataset = load_csv(
-            args.input, columns=args.columns, has_header=not args.no_header
-        )
-        workload = _build_workload(dataset, args)
-        budget = (
-            PrivacyBudget.pure(args.epsilon)
-            if args.delta is None
-            else PrivacyBudget.approximate(args.epsilon, args.delta)
-        )
-        result = release_marginals(
-            dataset,
-            workload,
-            budget,
-            strategy=args.strategy,
-            non_uniform=not args.uniform,
-            consistency=not args.no_consistency,
-            rng=args.seed,
-        )
-        marginals = result.marginals
-        if args.nonnegative:
-            marginals = round_to_integers(project_nonnegative(marginals))
-            result = ReleaseResult(
-                workload=result.workload,
-                marginals=marginals,
-                strategy_name=result.strategy_name,
-                allocation=result.allocation,
-                consistent=False,  # clipping/rounding may break exact consistency
-                expected_total_variance=result.expected_total_variance,
-                elapsed_seconds=result.elapsed_seconds,
-            )
+        dataset, result = _run_release(args)
         print(_summary(dataset, result))
         if args.output is not None:
             written = _write_outputs(dataset, result, Path(args.output))
@@ -223,6 +326,109 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except (ReproError, OSError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+
+
+def _main_release(argv: Sequence[str]) -> int:
+    args = build_release_parser().parse_args(argv)
+    try:
+        dataset, result = _run_release(args)
+        print(_summary(dataset, result))
+        if args.output is not None:
+            written = _write_outputs(dataset, result, Path(args.output))
+            print(f"wrote {len(written)} marginal files to {args.output}")
+        if args.out is not None:
+            store = ReleaseStore(args.out)
+            release_id = store.put(
+                result, release_id=args.release_id, overwrite=args.overwrite
+            )
+            print(f"stored release {release_id!r} in {args.out}")
+        return 0
+    except (ReproError, OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+def _parse_where(clauses: Sequence[str]) -> Dict[str, str]:
+    where: Dict[str, str] = {}
+    for clause in clauses:
+        if "=" not in clause:
+            raise ReproError(f"--where expects ATTR=VALUE, got {clause!r}")
+        name, value = clause.split("=", 1)
+        name = name.strip()
+        if not name:
+            raise ReproError(f"--where expects ATTR=VALUE, got {clause!r}")
+        if name in where:
+            raise ReproError(f"attribute {name!r} appears twice in --where")
+        where[name] = value.strip()
+    return where
+
+
+def _query_payload(answer, schema: Schema, attributes: Sequence[str], where) -> Dict[str, object]:
+    free_names = schema.attributes_of_mask(answer.query_mask)
+    cells = [
+        {"labels": labels, "value": value}
+        for labels, value in _labelled_cells(schema, answer.query_mask, answer.values)
+    ]
+    return {
+        "release": answer.release_id,
+        "attributes": list(free_names),
+        "where": {str(k): v for k, v in (where or {}).items()},
+        "source_cuboid": list(schema.attributes_of_mask(answer.plan.source_mask)),
+        "per_cell_std_error": answer.std_error,
+        "cached": answer.cached,
+        "cells": cells,
+    }
+
+
+def _main_query(argv: Sequence[str]) -> int:
+    args = build_query_parser().parse_args(argv)
+    try:
+        store = ReleaseStore(args.store, create=False)
+        service = QueryService(store)
+        where = _parse_where(args.where)
+        answer = service.query(
+            args.attributes, where=where or None, release_id=args.release
+        )
+        schema = service.planner(answer.release_id).release.workload.schema
+        if args.json:
+            print(json.dumps(_query_payload(answer, schema, args.attributes, where), indent=2))
+            return 0
+        free_names = schema.attributes_of_mask(answer.query_mask)
+        source_names = schema.attributes_of_mask(answer.plan.source_mask)
+        print(f"release   : {answer.release_id}")
+        print(f"marginal  : {', '.join(free_names) if free_names else '(total count)'}")
+        if where:
+            predicate = ", ".join(f"{name}={value}" for name, value in where.items())
+            print(f"where     : {predicate}")
+        print(
+            f"source    : {', '.join(source_names)} "
+            f"(x{answer.plan.expansion} cells per answer cell)"
+        )
+        print(f"std error : {answer.std_error:.4f} per cell")
+        header = list(free_names) + ["count", "std_error"]
+        print("  ".join(header))
+        for row in _marginal_rows(
+            schema, answer.query_mask, answer.values, std_error=answer.std_error
+        ):
+            print("  ".join(row))
+        return 0
+    except (ReproError, OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code.
+
+    Dispatches on an optional leading subcommand (``release`` / ``query``);
+    anything else falls through to the classic flag-only release interface.
+    """
+    arguments = list(argv) if argv is not None else sys.argv[1:]
+    if arguments and arguments[0] == "release":
+        return _main_release(arguments[1:])
+    if arguments and arguments[0] == "query":
+        return _main_query(arguments[1:])
+    return _main_legacy(arguments if argv is not None else None)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py

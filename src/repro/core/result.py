@@ -9,10 +9,13 @@ import numpy as np
 
 from repro.budget.allocation import NoiseAllocation
 from repro.domain.contingency import ContingencyTable
-from repro.domain.schema import AttributeRef
+from repro.domain.schema import AttributeRef, Schema
 from repro.exceptions import WorkloadError
 from repro.mechanisms.privacy import PrivacyBudget
 from repro.queries.workload import MarginalWorkload
+
+#: Version stamp of the :meth:`ReleaseResult.to_dict` payload layout.
+RELEASE_FORMAT_VERSION = 1
 
 
 @dataclass
@@ -100,6 +103,75 @@ class ReleaseResult:
     def as_dict(self) -> Dict[int, np.ndarray]:
         """Mapping from query mask to released marginal."""
         return {query.mask: marginal for query, marginal in zip(self.workload.queries, self.marginals)}
+
+    # ------------------------------------------------------------------ #
+    # serialization
+    # ------------------------------------------------------------------ #
+    def to_dict(self, *, include_marginals: bool = True) -> Dict[str, object]:
+        """JSON-serialisable description of the release.
+
+        With ``include_marginals=False`` the (potentially large) marginal
+        vectors are omitted; callers then persist them out of band (e.g. the
+        :class:`~repro.serving.store.ReleaseStore` writes them to an NPZ
+        archive) and pass them back to :meth:`from_dict` explicitly.
+        """
+        payload: Dict[str, object] = {
+            "format_version": RELEASE_FORMAT_VERSION,
+            "schema": self.workload.schema.to_dict(),
+            "workload": self.workload.to_dict(),
+            "strategy_name": self.strategy_name,
+            "allocation": self.allocation.to_dict(),
+            "consistent": self.consistent,
+            "expected_total_variance": self.expected_total_variance,
+            "elapsed_seconds": dict(self.elapsed_seconds),
+        }
+        if include_marginals:
+            payload["marginals"] = [
+                np.asarray(marginal, dtype=np.float64).tolist() for marginal in self.marginals
+            ]
+        return payload
+
+    @classmethod
+    def from_dict(
+        cls,
+        payload: Dict[str, object],
+        *,
+        marginals: Optional[List[np.ndarray]] = None,
+    ) -> "ReleaseResult":
+        """Rebuild a release from :meth:`to_dict` output.
+
+        ``marginals`` overrides (or supplies, for payloads written with
+        ``include_marginals=False``) the released vectors, in workload order.
+        """
+        version = int(payload.get("format_version", RELEASE_FORMAT_VERSION))  # type: ignore[arg-type]
+        if version > RELEASE_FORMAT_VERSION:
+            raise WorkloadError(
+                f"release payload has format version {version}, this build reads "
+                f"up to {RELEASE_FORMAT_VERSION}"
+            )
+        schema = Schema.from_dict(payload["schema"])  # type: ignore[arg-type]
+        workload = MarginalWorkload.from_dict(schema, payload["workload"])  # type: ignore[arg-type]
+        if marginals is None:
+            raw = payload.get("marginals")
+            if raw is None:
+                raise WorkloadError(
+                    "payload was written without marginals and none were provided"
+                )
+            marginals = [np.asarray(values, dtype=np.float64) for values in raw]  # type: ignore[union-attr]
+        else:
+            marginals = [np.asarray(values, dtype=np.float64) for values in marginals]
+        return cls(
+            workload=workload,
+            marginals=marginals,
+            strategy_name=str(payload["strategy_name"]),
+            allocation=NoiseAllocation.from_dict(payload["allocation"]),  # type: ignore[arg-type]
+            consistent=bool(payload["consistent"]),
+            expected_total_variance=float(payload["expected_total_variance"]),  # type: ignore[arg-type]
+            elapsed_seconds={
+                str(phase): float(seconds)
+                for phase, seconds in dict(payload.get("elapsed_seconds", {})).items()  # type: ignore[arg-type]
+            },
+        )
 
     # ------------------------------------------------------------------ #
     # error metrics (convenience wrappers over repro.analysis.metrics)

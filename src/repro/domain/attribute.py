@@ -65,6 +65,23 @@ class Attribute:
         """``True`` iff the attribute already has a two-value domain."""
         return self.cardinality == 2
 
+    def to_dict(self) -> dict:
+        """JSON-serialisable description (inverse of :meth:`from_dict`)."""
+        payload: dict = {"name": self.name, "cardinality": self.cardinality}
+        if self.labels is not None:
+            payload["labels"] = list(self.labels)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Attribute":
+        """Rebuild an attribute from :meth:`to_dict` output."""
+        labels = payload.get("labels")
+        return cls(
+            name=payload["name"],
+            cardinality=int(payload["cardinality"]),
+            labels=tuple(labels) if labels is not None else None,
+        )
+
     def label_of(self, value: int) -> str:
         """Return the label of ``value`` (falls back to ``str(value)``)."""
         self.validate_value(value)

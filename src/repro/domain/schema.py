@@ -246,6 +246,18 @@ class Schema:
         return indices
 
     # ------------------------------------------------------------------ #
+    # serialization
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        """JSON-serialisable description (inverse of :meth:`from_dict`)."""
+        return {"attributes": [attribute.to_dict() for attribute in self._attributes]}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Schema":
+        """Rebuild a schema from :meth:`to_dict` output."""
+        return cls(Attribute.from_dict(entry) for entry in payload["attributes"])
+
+    # ------------------------------------------------------------------ #
     # guard rails
     # ------------------------------------------------------------------ #
     def check_dense_feasible(self, limit_bits: int = 26) -> None:

@@ -53,3 +53,8 @@ class ConsistencyError(ReproError):
 
 class DataError(ReproError):
     """Raised when dataset loading or synthesis is given invalid parameters."""
+
+
+class ServingError(ReproError):
+    """Raised by the query-serving subsystem: a release cannot be stored or
+    loaded, or a query cannot be answered from the released cuboids."""

@@ -100,6 +100,18 @@ class PrivacyBudget:
             raise PrivacyError(f"scaling factor must be positive, got {factor}")
         return PrivacyBudget(self.epsilon * factor, self.delta * factor if self.delta else 0.0)
 
+    # ------------------------------------------------------------------ #
+    # serialization
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        """JSON-serialisable description (inverse of :meth:`from_dict`)."""
+        return {"epsilon": self.epsilon, "delta": self.delta}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "PrivacyBudget":
+        """Rebuild a budget from :meth:`to_dict` output."""
+        return cls(epsilon=float(payload["epsilon"]), delta=float(payload.get("delta", 0.0)))
+
     @classmethod
     def pure(cls, epsilon: float) -> "PrivacyBudget":
         """Construct a pure ``epsilon``-DP budget."""

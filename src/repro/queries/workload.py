@@ -209,6 +209,27 @@ class MarginalWorkload:
         """Mapping from mask to query (masks are unique within a workload)."""
         return {query.mask: query for query in self._queries}
 
+    # ------------------------------------------------------------------ #
+    # serialization
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable description (inverse of :meth:`from_dict`).
+
+        The schema is *not* embedded; callers that persist a workload store
+        the schema alongside (see :meth:`from_dict`).
+        """
+        return {"name": self._name, "masks": [query.mask for query in self._queries]}
+
+    @classmethod
+    def from_dict(cls, schema: Schema, payload: Dict[str, object]) -> "MarginalWorkload":
+        """Rebuild a workload over ``schema`` from :meth:`to_dict` output."""
+        queries = [
+            MarginalQuery(mask=int(mask), dimension=schema.total_bits)
+            for mask in payload["masks"]  # type: ignore[union-attr]
+        ]
+        name = payload.get("name")  # type: ignore[union-attr]
+        return cls(schema, queries, name=str(name) if name is not None else None)
+
 
 # ---------------------------------------------------------------------- #
 # Workload family constructors (Section 5 of the paper)

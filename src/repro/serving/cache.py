@@ -1,0 +1,125 @@
+"""LRU answer cache for the query-serving layer.
+
+Served answers are immutable (the planner freezes the value arrays), so they
+can be shared between the cache and callers without copying.  Keys are
+``(release id, query mask, fixed mask, fixed bits)`` tuples — everything that
+determines an answer besides the release content itself.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Hashable, Optional, Tuple
+
+from repro.exceptions import ServingError
+from repro.serving.planner import ServedAnswer
+
+CacheKey = Tuple[Optional[str], int, int, int]
+
+
+def answer_key(
+    release_id: Optional[str], query_mask: int, fixed_mask: int = 0, fixed_bits: int = 0
+) -> CacheKey:
+    """Canonical cache key of a (release, query, predicate) triple."""
+    return (release_id, int(query_mask), int(fixed_mask), int(fixed_bits))
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters of an :class:`AnswerCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def requests(self) -> int:
+        """Total lookups served (hits plus misses)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache (0 when unused)."""
+        return self.hits / self.requests if self.requests else 0.0
+
+    def to_dict(self) -> Dict[str, float]:
+        """Plain-dict view for reports and benchmarks."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class AnswerCache:
+    """A bounded LRU cache of :class:`~repro.serving.planner.ServedAnswer`.
+
+    Parameters
+    ----------
+    max_entries:
+        Capacity; ``0`` disables caching entirely (every ``get`` misses and
+        ``put`` is a no-op).
+    """
+
+    def __init__(self, max_entries: int = 1024):
+        if max_entries < 0:
+            raise ServingError(f"cache capacity must be non-negative, got {max_entries}")
+        self._max_entries = max_entries
+        self._entries: "OrderedDict[Hashable, ServedAnswer]" = OrderedDict()
+        self._stats = CacheStats()
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    @property
+    def max_entries(self) -> int:
+        """Configured capacity."""
+        return self._max_entries
+
+    @property
+    def stats(self) -> CacheStats:
+        """Counters snapshot (the live object; copy if you need to freeze it)."""
+        return self._stats
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    # ------------------------------------------------------------------ #
+    def get(self, key: Hashable) -> Optional[ServedAnswer]:
+        """Look up an answer, refreshing its recency; ``None`` on a miss."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._stats.hits += 1
+            return entry
+
+    def put(self, key: Hashable, answer: ServedAnswer) -> None:
+        """Insert (or refresh) an answer, evicting the least recently used."""
+        if self._max_entries == 0:
+            return
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = answer
+            while len(self._entries) > self._max_entries:
+                self._entries.popitem(last=False)
+                self._stats.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (the counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss/eviction counters."""
+        with self._lock:
+            self._stats = CacheStats()

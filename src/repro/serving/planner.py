@@ -1,0 +1,298 @@
+"""Cuboid-lattice query planning over a private release.
+
+Once a :class:`~repro.core.result.ReleaseResult` is published, *any* marginal
+dominated by a released cuboid — and any point or slice predicate over it —
+can be answered by post-processing, at zero additional privacy cost.  The
+:class:`QueryPlanner` does the lattice work:
+
+* it indexes the released cuboids by attribute mask;
+* for a requested marginal ``beta`` it finds every released ancestor
+  ``alpha ⪰ beta`` and picks the one with the **minimum expected variance**.
+  Summing a noisy cuboid ``alpha`` down to ``beta`` adds the noise of
+  ``2**(||alpha|| - ||beta||)`` cells into every answer cell, so the per-cell
+  variance of the served answer is
+  ``cell_var(alpha) * 2**(||alpha|| - ||beta||)`` — the finest ancestor is
+  *not* automatically the best one when the release used non-uniform
+  budgeting;
+* it aggregates the chosen cuboid down to the request with the vectorised
+  cube reduction of :func:`repro.strategies.marginal.submarginal` and applies
+  point/slice predicates by indexing into the aggregated cube.
+
+Per-cuboid cell variances come from the release's
+:class:`~repro.budget.allocation.NoiseAllocation` via the analytic formulas
+of :mod:`repro.core.variance`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.result import ReleaseResult
+from repro.core.variance import per_query_variances
+from repro.exceptions import ReproError, ServingError
+from repro.strategies.marginal import submarginal
+from repro.strategies.registry import make_strategy
+from repro.utils.bits import bit_indices, dominated_by, hamming_weight
+
+
+def released_cell_variances(release: ReleaseResult) -> Dict[int, float]:
+    """Expected per-cell noise variance of every released cuboid, by mask.
+
+    The variances are the analytic per-query output variances implied by the
+    release's noise allocation (rebuilt from the strategy name), divided by
+    the cuboid's cell count.  When the strategy cannot be rebuilt (e.g. an
+    explicit matrix strategy that is not in the registry), the release's
+    total expected variance is spread uniformly over the released cells —
+    every cuboid still gets a finite, comparable figure.  For consistent
+    releases the values are upper bounds: the consistency projection can only
+    reduce the error on average.
+    """
+    workload = release.workload
+    sizes = np.array([query.size for query in workload.queries], dtype=np.float64)
+    try:
+        strategy = make_strategy(release.strategy_name, workload)
+        strategy.check_allocation(release.allocation)
+        totals = per_query_variances(strategy, release.allocation)
+    except ReproError:
+        per_cell_uniform = release.expected_total_variance / workload.total_cells
+        totals = per_cell_uniform * sizes
+    per_cell = np.asarray(totals, dtype=np.float64) / sizes
+    variances: Dict[int, float] = {}
+    for query, value in zip(workload.queries, per_cell):
+        # Duplicate masks cannot occur within a workload; keep the first.
+        variances.setdefault(query.mask, float(value))
+    return variances
+
+
+def slice_marginal(
+    values: np.ndarray, union_mask: int, fixed_mask: int, fixed_bits: int
+) -> np.ndarray:
+    """Select the cells of a marginal where the ``fixed_mask`` bits are pinned.
+
+    ``values`` is a marginal over ``union_mask`` in compact indexing;
+    ``fixed_mask ⪯ union_mask`` names the pinned bits and ``fixed_bits``
+    carries their values (at their *domain* positions).  The result is the
+    slice over the free bits ``union_mask & ~fixed_mask``, again in compact
+    indexing.  Selection does not mix cells, so per-cell variance is
+    unchanged.
+    """
+    if not dominated_by(fixed_mask, union_mask):
+        raise ServingError(
+            f"predicate bits {fixed_mask:#x} are not contained in the query bits {union_mask:#x}"
+        )
+    if fixed_bits & ~fixed_mask:
+        raise ServingError(
+            f"predicate values {fixed_bits:#x} set bits outside the predicate mask {fixed_mask:#x}"
+        )
+    if fixed_mask == 0:
+        return np.asarray(values, dtype=np.float64)
+    k = hamming_weight(union_mask)
+    cube = np.asarray(values, dtype=np.float64).reshape((2,) * k)
+    u_bits = bit_indices(union_mask)
+    indexer: List[object] = []
+    for axis in range(k):
+        # Axis ``a`` of the compact cube corresponds to compact bit ``k-1-a``,
+        # i.e. domain bit ``u_bits[k-1-a]`` (see marginal_from_vector).
+        bit = u_bits[k - 1 - axis]
+        if (fixed_mask >> bit) & 1:
+            indexer.append((fixed_bits >> bit) & 1)
+        else:
+            indexer.append(slice(None))
+    return cube[tuple(indexer)].reshape(-1)
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """How one marginal query will be answered from the released cuboids.
+
+    Attributes
+    ----------
+    union_mask:
+        The marginal actually aggregated: query bits plus predicate bits.
+    source_mask / source_position:
+        The chosen released cuboid (mask and its position in the workload).
+    expansion:
+        ``2**(||source|| - ||union||)`` — how many source cells collapse into
+        each answer cell.
+    per_cell_variance:
+        Expected noise variance of each served cell
+        (``source cell variance * expansion``).
+    """
+
+    union_mask: int
+    source_mask: int
+    source_position: int
+    expansion: int
+    per_cell_variance: float
+
+
+@dataclass(frozen=True, eq=False)
+class ServedAnswer:
+    """A served query answer with its provenance and expected error.
+
+    ``values`` is the answer vector in the compact indexing of the free
+    (non-predicated) query bits; ``per_cell_variance`` and ``std_error``
+    quantify the noise the release injected into each cell.  Serving is pure
+    post-processing, so no privacy budget is attached — the release already
+    paid for everything.  Equality is identity (``eq=False``): the ndarray
+    field would make a generated ``__eq__``/``__hash__`` raise.
+    """
+
+    values: np.ndarray
+    query_mask: int
+    fixed_mask: int
+    fixed_bits: int
+    plan: QueryPlan
+    release_id: Optional[str] = None
+    cached: bool = False
+
+    @property
+    def per_cell_variance(self) -> float:
+        """Expected noise variance of each served cell."""
+        return self.plan.per_cell_variance
+
+    @property
+    def std_error(self) -> float:
+        """One-sigma error bar of each served cell."""
+        return float(np.sqrt(self.plan.per_cell_variance))
+
+    @property
+    def is_point(self) -> bool:
+        """``True`` iff the answer is a single cell."""
+        return self.values.shape == (1,)
+
+    def with_provenance(self, *, release_id: Optional[str] = None, cached: bool = False):
+        """Copy with serving metadata filled in (used by the service layer)."""
+        return replace(self, release_id=release_id, cached=cached)
+
+
+class QueryPlanner:
+    """Answer arbitrary sub-marginal / point / slice queries from one release.
+
+    Parameters
+    ----------
+    release:
+        The released workload answers to serve from.
+    cell_variances:
+        Optional pre-computed per-cell variances by released mask (defaults
+        to :func:`released_cell_variances` of the release).
+    """
+
+    def __init__(
+        self,
+        release: ReleaseResult,
+        *,
+        cell_variances: Optional[Dict[int, float]] = None,
+    ):
+        self._release = release
+        self._positions: Dict[int, int] = {}
+        for position, query in enumerate(release.workload.queries):
+            self._positions.setdefault(query.mask, position)
+        self._cell_variances = (
+            dict(cell_variances) if cell_variances is not None else released_cell_variances(release)
+        )
+        missing = [mask for mask in self._positions if mask not in self._cell_variances]
+        if missing:
+            raise ServingError(
+                f"no cell variance for released cuboids {[hex(m) for m in missing]}"
+            )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def release(self) -> ReleaseResult:
+        """The release this planner serves."""
+        return self._release
+
+    @property
+    def released_masks(self) -> Tuple[int, ...]:
+        """Masks of the released cuboids, in workload order."""
+        return tuple(self._positions)
+
+    def cell_variance(self, mask: int) -> float:
+        """Expected per-cell variance of the released cuboid ``mask``."""
+        if mask not in self._cell_variances:
+            raise ServingError(f"cuboid {mask:#x} was not released")
+        return self._cell_variances[mask]
+
+    def covering_masks(self, mask: int) -> List[int]:
+        """Released cuboids that dominate ``mask`` (can answer it exactly)."""
+        return [source for source in self._positions if dominated_by(mask, source)]
+
+    def covers(self, mask: int) -> bool:
+        """``True`` iff some released cuboid can answer the marginal ``mask``."""
+        return any(dominated_by(mask, source) for source in self._positions)
+
+    # ------------------------------------------------------------------ #
+    def plan(self, union_mask: int) -> QueryPlan:
+        """Choose the minimum-expected-variance source for ``union_mask``."""
+        domain_mask = self._release.workload.schema.full_mask
+        if union_mask < 0 or union_mask > domain_mask:
+            raise ServingError(
+                f"query mask {union_mask:#x} is outside the release's "
+                f"{self._release.workload.dimension}-bit domain"
+            )
+        order = hamming_weight(union_mask)
+        best: Optional[Tuple[float, int, int, int]] = None
+        for source, position in self._positions.items():
+            if not dominated_by(union_mask, source):
+                continue
+            expansion = 1 << (hamming_weight(source) - order)
+            variance = self._cell_variances[source] * expansion
+            # Deterministic tie-break: prefer fewer collapsed cells, then the
+            # smaller mask.
+            key = (variance, expansion, source, position)
+            if best is None or key < best:
+                best = key
+        if best is None:
+            raise ServingError(
+                f"no released cuboid covers marginal {union_mask:#x}; released masks: "
+                f"{[hex(m) for m in self._positions]}"
+            )
+        variance, expansion, source, position = best
+        return QueryPlan(
+            union_mask=union_mask,
+            source_mask=source,
+            source_position=position,
+            expansion=expansion,
+            per_cell_variance=variance,
+        )
+
+    def aggregate(self, plan: QueryPlan) -> np.ndarray:
+        """Aggregate the plan's source cuboid down to its union marginal."""
+        source_values = self._release.marginals[plan.source_position]
+        return submarginal(source_values, plan.source_mask, plan.union_mask)
+
+    def answer(
+        self, query_mask: int, *, fixed_mask: int = 0, fixed_bits: int = 0
+    ) -> ServedAnswer:
+        """Serve the marginal ``query_mask``, optionally with a predicate.
+
+        ``fixed_mask``/``fixed_bits`` pin a disjoint set of bits to fixed
+        values (a slice; a point query when ``query_mask == 0``).  The
+        aggregation runs over the union of query and predicate bits, then the
+        predicate selects the matching cells.
+        """
+        if fixed_mask & query_mask:
+            raise ServingError(
+                f"predicate bits {fixed_mask:#x} overlap the queried bits {query_mask:#x}"
+            )
+        union_mask = query_mask | fixed_mask
+        plan = self.plan(union_mask)
+        aggregated = self.aggregate(plan)
+        if fixed_mask:
+            # Copy: the slice is a view that would otherwise keep the whole
+            # aggregated cuboid alive for as long as the answer is cached.
+            values = slice_marginal(aggregated, union_mask, fixed_mask, fixed_bits).copy()
+        else:
+            values = aggregated
+        values.setflags(write=False)
+        return ServedAnswer(
+            values=values,
+            query_mask=query_mask,
+            fixed_mask=fixed_mask,
+            fixed_bits=fixed_bits,
+            plan=plan,
+        )

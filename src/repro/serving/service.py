@@ -1,0 +1,425 @@
+"""The query-serving facade: cached, batched answers over stored releases.
+
+:class:`QueryService` fronts either a single in-memory
+:class:`~repro.core.result.ReleaseResult` or a whole
+:class:`~repro.serving.store.ReleaseStore`.  It resolves attribute names and
+predicates against the release schema, routes each query to a covering
+release, plans and aggregates through the
+:class:`~repro.serving.planner.QueryPlanner`, and memoises answers in an
+LRU :class:`~repro.serving.cache.AnswerCache`.
+
+Batched queries are grouped by source cuboid: within one batch every
+``(source cuboid, aggregation target)`` pair is aggregated exactly once, and
+all requests that only differ in their point/slice predicate reuse that
+aggregate.  Serving never touches the privacy budget — everything is
+post-processing of the released vectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.core.result import ReleaseResult
+from repro.domain.schema import AttributeRef, Schema
+from repro.exceptions import ReproError, ServingError
+from repro.serving.cache import AnswerCache, answer_key
+from repro.serving.planner import QueryPlanner, ServedAnswer, slice_marginal
+from repro.serving.store import ReleaseStore
+
+WhereClause = Mapping[AttributeRef, object]
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One serving request: a marginal plus an optional predicate.
+
+    Exactly one of ``attributes`` (schema attribute refs) or ``mask`` (raw
+    bit mask) names the queried marginal; an empty query with a ``where``
+    clause is a point/slice lookup, an empty query without one asks for the
+    total count.  ``where`` maps attributes to fixed values (integer codes or
+    value labels).
+    """
+
+    attributes: Optional[Tuple[AttributeRef, ...]] = None
+    mask: Optional[int] = None
+    where: Optional[WhereClause] = None
+
+    def __post_init__(self) -> None:
+        if self.attributes is not None and self.mask is not None:
+            raise ServingError("specify the query by attributes or by mask, not both")
+
+
+RequestLike = Union[QueryRequest, int, str, Iterable[AttributeRef], Mapping[str, object]]
+
+
+def _coerce_request(request: RequestLike) -> QueryRequest:
+    if isinstance(request, QueryRequest):
+        return request
+    if isinstance(request, int):
+        return QueryRequest(mask=request)
+    if isinstance(request, str):
+        return QueryRequest(attributes=(request,))
+    if isinstance(request, Mapping):
+        attributes = request.get("attributes")
+        return QueryRequest(
+            attributes=tuple(attributes) if attributes is not None else None,
+            mask=request.get("mask"),  # type: ignore[arg-type]
+            where=request.get("where"),  # type: ignore[arg-type]
+        )
+    return QueryRequest(attributes=tuple(request))
+
+
+def _resolve_value(schema: Schema, ref: AttributeRef, value: object) -> int:
+    """Turn a predicate value (code or label) into a validated integer code."""
+    attribute = schema.attribute(ref)
+    if isinstance(value, str):
+        if attribute.labels is not None and value in attribute.labels:
+            return attribute.labels.index(value)
+        try:
+            value = int(value)
+        except ValueError:
+            raise ServingError(
+                f"value {value!r} is neither a label nor an integer code of "
+                f"attribute {attribute.name!r}"
+            ) from None
+    try:
+        return attribute.validate_value(int(value))  # type: ignore[arg-type]
+    except ReproError as error:
+        raise ServingError(str(error)) from error
+
+
+def resolve_predicate(schema: Schema, where: Optional[WhereClause]) -> Tuple[int, int]:
+    """Compile a ``where`` clause into ``(fixed_mask, fixed_bits)``.
+
+    The mask covers the whole bit block of every predicated attribute and the
+    bits carry the value codes at their domain positions.
+    """
+    fixed_mask = 0
+    fixed_bits = 0
+    if not where:
+        return 0, 0
+    for ref, value in where.items():
+        block_mask = schema.attribute_mask(ref)
+        if fixed_mask & block_mask:
+            raise ServingError(f"attribute {ref!r} appears twice in the predicate")
+        offset, _width = schema.bit_block(ref)
+        code = _resolve_value(schema, ref, value)
+        fixed_mask |= block_mask
+        fixed_bits |= code << offset
+    return fixed_mask, fixed_bits
+
+
+class QueryService:
+    """Serve marginal / point / slice queries from private releases.
+
+    Parameters
+    ----------
+    source:
+        A :class:`ReleaseStore` (multi-release mode) or a single
+        :class:`ReleaseResult` (in-memory mode).
+    cache_size:
+        Capacity of the LRU answer cache; ``0`` disables caching.
+    """
+
+    def __init__(
+        self,
+        source: Union[ReleaseStore, ReleaseResult],
+        *,
+        cache_size: int = 1024,
+    ):
+        if isinstance(source, ReleaseResult):
+            self._store: Optional[ReleaseStore] = None
+            self._planners: Dict[Optional[str], QueryPlanner] = {None: QueryPlanner(source)}
+        elif isinstance(source, ReleaseStore):
+            self._store = source
+            self._planners = {}
+        else:
+            raise ServingError(
+                f"QueryService expects a ReleaseStore or ReleaseResult, got {type(source).__name__}"
+            )
+        self._schemas: Dict[Optional[str], Schema] = {}
+        self._seen_generation = source.generation if isinstance(source, ReleaseStore) else 0
+        self._cache = AnswerCache(cache_size)
+        # Request-signature fast path: maps the *raw* request (before name
+        # resolution and routing) to the canonical cache key so warm hits
+        # skip schema resolution and the covering-release scan entirely.
+        self._request_keys: Dict[tuple, tuple] = {}
+        self._request_keys_cap = max(4 * cache_size, 4096)
+        self._queries = 0
+        self._batches = 0
+        self._batched_requests = 0
+
+    # ------------------------------------------------------------------ #
+    # release resolution
+    # ------------------------------------------------------------------ #
+    @property
+    def store(self) -> Optional[ReleaseStore]:
+        """The backing store (``None`` in single-release mode)."""
+        return self._store
+
+    @property
+    def cache(self) -> AnswerCache:
+        """The answer cache (exposed for stats and explicit invalidation)."""
+        return self._cache
+
+    def _sync_with_store(self) -> None:
+        """Drop every cache when the store's release set changed.
+
+        This retires stale planners and answers after ``put`` (including
+        ``overwrite=True``) or ``delete`` through the same store instance.
+        Mutations made by *other* processes are invisible here; call
+        :meth:`invalidate` (or reopen the store) to pick those up.
+        """
+        if self._store is not None and self._store.generation != self._seen_generation:
+            self.invalidate()
+
+    def planner(self, release_id: Optional[str] = None) -> QueryPlanner:
+        """The (lazily built) planner of one release."""
+        if self._store is None:
+            return self._planners[None]
+        self._sync_with_store()
+        if release_id is None:
+            release_id = self._store.latest_release_id()
+        if release_id not in self._planners:
+            self._planners[release_id] = QueryPlanner(self._store.get(release_id))
+        return self._planners[release_id]
+
+    def invalidate(self, release_id: Optional[str] = None) -> None:
+        """Drop cached planners, schemas and answers (after store mutation)."""
+        if release_id is None:
+            if self._store is not None:
+                self._planners.clear()
+                self._schemas.clear()
+        else:
+            self._planners.pop(release_id, None)
+            self._schemas.pop(release_id, None)
+        self._cache.clear()
+        self._request_keys.clear()
+        if self._store is not None:
+            self._seen_generation = self._store.generation
+
+    def _candidate_release_ids(self, release_id: Optional[str]) -> List[Optional[str]]:
+        if self._store is None:
+            if release_id is not None:
+                raise ServingError("this service fronts a single in-memory release")
+            return [None]
+        if release_id is not None:
+            if release_id not in self._store:
+                raise ServingError(f"no release {release_id!r} in the store")
+            return [release_id]
+        # Newest first: later releases supersede earlier ones by default.
+        return list(reversed(self._store.release_ids()))
+
+    def _schema_for(self, release_id: Optional[str]) -> Schema:
+        """Schema of one release, from the store index (no release files)."""
+        if self._store is None:
+            return self._planners[None].release.workload.schema
+        if release_id not in self._schemas:
+            payload = self._store.metadata(release_id)["schema"]  # type: ignore[index]
+            self._schemas[release_id] = Schema.from_dict(payload)  # type: ignore[arg-type]
+        return self._schemas[release_id]
+
+    def _covers(self, release_id: Optional[str], union_mask: int) -> bool:
+        """Coverage check from the store index, without loading the release."""
+        if self._store is None:
+            return self._planners[None].covers(union_mask)
+        masks = self._store.metadata(release_id)["masks"]
+        return any(union_mask & ~int(source) == 0 for source in masks)  # type: ignore[union-attr]
+
+    def _resolve(self, schema: Schema, request: QueryRequest) -> Tuple[int, int, int]:
+        if request.mask is not None:
+            query_mask = int(request.mask)
+            if query_mask < 0 or query_mask > schema.full_mask:
+                raise ServingError(
+                    f"query mask {query_mask:#x} is outside the release's domain"
+                )
+        else:
+            query_mask = schema.mask_of(request.attributes or ())
+        fixed_mask, fixed_bits = resolve_predicate(schema, request.where)
+        if fixed_mask & query_mask:
+            raise ServingError(
+                "predicated attributes must not also be queried "
+                f"(bits {fixed_mask & query_mask:#x} overlap)"
+            )
+        return query_mask, fixed_mask, fixed_bits
+
+    def _route(
+        self, request: QueryRequest, release_id: Optional[str]
+    ) -> Tuple[Optional[str], QueryPlanner, int, int, int]:
+        """Find a release able to answer the request (newest wins on a tie).
+
+        Resolution and coverage run entirely against the store index, so
+        candidates that cannot serve the request are rejected without
+        loading their marginal vectors; only the chosen release's planner
+        (and hence its NPZ archive) is materialised.
+        """
+        last_error: Optional[ServingError] = None
+        for candidate in self._candidate_release_ids(release_id):
+            try:
+                schema = self._schema_for(candidate)
+                query_mask, fixed_mask, fixed_bits = self._resolve(schema, request)
+            except ReproError as error:
+                last_error = ServingError(str(error))
+                continue
+            if not self._covers(candidate, query_mask | fixed_mask):
+                last_error = ServingError(
+                    f"no released cuboid covers marginal {(query_mask | fixed_mask):#x}"
+                )
+                continue
+            return candidate, self.planner(candidate), query_mask, fixed_mask, fixed_bits
+        if last_error is not None:
+            raise last_error
+        raise ServingError("the release store is empty")
+
+    # ------------------------------------------------------------------ #
+    # serving
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _request_signature(request: QueryRequest, release_id: Optional[str]):
+        """Hashable form of the raw request, or ``None`` if not hashable.
+
+        Fast-path entries survive only as long as the store's release set is
+        unchanged: :meth:`_sync_with_store` clears them whenever the store
+        generation moves, so default routing re-runs when a new release may
+        supersede the one a signature previously resolved to.
+        """
+        try:
+            where_items = (
+                frozenset(request.where.items()) if request.where is not None else None
+            )
+        except TypeError:
+            return None
+        return (release_id, request.mask, request.attributes, where_items)
+
+    def _fast_lookup(self, signature) -> Optional[ServedAnswer]:
+        if signature is None:
+            return None
+        key = self._request_keys.get(signature)
+        if key is None:
+            return None
+        return self._cache.get(key)
+
+    def _remember_key(self, signature, key) -> None:
+        if signature is None:
+            return
+        if len(self._request_keys) >= self._request_keys_cap:
+            self._request_keys.clear()
+        self._request_keys[signature] = key
+
+    def query(
+        self,
+        attributes: Optional[Iterable[AttributeRef]] = None,
+        *,
+        mask: Optional[int] = None,
+        where: Optional[WhereClause] = None,
+        release_id: Optional[str] = None,
+    ) -> ServedAnswer:
+        """Answer one marginal (or point/slice) query.
+
+        ``attributes`` names the queried schema attributes (``mask`` is the
+        raw bit-level alternative); ``where`` pins other attributes to fixed
+        values.  Returns a :class:`ServedAnswer` with per-cell error bars.
+        """
+        request = QueryRequest(
+            attributes=tuple(attributes) if attributes is not None else None,
+            mask=mask,
+            where=where,
+        )
+        self._queries += 1
+        self._sync_with_store()
+        signature = self._request_signature(request, release_id)
+        hit = self._fast_lookup(signature)
+        if hit is not None:
+            return hit
+        rid, planner, query_mask, fixed_mask, fixed_bits = self._route(request, release_id)
+        key = answer_key(rid, query_mask, fixed_mask, fixed_bits)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._remember_key(signature, key)
+            return cached
+        answer = planner.answer(
+            query_mask, fixed_mask=fixed_mask, fixed_bits=fixed_bits
+        ).with_provenance(release_id=rid)
+        # Entries are stored pre-marked as cached so hits return them as-is.
+        self._cache.put(key, answer.with_provenance(release_id=rid, cached=True))
+        self._remember_key(signature, key)
+        return answer
+
+    def query_batch(
+        self,
+        requests: Sequence[RequestLike],
+        *,
+        release_id: Optional[str] = None,
+    ) -> List[ServedAnswer]:
+        """Answer many queries, aggregating each source cuboid once.
+
+        Misses are grouped by ``(release, source cuboid, aggregation
+        target)``; each group is aggregated a single time and every request
+        in it (which can only differ by predicate) slices the shared
+        aggregate.  Answers come back in request order.
+        """
+        coerced = [_coerce_request(request) for request in requests]
+        self._batches += 1
+        self._batched_requests += len(coerced)
+        self._sync_with_store()
+        answers: List[Optional[ServedAnswer]] = [None] * len(coerced)
+        # position -> (rid, planner, plan, query_mask, fixed_mask, fixed_bits, key, signature)
+        pending: List[tuple] = []
+        for position, request in enumerate(coerced):
+            signature = self._request_signature(request, release_id)
+            hit = self._fast_lookup(signature)
+            if hit is not None:
+                answers[position] = hit
+                continue
+            rid, planner, query_mask, fixed_mask, fixed_bits = self._route(request, release_id)
+            key = answer_key(rid, query_mask, fixed_mask, fixed_bits)
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._remember_key(signature, key)
+                answers[position] = cached
+                continue
+            plan = planner.plan(query_mask | fixed_mask)
+            pending.append(
+                (position, rid, planner, plan, query_mask, fixed_mask, fixed_bits, key, signature)
+            )
+
+        # One aggregation per (release, source cuboid, union target).
+        aggregates: Dict[Tuple[Optional[str], int, int], object] = {}
+        for position, rid, planner, plan, query_mask, fixed_mask, fixed_bits, key, signature in pending:
+            group = (rid, plan.source_mask, plan.union_mask)
+            if group not in aggregates:
+                aggregates[group] = planner.aggregate(plan)
+            aggregated = aggregates[group]
+            if fixed_mask:
+                # Copy: a cached slice must not pin the shared aggregate.
+                values = slice_marginal(
+                    aggregated, plan.union_mask, fixed_mask, fixed_bits  # type: ignore[arg-type]
+                ).copy()
+            else:
+                values = aggregated
+            values.setflags(write=False)  # type: ignore[union-attr]
+            answer = ServedAnswer(
+                values=values,  # type: ignore[arg-type]
+                query_mask=query_mask,
+                fixed_mask=fixed_mask,
+                fixed_bits=fixed_bits,
+                plan=plan,
+                release_id=rid,
+            )
+            self._cache.put(key, answer.with_provenance(release_id=rid, cached=True))
+            self._remember_key(signature, key)
+            answers[position] = answer
+        assert all(answer is not None for answer in answers)
+        return answers  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------ #
+    @property
+    def stats(self) -> Dict[str, object]:
+        """Serving counters: query volume plus cache hit/miss/eviction stats."""
+        return {
+            "queries": self._queries,
+            "batches": self._batches,
+            "batched_requests": self._batched_requests,
+            "cache": self._cache.stats.to_dict(),
+        }

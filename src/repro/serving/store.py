@@ -1,0 +1,319 @@
+"""Persistent, versioned storage of private releases.
+
+A :class:`ReleaseStore` is a directory of releases, one sub-directory each::
+
+    <root>/
+        index.json                  # store-level index (rebuildable)
+        release-0001/
+            meta.json               # ReleaseResult.to_dict(include_marginals=False)
+            marginals.npz           # one array per released cuboid
+        release-0002/
+            ...
+
+``meta.json`` carries everything needed to rebuild the
+:class:`~repro.core.result.ReleaseResult` — schema, workload masks, noise
+allocation, strategy name — while the (potentially large) marginal vectors
+live in a compressed NPZ archive next to it.  Both files embed a format
+version so future layouts can evolve without breaking old stores.
+
+The store-level ``index.json`` caches per-release summaries (released masks,
+strategy, budget) so that queries can be routed to a covering release without
+opening every ``meta.json``; it is an optimisation only and is rebuilt from
+the per-release files whenever it is missing or stale.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import time
+import warnings
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Union
+
+import numpy as np
+
+from repro.core.result import RELEASE_FORMAT_VERSION, ReleaseResult
+from repro.exceptions import ReproError, ServingError
+from repro.utils.bits import dominated_by
+
+STORE_FORMAT_VERSION = 1
+
+_INDEX_FILE = "index.json"
+_META_FILE = "meta.json"
+_MARGINALS_FILE = "marginals.npz"
+_MARGINAL_KEY = "marginal_{position:05d}"
+_RELEASE_ID_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+
+def _marginal_keys(count: int) -> List[str]:
+    return [_MARGINAL_KEY.format(position=position) for position in range(count)]
+
+
+def _write_json_atomic(path: Path, payload: Dict[str, object]) -> None:
+    """Write JSON via a temp file + rename so readers never see a torn file."""
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    os.replace(tmp, path)
+
+
+class ReleaseStore:
+    """Serialize releases to disk and index their cuboids by attribute mask.
+
+    Parameters
+    ----------
+    root:
+        Store directory; created (with parents) unless ``create=False``.
+    create:
+        Whether a missing root directory is an error.
+    """
+
+    def __init__(self, root: Union[str, Path], *, create: bool = True):
+        self._root = Path(root)
+        if not self._root.exists():
+            if not create:
+                raise ServingError(f"release store {self._root} does not exist")
+            self._root.mkdir(parents=True, exist_ok=True)
+        elif not self._root.is_dir():
+            raise ServingError(f"release store path {self._root} is not a directory")
+        self._index: Dict[str, Dict[str, object]] = {}
+        # Monotonic change counter: bumped whenever this instance observes or
+        # causes a change in the release set, so services layered on top can
+        # key caches on it and notice new/removed releases.
+        self._generation = 0
+        self._load_index()
+
+    @property
+    def generation(self) -> int:
+        """Counter bumped on every observed change to the release set."""
+        return self._generation
+
+    # ------------------------------------------------------------------ #
+    # index bookkeeping
+    # ------------------------------------------------------------------ #
+    @property
+    def root(self) -> Path:
+        """The store's root directory."""
+        return self._root
+
+    def _index_path(self) -> Path:
+        return self._root / _INDEX_FILE
+
+    def _release_dir(self, release_id: str) -> Path:
+        return self._root / release_id
+
+    def _load_index(self) -> None:
+        """(Re)load ``index.json``, rebuilding it when stale.
+
+        Stale means the indexed release ids differ from the release
+        directories actually on disk in either direction — e.g. another
+        store instance (or process) added or removed a release since the
+        index was written.
+        """
+        path = self._index_path()
+        if path.exists():
+            try:
+                payload = json.loads(path.read_text())
+                if int(payload.get("format_version", 0)) == STORE_FORMAT_VERSION:
+                    entries = payload.get("releases", {})
+                    on_disk = {p.parent.name for p in self._root.glob(f"*/{_META_FILE}")}
+                    complete = all(
+                        isinstance(entry, dict) and "schema" in entry
+                        for entry in entries.values()
+                    )
+                    if complete and set(entries) == on_disk:
+                        self._index = dict(entries)
+                        return
+            except (json.JSONDecodeError, TypeError, ValueError, OSError, AttributeError):
+                pass  # fall through to a rebuild
+        self.reindex()
+
+    def _write_index(self) -> None:
+        payload = {"format_version": STORE_FORMAT_VERSION, "releases": self._index}
+        _write_json_atomic(self._index_path(), payload)
+
+    def reindex(self) -> None:
+        """Rebuild ``index.json`` by scanning the per-release metadata files.
+
+        Releases with unreadable metadata (e.g. a crash mid-write) are
+        skipped with a warning instead of making the whole store unopenable;
+        they stay on disk for manual inspection but are invisible to queries.
+        """
+        self._generation += 1
+        self._index = {}
+        for meta_path in sorted(self._root.glob(f"*/{_META_FILE}")):
+            release_id = meta_path.parent.name
+            try:
+                meta = json.loads(meta_path.read_text())
+                self._index[release_id] = self._summary(meta, release_id)
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError, OSError) as error:
+                warnings.warn(
+                    f"skipping unreadable release {release_id!r} in {self._root}: {error}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+        self._write_index()
+
+    @staticmethod
+    def _summary(meta: Dict[str, object], release_id: str) -> Dict[str, object]:
+        allocation = meta["allocation"]
+        budget = allocation["budget"]  # type: ignore[index, call-overload]
+        return {
+            "release_id": release_id,
+            "masks": [int(mask) for mask in meta["workload"]["masks"]],  # type: ignore[index, call-overload]
+            "workload": meta["workload"]["name"],  # type: ignore[index, call-overload]
+            "strategy": meta["strategy_name"],
+            "epsilon": float(budget["epsilon"]),
+            "delta": float(budget.get("delta", 0.0)),
+            "created_at": float(meta.get("created_at", 0.0)),  # type: ignore[arg-type]
+            "sequence": int(meta.get("sequence", 0)),  # type: ignore[arg-type]
+            # The full schema rides along so queries can be resolved and
+            # routed from the index alone, without opening any release files.
+            "schema": meta["schema"],
+        }
+
+    # ------------------------------------------------------------------ #
+    # container behaviour
+    # ------------------------------------------------------------------ #
+    def release_ids(self) -> List[str]:
+        """Stored release ids, oldest first."""
+        return sorted(self._index, key=lambda rid: (self._index[rid]["sequence"], rid))
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.release_ids())
+
+    def __contains__(self, release_id: object) -> bool:
+        return release_id in self._index
+
+    def metadata(self, release_id: str) -> Dict[str, object]:
+        """Index summary of one release (masks, strategy, budget, ...)."""
+        if release_id not in self._index:
+            raise ServingError(f"no release {release_id!r} in store {self._root}")
+        return dict(self._index[release_id])
+
+    def latest_release_id(self) -> str:
+        """Id of the most recently stored release."""
+        ids = self.release_ids()
+        if not ids:
+            raise ServingError(f"release store {self._root} is empty")
+        return ids[-1]
+
+    def releases_covering(self, mask: int) -> List[str]:
+        """Releases holding at least one cuboid that dominates ``mask``."""
+        return [
+            release_id
+            for release_id in self.release_ids()
+            if any(dominated_by(mask, int(source)) for source in self._index[release_id]["masks"])  # type: ignore[union-attr]
+        ]
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+    def put(
+        self,
+        release: ReleaseResult,
+        *,
+        release_id: Optional[str] = None,
+        overwrite: bool = False,
+    ) -> str:
+        """Persist a release; returns its id.
+
+        Ids default to ``release-NNNN`` with an increasing sequence number.
+        Storing under an existing id requires ``overwrite=True``.
+        """
+        # Pick up releases written by other store instances since we last
+        # looked, so sequence numbers stay unique and the rewritten index
+        # does not drop them.  (Simultaneous writers are not coordinated —
+        # the staleness check in _load_index heals the index on next open.)
+        self._load_index()
+        sequence = 1 + max(
+            (int(entry["sequence"]) for entry in self._index.values()), default=0  # type: ignore[arg-type]
+        )
+        if release_id is None:
+            release_id = f"release-{sequence:04d}"
+        if not _RELEASE_ID_PATTERN.match(release_id):
+            raise ServingError(
+                f"release id {release_id!r} must match {_RELEASE_ID_PATTERN.pattern}"
+            )
+        if release_id in self._index and not overwrite:
+            raise ServingError(
+                f"release {release_id!r} already exists in {self._root}; "
+                "enable overwrite to replace it"
+            )
+        directory = self._release_dir(release_id)
+        directory.mkdir(parents=True, exist_ok=True)
+        meta = release.to_dict(include_marginals=False)
+        meta["store_format_version"] = STORE_FORMAT_VERSION
+        meta["created_at"] = time.time()
+        meta["sequence"] = sequence
+        arrays = {
+            key: np.asarray(marginal, dtype=np.float64)
+            for key, marginal in zip(_marginal_keys(len(release.marginals)), release.marginals)
+        }
+        np.savez_compressed(directory / _MARGINALS_FILE, **arrays)
+        # The marginals go first and meta.json lands atomically last: a crash
+        # anywhere mid-put leaves a directory without meta.json, which the
+        # index scan simply ignores.
+        _write_json_atomic(directory / _META_FILE, meta)
+        self._index[release_id] = self._summary(meta, release_id)
+        self._write_index()
+        self._generation += 1
+        return release_id
+
+    def get(self, release_id: str) -> ReleaseResult:
+        """Load a stored release back into a :class:`ReleaseResult`."""
+        directory = self._release_dir(release_id)
+        meta_path = directory / _META_FILE
+        if not meta_path.exists():
+            raise ServingError(f"no release {release_id!r} in store {self._root}")
+        try:
+            meta = json.loads(meta_path.read_text())
+        except (json.JSONDecodeError, OSError) as error:
+            raise ServingError(f"corrupt release metadata in {meta_path}: {error}") from error
+        stored_version = int(meta.get("store_format_version", STORE_FORMAT_VERSION))
+        if stored_version > STORE_FORMAT_VERSION:
+            raise ServingError(
+                f"release {release_id!r} uses store format {stored_version}; this build "
+                f"reads up to {STORE_FORMAT_VERSION}"
+            )
+        marginals_path = directory / _MARGINALS_FILE
+        if not marginals_path.exists():
+            raise ServingError(f"release {release_id!r} is missing {_MARGINALS_FILE}")
+        with np.load(marginals_path) as archive:
+            count = len(meta["workload"]["masks"])
+            keys = _marginal_keys(count)
+            missing = [key for key in keys if key not in archive]
+            if missing:
+                raise ServingError(
+                    f"release {release_id!r} is missing marginal arrays {missing}"
+                )
+            marginals = [archive[key] for key in keys]
+        try:
+            return ReleaseResult.from_dict(meta, marginals=marginals)
+        except ReproError as error:
+            raise ServingError(f"cannot rebuild release {release_id!r}: {error}") from error
+
+    def delete(self, release_id: str) -> None:
+        """Remove a release and its files from the store."""
+        if release_id not in self._index:
+            raise ServingError(f"no release {release_id!r} in store {self._root}")
+        directory = self._release_dir(release_id)
+        for name in (_META_FILE, _MARGINALS_FILE):
+            path = directory / name
+            if path.exists():
+                path.unlink()
+        try:
+            directory.rmdir()
+        except OSError:
+            pass  # extra user files in the directory; leave them be
+        del self._index[release_id]
+        self._write_index()
+        self._generation += 1
+
+
+# Re-exported for introspection/tests.
+__all__ = ["ReleaseStore", "STORE_FORMAT_VERSION", "RELEASE_FORMAT_VERSION"]

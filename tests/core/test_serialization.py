@@ -1,0 +1,137 @@
+"""Round-trip serialization of budgets, allocations, schemas and releases.
+
+These are the helpers the release store builds on: every ``to_dict`` payload
+must survive a JSON round trip and rebuild an equivalent object with
+``from_dict``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.budget.allocation import NoiseAllocation, optimal_allocation, uniform_allocation
+from repro.budget.grouping import GroupSpec
+from repro.core.engine import release_marginals
+from repro.core.result import ReleaseResult
+from repro.domain import Attribute, Schema
+from repro.exceptions import BudgetError, WorkloadError
+from repro.mechanisms import PrivacyBudget
+from repro.queries import MarginalWorkload, all_k_way, star_workload
+from repro.strategies import query_strategy
+
+
+def roundtrip(payload):
+    """Force the payload through actual JSON text, like the store does."""
+    return json.loads(json.dumps(payload))
+
+
+class TestPrivacyBudget:
+    def test_pure_roundtrip(self):
+        budget = PrivacyBudget.pure(0.75)
+        assert PrivacyBudget.from_dict(roundtrip(budget.to_dict())) == budget
+
+    def test_approximate_roundtrip(self):
+        budget = PrivacyBudget.approximate(1.5, 1e-6)
+        assert PrivacyBudget.from_dict(roundtrip(budget.to_dict())) == budget
+
+    def test_missing_delta_defaults_to_pure(self):
+        assert PrivacyBudget.from_dict({"epsilon": 2.0}) == PrivacyBudget.pure(2.0)
+
+
+class TestGroupSpec:
+    def test_roundtrip(self):
+        spec = GroupSpec(label="marginal-0x3", size=4, constant=1.0, weight=12.0)
+        assert GroupSpec.from_dict(roundtrip(spec.to_dict())) == spec
+
+
+class TestNoiseAllocation:
+    @pytest.fixture
+    def allocation(self) -> NoiseAllocation:
+        schema = Schema.binary(["a", "b", "c", "d"])
+        strategy = query_strategy(all_k_way(schema, 2))
+        return optimal_allocation(strategy.group_specs(), PrivacyBudget.pure(1.0))
+
+    def test_roundtrip_equality(self, allocation):
+        rebuilt = NoiseAllocation.from_dict(roundtrip(allocation.to_dict()))
+        assert rebuilt == allocation
+        assert rebuilt.total_weighted_variance() == pytest.approx(
+            allocation.total_weighted_variance()
+        )
+        assert rebuilt.verify_privacy()
+
+    def test_uniform_kind_preserved(self):
+        schema = Schema.binary(["a", "b", "c"])
+        strategy = query_strategy(all_k_way(schema, 1))
+        allocation = uniform_allocation(strategy.group_specs(), PrivacyBudget.approximate(1.0, 1e-5))
+        rebuilt = NoiseAllocation.from_dict(roundtrip(allocation.to_dict()))
+        assert rebuilt.kind == "uniform"
+        assert rebuilt.mechanism == "gaussian"
+
+    def test_unknown_kind_rejected(self, allocation):
+        payload = allocation.to_dict()
+        payload["kind"] = "magic"
+        with pytest.raises(BudgetError):
+            NoiseAllocation.from_dict(payload)
+
+
+class TestSchemaAndWorkload:
+    def test_schema_roundtrip_with_labels(self):
+        schema = Schema(
+            [
+                Attribute("smoker", 2, labels=("no", "yes")),
+                Attribute("region", 4, labels=("n", "s", "e", "w")),
+                Attribute("income", 3),
+            ]
+        )
+        rebuilt = Schema.from_dict(roundtrip(schema.to_dict()))
+        assert rebuilt == schema
+        assert rebuilt.attribute("region").labels == ("n", "s", "e", "w")
+
+    def test_workload_roundtrip(self):
+        schema = Schema.binary(["a", "b", "c", "d", "e"])
+        workload = star_workload(schema, 1)
+        rebuilt = MarginalWorkload.from_dict(schema, roundtrip(workload.to_dict()))
+        assert rebuilt.masks == workload.masks
+        assert rebuilt.name == workload.name
+
+
+class TestReleaseResult:
+    @pytest.fixture
+    def release(self) -> ReleaseResult:
+        schema = Schema.binary(["a", "b", "c", "d"])
+        workload = all_k_way(schema, 2)
+        vector = np.arange(schema.domain_size, dtype=np.float64)
+        return release_marginals(vector, workload, budget=1.0, strategy="F", rng=11)
+
+    def test_roundtrip_embedded_marginals(self, release):
+        rebuilt = ReleaseResult.from_dict(roundtrip(release.to_dict()))
+        assert rebuilt.workload.masks == release.workload.masks
+        assert rebuilt.workload.schema == release.workload.schema
+        assert rebuilt.strategy_name == release.strategy_name
+        assert rebuilt.allocation == release.allocation
+        assert rebuilt.consistent == release.consistent
+        assert rebuilt.expected_total_variance == pytest.approx(release.expected_total_variance)
+        assert rebuilt.elapsed_seconds == pytest.approx(release.elapsed_seconds)
+        for ours, theirs in zip(release.marginals, rebuilt.marginals):
+            np.testing.assert_allclose(theirs, ours)
+
+    def test_roundtrip_external_marginals(self, release):
+        payload = roundtrip(release.to_dict(include_marginals=False))
+        assert "marginals" not in payload
+        rebuilt = ReleaseResult.from_dict(payload, marginals=release.marginals)
+        for ours, theirs in zip(release.marginals, rebuilt.marginals):
+            np.testing.assert_allclose(theirs, ours)
+
+    def test_missing_marginals_rejected(self, release):
+        payload = release.to_dict(include_marginals=False)
+        with pytest.raises(WorkloadError):
+            ReleaseResult.from_dict(payload)
+
+    def test_future_format_version_rejected(self, release):
+        payload = release.to_dict()
+        payload["format_version"] = 999
+        with pytest.raises(WorkloadError):
+            ReleaseResult.from_dict(payload)

@@ -1,0 +1,29 @@
+"""Shared fixtures of the serving test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.engine import release_marginals
+from repro.core.result import ReleaseResult
+from repro.domain import Schema
+from repro.queries import all_k_way
+
+
+@pytest.fixture
+def schema() -> Schema:
+    return Schema.binary(["a", "b", "c", "d", "e"])
+
+
+@pytest.fixture
+def counts(schema) -> np.ndarray:
+    rng = np.random.default_rng(7)
+    return rng.integers(0, 50, size=schema.domain_size).astype(np.float64)
+
+
+@pytest.fixture
+def release(schema, counts) -> ReleaseResult:
+    """A consistent Fourier release of all 2-way marginals."""
+    workload = all_k_way(schema, 2)
+    return release_marginals(counts, workload, budget=1.0, strategy="F", rng=3)

@@ -1,0 +1,189 @@
+"""Tests of the cuboid-lattice query planner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.engine import release_marginals
+from repro.exceptions import ServingError
+from repro.queries import MarginalQuery, MarginalWorkload, all_k_way
+from repro.serving.planner import (
+    QueryPlanner,
+    released_cell_variances,
+    slice_marginal,
+)
+from repro.strategies.marginal import submarginal
+from repro.utils.bits import dominated_by, hamming_weight, iter_submasks
+
+
+class TestCellVariances:
+    def test_matches_allocation_totals(self, release):
+        variances = released_cell_variances(release)
+        # The per-cell variances, summed back over cells, must reproduce the
+        # allocation's total expected variance (unit query weights).
+        total = sum(
+            variances[query.mask] * query.size for query in release.workload.queries
+        )
+        assert total == pytest.approx(release.expected_total_variance, rel=1e-9)
+
+    def test_fallback_for_unknown_strategy(self, release):
+        from dataclasses import replace
+
+        renamed = replace(release, strategy_name="not-a-strategy")
+        variances = released_cell_variances(renamed)
+        per_cell = release.expected_total_variance / release.workload.total_cells
+        assert all(v == pytest.approx(per_cell) for v in variances.values())
+
+
+class TestPlan:
+    def test_direct_hit_prefers_released_cuboid(self, release):
+        mask = release.workload.masks[0]
+        plan = release_plan = QueryPlanner(release).plan(mask)
+        assert plan.source_mask == mask
+        assert plan.expansion == 1
+        assert release_plan.per_cell_variance == pytest.approx(
+            released_cell_variances(release)[mask]
+        )
+
+    def test_min_variance_choice_is_exhaustive(self, release):
+        planner = QueryPlanner(release)
+        variances = released_cell_variances(release)
+        for target in range(release.workload.domain_size):
+            covering = [m for m in release.workload.masks if dominated_by(target, m)]
+            if not covering:
+                with pytest.raises(ServingError):
+                    planner.plan(target)
+                continue
+            plan = planner.plan(target)
+            best = min(
+                variances[m] * (1 << (hamming_weight(m) - hamming_weight(target)))
+                for m in covering
+            )
+            assert plan.per_cell_variance == pytest.approx(best)
+            assert plan.source_mask in covering
+
+    def test_nonuniform_budgeting_can_prefer_unexpected_ancestor(self, schema, counts):
+        # Two ancestors of the 1-way marginal over "a": make one of them very
+        # heavily weighted so its budget (and thus noise) differs, then check
+        # the planner really compares variances instead of taking the first
+        # or smallest ancestor.
+        workload = MarginalWorkload(
+            schema,
+            [
+                MarginalQuery(0b00011, schema.total_bits),
+                MarginalQuery(0b00101, schema.total_bits),
+            ],
+        )
+        release = release_marginals(
+            counts, workload, budget=1.0, strategy="Q", rng=1, query_weights=[100.0, 1.0]
+        )
+        planner = QueryPlanner(release)
+        variances = released_cell_variances(release)
+        plan = planner.plan(0b00001)
+        expected = min(
+            variances[m] * 2 for m in (0b00011, 0b00101)
+        )
+        assert plan.per_cell_variance == pytest.approx(expected)
+        # The heavily weighted cuboid got the larger budget, i.e. less noise.
+        assert variances[0b00011] < variances[0b00101]
+        assert plan.source_mask == 0b00011
+
+    def test_out_of_domain_mask_rejected(self, release):
+        planner = QueryPlanner(release)
+        with pytest.raises(ServingError):
+            planner.plan(1 << 30)
+        with pytest.raises(ServingError):
+            planner.plan(-1)
+
+
+class TestAnswer:
+    def test_answer_equals_direct_aggregation(self, release):
+        planner = QueryPlanner(release)
+        for source in release.workload.masks[:4]:
+            for target in iter_submasks(source):
+                answer = planner.answer(target)
+                direct = submarginal(
+                    release.marginal_for(answer.plan.source_mask),
+                    answer.plan.source_mask,
+                    target,
+                )
+                np.testing.assert_allclose(answer.values, direct)
+
+    def test_consistent_release_serves_same_answer_from_all_ancestors(self, release):
+        # The release is consistent, so aggregating ANY covering cuboid gives
+        # the same sub-marginal the planner serves.
+        planner = QueryPlanner(release)
+        target = 0b00010
+        answer = planner.answer(target)
+        for source in planner.covering_masks(target):
+            direct = submarginal(release.marginal_for(source), source, target)
+            np.testing.assert_allclose(answer.values, direct, rtol=1e-9, atol=1e-7)
+
+    def test_total_count_query(self, release, counts):
+        answer = QueryPlanner(release).answer(0)
+        assert answer.values.shape == (1,)
+        # Consistent release: the total is the (noisy) grand total.
+        assert answer.values[0] == pytest.approx(counts.sum(), rel=0.5)
+
+    def test_answer_values_are_readonly(self, release):
+        answer = QueryPlanner(release).answer(release.workload.masks[0])
+        with pytest.raises(ValueError):
+            answer.values[0] = 0.0
+
+    def test_predicate_slices_parent_marginal(self, release):
+        planner = QueryPlanner(release)
+        full = planner.answer(0b00011)  # cells over (a, b): index bit0=a, bit1=b
+        sliced = planner.answer(0b00001, fixed_mask=0b00010, fixed_bits=0b00010)
+        np.testing.assert_allclose(sliced.values, full.values[2:])
+        point = planner.answer(0, fixed_mask=0b00011, fixed_bits=0b00011)
+        assert point.values.shape == (1,)
+        assert point.values[0] == pytest.approx(full.values[3])
+        assert point.is_point
+
+    def test_predicate_keeps_per_cell_variance(self, release):
+        planner = QueryPlanner(release)
+        full = planner.answer(0b00011)
+        sliced = planner.answer(0b00001, fixed_mask=0b00010, fixed_bits=0)
+        assert sliced.per_cell_variance == pytest.approx(full.per_cell_variance)
+
+    def test_overlapping_predicate_rejected(self, release):
+        with pytest.raises(ServingError):
+            QueryPlanner(release).answer(0b00011, fixed_mask=0b00001, fixed_bits=0)
+
+
+class TestSliceMarginal:
+    def test_exhaustive_against_bruteforce(self):
+        rng = np.random.default_rng(5)
+        union = 0b10110  # 3 bits
+        values = rng.normal(size=8)
+        for fixed_mask in iter_submasks(union, include_zero=False, include_self=True):
+            free = union & ~fixed_mask
+            for pattern in range(1 << hamming_weight(fixed_mask)):
+                # Spread the compact pattern onto the fixed bits' positions.
+                fixed_bits = 0
+                position = 0
+                for bit in range(5):
+                    if (fixed_mask >> bit) & 1:
+                        if (pattern >> position) & 1:
+                            fixed_bits |= 1 << bit
+                        position += 1
+                result = slice_marginal(values, union, fixed_mask, fixed_bits)
+                # Brute force: walk the compact cells of the union marginal.
+                expected = []
+                u_bits = [b for b in range(5) if (union >> b) & 1]
+                for cell in range(8):
+                    domain_bits = 0
+                    for j, bit in enumerate(u_bits):
+                        if (cell >> j) & 1:
+                            domain_bits |= 1 << bit
+                    if (domain_bits & fixed_mask) == fixed_bits:
+                        expected.append(values[cell])
+                np.testing.assert_allclose(result, expected)
+
+    def test_bad_inputs_rejected(self):
+        values = np.zeros(4)
+        with pytest.raises(ServingError):
+            slice_marginal(values, 0b0011, 0b0100, 0)  # predicate outside union
+        with pytest.raises(ServingError):
+            slice_marginal(values, 0b0011, 0b0001, 0b0010)  # value outside mask

@@ -1,0 +1,143 @@
+"""Property-based tests of the serving planner (hypothesis).
+
+For random schemas, workloads and budgets:
+
+* every sub-marginal served by the planner equals the direct aggregation of
+  the planner's chosen source cuboid — and, on consistent releases, of *any*
+  covering released cuboid;
+* the chosen source attains the minimum expected variance among all covering
+  released cuboids (summing a cuboid down multiplies its per-cell variance
+  by the number of collapsed cells);
+* point/slice predicates return exactly the matching cells of the parent
+  marginal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.engine import release_marginals
+from repro.domain import Schema
+from repro.queries import MarginalQuery, MarginalWorkload
+from repro.serving.planner import QueryPlanner, released_cell_variances
+from repro.strategies.marginal import submarginal
+from repro.utils.bits import dominated_by, hamming_weight, iter_submasks
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+DIMENSION = 5
+NAMES = [f"x{i}" for i in range(DIMENSION)]
+
+workload_masks = st.lists(
+    st.integers(1, (1 << DIMENSION) - 1), min_size=1, max_size=6, unique=True
+)
+count_seeds = st.integers(0, 2**16)
+epsilons = st.floats(min_value=0.05, max_value=4.0)
+strategy_names = st.sampled_from(["F", "Q"])
+
+
+def build_release(masks, seed, epsilon, strategy, *, weights=None):
+    schema = Schema.binary(NAMES)
+    workload = MarginalWorkload(
+        schema, [MarginalQuery(mask, DIMENSION) for mask in masks]
+    )
+    counts = np.random.default_rng(seed).integers(0, 40, size=schema.domain_size)
+    return release_marginals(
+        counts.astype(np.float64),
+        workload,
+        budget=epsilon,
+        strategy=strategy,
+        query_weights=weights,
+        rng=seed,
+    )
+
+
+@SETTINGS
+@given(masks=workload_masks, seed=count_seeds, epsilon=epsilons, strategy=strategy_names)
+def test_served_submarginal_equals_direct_aggregation(masks, seed, epsilon, strategy):
+    release = build_release(masks, seed, epsilon, strategy)
+    planner = QueryPlanner(release)
+    for source in masks:
+        for target in iter_submasks(source):
+            answer = planner.answer(target)
+            # The served answer is exactly the aggregation of its chosen source.
+            chosen = answer.plan.source_mask
+            np.testing.assert_allclose(
+                answer.values,
+                submarginal(release.marginal_for(chosen), chosen, target),
+                rtol=1e-9,
+                atol=1e-6,
+            )
+            # The release is consistent, so aggregating ANY covering released
+            # cuboid gives the same answer.
+            for other in masks:
+                if dominated_by(target, other):
+                    np.testing.assert_allclose(
+                        answer.values,
+                        submarginal(release.marginal_for(other), other, target),
+                        rtol=1e-7,
+                        atol=1e-5,
+                    )
+
+
+@SETTINGS
+@given(
+    masks=workload_masks,
+    seed=count_seeds,
+    epsilon=epsilons,
+    strategy=strategy_names,
+    weight_seed=st.integers(0, 2**16),
+)
+def test_planner_choice_minimises_expected_variance(
+    masks, seed, epsilon, strategy, weight_seed
+):
+    # Random positive query weights skew the optimal allocation so different
+    # cuboids carry genuinely different noise levels.
+    weights = np.random.default_rng(weight_seed).uniform(0.1, 50.0, size=len(masks))
+    release = build_release(masks, seed, epsilon, strategy, weights=list(weights))
+    planner = QueryPlanner(release)
+    variances = released_cell_variances(release)
+    for target in range(1 << DIMENSION):
+        covering = [m for m in masks if dominated_by(target, m)]
+        if not covering:
+            assert not planner.covers(target)
+            continue
+        plan = planner.plan(target)
+        candidates = {
+            m: variances[m] * (1 << (hamming_weight(m) - hamming_weight(target)))
+            for m in covering
+        }
+        best = min(candidates.values())
+        assert plan.source_mask in covering
+        assert plan.per_cell_variance == pytest.approx(best)
+        assert candidates[plan.source_mask] == pytest.approx(best)
+
+
+@SETTINGS
+@given(masks=workload_masks, seed=count_seeds, epsilon=epsilons)
+def test_predicates_select_matching_parent_cells(masks, seed, epsilon):
+    release = build_release(masks, seed, epsilon, "F")
+    planner = QueryPlanner(release)
+    source = max(masks, key=hamming_weight)
+    for fixed_mask in iter_submasks(source, include_zero=False):
+        free_mask = source & ~fixed_mask
+        parent = planner.answer(source)
+        sliced = planner.answer(free_mask, fixed_mask=fixed_mask, fixed_bits=fixed_mask)
+        # Brute-force the matching parent cells (all fixed bits equal to 1).
+        s_bits = [b for b in range(DIMENSION) if (source >> b) & 1]
+        expected = []
+        for cell in range(parent.values.shape[0]):
+            domain_bits = 0
+            for j, bit in enumerate(s_bits):
+                if (cell >> j) & 1:
+                    domain_bits |= 1 << bit
+            if (domain_bits & fixed_mask) == fixed_mask:
+                expected.append(parent.values[cell])
+        np.testing.assert_allclose(sliced.values, expected, rtol=1e-9, atol=1e-6)
+        assert sliced.per_cell_variance == pytest.approx(parent.per_cell_variance)

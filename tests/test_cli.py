@@ -47,6 +47,12 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_no_prefix_abbreviation(self):
+        # --out must not silently match --output (it is a flag of the
+        # `release` subcommand, not of the legacy form).
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--input", "x.csv", "--out", "store"])
+
 
 class TestMain:
     def test_summary_only_run(self, survey_csv, capsys):
