@@ -46,6 +46,7 @@ from repro.strategies import (
     query_strategy,
 )
 from repro.recovery import fourier_consistency, make_consistent
+from repro.plan import ExecutionPlan, Executor, Planner
 from repro.core import (
     MarginalReleaseEngine,
     ReleaseResult,
@@ -88,6 +89,9 @@ __all__ = [
     "make_strategy",
     "fourier_consistency",
     "make_consistent",
+    "ExecutionPlan",
+    "Executor",
+    "Planner",
     "MarginalReleaseEngine",
     "ReleaseResult",
     "release_marginals",

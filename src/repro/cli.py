@@ -34,7 +34,7 @@ import sys
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
-from repro.core.engine import release_marginals
+from repro.core.engine import MarginalReleaseEngine
 from repro.core.result import ReleaseResult
 from repro.data.loader import load_csv
 from repro.domain.dataset import Dataset
@@ -107,6 +107,12 @@ def _add_release_arguments(parser: argparse.ArgumentParser) -> None:
         help="clip negative cells and round to integers before writing",
     )
     parser.add_argument("--seed", type=int, default=None, help="random seed for reproducibility")
+    parser.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the execution plan (stages, batches, per-group expected variance) "
+        "instead of performing the release",
+    )
     parser.add_argument(
         "--output",
         default=None,
@@ -283,7 +289,11 @@ def _summary(dataset: Dataset, result: ReleaseResult) -> str:
 
 
 def _run_release(args: argparse.Namespace):
-    """Shared release pipeline of the legacy form and the ``release`` subcommand."""
+    """Shared release pipeline of the legacy form and the ``release`` subcommand.
+
+    With ``--explain`` the execution plan is printed and no release is
+    performed (``result`` is then ``None``).
+    """
     dataset = load_csv(args.input, columns=args.columns, has_header=not args.no_header)
     workload = _build_workload(dataset, args)
     budget = (
@@ -291,15 +301,16 @@ def _run_release(args: argparse.Namespace):
         if args.delta is None
         else PrivacyBudget.approximate(args.epsilon, args.delta)
     )
-    result = release_marginals(
-        dataset,
+    engine = MarginalReleaseEngine(
         workload,
-        budget,
-        strategy=args.strategy,
+        args.strategy,
         non_uniform=not args.uniform,
         consistency=not args.no_consistency,
-        rng=args.seed,
     )
+    if args.explain:
+        print(engine.explain(budget))
+        return dataset, None
+    result = engine.release(dataset, budget, rng=args.seed)
     if args.nonnegative:
         marginals = round_to_integers(project_nonnegative(result.marginals))
         result = ReleaseResult(
@@ -318,6 +329,8 @@ def _main_legacy(argv: Optional[Sequence[str]]) -> int:
     args = build_parser().parse_args(argv)
     try:
         dataset, result = _run_release(args)
+        if result is None:  # --explain: the plan was printed instead
+            return 0
         print(_summary(dataset, result))
         if args.output is not None:
             written = _write_outputs(dataset, result, Path(args.output))
@@ -332,6 +345,8 @@ def _main_release(argv: Sequence[str]) -> int:
     args = build_release_parser().parse_args(argv)
     try:
         dataset, result = _run_release(args)
+        if result is None:  # --explain: the plan was printed instead
+            return 0
         print(_summary(dataset, result))
         if args.output is not None:
             written = _write_outputs(dataset, result, Path(args.output))

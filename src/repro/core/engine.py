@@ -1,14 +1,21 @@
 """The end-to-end release engine (Figure 3 of the paper).
 
-:class:`MarginalReleaseEngine` wires the pieces together:
+:class:`MarginalReleaseEngine` is a thin facade over the plan → execute →
+finalize architecture of :mod:`repro.plan`:
 
 1. build (or accept) a strategy for the workload — Step 1;
-2. compute the noise allocation, either the closed-form optimal non-uniform
-   allocation of Section 3.1 or the classic uniform allocation — Step 2;
-3. measure the strategy queries on the data with the allocated noise;
-4. reconstruct the workload answers and, unless the strategy is inherently
-   consistent, project them onto the consistent subspace via Fourier
-   coefficients (Sections 3.3 / 4.3) — Step 3.
+2. **plan**: a :class:`~repro.plan.planner.Planner` resolves the noise
+   allocation (the closed-form optimal non-uniform allocation of Section 3.1
+   or the classic uniform allocation — Step 2) together with the batched
+   kernel layout into an immutable
+   :class:`~repro.plan.plan.ExecutionPlan`;
+3. **execute**: an :class:`~repro.plan.executor.Executor` measures the
+   strategy queries with batched kernels and one vectorized noise draw
+   (bitwise-identical to the historical per-group draws — see the plan's
+   ``seed_policy``);
+4. **finalize**: reconstruct the workload answers and, unless the strategy
+   is inherently consistent, project them onto the consistent subspace via
+   Fourier coefficients (Sections 3.3 / 4.3) — Step 3.
 
 The convenience function :func:`release_marginals` covers the common
 "one dataset, one workload, one call" use case.
@@ -21,16 +28,15 @@ from typing import Dict, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.budget.allocation import (
-    NoiseAllocation,
-    optimal_allocation,
-    uniform_allocation,
-)
+from repro.budget.allocation import NoiseAllocation
 from repro.core.result import ReleaseResult
 from repro.domain.contingency import ContingencyTable
 from repro.domain.dataset import Dataset
 from repro.exceptions import WorkloadError
 from repro.mechanisms.privacy import PrivacyBudget
+from repro.plan.executor import Executor
+from repro.plan.plan import ExecutionPlan
+from repro.plan.planner import Planner
 from repro.queries.workload import MarginalWorkload
 from repro.recovery.consistency import make_consistent
 from repro.strategies.base import Strategy
@@ -105,7 +111,13 @@ class MarginalReleaseEngine:
         self._non_uniform = non_uniform
         self._consistency = consistency
         self._query_weights = query_weights
-        self._group_specs = self._strategy.group_specs(query_weights)
+        self._planner = Planner(
+            workload,
+            self._strategy,
+            non_uniform=non_uniform,
+            query_weights=query_weights,
+        )
+        self._executor = Executor(self._strategy)
 
     # ------------------------------------------------------------------ #
     @property
@@ -123,12 +135,27 @@ class MarginalReleaseEngine:
         """Whether the optimal non-uniform budgeting is used."""
         return self._non_uniform
 
+    @property
+    def planner(self) -> Planner:
+        """The planner resolving budgets into execution plans."""
+        return self._planner
+
+    @property
+    def executor(self) -> Executor:
+        """The executor running plans with batched kernels."""
+        return self._executor
+
     def allocation(self, budget: BudgetInput) -> NoiseAllocation:
         """The noise allocation this engine would use for ``budget``."""
-        resolved = _resolve_budget(budget)
-        if self._non_uniform:
-            return optimal_allocation(self._group_specs, resolved)
-        return uniform_allocation(self._group_specs, resolved)
+        return self._planner.allocation(_resolve_budget(budget))
+
+    def build_plan(self, budget: BudgetInput) -> ExecutionPlan:
+        """The execution plan this engine would run for ``budget``."""
+        return self._planner.plan(_resolve_budget(budget))
+
+    def explain(self, budget: BudgetInput) -> str:
+        """Human-readable description of the plan for ``budget``."""
+        return self.build_plan(budget).describe()
 
     def expected_total_variance(self, budget: BudgetInput) -> float:
         """Analytic total weighted output variance for ``budget``."""
@@ -145,11 +172,11 @@ class MarginalReleaseEngine:
         timings: Dict[str, float] = {}
 
         start = time.perf_counter()
-        allocation = self.allocation(resolved_budget)
+        plan = self._planner.plan(resolved_budget)
         timings["budgeting"] = time.perf_counter() - start
 
         start = time.perf_counter()
-        measurement = self._strategy.measure(vector, allocation, generator)
+        measurement = self._executor.measure(plan, vector, generator)
         timings["measurement"] = time.perf_counter() - start
 
         start = time.perf_counter()
@@ -159,7 +186,7 @@ class MarginalReleaseEngine:
         consistent = self._strategy.inherently_consistent
         if self._consistency and not consistent:
             start = time.perf_counter()
-            projection = make_consistent(self._workload, estimates)
+            projection = make_consistent(self._workload, estimates, plan=plan)
             estimates = projection.marginals
             consistent = True
             timings["consistency"] = time.perf_counter() - start
@@ -168,9 +195,9 @@ class MarginalReleaseEngine:
             workload=self._workload,
             marginals=estimates,
             strategy_name=self._strategy.name,
-            allocation=allocation,
+            allocation=plan.allocation,
             consistent=consistent,
-            expected_total_variance=allocation.total_weighted_variance(),
+            expected_total_variance=plan.expected_total_variance(),
             elapsed_seconds=timings,
         )
 

@@ -10,12 +10,17 @@ where ``d`` is the total number of bits.  This subpackage owns that encoding.
 from repro.domain.attribute import Attribute
 from repro.domain.schema import Schema
 from repro.domain.dataset import Dataset
-from repro.domain.contingency import ContingencyTable, marginal_from_vector
+from repro.domain.contingency import (
+    ContingencyTable,
+    marginal_from_cube,
+    marginal_from_vector,
+)
 
 __all__ = [
     "Attribute",
     "Schema",
     "Dataset",
     "ContingencyTable",
+    "marginal_from_cube",
     "marginal_from_vector",
 ]

@@ -22,6 +22,27 @@ from repro.exceptions import SchemaError
 from repro.utils.bits import hamming_weight
 
 
+def marginal_from_cube(cube: np.ndarray, mask: int, d: int) -> np.ndarray:
+    """Compute the marginal ``C^alpha x`` from the ``(2,) * d`` cube view of ``x``.
+
+    The reshape of the flat count vector into the cube is the only allocation
+    :func:`marginal_from_vector` performs besides the output; callers that
+    marginalise the same vector repeatedly (hot loops in strategies, the
+    batched plan executor, :class:`ContingencyTable`) reshape once and call
+    this directly.
+    """
+    if mask == (1 << d) - 1:
+        return cube.reshape(-1).copy()
+    if mask == 0:
+        return np.array(
+            [cube.sum()],
+            dtype=np.result_type(cube.dtype, np.float64) if cube.dtype.kind == "f" else cube.dtype,
+        )
+    # Axis ``a`` of the cube corresponds to bit ``d - 1 - a`` of the index.
+    axes_to_sum = tuple(d - 1 - bit for bit in range(d) if not (mask >> bit) & 1)
+    return cube.sum(axis=axes_to_sum).reshape(-1)
+
+
 def marginal_from_vector(x: np.ndarray, mask: int, d: int) -> np.ndarray:
     """Compute the marginal ``C^alpha x`` for ``alpha = mask`` over ``d`` bits.
 
@@ -48,12 +69,7 @@ def marginal_from_vector(x: np.ndarray, mask: int, d: int) -> np.ndarray:
         raise ValueError(f"mask {mask} does not address {d} bits")
     if mask == (1 << d) - 1:
         return x.copy()
-    if mask == 0:
-        return np.array([x.sum()], dtype=np.result_type(x.dtype, np.float64) if x.dtype.kind == "f" else x.dtype)
-    cube = x.reshape((2,) * d)
-    # Axis ``a`` of the cube corresponds to bit ``d - 1 - a`` of the index.
-    axes_to_sum = tuple(d - 1 - bit for bit in range(d) if not (mask >> bit) & 1)
-    return cube.sum(axis=axes_to_sum).reshape(-1)
+    return marginal_from_cube(x.reshape((2,) * d), mask, d)
 
 
 class ContingencyTable:
@@ -77,6 +93,10 @@ class ContingencyTable:
             )
         self._schema = schema
         self._counts = vector.copy() if copy else vector
+        # Cached (2, ..., 2) view of the counts.  Reshaping per marginal()
+        # call allocated a fresh view object on every hot-loop iteration; the
+        # view shares the counts' memory, so caching it is always safe.
+        self._cube: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------ #
     @property
@@ -100,6 +120,13 @@ class ContingencyTable:
         return self._schema.domain_size
 
     @property
+    def cube(self) -> np.ndarray:
+        """The counts reshaped to a ``(2,) * d`` cube (cached view, shared memory)."""
+        if self._cube is None:
+            self._cube = self._counts.reshape((2,) * self.dimension)
+        return self._cube
+
+    @property
     def total(self) -> float:
         """Total number of tuples represented by the table."""
         return float(self._counts.sum())
@@ -120,11 +147,17 @@ class ContingencyTable:
         usual case) or a raw bit mask over the encoded binary attributes.
         """
         mask = self.resolve_mask(attributes)
-        return marginal_from_vector(self._counts, mask, self.dimension)
+        return self.marginal_by_mask(mask)
 
     def marginal_by_mask(self, mask: int) -> np.ndarray:
         """Exact marginal for an explicit bit mask ``alpha``."""
-        return marginal_from_vector(self._counts, int(mask), self.dimension)
+        mask = int(mask)
+        d = self.dimension
+        if mask < 0 or mask >= self.domain_size:
+            raise ValueError(f"mask {mask} does not address {d} bits")
+        if mask == self.domain_size - 1:
+            return self._counts.copy()
+        return marginal_from_cube(self.cube, mask, d)
 
     def resolve_mask(self, attributes: Union[int, Iterable[AttributeRef]]) -> int:
         """Convert an attribute collection (or raw mask) into a bit mask."""

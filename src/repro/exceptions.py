@@ -58,3 +58,8 @@ class DataError(ReproError):
 class ServingError(ReproError):
     """Raised by the query-serving subsystem: a release cannot be stored or
     loaded, or a query cannot be answered from the released cuboids."""
+
+
+class PlanError(ReproError):
+    """Raised when an execution plan is malformed or executed against a
+    strategy or allocation it was not built for."""

@@ -1,0 +1,46 @@
+"""Plan → execute → finalize architecture of the release pipeline.
+
+The release pipeline is split into three stages:
+
+* **plan** — a :class:`~repro.plan.planner.Planner` resolves (workload,
+  strategy, budget) into an immutable
+  :class:`~repro.plan.plan.ExecutionPlan`: the strategy queries, their
+  cuboid masks, sensitivities, per-group noise scales and the batched
+  kernel layout;
+* **execute** — an :class:`~repro.plan.executor.Executor` runs the plan with
+  batched kernels: one grouped subset-sum pass per batch of structurally
+  related marginals and a single vectorized noise draw over all plan cells;
+* **finalize** — the strategy's recovery plus (optionally) the consistency
+  projection, fed with the plan's resolved metadata.
+
+:class:`~repro.core.engine.MarginalReleaseEngine` is a thin facade over
+these pieces; the cuboid-lattice utilities in :mod:`repro.plan.lattice` are
+shared with the serving layer's query planner.
+"""
+
+from repro.plan.executor import Executor, batched_marginals
+from repro.plan.lattice import (
+    MarginalBatch,
+    ancestors_of,
+    covers,
+    default_batch_bits,
+    min_variance_source,
+    plan_marginal_batches,
+)
+from repro.plan.plan import SINGLE_STREAM_SEED_POLICY, ExecutionPlan, PlanGroup
+from repro.plan.planner import Planner
+
+__all__ = [
+    "Executor",
+    "ExecutionPlan",
+    "MarginalBatch",
+    "PlanGroup",
+    "Planner",
+    "SINGLE_STREAM_SEED_POLICY",
+    "ancestors_of",
+    "batched_marginals",
+    "covers",
+    "default_batch_bits",
+    "min_variance_source",
+    "plan_marginal_batches",
+]

@@ -1,0 +1,167 @@
+"""Cuboid-lattice utilities shared by the release planner and the serving layer.
+
+A cuboid (marginal) is identified by its attribute bit mask; the lattice order
+is mask containment (``beta ⪯ alpha`` iff every bit of ``beta`` is set in
+``alpha``).  Two independent subsystems walk this lattice:
+
+* the release :class:`~repro.plan.executor.Executor` materialises many
+  strategy marginals at once and wants to compute coarse marginals from
+  already-computed finer *ancestors* instead of from the full ``2**d`` count
+  vector (:func:`plan_marginal_batches`);
+* the serving :class:`~repro.serving.planner.QueryPlanner` answers an ad-hoc
+  marginal from the released cuboid with the minimum expected variance
+  (:func:`min_variance_source`).
+
+Both used to maintain private copies of the containment scans; this module is
+the single implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.utils.bits import dominated_by, hamming_weight
+
+__all__ = [
+    "MarginalBatch",
+    "ancestors_of",
+    "covers",
+    "min_variance_source",
+    "default_batch_bits",
+    "plan_marginal_batches",
+]
+
+
+def ancestors_of(mask: int, sources: Iterable[int]) -> List[int]:
+    """The sources that dominate ``mask`` (i.e. can answer it exactly)."""
+    return [source for source in sources if dominated_by(mask, source)]
+
+
+def covers(mask: int, sources: Iterable[int]) -> bool:
+    """``True`` iff some source dominates ``mask``."""
+    return any(dominated_by(mask, source) for source in sources)
+
+
+def min_variance_source(
+    mask: int,
+    cell_variances: Mapping[int, float],
+    positions: Mapping[int, int],
+) -> Optional[Tuple[float, int, int, int]]:
+    """Choose the minimum-expected-variance source cuboid for ``mask``.
+
+    Summing a noisy cuboid ``alpha`` down to ``mask`` adds the noise of
+    ``2**(||alpha|| - ||mask||)`` cells into every answer cell, so the served
+    per-cell variance is ``cell_variances[alpha] * expansion``.  Returns the
+    best ``(variance, expansion, source, position)`` tuple — ties broken by
+    fewer collapsed cells, then the smaller mask — or ``None`` when no source
+    dominates ``mask``.  ``positions`` supplies the workload position carried
+    along for the caller.
+    """
+    order = hamming_weight(mask)
+    best: Optional[Tuple[float, int, int, int]] = None
+    for source, position in positions.items():
+        if not dominated_by(mask, source):
+            continue
+        expansion = 1 << (hamming_weight(source) - order)
+        variance = cell_variances[source] * expansion
+        key = (variance, expansion, source, position)
+        if best is None or key < best:
+            best = key
+    return best
+
+
+# --------------------------------------------------------------------------- #
+# batching marginal computations
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class MarginalBatch:
+    """One grouped subset-sum pass of the batched marginal kernel.
+
+    The ``root`` marginal (the union of the members' masks) is materialised
+    with a single pass over the full count vector; every ``member`` is then
+    aggregated from the root's ``2**||root||`` cells instead of from the
+    ``2**d`` base cells.
+    """
+
+    root: int
+    members: Tuple[int, ...]
+
+    @property
+    def root_cells(self) -> int:
+        """Number of cells of the root marginal."""
+        return 1 << hamming_weight(self.root)
+
+    @property
+    def is_trivial(self) -> bool:
+        """``True`` when the batch is a single mask computed directly."""
+        return len(self.members) == 1 and self.members[0] == self.root
+
+
+def default_batch_bits(d: int, masks: Sequence[int]) -> int:
+    """Default cap on the root-union order of a batch.
+
+    The cap trades root passes (``O(2**d)`` each) against member derivations
+    (``O(2**cap)`` each): it must exceed the largest requested mask but stay
+    well below ``d`` for the derivations to be cheap.  ``d - max(2, d // 4)``
+    keeps each derivation at most ``2**-2`` (and asymptotically ``2**(-d/4)``)
+    of a full pass.
+    """
+    widest = max(hamming_weight(mask) for mask in masks)
+    return max(widest, d - max(2, d // 4))
+
+
+def plan_marginal_batches(
+    masks: Sequence[int], d: int, *, max_bits: Optional[int] = None
+) -> Tuple[MarginalBatch, ...]:
+    """Greedily pack marginal masks into shared-ancestor batches.
+
+    Masks are scanned widest-first; each mask joins the first existing batch
+    whose root already dominates it (a free ride), else the batch whose root
+    union stays within ``max_bits`` and grows the least, else it opens a new
+    batch.  Roots only ever gain bits, so earlier members remain dominated.
+    The result covers every input mask exactly once and is deterministic in
+    the input order.
+    """
+    if not masks:
+        return ()
+    if max_bits is None:
+        max_bits = default_batch_bits(d, masks)
+    max_bits = min(int(max_bits), d)
+    roots: List[int] = []
+    members: List[List[int]] = []
+    for mask in sorted(masks, key=hamming_weight, reverse=True):
+        placed = False
+        for index, root in enumerate(roots):
+            if dominated_by(mask, root):
+                members[index].append(mask)
+                placed = True
+                break
+        if not placed:
+            best_index = -1
+            best_bits = max_bits + 1
+            for index, root in enumerate(roots):
+                bits = hamming_weight(root | mask)
+                if bits < best_bits:
+                    best_bits = bits
+                    best_index = index
+            if best_index >= 0 and best_bits <= max_bits:
+                roots[best_index] |= mask
+                members[best_index].append(mask)
+                placed = True
+        if not placed:
+            roots.append(mask)
+            members.append([mask])
+    return tuple(
+        MarginalBatch(root=root, members=tuple(batch))
+        for root, batch in zip(roots, members)
+    )
+
+
+def batch_assignment(batches: Sequence[MarginalBatch]) -> Dict[int, int]:
+    """Mapping from member mask to the index of the batch that computes it."""
+    assignment: Dict[int, int] = {}
+    for index, batch in enumerate(batches):
+        for member in batch.members:
+            assignment.setdefault(member, index)
+    return assignment

@@ -1,0 +1,160 @@
+"""Build an :class:`~repro.plan.plan.ExecutionPlan` from workload + strategy + budget.
+
+The :class:`Planner` resolves everything that does not depend on the data:
+it asks the strategy for its group structure (via the
+:meth:`~repro.strategies.base.Strategy.group_specs` /
+:meth:`~repro.strategies.base.Strategy.query_masks` /
+:meth:`~repro.strategies.base.Strategy.sensitivity_profile` contract),
+computes the noise allocation for the requested budget, converts each group
+budget into a concrete sampler parameter, and — for mask-indexed strategies —
+packs the measured cuboids into the shared-ancestor batches the executor's
+grouped subset-sum kernel runs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.budget.allocation import NoiseAllocation, allocation_for
+from repro.exceptions import WorkloadError
+from repro.mechanisms.noise import gaussian_sigma_for_budget, laplace_scale_for_budget
+from repro.mechanisms.privacy import PrivacyBudget
+from repro.plan.lattice import MarginalBatch, plan_marginal_batches
+from repro.plan.plan import ExecutionPlan, PlanGroup
+from repro.queries.workload import MarginalWorkload
+from repro.strategies.base import Strategy
+
+
+class Planner:
+    """Plan private releases of one workload with one strategy.
+
+    Parameters
+    ----------
+    workload:
+        The marginal workload to answer.
+    strategy:
+        The strategy instance (already built for ``workload``).
+    non_uniform:
+        ``True`` for the paper's optimal non-uniform budgeting, ``False``
+        for classic uniform noise.
+    query_weights:
+        Optional per-query weights of the variance objective.
+    max_batch_bits:
+        Optional cap on the root-union order of the marginal kernel's
+        batches (defaults to :func:`repro.plan.lattice.default_batch_bits`).
+    """
+
+    def __init__(
+        self,
+        workload: MarginalWorkload,
+        strategy: Strategy,
+        *,
+        non_uniform: bool = True,
+        query_weights: Optional[Sequence[float]] = None,
+        max_batch_bits: Optional[int] = None,
+    ):
+        if strategy.workload is not workload and strategy.workload.masks != workload.masks:
+            raise WorkloadError("the strategy was built for a different workload")
+        self._workload = workload
+        self._strategy = strategy
+        self._non_uniform = non_uniform
+        self._group_specs = strategy.group_specs(query_weights)
+        self._query_weights = np.array(
+            strategy.resolve_query_weights(query_weights), dtype=np.float64
+        )
+        self._query_weights.setflags(write=False)
+        self._kind = strategy.measurement_kind
+        self._masks: Tuple[int, ...] = ()
+        self._batches: Tuple[MarginalBatch, ...] = ()
+        if self._kind in ("marginal", "fourier"):
+            try:
+                self._masks = tuple(strategy.query_masks())
+            except WorkloadError:
+                # A legacy / third-party Strategy subclass that implements the
+                # original ABC (group_specs / measure / estimate) but not the
+                # mask-indexed planner contract: the executor falls back to
+                # delegating measurement to the strategy itself.
+                self._kind = "custom"
+            else:
+                if len(self._masks) != len(self._group_specs):
+                    raise WorkloadError(
+                        f"strategy {strategy.name!r} reports {len(self._masks)} query "
+                        f"masks for {len(self._group_specs)} groups"
+                    )
+        if self._kind == "marginal":
+            self._batches = plan_marginal_batches(
+                self._masks, workload.dimension, max_bits=max_batch_bits
+            )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def workload(self) -> MarginalWorkload:
+        """The workload this planner answers."""
+        return self._workload
+
+    @property
+    def strategy(self) -> Strategy:
+        """The strategy this planner measures."""
+        return self._strategy
+
+    @property
+    def non_uniform(self) -> bool:
+        """Whether the optimal non-uniform budgeting is used."""
+        return self._non_uniform
+
+    @property
+    def batches(self) -> Tuple[MarginalBatch, ...]:
+        """The marginal kernel's batches (empty for other kernels)."""
+        return self._batches
+
+    def allocation(self, budget: PrivacyBudget) -> NoiseAllocation:
+        """The noise allocation a plan for ``budget`` would use."""
+        return allocation_for(
+            self._group_specs, budget, non_uniform=self._non_uniform
+        )
+
+    # ------------------------------------------------------------------ #
+    def plan(self, budget: PrivacyBudget) -> ExecutionPlan:
+        """Resolve the full execution plan for ``budget``."""
+        allocation = self.allocation(budget)
+        groups: List[PlanGroup] = []
+        for position, (spec, eta) in enumerate(
+            zip(allocation.groups, allocation.group_budgets)
+        ):
+            if eta > 0.0:
+                if allocation.is_pure:
+                    scale = float(laplace_scale_for_budget(eta)[0])
+                else:
+                    scale = float(
+                        gaussian_sigma_for_budget(eta, allocation.budget.delta)[0]
+                    )
+            else:
+                scale = None
+            groups.append(
+                PlanGroup(
+                    label=spec.label,
+                    mask=self._masks[position] if self._masks else None,
+                    size=spec.size,
+                    constant=spec.constant,
+                    weight=spec.weight,
+                    budget=float(eta),
+                    noise_scale=scale,
+                )
+            )
+        row_budgets = None
+        if self._kind == "matrix":
+            row_budgets = self._strategy.row_budgets(allocation)
+            row_budgets.setflags(write=False)
+        return ExecutionPlan(
+            workload=self._workload,
+            strategy_name=self._strategy.name,
+            kind=self._kind,
+            allocation=allocation,
+            groups=tuple(groups),
+            batches=self._batches,
+            query_weights=self._query_weights,
+            row_budgets=row_budgets,
+            inherently_consistent=self._strategy.inherently_consistent,
+        )

@@ -24,7 +24,7 @@ coefficients (plus slack variables), solved with :func:`scipy.optimize.linprog`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Literal, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Dict, List, Literal, Optional, Sequence, Union
 
 import numpy as np
 from scipy import optimize
@@ -34,6 +34,9 @@ from repro.queries.matrix import fourier_recovery_matrix
 from repro.queries.workload import MarginalWorkload
 from repro.transforms.hadamard import marginal_from_fourier, _unnormalised_fwht_inplace
 from repro.utils.bits import project_index
+
+if TYPE_CHECKING:  # pragma: no cover - only needed for type annotations
+    from repro.plan.plan import ExecutionPlan
 
 NormOrder = Union[int, float, str]
 
@@ -238,9 +241,21 @@ def make_consistent(
     *,
     norm: NormOrder = 2,
     query_weights: Optional[Sequence[float]] = None,
+    plan: Optional["ExecutionPlan"] = None,
 ) -> ConsistencyResult:
-    """Dispatch to the closed-form L2 projection or the L1/Linf linear program."""
+    """Dispatch to the closed-form L2 projection or the L1/Linf linear program.
+
+    ``plan`` may carry the :class:`~repro.plan.plan.ExecutionPlan` of the
+    release being finalized; its pre-resolved ``query_weights`` are then used
+    for the L2 projection instead of re-deriving the per-query weights here
+    (an explicit ``query_weights`` argument still wins).  For plans built
+    without explicit weights this is the uniform projection, unchanged; for
+    weighted plans the projection minimises the same weighted objective the
+    noise allocation optimised.
+    """
     if norm == 2:
+        if query_weights is None and plan is not None:
+            query_weights = plan.query_weights
         return fourier_consistency(workload, noisy_marginals, query_weights=query_weights)
     if query_weights is not None:
         raise ConsistencyError("query weights are only supported by the L2 projection")

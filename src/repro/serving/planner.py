@@ -33,6 +33,7 @@ import numpy as np
 from repro.core.result import ReleaseResult
 from repro.core.variance import per_query_variances
 from repro.exceptions import ReproError, ServingError
+from repro.plan.lattice import ancestors_of, covers, min_variance_source
 from repro.strategies.marginal import submarginal
 from repro.strategies.registry import make_strategy
 from repro.utils.bits import bit_indices, dominated_by, hamming_weight
@@ -219,33 +220,27 @@ class QueryPlanner:
 
     def covering_masks(self, mask: int) -> List[int]:
         """Released cuboids that dominate ``mask`` (can answer it exactly)."""
-        return [source for source in self._positions if dominated_by(mask, source)]
+        return ancestors_of(mask, self._positions)
 
     def covers(self, mask: int) -> bool:
         """``True`` iff some released cuboid can answer the marginal ``mask``."""
-        return any(dominated_by(mask, source) for source in self._positions)
+        return covers(mask, self._positions)
 
     # ------------------------------------------------------------------ #
     def plan(self, union_mask: int) -> QueryPlan:
-        """Choose the minimum-expected-variance source for ``union_mask``."""
+        """Choose the minimum-expected-variance source for ``union_mask``.
+
+        Source selection (and its deterministic tie-break: fewer collapsed
+        cells, then the smaller mask) is the shared lattice scan of
+        :func:`repro.plan.lattice.min_variance_source`.
+        """
         domain_mask = self._release.workload.schema.full_mask
         if union_mask < 0 or union_mask > domain_mask:
             raise ServingError(
                 f"query mask {union_mask:#x} is outside the release's "
                 f"{self._release.workload.dimension}-bit domain"
             )
-        order = hamming_weight(union_mask)
-        best: Optional[Tuple[float, int, int, int]] = None
-        for source, position in self._positions.items():
-            if not dominated_by(union_mask, source):
-                continue
-            expansion = 1 << (hamming_weight(source) - order)
-            variance = self._cell_variances[source] * expansion
-            # Deterministic tie-break: prefer fewer collapsed cells, then the
-            # smaller mask.
-            key = (variance, expansion, source, position)
-            if best is None or key < best:
-                best = key
+        best = min_variance_source(union_mask, self._cell_variances, self._positions)
         if best is None:
             raise ServingError(
                 f"no released cuboid covers marginal {union_mask:#x}; released masks: "

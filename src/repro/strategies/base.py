@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -83,6 +83,12 @@ class Strategy(ABC):
     #: Section 4.3 on top of :meth:`estimate`.
     inherently_consistent: bool = False
 
+    #: Which measurement kernel the plan executor uses for this strategy:
+    #: ``"marginal"`` (batched subset sums over cuboid masks), ``"fourier"``
+    #: (Hadamard coefficients) or ``"matrix"`` (dense strategy-matrix
+    #: product).  Mask-indexed kinds must implement :meth:`query_masks`.
+    measurement_kind: str = "marginal"
+
     def __init__(self, workload: MarginalWorkload, *, name: str):
         if len(workload) == 0:
             raise WorkloadError("cannot build a strategy for an empty workload")
@@ -138,6 +144,52 @@ class Strategy(ABC):
         """
 
     # ------------------------------------------------------------------ #
+    # planner contract
+    # ------------------------------------------------------------------ #
+    def query_masks(self) -> Tuple[int, ...]:
+        """Masks of the strategy's measured objects, in group order.
+
+        For mask-indexed kernels this aligns one-to-one with
+        :meth:`group_specs`: cuboid masks for marginal-set strategies, the
+        full-domain mask for the identity strategy, coefficient masks for the
+        Fourier strategy.  The :class:`~repro.plan.planner.Planner` consumes
+        this (together with :meth:`sensitivity_profile`) instead of poking at
+        subclass-specific attributes.  Strategies whose rows are not
+        mask-indexed (``measurement_kind == "matrix"``) raise.
+        """
+        raise WorkloadError(
+            f"strategy {self._name!r} ({type(self).__name__}) does not expose "
+            "mask-indexed queries"
+        )
+
+    def sensitivity_profile(self) -> Dict[str, Any]:
+        """Structured sensitivity summary the planner consumes.
+
+        Returns the per-group constants ``C_r`` (in group order) together
+        with the classic L1/L2 sensitivities they imply.
+        """
+        constants = tuple(group.constant for group in self.default_group_specs())
+        array = np.asarray(constants, dtype=np.float64)
+        return {
+            "constants": constants,
+            "l1": float(array.sum()),
+            "l2": float(np.sqrt((array**2).sum())),
+        }
+
+    def build_measurement(
+        self, values: Dict[str, np.ndarray], allocation: NoiseAllocation
+    ) -> Measurement:
+        """Assemble a :class:`Measurement` from noisy per-group values.
+
+        The plan executor computes the noisy values with batched kernels and
+        hands them back here so each strategy can attach whatever metadata
+        its :meth:`estimate` expects.
+        """
+        return Measurement(
+            strategy_name=self._name, allocation=allocation, values=values
+        )
+
+    # ------------------------------------------------------------------ #
     # shared helpers
     # ------------------------------------------------------------------ #
     def resolve_query_weights(self, a: Optional[Sequence[float]]) -> np.ndarray:
@@ -189,7 +241,5 @@ class Strategy(ABC):
         ``Delta_2 = sqrt(sum_r C_r**2)`` for approximate differential
         privacy, both following from the grouping property.
         """
-        constants = np.array([group.constant for group in self.default_group_specs()])
-        if pure:
-            return float(constants.sum())
-        return float(np.sqrt((constants**2).sum()))
+        profile = self.sensitivity_profile()
+        return profile["l1"] if pure else profile["l2"]

@@ -27,9 +27,13 @@ import numpy as np
 from repro.exceptions import WorkloadError
 from repro.queries.workload import MarginalWorkload
 from repro.strategies.marginal import MarginalSetStrategy
-from repro.utils.bits import hamming_weight
+from repro.utils.bits import hamming_weight, popcount_array
 
 CostModel = Literal["uniform", "optimal"]
+
+#: A candidate merge must beat the incumbent cost by this margin; guards the
+#: greedy loop against floating-point noise around exact ties.
+_MERGE_TOLERANCE = 1e-12
 
 
 @dataclass
@@ -58,12 +62,51 @@ def _total_cost(clusters: Sequence[_Cluster], cost_model: CostModel) -> float:
     ``"optimal"``  : ``(sum_r s_r**(1/3))**3`` — the closed-form variance under
                       the paper's optimal non-uniform budgeting (all ``C_r = 1``).
     """
-    weights = [cluster.recovery_weight for cluster in clusters]
+    weights = np.array([cluster.recovery_weight for cluster in clusters])
     if cost_model == "uniform":
-        return float(len(clusters) ** 2 * sum(weights))
+        return float(len(clusters) ** 2 * weights.sum())
     if cost_model == "optimal":
-        return float(sum(w ** (1.0 / 3.0) for w in weights) ** 3)
+        return float((weights ** (1.0 / 3.0)).sum() ** 3)
     raise WorkloadError(f"unknown cost model {cost_model!r}")
+
+
+def _best_merge(
+    clusters: Sequence[_Cluster], cost_model: CostModel
+) -> Tuple[Optional[Tuple[int, int]], float]:
+    """The cheapest candidate merge, evaluated for all pairs at once.
+
+    Every pairwise merged centroid, cell count and recovery weight is
+    computed with one broadcasted pass (the former O(g^2) Python double loop);
+    the candidate cost is evaluated incrementally from the per-cluster
+    recovery weights rather than by rebuilding the cluster list.  Returns
+    ``((i, j), cost)`` for the minimum-cost pair — exact cost ties resolve to
+    the first pair in scan order, as the historical scalar scan did.  (The
+    scalar scan kept a running best with the merge tolerance as hysteresis,
+    so pairs whose costs differ by *less* than the tolerance could resolve to
+    the slightly worse pair; the vectorized scan always takes the true
+    minimum.  Both choices have equal cost up to the tolerance.)
+    """
+    g = len(clusters)
+    centroids = np.array([cluster.centroid for cluster in clusters], dtype=np.uint64)
+    member_weights = np.array([cluster.member_weight for cluster in clusters])
+    weights = np.array([cluster.recovery_weight for cluster in clusters])
+    merged_cells = np.exp2(popcount_array(centroids[:, None] | centroids[None, :]))
+    merged_weight = merged_cells * (member_weights[:, None] + member_weights[None, :])
+    if cost_model == "uniform":
+        costs = (g - 1) ** 2 * (
+            weights.sum() - weights[:, None] - weights[None, :] + merged_weight
+        )
+    elif cost_model == "optimal":
+        roots = weights ** (1.0 / 3.0)
+        costs = (
+            roots.sum() - roots[:, None] - roots[None, :] + merged_weight ** (1.0 / 3.0)
+        ) ** 3
+    else:
+        raise WorkloadError(f"unknown cost model {cost_model!r}")
+    upper_i, upper_j = np.triu_indices(g, k=1)
+    pair_costs = costs[upper_i, upper_j]
+    best = int(np.argmin(pair_costs))
+    return (int(upper_i[best]), int(upper_j[best])), float(pair_costs[best])
 
 
 def greedy_cluster_masks(
@@ -110,38 +153,8 @@ def greedy_cluster_masks(
         if max_merges is not None and merges_done >= max_merges:
             break
         current_cost = _total_cost(clusters, cost_model)
-        best_pair: Optional[Tuple[int, int]] = None
-        best_cost = current_cost
-        # Exhaustive pair scan: O(g^2) per round, as in the greedy of [6].
-        # The cost of a candidate merge is evaluated incrementally from the
-        # per-cluster recovery weights rather than by rebuilding the cluster
-        # list, which keeps the scan cheap for the paper-scale workloads.
-        weights = [cluster.recovery_weight for cluster in clusters]
-        weight_sum = sum(weights)
-        root_sum = sum(w ** (1.0 / 3.0) for w in weights)
-        g = len(clusters)
-        for i in range(g):
-            for j in range(i + 1, g):
-                merged_centroid = clusters[i].centroid | clusters[j].centroid
-                merged_weight = (
-                    (1 << hamming_weight(merged_centroid))
-                    * (clusters[i].member_weight + clusters[j].member_weight)
-                )
-                if cost_model == "uniform":
-                    cost = (g - 1) ** 2 * (
-                        weight_sum - weights[i] - weights[j] + merged_weight
-                    )
-                else:
-                    cost = (
-                        root_sum
-                        - weights[i] ** (1.0 / 3.0)
-                        - weights[j] ** (1.0 / 3.0)
-                        + merged_weight ** (1.0 / 3.0)
-                    ) ** 3
-                if cost < best_cost - 1e-12:
-                    best_cost = cost
-                    best_pair = (i, j)
-        if best_pair is None:
+        best_pair, best_cost = _best_merge(clusters, cost_model)
+        if best_cost >= current_cost - _MERGE_TOLERANCE:
             break
         i, j = best_pair
         merged = _Cluster(

@@ -38,6 +38,9 @@ _ROWS_KEY = "rows"
 class ExplicitMatrixStrategy(Strategy):
     """Strategy defined by an explicit dense matrix over a small domain.
 
+    The strategy rows are not mask-indexed, so the plan executor measures
+    them with the ``"matrix"`` kernel (one dense product, one noise draw).
+
     Parameters
     ----------
     workload:
@@ -49,6 +52,8 @@ class ExplicitMatrixStrategy(Strategy):
     name:
         Strategy identifier (e.g. ``"wavelet"``, ``"hierarchical"``).
     """
+
+    measurement_kind = "matrix"
 
     def __init__(
         self,
@@ -109,7 +114,8 @@ class ExplicitMatrixStrategy(Strategy):
         )
 
     # ------------------------------------------------------------------ #
-    def _row_budgets(self, allocation: NoiseAllocation) -> np.ndarray:
+    def row_budgets(self, allocation: NoiseAllocation) -> np.ndarray:
+        """Per-strategy-row budgets ``eta`` implied by a group allocation."""
         budgets = np.zeros(self._strategy.shape[0], dtype=np.float64)
         for group_rows, eta in zip(self._groups, allocation.group_budgets):
             budgets[list(group_rows)] = eta
@@ -117,7 +123,7 @@ class ExplicitMatrixStrategy(Strategy):
 
     def row_noise_variances(self, allocation: NoiseAllocation) -> np.ndarray:
         """Per-row noise variances implied by an allocation (used by GLS)."""
-        budgets = self._row_budgets(allocation)
+        budgets = self.row_budgets(allocation)
         variances = np.full(self._strategy.shape[0], np.inf)
         positive = budgets > 0
         if allocation.is_pure:
@@ -134,7 +140,7 @@ class ExplicitMatrixStrategy(Strategy):
         vector = self.check_vector(x)
         self.check_allocation(allocation)
         generator = ensure_rng(rng)
-        budgets = self._row_budgets(allocation)
+        budgets = self.row_budgets(allocation)
         if np.any(budgets <= 0):
             raise RecoveryError(
                 "explicit strategies require every row to receive a positive budget; "

@@ -47,6 +47,7 @@ class FourierStrategy(Strategy):
     """Measure the workload's Fourier coefficients and reconstruct marginals."""
 
     inherently_consistent = True
+    measurement_kind = "fourier"
 
     def __init__(self, workload: MarginalWorkload, *, name: str = "F"):
         super().__init__(workload, name=name)
@@ -59,6 +60,22 @@ class FourierStrategy(Strategy):
     def coefficient_masks(self) -> Sequence[int]:
         """Masks of the measured Fourier coefficients (the set ``F``)."""
         return self._coefficient_masks
+
+    def query_masks(self) -> tuple:
+        """The measured coefficient masks, aligned with :meth:`group_specs`."""
+        return tuple(self._coefficient_masks)
+
+    def build_measurement(self, values, allocation) -> Measurement:
+        coefficients = {
+            int(label[len(_GROUP_PREFIX) :], 16): float(array[0])
+            for label, array in values.items()
+        }
+        return Measurement(
+            strategy_name=self._name,
+            allocation=allocation,
+            values=values,
+            metadata={"coefficients": coefficients},
+        )
 
     def group_specs(self, a: Optional[Sequence[float]] = None) -> List[GroupSpec]:
         weights = self.resolve_query_weights(a)

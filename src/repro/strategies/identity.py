@@ -33,6 +33,10 @@ class IdentityStrategy(Strategy):
         super().__init__(workload, name=name)
 
     # ------------------------------------------------------------------ #
+    def query_masks(self) -> tuple:
+        """The identity strategy measures the single full-domain cuboid."""
+        return (self._workload.domain_size - 1,)
+
     def group_specs(self, a: Optional[Sequence[float]] = None) -> List[GroupSpec]:
         weights = self.resolve_query_weights(a)
         # Each base cell contributes (with coefficient 1) to exactly one cell

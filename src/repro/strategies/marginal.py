@@ -142,6 +142,18 @@ class MarginalSetStrategy(Strategy):
         """Mapping from query mask to the strategy marginal it is answered from."""
         return dict(self._assignment)
 
+    def query_masks(self) -> tuple:
+        """The measured cuboid masks, aligned with :meth:`group_specs`."""
+        return self._strategy_masks
+
+    def build_measurement(self, values, allocation) -> Measurement:
+        return Measurement(
+            strategy_name=self._name,
+            allocation=allocation,
+            values=values,
+            metadata={"strategy_masks": self._strategy_masks},
+        )
+
     def group_specs(self, a: Optional[Sequence[float]] = None) -> List[GroupSpec]:
         weights = self.resolve_query_weights(a)
         assigned_weight: Dict[int, float] = {mask: 0.0 for mask in self._strategy_masks}

@@ -15,6 +15,8 @@ from __future__ import annotations
 from itertools import combinations
 from typing import Iterator, Sequence, Tuple
 
+import numpy as np
+
 
 def hamming_weight(mask: int) -> int:
     """Return the number of set bits of ``mask`` (written ``||alpha||`` in the
@@ -22,6 +24,28 @@ def hamming_weight(mask: int) -> int:
     if mask < 0:
         raise ValueError(f"bit masks must be non-negative, got {mask}")
     return bin(mask).count("1")
+
+
+def popcount_array(masks: np.ndarray) -> np.ndarray:
+    """Vectorised :func:`hamming_weight` over an array of masks.
+
+    Masks must fit into 64 bits (every materialisable domain does: a mask
+    over more than 63 attributes would index a ``2**64``-cell table).  Uses
+    :func:`numpy.bitwise_count` when available, else the SWAR popcount.
+    """
+    array = np.asarray(masks)
+    if array.size and (int(array.min()) < 0 or int(array.max()) >= (1 << 63)):
+        raise ValueError("popcount_array requires masks in [0, 2**63)")
+    unsigned = array.astype(np.uint64)
+    if hasattr(np, "bitwise_count"):
+        return np.bitwise_count(unsigned).astype(np.int64)
+    x = unsigned.copy()
+    x = x - ((x >> np.uint64(1)) & np.uint64(0x5555555555555555))
+    x = (x & np.uint64(0x3333333333333333)) + (
+        (x >> np.uint64(2)) & np.uint64(0x3333333333333333)
+    )
+    x = (x + (x >> np.uint64(4))) & np.uint64(0x0F0F0F0F0F0F0F0F)
+    return ((x * np.uint64(0x0101010101010101)) >> np.uint64(56)).astype(np.int64)
 
 
 def parity(mask: int) -> int:

@@ -143,3 +143,41 @@ class TestContingencyTable:
 
     def test_repr_mentions_dimensions(self, paper_example_table):
         assert "d=3" in repr(paper_example_table)
+
+
+class TestCubeCache:
+    """The (2,)*d cube view is computed once and shared with the counts."""
+
+    def test_cube_is_cached(self, paper_example_table):
+        assert paper_example_table.cube is paper_example_table.cube
+
+    def test_cube_shares_memory_with_counts(self, paper_example_table):
+        assert np.shares_memory(paper_example_table.cube, paper_example_table.counts)
+        assert paper_example_table.cube.shape == (2,) * paper_example_table.dimension
+
+    def test_cube_reflects_count_mutation(self, binary_schema_3):
+        table = ContingencyTable.zeros(binary_schema_3)
+        _ = table.cube  # populate the cache before mutating
+        table.counts[0] = 9.0
+        assert table.cube.reshape(-1)[0] == 9.0
+        assert table.marginal_by_mask(0)[0] == 9.0
+
+    def test_marginals_match_marginal_from_vector(self, paper_example_table):
+        from repro.domain.contingency import marginal_from_vector
+
+        d = paper_example_table.dimension
+        for mask in range(paper_example_table.domain_size):
+            assert np.array_equal(
+                paper_example_table.marginal_by_mask(mask),
+                marginal_from_vector(paper_example_table.counts, mask, d),
+            )
+
+    def test_full_mask_marginal_is_a_copy(self, paper_example_table):
+        full = paper_example_table.domain_size - 1
+        values = paper_example_table.marginal_by_mask(full)
+        values[0] += 1.0
+        assert not np.array_equal(values, paper_example_table.counts)
+
+    def test_invalid_mask_rejected(self, paper_example_table):
+        with pytest.raises(ValueError):
+            paper_example_table.marginal_by_mask(paper_example_table.domain_size)

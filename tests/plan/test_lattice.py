@@ -1,0 +1,106 @@
+"""Tests for the shared cuboid-lattice utilities."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.plan.lattice import (
+    MarginalBatch,
+    ancestors_of,
+    batch_assignment,
+    covers,
+    default_batch_bits,
+    min_variance_source,
+    plan_marginal_batches,
+)
+from repro.utils.bits import dominated_by, hamming_weight
+
+SETTINGS = settings(max_examples=60, deadline=None)
+mask_lists = st.lists(st.integers(1, 255), min_size=1, max_size=12, unique=True)
+
+
+class TestContainment:
+    def test_ancestors_of(self):
+        assert ancestors_of(0b001, [0b011, 0b100, 0b101]) == [0b011, 0b101]
+
+    def test_covers(self):
+        assert covers(0b001, [0b011])
+        assert not covers(0b001, [0b110])
+
+
+class TestMinVarianceSource:
+    def test_prefers_lower_expanded_variance(self):
+        # Finer ancestor with high variance loses to a coarser, quieter one.
+        variances = {0b011: 10.0, 0b111: 1.0}
+        positions = {0b011: 0, 0b111: 1}
+        best = min_variance_source(0b001, variances, positions)
+        assert best is not None
+        variance, expansion, source, position = best
+        assert source == 0b111
+        assert expansion == 4
+        assert variance == pytest.approx(4.0)
+
+    def test_tie_breaks_on_expansion_then_mask(self):
+        variances = {0b011: 1.0, 0b101: 1.0}
+        positions = {0b011: 0, 0b101: 1}
+        best = min_variance_source(0b001, variances, positions)
+        assert best[2] == 0b011  # equal variance and expansion: smaller mask
+
+    def test_uncovered_returns_none(self):
+        assert min_variance_source(0b100, {0b011: 1.0}, {0b011: 0}) is None
+
+
+class TestMarginalBatches:
+    def test_batches_cover_every_mask_once(self):
+        masks = [0b0011, 0b0101, 0b1100, 0b1010]
+        batches = plan_marginal_batches(masks, 4)
+        members = [m for batch in batches for m in batch.members]
+        assert sorted(members) == sorted(masks)
+        for batch in batches:
+            for member in batch.members:
+                assert dominated_by(member, batch.root)
+
+    def test_direct_containment_rides_free(self):
+        # The 1-way masks are dominated by the 3-way mask: one batch, one pass.
+        batches = plan_marginal_batches([0b111, 0b001, 0b010], 6)
+        assert len(batches) == 1
+        assert batches[0].root == 0b111
+        assert set(batches[0].members) == {0b111, 0b001, 0b010}
+
+    def test_max_bits_limits_union_growth(self):
+        masks = [0b000011, 0b001100, 0b110000]
+        batches = plan_marginal_batches(masks, 6, max_bits=2)
+        # No unions allowed beyond 2 bits: every mask is its own batch.
+        assert len(batches) == 3
+        assert all(batch.is_trivial for batch in batches)
+
+    def test_union_packing_reduces_full_passes(self):
+        # All 2-way masks over 8 bits pack into far fewer than 28 batches.
+        masks = [
+            (1 << i) | (1 << j) for i in range(8) for j in range(i + 1, 8)
+        ]
+        batches = plan_marginal_batches(masks, 8)
+        assert len(batches) < len(masks) / 2
+        cap = default_batch_bits(8, masks)
+        assert all(hamming_weight(batch.root) <= cap for batch in batches)
+
+    def test_empty_input(self):
+        assert plan_marginal_batches([], 4) == ()
+
+    def test_batch_assignment(self):
+        batches = (
+            MarginalBatch(root=0b11, members=(0b11, 0b01)),
+            MarginalBatch(root=0b100, members=(0b100,)),
+        )
+        assert batch_assignment(batches) == {0b11: 0, 0b01: 0, 0b100: 1}
+
+    @SETTINGS
+    @given(mask_lists)
+    def test_property_batches_partition_masks(self, masks):
+        batches = plan_marginal_batches(masks, 8)
+        members = [m for batch in batches for m in batch.members]
+        assert sorted(members) == sorted(masks)
+        for batch in batches:
+            assert all(dominated_by(member, batch.root) for member in batch.members)
+            assert hamming_weight(batch.root) <= 8

@@ -78,6 +78,84 @@ class TestGreedyClusterMasks:
         assert all(dominated_by(q, assignment[q]) for q in workload_2way_5.masks)
 
 
+class TestVectorizedGreedyRegression:
+    """Pin the exact output of the broadcasted pairwise merge scan.
+
+    The O(g^2) Python double loop was replaced by a vectorised pairwise
+    cost computation; these fixtures pin its clustering decisions so any
+    future change to the scan (ordering, tie-breaking, cost model) shows up
+    as an explicit diff.
+    """
+
+    def _schema6(self):
+        from repro.domain import Schema
+
+        return Schema.binary(["a", "b", "c", "d", "e", "f"])
+
+    def test_all_2way_uniform(self):
+        workload = all_k_way(self._schema6(), 2)
+        masks, assignment = greedy_cluster_masks(workload, cost_model="uniform")
+        assert masks == [7, 25, 30, 44, 51]
+        assert assignment == {
+            3: 7, 5: 7, 6: 7, 9: 25, 10: 30, 12: 30, 17: 25, 18: 30,
+            20: 30, 24: 25, 33: 51, 34: 51, 36: 44, 40: 44, 48: 51,
+        }
+
+    def test_star_optimal(self):
+        workload = star_workload(self._schema6(), 1)
+        masks, assignment = greedy_cluster_masks(workload, cost_model="optimal")
+        assert masks == [31, 33]
+        assert set(assignment.values()) == {31, 33}
+        assert assignment[33] == 33 and assignment[32] == 33
+        assert all(assignment[m] == 31 for m in assignment if m not in (32, 33))
+
+    def test_star_uniform_weighted(self):
+        workload = star_workload(self._schema6(), 1)
+        weights = np.linspace(0.5, 2.0, len(workload))
+        masks, assignment = greedy_cluster_masks(
+            workload, cost_model="uniform", query_weights=weights
+        )
+        assert masks == [63]
+        assert all(centroid == 63 for centroid in assignment.values())
+
+    def test_matches_scalar_rescan(self):
+        """One round of the vectorised scan equals a literal scalar re-scan."""
+        from repro.strategies.clustering import _Cluster, _best_merge
+
+        rng = np.random.default_rng(7)
+        workload = all_k_way(self._schema6(), 2)
+        clusters = [
+            _Cluster(centroid=q.mask, member_masks=[q.mask], member_weight=float(w))
+            for q, w in zip(workload.queries, rng.uniform(0.5, 3.0, len(workload)))
+        ]
+        for model in ("uniform", "optimal"):
+            pair, cost = _best_merge(clusters, model)
+            g = len(clusters)
+            weights = [c.recovery_weight for c in clusters]
+            best = None
+            for i in range(g):
+                for j in range(i + 1, g):
+                    merged_centroid = clusters[i].centroid | clusters[j].centroid
+                    merged_weight = (1 << bin(merged_centroid).count("1")) * (
+                        clusters[i].member_weight + clusters[j].member_weight
+                    )
+                    if model == "uniform":
+                        candidate = (g - 1) ** 2 * (
+                            sum(weights) - weights[i] - weights[j] + merged_weight
+                        )
+                    else:
+                        candidate = (
+                            sum(w ** (1 / 3) for w in weights)
+                            - weights[i] ** (1 / 3)
+                            - weights[j] ** (1 / 3)
+                            + merged_weight ** (1 / 3)
+                        ) ** 3
+                    if best is None or candidate < best[1]:
+                        best = ((i, j), candidate)
+            assert pair == best[0]
+            assert cost == pytest.approx(best[1], rel=1e-12)
+
+
 class TestClusteringStrategy:
     def test_is_marginal_set_strategy(self, workload_2way_5):
         strategy = ClusteringStrategy(workload_2way_5)

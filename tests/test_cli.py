@@ -199,3 +199,51 @@ class TestMain:
         )
         assert exit_code == 0
         assert "2 attributes" in capsys.readouterr().out
+
+
+class TestExplain:
+    def test_explain_prints_plan_without_releasing(self, survey_csv, capsys):
+        exit_code = main(
+            [
+                "release",
+                "--input",
+                str(survey_csv),
+                "--k",
+                "2",
+                "--strategy",
+                "Q",
+                "--explain",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "stage 1 — plan" in captured.out
+        assert "stage 2 — execute" in captured.out
+        assert "stage 3 — finalize" in captured.out
+        assert "batch" in captured.out
+        # No release summary: the plan was printed instead.
+        assert "release time" not in captured.out
+
+    def test_explain_works_in_legacy_form(self, survey_csv, capsys):
+        exit_code = main(
+            ["--input", str(survey_csv), "--k", "1", "--strategy", "F", "--explain"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "fourier kernel" in captured.out
+        assert "expected variance" in captured.out
+
+    def test_explain_does_not_write_store(self, survey_csv, tmp_path, capsys):
+        store = tmp_path / "store"
+        exit_code = main(
+            [
+                "release",
+                "--input",
+                str(survey_csv),
+                "--explain",
+                "--out",
+                str(store),
+            ]
+        )
+        assert exit_code == 0
+        assert not store.exists()

@@ -190,3 +190,44 @@ class TestProjectIndex:
     def test_projection_onto_full_mask_is_identity(self, index):
         full = (1 << 12) - 1
         assert project_index(index, full) == index
+
+
+class TestPopcountArray:
+    def test_matches_hamming_weight(self):
+        import numpy as np
+
+        from repro.utils.bits import popcount_array
+
+        values = np.array([0, 1, 2, 3, 0b1011, (1 << 40) - 1, (1 << 62) + 5])
+        assert popcount_array(values).tolist() == [
+            hamming_weight(int(v)) for v in values
+        ]
+
+    def test_2d_arrays(self):
+        import numpy as np
+
+        from repro.utils.bits import popcount_array
+
+        grid = np.arange(16).reshape(4, 4)
+        expected = [[hamming_weight(int(v)) for v in row] for row in grid]
+        assert popcount_array(grid).tolist() == expected
+
+    def test_rejects_oversized_masks(self):
+        import numpy as np
+        import pytest
+
+        from repro.utils.bits import popcount_array
+
+        with pytest.raises(ValueError):
+            popcount_array(np.array([1 << 63]))
+
+    def test_rejects_negative_masks(self):
+        import numpy as np
+        import pytest
+
+        from repro.utils.bits import popcount_array
+
+        # A signed array would otherwise wrap to a huge uint64 and silently
+        # return popcount 64.
+        with pytest.raises(ValueError):
+            popcount_array(np.array([-1, 3]))
