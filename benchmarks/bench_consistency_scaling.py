@@ -2,37 +2,110 @@
 
 The paper's fast consistency step works in the space of the workload's
 Fourier coefficients (``m = |F|`` variables) instead of the ``N = 2**d`` data
-cells used by the formulations of [1, 6].  This benchmark measures both on
-the same noisy NLTCS marginals:
+cells used by the formulations of [1, 6].  This benchmark measures, on the
+same noisy NLTCS marginals:
 
-* the closed-form coefficient-space projection (`fourier_consistency`);
+* the batched coefficient-space projection (`fourier_consistency`, running on
+  the `repro.fourier` kernels: stacked butterflies + indexed scatter);
+* the pre-kernel scalar implementation (Python block-loop FWHT + dict
+  accumulation), copied below verbatim as the regression baseline;
 * a dense data-space least squares ``min_x ||Q x - y||_2`` materialising the
-  workload matrix over all ``N`` cells.
+  workload matrix over all ``N`` cells (full runs only).
 
-The coefficient-space projection should be orders of magnitude faster and
-its answers should coincide with the data-space projection (both are
-Euclidean projections onto the same consistent subspace).
+The batched path must produce **bitwise identical** marginals to the scalar
+baseline and be at least ~5x faster on the d = 16 all-2-way acceptance
+scenario; the dense projection should coincide numerically and lose by orders
+of magnitude.
+
+Usage::
+
+    python benchmarks/bench_consistency_scaling.py          # full run, writes
+                                                            # results/consistency_scaling.json
+    python benchmarks/bench_consistency_scaling.py --quick  # CI smoke (no file)
 """
 
 from __future__ import annotations
 
+import argparse
+import json
+import sys
 import time
+from pathlib import Path
 
 import numpy as np
 
-from repro.analysis.reporting import format_table
-from repro.data import synthetic_nltcs
-from repro.data.nltcs import NLTCS_SCHEMA
-from repro.queries import all_k_way
-from repro.queries.matrix import workload_matrix
-from repro.recovery.consistency import fourier_consistency
+_SRC = Path(__file__).resolve().parent.parent / "src"
+try:  # pragma: no cover - import shim for uninstalled checkouts
+    import repro  # noqa: F401
+except ModuleNotFoundError:  # pragma: no cover
+    sys.path.insert(0, str(_SRC))
+
+from repro.data import synthetic_nltcs  # noqa: E402
+from repro.data.nltcs import NLTCS_SCHEMA  # noqa: E402
+from repro.queries import all_k_way  # noqa: E402
+from repro.queries.matrix import workload_matrix  # noqa: E402
+from repro.recovery.consistency import fourier_consistency  # noqa: E402
+from repro.utils.bits import iter_submasks, project_index  # noqa: E402
+
+RESULTS_PATH = Path(__file__).resolve().parent / "results" / "consistency_scaling.json"
 
 #: Number of NLTCS attributes used for the dense comparison (the dense path
 #: materialises a (cells x 2**d) matrix, so it is kept at a size where that
-#: is still feasible; the fast path is additionally run at the full d = 16).
+#: is still feasible; the fast paths run at the full d = 16).
 _DENSE_ATTRIBUTES = 12
 
 
+# --------------------------------------------------------------------------- #
+# baseline: the pre-kernel scalar implementation (verbatim copy)
+# --------------------------------------------------------------------------- #
+def _scalar_fwht_inplace(values):
+    n = values.shape[0]
+    h = 1
+    while h < n:
+        for start in range(0, n, 2 * h):
+            left = values[start : start + h]
+            right = values[start + h : start + 2 * h]
+            upper = left + right
+            lower = left - right
+            values[start : start + h] = upper
+            values[start + h : start + 2 * h] = lower
+        h *= 2
+
+
+def _scalar_marginal_from_fourier(coefficients, mask, d):
+    bits = [b for b in range(d) if (mask >> b) & 1]
+    k = len(bits)
+    local = np.zeros(1 << k, dtype=np.float64)
+    for beta in iter_submasks(mask):
+        local[project_index(beta, mask)] = coefficients[beta]
+    _scalar_fwht_inplace(local)
+    return local * (2.0 ** (d / 2.0 - k))
+
+
+def scalar_fourier_consistency(workload, noisy_marginals):
+    """The historical dict-based L2 projection (uniform weights)."""
+    d = workload.dimension
+    numerator = {}
+    denominator = {}
+    for query, estimate in zip(workload.queries, noisy_marginals):
+        k = query.order
+        local = np.array(estimate, dtype=np.float64, copy=True)
+        _scalar_fwht_inplace(local)
+        block_weight = 2.0 ** (d - k)
+        coefficient_scale = 2.0 ** (-d / 2.0)
+        for beta in query.fourier_support():
+            compact = project_index(beta, query.mask)
+            per_query = coefficient_scale * local[compact]
+            numerator[beta] = numerator.get(beta, 0.0) + block_weight * per_query
+            denominator[beta] = denominator.get(beta, 0.0) + block_weight
+    coefficients = {beta: numerator[beta] / denominator[beta] for beta in numerator}
+    return [
+        _scalar_marginal_from_fourier(coefficients, query.mask, d)
+        for query in workload.queries
+    ]
+
+
+# --------------------------------------------------------------------------- #
 def _noisy_marginals(workload, x, seed):
     rng = np.random.default_rng(seed)
     return [
@@ -45,45 +118,130 @@ def _dense_projection(workload, noisy):
     q = workload_matrix(workload)
     target = np.concatenate(noisy)
     solution, *_ = np.linalg.lstsq(q, target, rcond=None)
-    flat = q @ solution
-    return workload.split_flat(flat)
+    return workload.split_flat(q @ solution)
 
 
-def bench_consistency_scaling(benchmark, report_writer):
-    small = synthetic_nltcs(n_records=5_000, rng=3).project(
-        NLTCS_SCHEMA.names[:_DENSE_ATTRIBUTES], name="nltcs-12"
+def _time_best_of(callable_, reps: int) -> float:
+    best = float("inf")
+    for _ in range(reps):
+        start = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run(records: int, reps: int, seed: int, *, dense: bool) -> dict:
+    full = synthetic_nltcs(n_records=records, rng=3)
+    workload = all_k_way(full.schema, 2)
+    noisy = _noisy_marginals(workload, full.to_vector(), seed=seed)
+
+    # Correctness first: the batched kernels must match the scalar baseline
+    # bit for bit (this is what pins seeded releases across the rewrite).
+    batched = fourier_consistency(workload, noisy)
+    scalar = scalar_fourier_consistency(workload, noisy)
+    for position, (fast, slow) in enumerate(zip(batched.marginals, scalar)):
+        if not np.array_equal(np.asarray(fast), slow):
+            raise AssertionError(
+                f"batched consistency diverges from the scalar baseline on "
+                f"query {position}"
+            )
+
+    scalar_seconds = _time_best_of(
+        lambda: scalar_fourier_consistency(workload, noisy), reps
     )
-    workload_small = all_k_way(small.schema, 2)
-    noisy_small = _noisy_marginals(workload_small, small.to_vector(), seed=0)
-
-    full = synthetic_nltcs(n_records=5_000, rng=3)
-    workload_full = all_k_way(full.schema, 2)
-    noisy_full = _noisy_marginals(workload_full, full.to_vector(), seed=1)
-
-    # Timed section: the fast path at full dimension (what the paper ships).
-    result_full = benchmark(lambda: fourier_consistency(workload_full, noisy_full))
-
-    start = time.perf_counter()
-    fast_small = fourier_consistency(workload_small, noisy_small)
-    fast_seconds = time.perf_counter() - start
-
-    start = time.perf_counter()
-    dense_small = _dense_projection(workload_small, noisy_small)
-    dense_seconds = time.perf_counter() - start
-
-    rows = [
-        [f"Fourier coefficients (d={_DENSE_ATTRIBUTES})", len(workload_small.fourier_masks()), fast_seconds],
-        [f"dense data-space LS (d={_DENSE_ATTRIBUTES})", small.schema.domain_size, dense_seconds],
-        ["Fourier coefficients (d=16)", len(workload_full.fourier_masks()), float("nan")],
-    ]
-    table = format_table(
-        ["method", "variables", "seconds"], rows, float_format="{:.4f}"
+    batched_seconds = _time_best_of(
+        lambda: fourier_consistency(workload, noisy), reps
     )
-    report_writer("consistency_scaling", table)
 
-    # Both projections land on the same consistent marginals.
-    for fast, dense in zip(fast_small.marginals, dense_small):
-        assert np.allclose(fast, dense, atol=1e-5)
-    # And the coefficient-space path is dramatically faster.
-    assert fast_seconds < dense_seconds
-    assert len(result_full.marginals) == len(workload_full)
+    report = {
+        "config": {
+            "d": workload.dimension,
+            "k": 2,
+            "cuboids": len(workload),
+            "fourier_coefficients": len(workload.fourier_masks()),
+            "records": records,
+            "repetitions": reps,
+            "seed": seed,
+        },
+        "fourier_l2": {
+            "scalar_seconds": scalar_seconds,
+            "batched_seconds": batched_seconds,
+            "speedup": scalar_seconds / batched_seconds,
+            "bitwise_identical": True,
+        },
+    }
+
+    if dense:
+        small = synthetic_nltcs(n_records=records, rng=3).project(
+            NLTCS_SCHEMA.names[:_DENSE_ATTRIBUTES], name="nltcs-12"
+        )
+        workload_small = all_k_way(small.schema, 2)
+        noisy_small = _noisy_marginals(workload_small, small.to_vector(), seed=0)
+        fast_small = fourier_consistency(workload_small, noisy_small)
+        fast_seconds = _time_best_of(
+            lambda: fourier_consistency(workload_small, noisy_small), reps
+        )
+        start = time.perf_counter()
+        dense_small = _dense_projection(workload_small, noisy_small)
+        dense_seconds = time.perf_counter() - start
+        # Both are Euclidean projections onto the same consistent subspace.
+        for fast, slow in zip(fast_small.marginals, dense_small):
+            assert np.allclose(fast, slow, atol=1e-5)
+        assert fast_seconds < dense_seconds
+        report["dense_comparison"] = {
+            "d": _DENSE_ATTRIBUTES,
+            "domain_cells": small.schema.domain_size,
+            "fourier_seconds": fast_seconds,
+            "dense_ls_seconds": dense_seconds,
+            "fourier_vs_dense_speedup": dense_seconds / fast_seconds,
+        }
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--records", type=int, default=5_000, help="synthetic records")
+    parser.add_argument("--reps", type=int, default=None, help="timing repetitions")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smoke mode: fewer repetitions, no dense comparison, no results file",
+    )
+    args = parser.parse_args(argv)
+
+    reps = args.reps if args.reps is not None else (2 if args.quick else 7)
+    report = run(args.records, reps, args.seed, dense=not args.quick)
+
+    config, timing = report["config"], report["fourier_l2"]
+    print(
+        f"d={config['d']} cuboids={config['cuboids']} "
+        f"coefficients={config['fourier_coefficients']}"
+    )
+    print(
+        f"L2 consistency: scalar={timing['scalar_seconds'] * 1e3:.2f} ms  "
+        f"batched={timing['batched_seconds'] * 1e3:.2f} ms  "
+        f"speedup={timing['speedup']:.1f}x (bitwise identical)"
+    )
+    if "dense_comparison" in report:
+        dense = report["dense_comparison"]
+        print(
+            f"vs dense LS (d={dense['d']}): fourier={dense['fourier_seconds'] * 1e3:.2f} ms  "
+            f"dense={dense['dense_ls_seconds'] * 1e3:.2f} ms  "
+            f"({dense['fourier_vs_dense_speedup']:.0f}x)"
+        )
+    if not args.quick:
+        # Acceptance: the batched rewrite must be >= ~5x the scalar baseline.
+        assert timing["speedup"] >= 5.0, (
+            f"expected >= 5x over the scalar baseline, got {timing['speedup']:.1f}x"
+        )
+
+    if not args.quick:
+        RESULTS_PATH.parent.mkdir(exist_ok=True)
+        RESULTS_PATH.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {RESULTS_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -45,6 +45,7 @@ from repro.strategies import (
     make_strategy,
     query_strategy,
 )
+from repro.fourier import WorkloadFourierIndex, fwht, fwht_batch, inverse_fwht
 from repro.recovery import fourier_consistency, make_consistent
 from repro.plan import ExecutionPlan, Executor, Planner
 from repro.core import (
@@ -87,6 +88,10 @@ __all__ = [
     "ExplicitMatrixStrategy",
     "query_strategy",
     "make_strategy",
+    "WorkloadFourierIndex",
+    "fwht",
+    "fwht_batch",
+    "inverse_fwht",
     "fourier_consistency",
     "make_consistent",
     "ExecutionPlan",

@@ -1,0 +1,89 @@
+"""Vectorized and batched Walsh–Hadamard transform kernels.
+
+These are the array-native kernels behind every Fourier hot path of the
+library.  The historical implementation ran the butterfly as a Python loop
+over blocks (``O(n)`` Python iterations per transform); here each butterfly
+stage is a single reshape-based NumPy operation, so a length-``n`` transform
+costs ``O(log n)`` NumPy calls and a stacked ``(m, n)`` batch of same-length
+transforms costs the *same* ``O(log n)`` calls.
+
+The vectorized butterfly performs exactly the same pairwise ``(a, b) ->
+(a + b, a - b)`` float operations as the scalar loop, in the same
+associativity, so results are **bitwise identical** to the historical
+implementation (property-tested against a scalar reference in
+``tests/fourier/``).  Seeded releases and consistency projections therefore
+reproduce exactly across the rewrite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _check_transform_length(n: int) -> None:
+    if n == 0 or n & (n - 1):
+        raise ValueError(f"input length must be a power of two, got {n}")
+
+
+def fwht_inplace(values: np.ndarray) -> None:
+    """In-place unnormalised Walsh–Hadamard butterfly along the last axis.
+
+    ``values`` must be a C-contiguous float array whose last axis has
+    power-of-two length; any leading axes are transformed independently (the
+    batched case).  Each stage combines blocks of width ``2h`` elementwise:
+    ``(a, b) -> (a + b, a - b)`` — the same operations, in the same order,
+    as the classic scalar block loop, so the result is bitwise identical.
+    """
+    n = values.shape[-1]
+    _check_transform_length(n)
+    if not values.flags.c_contiguous:
+        raise ValueError("fwht_inplace requires a C-contiguous array")
+    h = 1
+    while h < n:
+        view = values.reshape(values.shape[:-1] + (n // (2 * h), 2, h))
+        left = view[..., 0, :]
+        right = view[..., 1, :]
+        upper = left + right
+        lower = left - right
+        view[..., 0, :] = upper
+        view[..., 1, :] = lower
+        h *= 2
+
+
+def fwht(x: np.ndarray) -> np.ndarray:
+    """Orthonormal Walsh–Hadamard transform of a length-``2**d`` vector.
+
+    Returns the coefficient vector ``x_hat`` with
+    ``x_hat[alpha] = 2**(-d/2) * sum_beta (-1)**<alpha, beta> x[beta]``.
+    The transform is involutive: ``fwht(fwht(x)) == x``.
+    """
+    values = np.array(x, dtype=np.float64, copy=True)
+    if values.ndim != 1:
+        raise ValueError(f"fwht expects a vector, got shape {values.shape}")
+    _check_transform_length(values.shape[0])
+    fwht_inplace(values)
+    values /= np.sqrt(values.shape[0])
+    return values
+
+
+def inverse_fwht(coefficients: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`fwht` (identical, since the transform is involutive)."""
+    return fwht(coefficients)
+
+
+def fwht_batch(rows: np.ndarray) -> np.ndarray:
+    """Orthonormal Walsh–Hadamard transform of every row of ``rows``.
+
+    ``rows`` is a stacked ``(m, 2**k)`` matrix (typically the same-order
+    marginals of a workload); the whole batch is transformed with one
+    ``O(k)``-NumPy-call butterfly instead of ``m`` independent transforms.
+    Row ``i`` of the result is bitwise identical to ``fwht(rows[i])``.
+    """
+    values = np.array(rows, dtype=np.float64, copy=True, order="C")
+    if values.ndim != 2:
+        raise ValueError(f"fwht_batch expects an (m, n) matrix, got shape {values.shape}")
+    _check_transform_length(values.shape[1])
+    if values.shape[0]:
+        fwht_inplace(values)
+    values /= np.sqrt(values.shape[1])
+    return values

@@ -11,8 +11,10 @@ batched passes:
      root's ``2**||root||`` cells.  For a workload of ``q`` cuboids this
      replaces ``q`` full passes with ``#batches`` full passes plus ``q``
      cheap sub-aggregations;
-   * ``"fourier"``: the existing targeted small-Hadamard computation of all
-     required coefficients;
+   * ``"fourier"``: the targeted small-Hadamard computation of all required
+     coefficients, running on the vectorized butterfly of
+     :mod:`repro.fourier` and assembled into the per-group cells without a
+     per-coefficient array allocation;
    * ``"matrix"``: one dense strategy-matrix product.
 
 2. **noise** — a single vectorized Laplace/Gaussian draw over *all* measured
@@ -146,9 +148,10 @@ class Executor:
             coefficients = fourier_coefficients_for_masks(
                 vector, plan.workload.masks, d
             )
-            return [
-                np.array([coefficients[group.mask]]) for group in plan.groups
-            ]
+            stacked = np.array(
+                [coefficients[group.mask] for group in plan.groups], dtype=np.float64
+            ).reshape(-1, 1)
+            return list(stacked)
         raise PlanError(f"unknown plan kernel {plan.kind!r}")
 
     # ------------------------------------------------------------------ #

@@ -15,7 +15,8 @@ from typing import TYPE_CHECKING, Sequence
 import numpy as np
 
 from repro.exceptions import DomainSizeError
-from repro.utils.bits import hamming_weight, iter_submasks, parity, project_index
+from repro.fourier.index import project_indices, submasks_array
+from repro.utils.bits import hamming_weight, popcount_array
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.queries.workload import MarginalWorkload
@@ -43,11 +44,8 @@ def marginal_operator_matrix(mask: int, d: int) -> np.ndarray:
     n = 1 << d
     rows = 1 << hamming_weight(mask)
     matrix = np.zeros((rows, n), dtype=np.float64)
-    columns = np.arange(n)
-    row_of_column = np.fromiter(
-        (project_index(int(c), mask) for c in columns), dtype=np.int64, count=n
-    )
-    matrix[row_of_column, columns] = 1.0
+    columns = np.arange(n, dtype=np.int64)
+    matrix[project_indices(columns, mask), columns] = 1.0
     return matrix
 
 
@@ -67,13 +65,13 @@ def fourier_basis_matrix(d: int) -> np.ndarray:
     """
     _check_dense(d)
     n = 1 << d
-    indices = np.arange(n)
-    # <alpha, beta> mod 2 via popcount of the AND.
-    signs = np.zeros((n, n), dtype=np.float64)
+    indices = np.arange(n, dtype=np.int64)
+    # <alpha, beta> mod 2 via popcount of the AND, one vectorized row at a time
+    # (a full n x n int64 outer product would double the peak memory).
+    signs = np.empty((n, n), dtype=np.float64)
     for alpha in range(n):
-        overlap = alpha & indices
-        pop = np.fromiter((parity(int(v)) for v in overlap), dtype=np.int64, count=n)
-        signs[alpha] = np.where(pop & 1, -1.0, 1.0)
+        parities = popcount_array(alpha & indices) & 1
+        signs[alpha] = np.where(parities == 1, -1.0, 1.0)
     return signs / np.sqrt(n)
 
 
@@ -86,40 +84,21 @@ def fourier_recovery_matrix(workload: "MarginalWorkload") -> np.ndarray:
     for ``beta ⪯ alpha_i`` and zero otherwise (Section 4.3).
     """
     d = workload.dimension
-    coefficients = workload.fourier_masks()
-    column_of = {mask: j for j, mask in enumerate(coefficients)}
-    matrix = np.zeros((workload.total_cells, len(coefficients)), dtype=np.float64)
+    coefficients = np.array(workload.fourier_masks(), dtype=np.int64)
+    matrix = np.zeros((workload.total_cells, coefficients.shape[0]), dtype=np.float64)
     row = 0
     scale_base = 2.0 ** (d / 2.0)
     for query in workload.queries:
         scale = scale_base / float(query.size)
-        cell_masks = _cell_masks(query.mask)
-        for gamma_full in cell_masks:
-            for beta in iter_submasks(query.mask):
-                sign = -1.0 if parity(beta & gamma_full) else 1.0
-                matrix[row, column_of[beta]] = sign * scale
-            row += 1
+        # The full-domain masks of the query's cells and the masks of its
+        # dominated coefficients are the *same* compact-ordered array.
+        betas = submasks_array(query.mask)
+        columns = np.searchsorted(coefficients, betas)
+        parities = popcount_array(betas[:, None] & betas[None, :]) & 1
+        block = np.where(parities == 1, -scale, scale)
+        matrix[row : row + query.size, columns] = block
+        row += query.size
     return matrix
-
-
-def _cell_masks(mask: int) -> Sequence[int]:
-    """Full-domain masks of the cells of the marginal ``mask``.
-
-    Cell ``beta`` (compact index) of ``C^alpha`` corresponds to the
-    full-domain point whose bits inside ``alpha`` spell ``beta`` and whose
-    bits outside ``alpha`` are zero.  The list is ordered by compact index so
-    it matches :func:`repro.domain.contingency.marginal_from_vector`.
-    """
-    bits = [b for b in range(mask.bit_length()) if (mask >> b) & 1]
-    size = 1 << len(bits)
-    cells = []
-    for compact in range(size):
-        full = 0
-        for j, bit in enumerate(bits):
-            if (compact >> j) & 1:
-                full |= 1 << bit
-        cells.append(full)
-    return cells
 
 
 def strategy_matrix_from_masks(masks: Sequence[int], d: int) -> np.ndarray:

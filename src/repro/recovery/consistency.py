@@ -17,6 +17,16 @@ estimates of every query that contains ``beta``, with weights
 ``w_q * 2**(d - k_q)``.  This costs ``O(sum_q k_q 2**k_q)`` — independent of
 ``N`` — which is the efficiency claim of Section 4.3.
 
+The projection runs entirely on the batched kernels of :mod:`repro.fourier`:
+same-order noisy marginals are stacked and pushed through one vectorized
+butterfly, the per-query coefficient estimates are scattered into global
+numerator/denominator arrays by the workload's precomputed
+:class:`~repro.fourier.WorkloadFourierIndex`, and the consistent marginals
+come back through one gather + batched inverse butterfly per order — no
+per-coefficient Python.  The accumulation follows the historical per-beta
+order exactly, so results are bitwise identical to the scalar implementation
+(property-tested in ``tests/fourier/``).
+
 For ``p = 1`` and ``p = inf`` the problem is a linear program over the
 coefficients (plus slack variables), solved with :func:`scipy.optimize.linprog`.
 """
@@ -24,16 +34,15 @@ coefficients (plus slack variables), solved with :func:`scipy.optimize.linprog`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Literal, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 from scipy import optimize
 
 from repro.exceptions import ConsistencyError
+from repro.fourier.index import WorkloadFourierIndex
 from repro.queries.matrix import fourier_recovery_matrix
 from repro.queries.workload import MarginalWorkload
-from repro.transforms.hadamard import marginal_from_fourier, _unnormalised_fwht_inplace
-from repro.utils.bits import project_index
 
 if TYPE_CHECKING:  # pragma: no cover - only needed for type annotations
     from repro.plan.plan import ExecutionPlan
@@ -79,11 +88,15 @@ def _validate_estimates(
                 f"noisy marginal for query {query.mask:#x} must have {query.size} cells, "
                 f"got shape {vector.shape}"
             )
-        if np.any(~np.isfinite(vector)):
-            raise ConsistencyError(
-                f"noisy marginal for query {query.mask:#x} contains non-finite values"
-            )
         validated.append(vector)
+    # One finiteness check over the concatenated cells; the per-query scan
+    # only runs on the error path to name the offending query.
+    if not np.isfinite(np.concatenate(validated)).all():
+        for query, vector in zip(workload.queries, validated):
+            if not np.isfinite(vector).all():
+                raise ConsistencyError(
+                    f"noisy marginal for query {query.mask:#x} contains non-finite values"
+                )
     return validated
 
 
@@ -108,9 +121,8 @@ def _residual(
     noisy: Sequence[np.ndarray],
     norm: NormOrder,
 ) -> float:
-    difference = np.concatenate(
-        [np.asarray(a) - np.asarray(b) for a, b in zip(consistent, noisy)]
-    )
+    difference = np.concatenate([np.asarray(a, dtype=np.float64) for a in consistent])
+    difference -= np.concatenate([np.asarray(b, dtype=np.float64) for b in noisy])
     if norm == 2:
         return float(np.linalg.norm(difference, 2))
     if norm == 1:
@@ -133,33 +145,25 @@ def fourier_consistency(
     larger weight pull the shared coefficients harder.  Passing the inverse
     noise variance of each query's cells approximates the optimal (GLS)
     recovery of Section 3.2 while keeping the closed form.
+
+    The whole projection is batched through the workload's cached
+    :class:`~repro.fourier.WorkloadFourierIndex`: stack marginals by order →
+    one butterfly per order → one ordered scatter into the global
+    numerator/denominator arrays → gather + batched inverse butterfly for the
+    consistent marginals.
     """
     estimates = _validate_estimates(workload, noisy_marginals)
     weights = _resolve_query_weights(workload, query_weights)
-    d = workload.dimension
+    index = WorkloadFourierIndex.for_workload(workload)
 
-    numerator: Dict[int, float] = {}
-    denominator: Dict[int, float] = {}
-    for query, estimate, weight in zip(workload.queries, estimates, weights):
-        if weight == 0.0:
-            continue
-        k = query.order
-        local = np.array(estimate, dtype=np.float64, copy=True)
-        _unnormalised_fwht_inplace(local)
-        # local[compact(beta)] = sum_gamma (-1)^{<beta, gamma>} * estimate[gamma]
-        block_weight = weight * (2.0 ** (d - k))
-        coefficient_scale = 2.0 ** (-d / 2.0)
-        for beta in query.fourier_support():
-            compact = project_index(beta, query.mask)
-            per_query_coefficient = coefficient_scale * local[compact]
-            numerator[beta] = numerator.get(beta, 0.0) + block_weight * per_query_coefficient
-            denominator[beta] = denominator.get(beta, 0.0) + block_weight
-
-    coefficients = {beta: numerator[beta] / denominator[beta] for beta in numerator}
-    marginals = [
-        marginal_from_fourier(coefficients, query.mask, d) for query in workload.queries
-    ]
+    numerator, denominator, covered = index.consistency_normal_equations(
+        estimates, weights
+    )
+    coefficient_array = np.zeros(index.coefficient_count, dtype=np.float64)
+    np.divide(numerator, denominator, out=coefficient_array, where=covered)
+    marginals = index.marginals_from_coefficients(coefficient_array, covered)
     residual = _residual(workload, marginals, estimates, 2)
+    coefficients = index.coefficients_dict(coefficient_array, covered)
     return ConsistencyResult(
         marginals=marginals, coefficients=coefficients, residual=residual, norm=2
     )
@@ -217,15 +221,12 @@ def fourier_consistency_lp(
     if not result.success:
         raise ConsistencyError(f"LP consistency projection failed: {result.message}")
 
-    coefficient_masks = workload.fourier_masks()
-    coefficients = {
-        mask: float(value)
-        for mask, value in zip(coefficient_masks, result.x[:coefficient_count])
-    }
-    d = workload.dimension
-    marginals = [
-        marginal_from_fourier(coefficients, query.mask, d) for query in workload.queries
-    ]
+    # ``fourier_recovery_matrix`` orders its columns by the sorted
+    # ``workload.fourier_masks()`` — exactly the index's coefficient order.
+    index = WorkloadFourierIndex.for_workload(workload)
+    coefficient_array = np.asarray(result.x[:coefficient_count], dtype=np.float64)
+    coefficients = index.coefficients_dict(coefficient_array)
+    marginals = index.marginals_from_coefficients(coefficient_array)
     residual = _residual(workload, marginals, estimates, "inf" if is_inf else 1)
     return ConsistencyResult(
         marginals=marginals,

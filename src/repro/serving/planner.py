@@ -14,9 +14,10 @@ can be answered by post-processing, at zero additional privacy cost.  The
   ``cell_var(alpha) * 2**(||alpha|| - ||beta||)`` — the finest ancestor is
   *not* automatically the best one when the release used non-uniform
   budgeting;
-* it aggregates the chosen cuboid down to the request with the vectorised
-  cube reduction of :func:`repro.strategies.marginal.submarginal` and applies
-  point/slice predicates by indexing into the aggregated cube.
+* it aggregates the chosen cuboid down to the request with one axis-sum over
+  a cached ``(2,) * k`` cube view of the source vector (the same vectorised
+  reduction as :func:`repro.domain.contingency.marginal_from_cube`) and
+  applies point/slice predicates by indexing into the aggregated cube.
 
 Per-cuboid cell variances come from the release's
 :class:`~repro.budget.allocation.NoiseAllocation` via the analytic formulas
@@ -32,11 +33,11 @@ import numpy as np
 
 from repro.core.result import ReleaseResult
 from repro.core.variance import per_query_variances
+from repro.domain.contingency import marginal_from_cube
 from repro.exceptions import ReproError, ServingError
 from repro.plan.lattice import ancestors_of, covers, min_variance_source
-from repro.strategies.marginal import submarginal
 from repro.strategies.registry import make_strategy
-from repro.utils.bits import bit_indices, dominated_by, hamming_weight
+from repro.utils.bits import bit_indices, dominated_by, hamming_weight, project_index
 
 
 def released_cell_variances(release: ReleaseResult) -> Dict[int, float]:
@@ -192,6 +193,9 @@ class QueryPlanner:
         self._positions: Dict[int, int] = {}
         for position, query in enumerate(release.workload.queries):
             self._positions.setdefault(query.mask, position)
+        # Aggregate fast path: per-source (2,) * k cube views of the released
+        # vectors, built lazily (shared memory, so caching is always safe).
+        self._cubes: Dict[int, np.ndarray] = {}
         self._cell_variances = (
             dict(cell_variances) if cell_variances is not None else released_cell_variances(release)
         )
@@ -256,9 +260,29 @@ class QueryPlanner:
         )
 
     def aggregate(self, plan: QueryPlan) -> np.ndarray:
-        """Aggregate the plan's source cuboid down to its union marginal."""
-        source_values = self._release.marginals[plan.source_position]
-        return submarginal(source_values, plan.source_mask, plan.union_mask)
+        """Aggregate the plan's source cuboid down to its union marginal.
+
+        The reduction runs on a cached cube view of the source vector: the
+        union marginal is one axis-sum over the compact projection of the
+        union bits (the same reduction the batched plan executor uses), so
+        repeated queries against one cuboid skip the per-call reshape and
+        dtype validation of the generic ``submarginal`` helper.
+        """
+        if not dominated_by(plan.union_mask, plan.source_mask):
+            raise ServingError(
+                f"marginal {plan.union_mask:#x} is not dominated by source "
+                f"cuboid {plan.source_mask:#x}"
+            )
+        cube = self._cubes.get(plan.source_position)
+        if cube is None:
+            source_values = np.asarray(
+                self._release.marginals[plan.source_position], dtype=np.float64
+            )
+            k = hamming_weight(plan.source_mask)
+            cube = source_values.reshape((2,) * k)
+            self._cubes[plan.source_position] = cube
+        compact_union = project_index(plan.union_mask, plan.source_mask)
+        return marginal_from_cube(cube, compact_union, cube.ndim)
 
     def answer(
         self, query_mask: int, *, fixed_mask: int = 0, fixed_bits: int = 0

@@ -18,6 +18,7 @@ post-processing of the released vectors.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from itertools import islice
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.core.result import ReleaseResult
@@ -304,7 +305,13 @@ class QueryService:
         if signature is None:
             return
         if len(self._request_keys) >= self._request_keys_cap:
-            self._request_keys.clear()
+            # Evict the oldest ~half (dict preserves insertion order) instead
+            # of clearing wholesale: a full clear made every live request
+            # signature miss at once, re-running name resolution and release
+            # routing for the whole working set (a thundering herd on the
+            # serving fast path under sustained traffic).
+            for stale in list(islice(self._request_keys, self._request_keys_cap // 2)):
+                del self._request_keys[stale]
         self._request_keys[signature] = key
 
     def query(

@@ -30,10 +30,10 @@ from repro.mechanisms.noise import (
     laplace_noise,
     laplace_scale_for_budget,
 )
+from repro.fourier.index import WorkloadFourierIndex
 from repro.queries.workload import MarginalWorkload
 from repro.strategies.base import Measurement, Strategy
-from repro.transforms.hadamard import fourier_coefficients_for_masks, marginal_from_fourier
-from repro.utils.bits import dominated_by
+from repro.transforms.hadamard import fourier_coefficients_for_masks
 from repro.utils.rng import RngLike, ensure_rng
 
 _GROUP_PREFIX = "fourier-"
@@ -147,11 +147,11 @@ class FourierStrategy(Strategy):
                 int(label[len(_GROUP_PREFIX) :], 16): float(value[0])
                 for label, value in measurement.values.items()
             }
-        d = self.dimension
-        return [
-            marginal_from_fourier(coefficients, query.mask, d)
-            for query in self._workload.queries
-        ]
+        # Batched reconstruction: gather the coefficient vector once, then one
+        # inverse butterfly per marginal order instead of per query.
+        index = WorkloadFourierIndex.for_workload(self._workload)
+        coefficient_array = index.coefficient_array_from_mapping(coefficients)
+        return index.marginals_from_coefficients(coefficient_array)
 
     def noisy_coefficients(self, measurement: Measurement) -> Dict[int, float]:
         """The noisy Fourier coefficients of a measurement, keyed by mask."""

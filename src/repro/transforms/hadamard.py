@@ -2,10 +2,13 @@
 
 The Fourier basis of Section 4.1 is ``f^alpha_beta = 2**(-d/2) * (-1)**<alpha, beta>``.
 The coefficient of ``x`` at ``alpha`` is ``<f^alpha, x>``; the full coefficient
-vector is the orthonormal Walsh–Hadamard transform of ``x``, computed here in
-``O(N log N)`` with the standard in-place butterfly.
+vector is the orthonormal Walsh–Hadamard transform of ``x``.
 
-Two facts from the paper drive the targeted helpers below:
+The heavy lifting lives in :mod:`repro.fourier`: the reshape-based vectorized
+butterfly (:func:`repro.fourier.fwht_inplace`, ``O(log n)`` NumPy ops, bitwise
+identical to the classic scalar block loop) and the batched / indexed machinery
+of :class:`repro.fourier.WorkloadFourierIndex`.  The helpers here keep the
+historical dict-based API as thin wrappers over those kernels:
 
 * a marginal ``C^alpha x`` depends only on the ``2**||alpha||`` coefficients at
   masks ``beta ⪯ alpha`` (Theorem 4.1(2)), and those coefficients can be read
@@ -14,53 +17,35 @@ Two facts from the paper drive the targeted helpers below:
 * conversely the marginal is recovered from those coefficients by a small
   inverse transform scaled by ``2**(d/2 - ||alpha||)``
   (:func:`marginal_from_fourier`).
+
+Hot loops that reconstruct many marginals (consistency, the Fourier strategy,
+the plan executor) skip the dicts entirely and use the index's batched
+gather → butterfly → scatter path.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Sequence
+from typing import Dict, Iterable, Mapping
 
 import numpy as np
 
 from repro.domain.contingency import marginal_from_vector
-from repro.utils.bits import hamming_weight, iter_submasks, project_index
+from repro.fourier.index import submasks_array
+from repro.fourier.kernels import fwht, fwht_inplace, inverse_fwht
+from repro.utils.bits import hamming_weight, popcount_array
 
+__all__ = [
+    "fwht",
+    "inverse_fwht",
+    "fourier_coefficient",
+    "fourier_coefficients_for_mask",
+    "fourier_coefficients_for_masks",
+    "marginal_from_fourier",
+]
 
-def _unnormalised_fwht_inplace(values: np.ndarray) -> None:
-    """In-place unnormalised Walsh–Hadamard butterfly (length must be a power of 2)."""
-    n = values.shape[0]
-    h = 1
-    while h < n:
-        # Combine blocks of width 2 * h: (a, b) -> (a + b, a - b).
-        for start in range(0, n, 2 * h):
-            left = values[start : start + h]
-            right = values[start + h : start + 2 * h]
-            upper = left + right
-            lower = left - right
-            values[start : start + h] = upper
-            values[start + h : start + 2 * h] = lower
-        h *= 2
-
-
-def fwht(x: np.ndarray) -> np.ndarray:
-    """Orthonormal Walsh–Hadamard transform of a length-``2**d`` vector.
-
-    Returns the coefficient vector ``x_hat`` with
-    ``x_hat[alpha] = 2**(-d/2) * sum_beta (-1)**<alpha, beta> x[beta]``.
-    The transform is involutive: ``fwht(fwht(x)) == x``.
-    """
-    values = np.array(x, dtype=np.float64, copy=True)
-    n = values.shape[0]
-    if n == 0 or n & (n - 1):
-        raise ValueError(f"input length must be a power of two, got {n}")
-    _unnormalised_fwht_inplace(values)
-    values /= np.sqrt(n)
-    return values
-
-
-def inverse_fwht(coefficients: np.ndarray) -> np.ndarray:
-    """Inverse of :func:`fwht` (identical, since the transform is involutive)."""
-    return fwht(coefficients)
+# Backwards-compatible alias: the scalar block loop this name used to denote
+# was replaced by the vectorized (bitwise-identical) kernel.
+_unnormalised_fwht_inplace = fwht_inplace
 
 
 def fourier_coefficient(x: np.ndarray, mask: int) -> float:
@@ -75,11 +60,8 @@ def fourier_coefficient(x: np.ndarray, mask: int) -> float:
     # <mask, gamma> only depends on gamma restricted to the bits of ``mask``,
     # so we can first collapse x onto the marginal over ``mask``.
     marginal = marginal_from_vector(x, mask, d)
-    signs = np.fromiter(
-        ((-1.0) ** hamming_weight(c) for c in range(marginal.shape[0])),
-        dtype=np.float64,
-        count=marginal.shape[0],
-    )
+    parities = popcount_array(np.arange(marginal.shape[0], dtype=np.int64)) & 1
+    signs = np.where(parities == 1, -1.0, 1.0)
     return float(np.dot(signs, marginal) / np.sqrt(n))
 
 
@@ -92,19 +74,11 @@ def fourier_coefficients_for_mask(x: np.ndarray, mask: int, d: int) -> Dict[int,
     x = np.asarray(x, dtype=np.float64)
     if x.shape[0] != (1 << d):
         raise ValueError(f"x must have length 2**{d}, got {x.shape[0]}")
-    marginal = marginal_from_vector(x, mask, d)
-    local = np.array(marginal, dtype=np.float64, copy=True)
-    _unnormalised_fwht_inplace(local)
+    local = marginal_from_vector(x, mask, d)
+    fwht_inplace(local)
     local /= 2.0 ** (d / 2.0)
-    bits = [b for b in range(d) if (mask >> b) & 1]
-    coefficients: Dict[int, float] = {}
-    for compact in range(local.shape[0]):
-        beta = 0
-        for j, bit in enumerate(bits):
-            if (compact >> j) & 1:
-                beta |= 1 << bit
-        coefficients[beta] = float(local[compact])
-    return coefficients
+    betas = submasks_array(mask)
+    return dict(zip(betas.tolist(), local.tolist()))
 
 
 def fourier_coefficients_for_masks(
@@ -136,14 +110,14 @@ def marginal_from_fourier(
     ignored.  The reconstruction uses Theorem 4.1(2):
     ``(C^mask x)_gamma = 2**(d/2 - ||mask||) * sum_{beta ⪯ mask} x_hat[beta] * (-1)**<beta, gamma>``.
     """
-    bits = [b for b in range(d) if (mask >> b) & 1]
-    k = len(bits)
-    local = np.zeros(1 << k, dtype=np.float64)
-    for beta in iter_submasks(mask):
+    k = hamming_weight(mask)
+    betas = submasks_array(mask).tolist()
+    local = np.empty(1 << k, dtype=np.float64)
+    for compact, beta in enumerate(betas):
         if beta not in coefficients:
             raise KeyError(
                 f"missing Fourier coefficient for mask {beta:#x}, required by marginal {mask:#x}"
             )
-        local[project_index(beta, mask)] = coefficients[beta]
-    _unnormalised_fwht_inplace(local)
+        local[compact] = coefficients[beta]
+    fwht_inplace(local)
     return local * (2.0 ** (d / 2.0 - k))

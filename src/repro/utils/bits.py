@@ -18,11 +18,18 @@ from typing import Iterator, Sequence, Tuple
 import numpy as np
 
 
+#: ``int.bit_count`` (Python >= 3.10) is a single CPython opcode-level call;
+#: the ``bin(...).count("1")`` fallback keeps older interpreters working.
+_HAS_BIT_COUNT = hasattr(int, "bit_count")
+
+
 def hamming_weight(mask: int) -> int:
     """Return the number of set bits of ``mask`` (written ``||alpha||`` in the
     paper, i.e. the dimensionality of the marginal indexed by ``mask``)."""
     if mask < 0:
         raise ValueError(f"bit masks must be non-negative, got {mask}")
+    if _HAS_BIT_COUNT:
+        return int(mask).bit_count()
     return bin(mask).count("1")
 
 

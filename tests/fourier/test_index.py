@@ -1,0 +1,217 @@
+"""Tests for ``WorkloadFourierIndex`` and the vectorized bit-projection helpers.
+
+The consistency reference below is a verbatim copy of the pre-index
+``fourier_consistency`` hot loop (dict accumulation, per-beta Python); the
+indexed implementation must reproduce its coefficients and marginals
+**bitwise** for arbitrary workloads, including mixed-order ones where the
+batched path regroups queries by order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.domain.schema import Schema
+from repro.fourier import (
+    WorkloadFourierIndex,
+    expand_indices,
+    project_indices,
+    submasks_array,
+)
+from repro.queries.marginal import MarginalQuery
+from repro.queries.workload import MarginalWorkload
+from repro.recovery.consistency import fourier_consistency
+from repro.utils.bits import hamming_weight, iter_submasks, project_index
+
+from tests.fourier.test_kernels import reference_unnormalised_fwht_inplace
+
+
+# --------------------------------------------------------------------------- #
+# reference: the historical scalar consistency projection (pre-PR, verbatim)
+# --------------------------------------------------------------------------- #
+def reference_fourier_consistency_coefficients(
+    workload, estimates, weights
+) -> Dict[int, float]:
+    d = workload.dimension
+    numerator: Dict[int, float] = {}
+    denominator: Dict[int, float] = {}
+    for query, estimate, weight in zip(workload.queries, estimates, weights):
+        if weight == 0.0:
+            continue
+        k = query.order
+        local = np.array(estimate, dtype=np.float64, copy=True)
+        reference_unnormalised_fwht_inplace(local)
+        block_weight = weight * (2.0 ** (d - k))
+        coefficient_scale = 2.0 ** (-d / 2.0)
+        for beta in query.fourier_support():
+            compact = project_index(beta, query.mask)
+            per_query_coefficient = coefficient_scale * local[compact]
+            numerator[beta] = numerator.get(beta, 0.0) + block_weight * per_query_coefficient
+            denominator[beta] = denominator.get(beta, 0.0) + block_weight
+    return {beta: numerator[beta] / denominator[beta] for beta in numerator}
+
+
+def reference_marginal_from_fourier(coefficients, mask: int, d: int) -> np.ndarray:
+    bits = [b for b in range(d) if (mask >> b) & 1]
+    k = len(bits)
+    local = np.zeros(1 << k, dtype=np.float64)
+    for beta in iter_submasks(mask):
+        local[project_index(beta, mask)] = coefficients[beta]
+    reference_unnormalised_fwht_inplace(local)
+    return local * (2.0 ** (d / 2.0 - k))
+
+
+# --------------------------------------------------------------------------- #
+# hypothesis machinery
+# --------------------------------------------------------------------------- #
+@st.composite
+def workloads_with_estimates(draw):
+    d = draw(st.integers(2, 5))
+    n_queries = draw(st.integers(1, min(6, (1 << d) - 1)))
+    masks = draw(
+        st.lists(
+            st.integers(0, (1 << d) - 1), min_size=n_queries, max_size=n_queries,
+            unique=True,
+        )
+    )
+    schema = Schema.binary([f"a{i}" for i in range(d)])
+    workload = MarginalWorkload(
+        schema, [MarginalQuery(mask, d) for mask in masks], name="hyp"
+    )
+    estimates = []
+    for query in workload.queries:
+        values = draw(
+            st.lists(
+                st.floats(
+                    min_value=-1e6, max_value=1e6,
+                    allow_nan=False, allow_infinity=False,
+                ),
+                min_size=query.size, max_size=query.size,
+            )
+        )
+        estimates.append(np.array(values, dtype=np.float64))
+    weights = draw(
+        st.one_of(
+            st.none(),
+            st.lists(
+                st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+                min_size=len(workload), max_size=len(workload),
+            ).filter(lambda w: any(value > 0 for value in w)),
+        )
+    )
+    return workload, estimates, weights
+
+
+class TestProjectionHelpers:
+    @settings(max_examples=80, deadline=None)
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_project_indices_matches_scalar(self, mask, index):
+        expected = project_index(index, mask)
+        actual = project_indices(np.array([index]), mask)
+        assert actual[0] == expected
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(0, 255))
+    def test_expand_inverts_project_on_submasks(self, mask):
+        betas = submasks_array(mask)
+        assert np.array_equal(project_indices(betas, mask), np.arange(betas.shape[0]))
+        assert np.array_equal(expand_indices(project_indices(betas, mask), mask), betas)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(0, 1023))
+    def test_submasks_array_matches_iter_submasks(self, mask):
+        betas = submasks_array(mask)
+        assert betas.shape[0] == 1 << hamming_weight(mask)
+        assert set(betas.tolist()) == set(iter_submasks(mask))
+        # compact ordering: entry c restricted to mask spells c
+        for compact, beta in enumerate(betas.tolist()):
+            assert project_index(beta, mask) == compact
+
+
+class TestWorkloadFourierIndex:
+    def test_coefficient_masks_match_workload_support(self, workload_2way_5):
+        index = WorkloadFourierIndex.for_workload(workload_2way_5)
+        assert index.coefficient_masks.tolist() == list(workload_2way_5.fourier_masks())
+        assert index.coefficient_count == len(workload_2way_5.fourier_masks())
+        assert index.total_cells == workload_2way_5.total_cells
+
+    def test_index_is_cached_per_workload_signature(self, workload_2way_5):
+        first = WorkloadFourierIndex.for_workload(workload_2way_5)
+        second = WorkloadFourierIndex.for_workload(workload_2way_5)
+        assert first is second
+
+    def test_slots_map_compact_positions_to_sorted_masks(self, workload_2way_5):
+        index = WorkloadFourierIndex.for_workload(workload_2way_5)
+        for position, query in enumerate(workload_2way_5.queries):
+            slots = index.slots_for(position)
+            betas = index.coefficient_masks[slots]
+            assert np.array_equal(betas, submasks_array(query.mask))
+
+    def test_mapping_round_trip(self, workload_2way_5):
+        index = WorkloadFourierIndex.for_workload(workload_2way_5)
+        rng = np.random.default_rng(0)
+        array = rng.normal(size=index.coefficient_count)
+        mapping = index.coefficients_dict(array)
+        assert np.array_equal(index.coefficient_array_from_mapping(mapping), array)
+        with pytest.raises(KeyError):
+            index.coefficient_array_from_mapping({})
+
+    @settings(max_examples=60, deadline=None)
+    @given(workloads_with_estimates())
+    def test_consistency_bitwise_equals_scalar_reference(self, case):
+        workload, estimates, weights = case
+        resolved = (
+            np.ones(len(workload)) if weights is None else np.asarray(weights, dtype=float)
+        )
+        expected_coefficients = reference_fourier_consistency_coefficients(
+            workload, estimates, resolved
+        )
+        needed = {
+            beta for query in workload.queries for beta in iter_submasks(query.mask)
+        }
+        if not needed <= set(expected_coefficients):
+            # Zero-weight queries left some required coefficient unfitted: the
+            # scalar reconstruction raised KeyError, and so must the indexed one.
+            with pytest.raises(KeyError, match="missing Fourier coefficient"):
+                fourier_consistency(workload, estimates, query_weights=weights)
+            return
+        result = fourier_consistency(workload, estimates, query_weights=weights)
+        assert set(result.coefficients) == set(expected_coefficients)
+        for beta, value in expected_coefficients.items():
+            # bitwise: the indexed scatter must reproduce the dict accumulation
+            assert np.float64(value) == np.float64(result.coefficients[beta]) or (
+                np.isnan(value) and np.isnan(result.coefficients[beta])
+            )
+        d = workload.dimension
+        for query, marginal in zip(workload.queries, result.marginals):
+            expected = reference_marginal_from_fourier(
+                expected_coefficients, query.mask, d
+            )
+            assert np.array_equal(expected, np.asarray(marginal))
+
+    def test_marginals_from_coefficients_bitwise_equals_scalar(self, workload_2way_5):
+        index = WorkloadFourierIndex.for_workload(workload_2way_5)
+        rng = np.random.default_rng(7)
+        array = rng.normal(size=index.coefficient_count)
+        mapping = index.coefficients_dict(array)
+        d = workload_2way_5.dimension
+        marginals = index.marginals_from_coefficients(array)
+        for query, marginal in zip(workload_2way_5.queries, marginals):
+            expected = reference_marginal_from_fourier(mapping, query.mask, d)
+            assert np.array_equal(expected, marginal)
+
+    def test_uncovered_coefficient_raises_keyerror_like_scalar(self):
+        schema = Schema.binary(["a", "b", "c"])
+        workload = MarginalWorkload(
+            schema, [MarginalQuery(0b011, 3), MarginalQuery(0b101, 3)], name="w"
+        )
+        estimates = [np.ones(4), np.ones(4)]
+        # Weight 0 on the second query: its exclusive coefficients (0b100,
+        # 0b101) are never fitted, so reconstructing it must raise KeyError —
+        # exactly like the scalar dict-based implementation did.
+        with pytest.raises(KeyError, match="missing Fourier coefficient"):
+            fourier_consistency(workload, estimates, query_weights=[1.0, 0.0])

@@ -167,6 +167,27 @@ class TestRouting:
         )
         assert service.query(["a"]).release_id == "singles"
 
+    def test_request_key_eviction_keeps_recent_half(self, store):
+        # Regression: hitting the signature-map capacity used to clear the
+        # whole map, so every live request signature missed at once and the
+        # next wave of queries re-ran routing (a thundering herd on the fast
+        # path).  Eviction must instead drop only the oldest ~half.
+        service = QueryService(store)
+        service._request_keys_cap = 8
+        masks = list(store.get("r1").workload.masks)
+        for mask in masks[:8]:
+            service.query(mask=mask)
+        assert len(service._request_keys) == 8
+        recent = list(service._request_keys)[4:]
+        # The insert that trips the capacity evicts the 4 oldest entries only.
+        service.query(mask=masks[8])
+        assert len(service._request_keys) == 5
+        for signature in recent:
+            assert signature in service._request_keys
+        # The retained signatures still serve from the fast path.
+        hit = service.query(mask=masks[7])
+        assert hit.cached
+
 
 class TestBatching:
     def test_batch_matches_single_answers(self, store):
