@@ -1,0 +1,188 @@
+"""Backend scaling: record-native count sources vs the dense pipeline.
+
+Two claims of the record-native refactor are measured:
+
+* **beyond the dense wall** — a d = 32 release (2**32-cell domain, 32 GiB as
+  a dense float64 vector) is *impossible* on the dense path (it raises the
+  targeted ``DataError``) and completes in well under a second from a few
+  thousand records on the record-native backend;
+* **crossover below the wall** — on domains both backends can serve, the
+  record-native backend wins whenever the record count ``n`` is far below
+  ``2**d`` (its per-marginal cost is ``O(n + 2**k)`` against the dense
+  ``O(2**d)``), and the two produce bitwise-identical seeded releases.
+
+Usage::
+
+    python benchmarks/bench_backend_scaling.py          # full run, writes
+                                                        # results/backend_scaling.json
+    python benchmarks/bench_backend_scaling.py --quick  # CI smoke (no file)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+try:  # pragma: no cover - import shim for uninstalled checkouts
+    import repro  # noqa: F401
+except ModuleNotFoundError:  # pragma: no cover
+    sys.path.insert(0, str(_SRC))
+
+from repro.core.engine import MarginalReleaseEngine  # noqa: E402
+from repro.domain import Dataset, Schema  # noqa: E402
+from repro.exceptions import DataError  # noqa: E402
+from repro.queries import all_k_way  # noqa: E402
+
+RESULTS_PATH = Path(__file__).resolve().parent / "results" / "backend_scaling.json"
+
+WIDE_D = 32
+
+
+def _binary_dataset(d: int, n_records: int, seed: int) -> Dataset:
+    schema = Schema.binary([f"a{i:02d}" for i in range(d)])
+    rng = np.random.default_rng(seed)
+    records = (rng.random((n_records, d)) < 0.35).astype(np.int64)
+    return Dataset(schema, records, name=f"synthetic-d{d}")
+
+
+def _time_best_of(callable_, reps: int) -> float:
+    best = float("inf")
+    for _ in range(reps):
+        start = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def wide_release(n_records: int, reps: int, seed: int) -> dict:
+    """The d = 32 scenario: dense impossible, record-native sub-second."""
+    data = _binary_dataset(WIDE_D, n_records, seed)
+    workload = all_k_way(data.schema, 2)
+
+    dense_engine = MarginalReleaseEngine(workload, "F", backend="dense")
+    try:
+        dense_engine.release(data, 1.0, rng=seed)
+        raise AssertionError("the dense backend must refuse a 2**32-cell domain")
+    except DataError:
+        dense_refused = True
+
+    record_engine = MarginalReleaseEngine(workload, "F", backend="record")
+    release = record_engine.release(data, 1.0, rng=seed)  # warm the encode cache
+    assert len(release.marginals) == len(workload)
+    record_seconds = _time_best_of(
+        lambda: record_engine.release(data, 1.0, rng=seed), reps
+    )
+    return {
+        "d": WIDE_D,
+        "domain_cells": float(2**WIDE_D),
+        "records": n_records,
+        "cuboids": len(workload),
+        "dense_refused": dense_refused,
+        "record_release_seconds": record_seconds,
+    }
+
+
+def crossover(dimensions, n_records: int, reps: int, seed: int) -> list:
+    """Dense vs record release time at fixed n over growing domains."""
+    points = []
+    for d in dimensions:
+        data = _binary_dataset(d, n_records, seed)
+        workload = all_k_way(data.schema, 2)
+        engines = {
+            backend: MarginalReleaseEngine(workload, "F", backend=backend)
+            for backend in ("dense", "record")
+        }
+        releases = {
+            backend: engine.release(data, 1.0, rng=seed)  # warm source caches
+            for backend, engine in engines.items()
+        }
+        for left, right in zip(
+            releases["dense"].marginals, releases["record"].marginals
+        ):
+            if not np.array_equal(left, right):
+                raise AssertionError(
+                    f"backends diverged on a seeded d={d} release"
+                )
+        timings = {
+            backend: _time_best_of(
+                lambda engine=engine: engine.release(data, 1.0, rng=seed), reps
+            )
+            for backend, engine in engines.items()
+        }
+        points.append(
+            {
+                "d": d,
+                "domain_cells": 1 << d,
+                "records": n_records,
+                "cuboids": len(workload),
+                "dense_seconds": timings["dense"],
+                "record_seconds": timings["record"],
+                "record_speedup": timings["dense"] / timings["record"],
+                "bitwise_identical": True,
+            }
+        )
+    return points
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--records", type=int, default=4_000, help="synthetic records")
+    parser.add_argument("--reps", type=int, default=None, help="timing repetitions")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smoke mode: small domains, fewer repetitions, no results file",
+    )
+    args = parser.parse_args(argv)
+
+    reps = args.reps if args.reps is not None else (1 if args.quick else 3)
+    dimensions = (10, 12, 14) if args.quick else (12, 14, 16, 18, 20)
+
+    wide = wide_release(args.records, reps, args.seed)
+    points = crossover(dimensions, args.records, reps, args.seed)
+    report = {
+        "config": {
+            "records": args.records,
+            "repetitions": reps,
+            "seed": args.seed,
+            "strategy": "F",
+            "workload": "all 2-way",
+        },
+        "wide_release": wide,
+        "crossover": points,
+    }
+
+    print(
+        f"d={wide['d']} ({wide['records']} records, {wide['cuboids']} cuboids): "
+        f"dense refused, record release {wide['record_release_seconds'] * 1e3:.1f} ms"
+    )
+    for point in points:
+        print(
+            f"d={point['d']:>2} (2**{point['d']} cells): "
+            f"dense={point['dense_seconds'] * 1e3:8.2f} ms  "
+            f"record={point['record_seconds'] * 1e3:8.2f} ms  "
+            f"({point['record_speedup']:.1f}x, bitwise identical)"
+        )
+
+    if not args.quick:
+        # Acceptance: with n << 2**d the record backend must win clearly.
+        widest = points[-1]
+        assert widest["record_speedup"] >= 3.0, (
+            f"expected >= 3x at d={widest['d']} with n={args.records}, "
+            f"got {widest['record_speedup']:.1f}x"
+        )
+        RESULTS_PATH.parent.mkdir(exist_ok=True)
+        RESULTS_PATH.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {RESULTS_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -20,6 +20,12 @@ Quickstart
 """
 
 from repro.domain import Attribute, ContingencyTable, Dataset, Schema
+from repro.sources import (
+    CountSource,
+    DenseCubeSource,
+    RecordSource,
+    as_count_source,
+)
 from repro.queries import (
     MarginalQuery,
     MarginalWorkload,
@@ -69,6 +75,10 @@ __all__ = [
     "Schema",
     "Dataset",
     "ContingencyTable",
+    "CountSource",
+    "DenseCubeSource",
+    "RecordSource",
+    "as_count_source",
     "MarginalQuery",
     "MarginalWorkload",
     "all_k_way",

@@ -97,6 +97,13 @@ def _add_release_arguments(parser: argparse.ArgumentParser) -> None:
         help="use classic uniform noise instead of the optimal non-uniform budgeting",
     )
     parser.add_argument(
+        "--backend",
+        default="auto",
+        choices=["auto", "dense", "record"],
+        help="count backend: dense 2**d vector, record-native arrays, or auto "
+        "(dense for small domains, record-native for wide schemas)",
+    )
+    parser.add_argument(
         "--no-consistency",
         action="store_true",
         help="skip the consistency projection (answers may contradict each other)",
@@ -306,6 +313,7 @@ def _run_release(args: argparse.Namespace):
         args.strategy,
         non_uniform=not args.uniform,
         consistency=not args.no_consistency,
+        backend=args.backend,
     )
     if args.explain:
         print(engine.explain(budget))

@@ -39,30 +39,20 @@ from repro.plan.plan import ExecutionPlan
 from repro.plan.planner import Planner
 from repro.queries.workload import MarginalWorkload
 from repro.recovery.consistency import make_consistent
+from repro.sources import (
+    DENSE_LIMIT_BITS,
+    CountSource,
+    as_count_source,
+    check_backend,
+    select_backend,
+)
 from repro.strategies.base import Strategy
 from repro.strategies.registry import make_strategy
 from repro.utils.rng import RngLike, ensure_rng
 
-DataInput = Union[Dataset, ContingencyTable, np.ndarray]
+DataInput = Union[Dataset, ContingencyTable, np.ndarray, CountSource]
 BudgetInput = Union[PrivacyBudget, float]
 StrategyInput = Union[str, Strategy]
-
-
-def _resolve_vector(data: DataInput, workload: MarginalWorkload) -> np.ndarray:
-    if isinstance(data, Dataset):
-        if data.schema != workload.schema:
-            raise WorkloadError("dataset schema does not match the workload schema")
-        return data.to_vector()
-    if isinstance(data, ContingencyTable):
-        if data.schema != workload.schema:
-            raise WorkloadError("table schema does not match the workload schema")
-        return data.counts
-    vector = np.asarray(data, dtype=np.float64)
-    if vector.ndim != 1 or vector.shape[0] != workload.domain_size:
-        raise WorkloadError(
-            f"count vector must have length {workload.domain_size}, got shape {vector.shape}"
-        )
-    return vector
 
 
 def _resolve_budget(budget: BudgetInput) -> PrivacyBudget:
@@ -90,6 +80,11 @@ class MarginalReleaseEngine:
     query_weights:
         Optional per-query weights for the variance objective (``a`` in the
         paper); ``None`` minimises the plain sum of variances.
+    backend:
+        Count backend policy: ``"auto"`` (dense at or below the dense limit,
+        record-native above — the default), ``"dense"`` or ``"record"``.
+        The backend only changes *how* exact counts are computed; seeded
+        releases are bitwise identical across backends.
     """
 
     def __init__(
@@ -100,8 +95,10 @@ class MarginalReleaseEngine:
         non_uniform: bool = True,
         consistency: bool = True,
         query_weights: Optional[Sequence[float]] = None,
+        backend: str = "auto",
     ):
         self._workload = workload
+        self._backend = check_backend(backend)
         if isinstance(strategy, Strategy):
             if strategy.workload is not workload and strategy.workload.masks != workload.masks:
                 raise WorkloadError("the strategy was built for a different workload")
@@ -145,6 +142,25 @@ class MarginalReleaseEngine:
         """The executor running plans with batched kernels."""
         return self._executor
 
+    @property
+    def backend(self) -> str:
+        """The configured backend policy (``"auto"``, ``"dense"``, ``"record"``)."""
+        return self._backend
+
+    @property
+    def resolved_backend(self) -> str:
+        """The concrete backend this engine measures with (``"dense"``/``"record"``).
+
+        Pure introspection — never raises.  A forced ``"dense"`` above the
+        dense limit still resolves to ``"dense"`` here; the release itself
+        fails with the targeted allocation error.  When :meth:`release` is
+        handed a ready-made :class:`~repro.sources.base.CountSource`, that
+        source's own backend wins over this policy.
+        """
+        if self._backend != "auto":
+            return self._backend
+        return select_backend(self._workload.dimension, "auto")
+
     def allocation(self, budget: BudgetInput) -> NoiseAllocation:
         """The noise allocation this engine would use for ``budget``."""
         return self._planner.allocation(_resolve_budget(budget))
@@ -154,8 +170,20 @@ class MarginalReleaseEngine:
         return self._planner.plan(_resolve_budget(budget))
 
     def explain(self, budget: BudgetInput) -> str:
-        """Human-readable description of the plan for ``budget``."""
-        return self.build_plan(budget).describe()
+        """Human-readable description of the plan for ``budget``, including
+        which count backend the engine will measure from."""
+        policy = (
+            f"policy {self._backend!r}"
+            if self._backend != "auto"
+            else f"auto: dense up to 2**{DENSE_LIMIT_BITS} cells, record-native above"
+        )
+        resolved = self.resolved_backend
+        if resolved == "dense" and self._workload.dimension > DENSE_LIMIT_BITS:
+            policy += "; exceeds the dense limit, dataset releases will fail"
+        return (
+            self.build_plan(budget).describe()
+            + f"\ndata backend      : {resolved} ({policy})"
+        )
 
     def expected_total_variance(self, budget: BudgetInput) -> float:
         """Analytic total weighted output variance for ``budget``."""
@@ -165,8 +193,14 @@ class MarginalReleaseEngine:
     def release(
         self, data: DataInput, budget: BudgetInput, *, rng: RngLike = None
     ) -> ReleaseResult:
-        """Produce a differentially private release of the workload on ``data``."""
-        vector = _resolve_vector(data, self._workload)
+        """Produce a differentially private release of the workload on ``data``.
+
+        ``data`` may be a :class:`~repro.domain.dataset.Dataset`, a
+        :class:`~repro.domain.contingency.ContingencyTable`, a dense count
+        vector, or a ready-made :class:`~repro.sources.base.CountSource`;
+        the engine's backend policy decides how exact counts are computed.
+        """
+        source = as_count_source(data, self._workload, self._backend)
         resolved_budget = _resolve_budget(budget)
         generator = ensure_rng(rng)
         timings: Dict[str, float] = {}
@@ -176,7 +210,7 @@ class MarginalReleaseEngine:
         timings["budgeting"] = time.perf_counter() - start
 
         start = time.perf_counter()
-        measurement = self._executor.measure(plan, vector, generator)
+        measurement = self._executor.measure(plan, source, generator)
         timings["measurement"] = time.perf_counter() - start
 
         start = time.perf_counter()
@@ -211,6 +245,7 @@ def release_marginals(
     non_uniform: bool = True,
     consistency: bool = True,
     query_weights: Optional[Sequence[float]] = None,
+    backend: str = "auto",
     rng: RngLike = None,
 ) -> ReleaseResult:
     """One-shot private release of a marginal workload.
@@ -235,5 +270,6 @@ def release_marginals(
         non_uniform=non_uniform,
         consistency=consistency,
         query_weights=query_weights,
+        backend=backend,
     )
     return engine.release(data, budget, rng=rng)

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import csv
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -26,27 +26,42 @@ def infer_schema_from_records(
     """Build a schema (and encoded record matrix) from raw string records.
 
     Every column becomes a categorical attribute whose values are the sorted
-    distinct strings observed in that column.
+    distinct strings observed in that column.  Encoding is one
+    ``numpy.unique(..., return_inverse=True)`` per column (NumPy sorts
+    strings exactly like Python, so labels and codes are identical to the
+    historical per-row dict encoding, just without the per-cell Python).
     """
-    if not rows:
+    if len(rows) == 0:
         raise DataError("cannot infer a schema from an empty record collection")
-    if any(len(row) != len(columns) for row in rows):
+    table = rows if isinstance(rows, np.ndarray) else None
+    if table is not None:
+        ragged = table.ndim != 2 or table.shape[1] != len(columns)
+    else:
+        ragged = any(len(row) != len(columns) for row in rows)
+    if ragged:
         raise DataError("all rows must have one value per column")
     attributes: List[Attribute] = []
-    encodings: List[Dict[str, int]] = []
+    matrix = np.empty((len(rows), len(columns)), dtype=np.int64)
     for position, name in enumerate(columns):
-        values = sorted({row[position] for row in rows})
-        if len(values) < 2:
+        # One array *per column*, dtype=object: fixed-width string dtypes
+        # would pad every cell (and silently drop trailing NUL characters),
+        # while object columns keep the original strings by reference and
+        # np.unique sorts them with Python's own string comparison — exactly
+        # the historical ``sorted(set(column))`` order.
+        if table is not None:
+            column = table[:, position]
+        else:
+            column = np.asarray([row[position] for row in rows], dtype=object)
+        values, codes = np.unique(column, return_inverse=True)
+        if values.shape[0] < 2:
             raise DataError(
                 f"column {name!r} has fewer than two distinct values and cannot "
                 "be used as a categorical attribute"
             )
-        attributes.append(Attribute(name, len(values), labels=tuple(values)))
-        encodings.append({value: code for code, value in enumerate(values)})
-    matrix = np.array(
-        [[encodings[j][row[j]] for j in range(len(columns))] for row in rows],
-        dtype=np.int64,
-    )
+        attributes.append(
+            Attribute(name, values.shape[0], labels=tuple(values.tolist()))
+        )
+        matrix[:, position] = codes.reshape(-1)
     return Schema(attributes), matrix
 
 

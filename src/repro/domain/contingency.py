@@ -161,16 +161,33 @@ class ContingencyTable:
 
     def resolve_mask(self, attributes: Union[int, Iterable[AttributeRef]]) -> int:
         """Convert an attribute collection (or raw mask) into a bit mask."""
-        if isinstance(attributes, (int, np.integer)):
-            mask = int(attributes)
-            if mask < 0 or mask >= self.domain_size:
-                raise SchemaError(f"mask {mask} outside the domain of this schema")
-            return mask
-        return self._schema.mask_of(attributes)
+        return self._schema.resolve_mask(attributes)
 
     def marginal_size(self, attributes: Union[int, Iterable[AttributeRef]]) -> int:
         """Number of cells of the marginal over ``attributes``."""
         return 1 << hamming_weight(self.resolve_mask(attributes))
+
+    # ------------------------------------------------------------------ #
+    # conversions
+    # ------------------------------------------------------------------ #
+    def as_source(self, backend: str = "auto", *, limit_bits=None):
+        """The table as a :class:`~repro.sources.base.CountSource`.
+
+        ``"dense"`` (and ``"auto"`` below the dense limit) wraps the existing
+        vector, sharing its memory; ``"record"`` (and ``"auto"`` above the
+        limit) converts the non-zero cells into a record-native source.  The
+        single table→source dispatch rule — :func:`as_count_source` delegates
+        here for table inputs.
+        """
+        from repro.sources.dense import DenseCubeSource
+        from repro.sources.record import RecordSource
+        from repro.sources.resolve import materialised_backend
+
+        if materialised_backend(self.dimension, backend, limit_bits=limit_bits) == "record":
+            return RecordSource.from_vector(
+                self._counts, self.dimension, schema=self._schema, limit_bits=limit_bits
+            )
+        return DenseCubeSource.from_table(self)
 
     # ------------------------------------------------------------------ #
     # constructors

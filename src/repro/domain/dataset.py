@@ -8,13 +8,16 @@ is the user-facing entry point: private release always starts from a dataset
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Iterable, Iterator, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.domain.contingency import ContingencyTable
 from repro.domain.schema import AttributeRef, Schema
 from repro.exceptions import DataError, SchemaError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sources.base import CountSource
 
 
 class Dataset:
@@ -57,6 +60,10 @@ class Dataset:
         self._records = matrix
         self._name = name or "dataset"
         self._table: Optional[ContingencyTable] = None
+        # Deduplicated (codes, weights) encoding, shared by the record-native
+        # source and the dense cube build — plus the source built from it.
+        self._encoded: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._record_source: Optional["CountSource"] = None
 
     # ------------------------------------------------------------------ #
     @property
@@ -92,19 +99,90 @@ class Dataset:
     # ------------------------------------------------------------------ #
     # conversions
     # ------------------------------------------------------------------ #
-    def contingency_table(self) -> ContingencyTable:
-        """The (cached) exact contingency table of the dataset."""
+    def encoded_counts(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Deduplicated ``(codes, weights)`` encoding of the records (cached).
+
+        ``codes`` holds the distinct packed domain indices (sorted) and
+        ``weights`` how many records carry each — the shared substrate of
+        both the record-native count source and the dense cube build.
+        """
+        if self._encoded is None:
+            codes = self._schema.encode_records(self._records)
+            unique, counts = np.unique(codes, return_counts=True)
+            self._encoded = (unique, counts.astype(np.float64))
+        return self._encoded
+
+    def contingency_table(self, *, limit_bits: Optional[int] = None) -> ContingencyTable:
+        """The (cached) exact contingency table of the dataset.
+
+        Raises :class:`DataError` when the dense ``2**d`` vector would exceed
+        the dense limit (``limit_bits`` overrides it for this call); wide
+        schemas go through :meth:`as_source` instead.
+        """
         if self._table is None:
-            self._table = ContingencyTable.from_records(self._schema, self._records)
+            from repro.sources.base import ensure_dense_allowed
+
+            ensure_dense_allowed(self._schema.total_bits, limit_bits=limit_bits)
+            codes, weights = self.encoded_counts()
+            counts = np.zeros(self._schema.domain_size, dtype=np.float64)
+            counts[codes] = weights
+            self._table = ContingencyTable(self._schema, counts, copy=False)
         return self._table
 
     def to_vector(self) -> np.ndarray:
         """The count vector ``x`` of length ``2**d``."""
         return self.contingency_table().counts
 
+    def as_source(
+        self, backend: str = "auto", *, limit_bits: Optional[int] = None
+    ) -> "CountSource":
+        """The dataset as a :class:`~repro.sources.base.CountSource`.
+
+        ``backend="auto"`` wraps the dense contingency table up to the dense
+        limit (bit-for-bit the historical pipeline) and switches to the
+        record-native source above it; ``"dense"`` / ``"record"`` force one.
+        """
+        from repro.sources.dense import DenseCubeSource
+        from repro.sources.record import RecordSource
+        from repro.sources.resolve import select_backend
+
+        if backend == "dense" and self._table is not None:
+            # The dense table already exists (e.g. built under an explicit
+            # limit_bits override); wrapping it allocates nothing, so the
+            # dense limit — which guards *new* allocations — does not apply.
+            return DenseCubeSource.from_table(self._table)
+        if select_backend(self._schema.total_bits, backend, limit_bits=limit_bits) == "dense":
+            return DenseCubeSource.from_table(
+                self.contingency_table(limit_bits=limit_bits)
+            )
+        if limit_bits is None and self._record_source is not None:
+            return self._record_source
+        codes, weights = self.encoded_counts()
+        source = RecordSource(
+            codes,
+            weights,
+            dimension=self._schema.total_bits,
+            schema=self._schema,
+            deduplicate=False,
+            limit_bits=limit_bits,
+        )
+        if limit_bits is None:
+            self._record_source = source
+        return source
+
     def marginal(self, attributes: Union[int, Iterable[AttributeRef]]) -> np.ndarray:
-        """Exact (non-private) marginal over ``attributes``."""
-        return self.contingency_table().marginal(attributes)
+        """Exact (non-private) marginal over ``attributes``.
+
+        Served from the cached contingency table on narrow schemas and
+        straight from the deduplicated record encoding on wide ones (where
+        the dense table cannot exist).
+        """
+        from repro.sources.base import DENSE_LIMIT_BITS
+
+        if self._schema.total_bits <= DENSE_LIMIT_BITS:
+            return self.contingency_table().marginal(attributes)
+        mask = self._schema.resolve_mask(attributes)
+        return self.as_source(backend="record").marginal(mask)
 
     # ------------------------------------------------------------------ #
     # manipulation helpers

@@ -12,7 +12,7 @@ vectors of the paper's Section 4.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Mapping, Sequence, Tuple, Union
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -157,6 +157,20 @@ class Schema:
         """Bit mask covering the block of a single attribute."""
         return self._blocks[self.position(ref)].mask
 
+    def resolve_mask(self, attributes: "Union[int, Iterable[AttributeRef]]") -> int:
+        """Convert an attribute collection (or raw bit mask) into a bit mask.
+
+        The single mask-resolution rule shared by contingency tables,
+        datasets and count sources: integers are validated against the
+        domain, anything else goes through :meth:`mask_of`.
+        """
+        if isinstance(attributes, (int, np.integer)):
+            mask = int(attributes)
+            if mask < 0 or mask >= self.domain_size:
+                raise SchemaError(f"mask {mask} outside the domain of this schema")
+            return mask
+        return self.mask_of(attributes)
+
     def mask_of(self, refs: Iterable[AttributeRef]) -> int:
         """Bit mask of the union of the given attributes' blocks.
 
@@ -260,9 +274,14 @@ class Schema:
     # ------------------------------------------------------------------ #
     # guard rails
     # ------------------------------------------------------------------ #
-    def check_dense_feasible(self, limit_bits: int = 26) -> None:
+    def check_dense_feasible(self, limit_bits: Optional[int] = None) -> None:
         """Raise :class:`DomainSizeError` if a dense length-``N`` vector over this
-        schema would exceed ``2**limit_bits`` entries."""
+        schema would exceed ``2**limit_bits`` entries (default: the shared
+        :data:`repro.sources.base.DENSE_LIMIT_BITS`)."""
+        if limit_bits is None:
+            from repro.sources.base import DENSE_LIMIT_BITS
+
+            limit_bits = DENSE_LIMIT_BITS
         if self._total_bits > limit_bits:
             raise DomainSizeError(
                 f"domain of 2**{self._total_bits} cells exceeds the dense limit of "

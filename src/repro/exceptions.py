@@ -16,11 +16,6 @@ class SchemaError(ReproError):
     """Raised when a schema definition or attribute lookup is invalid."""
 
 
-class DomainSizeError(ReproError):
-    """Raised when an operation would require materialising a domain that is
-    too large for the requested (dense) code path."""
-
-
 class WorkloadError(ReproError):
     """Raised when a query workload is empty, malformed, or references
     attributes that do not exist in the schema."""
@@ -52,7 +47,17 @@ class ConsistencyError(ReproError):
 
 
 class DataError(ReproError):
-    """Raised when dataset loading or synthesis is given invalid parameters."""
+    """Raised when dataset loading or synthesis is given invalid parameters,
+    or when a data representation cannot be produced (see
+    :class:`DomainSizeError`)."""
+
+
+class DomainSizeError(DataError):
+    """Raised when an operation would require materialising a domain that is
+    too large for the requested (dense) code path.  Subclasses
+    :class:`DataError` so every dense-limit guard in the pipeline — schema
+    checks, dense matrix construction, count-source allocation — is caught
+    by a single ``except DataError``."""
 
 
 class ServingError(ReproError):

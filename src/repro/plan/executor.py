@@ -3,25 +3,30 @@
 The :class:`Executor` replaces the per-strategy measurement loops with two
 batched passes:
 
-1. **exact values** — one kernel per plan, not one pass per query:
+1. **exact values** — one kernel per plan, not one pass per query, all
+   pulled from a :class:`~repro.sources.base.CountSource` (the dense
+   ``2**d`` vector or the record-native ``(codes, weights)`` arrays — the
+   kernels are backend-agnostic):
 
    * ``"marginal"``: a grouped subset-sum pass per batch.  The batch root
-     (the union of its members' masks) is materialised once from the full
-     ``2**d`` count vector; every member marginal is then aggregated from the
-     root's ``2**||root||`` cells.  For a workload of ``q`` cuboids this
-     replaces ``q`` full passes with ``#batches`` full passes plus ``q``
-     cheap sub-aggregations;
+     (the union of its members' masks) is materialised once from the source;
+     every member marginal is then aggregated from the root's
+     ``2**||root||`` cells.  Record-native sources skip roots that would
+     cost more than direct per-member passes
+     (:meth:`~repro.sources.base.CountSource.prefers_batch_root`);
    * ``"fourier"``: the targeted small-Hadamard computation of all required
-     coefficients, running on the vectorized butterfly of
-     :mod:`repro.fourier` and assembled into the per-group cells without a
-     per-coefficient array allocation;
-   * ``"matrix"``: one dense strategy-matrix product.
+     coefficients from the source's exact marginals;
+   * ``"matrix"``: one dense strategy-matrix product (dense-only: a
+     record-native source above the dense limit raises a targeted
+     :class:`~repro.exceptions.DataError` instead of allocating ``2**d``).
 
 2. **noise** — a single vectorized Laplace/Gaussian draw over *all* measured
    plan cells, with a per-cell scale vector.  NumPy generators consume the
    random stream per sample, so this draw is bitwise-identical to the
    historical sequential per-group draws (the plan's ``seed_policy``):
-   seeded releases reproduce the pre-plan pipeline exactly.
+   seeded releases reproduce the pre-plan pipeline exactly.  The exact
+   values are integer counts (exact in float64 regardless of summation
+   order), so seeded releases are also bitwise-identical *across backends*.
 
 The executor returns a normal :class:`~repro.strategies.base.Measurement`
 (assembled by the strategy via
@@ -32,11 +37,10 @@ downstream recovery code run unchanged.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Union
 
 import numpy as np
 
-from repro.domain.contingency import marginal_from_vector
 from repro.exceptions import PlanError, RecoveryError
 from repro.mechanisms.noise import (
     gaussian_noise,
@@ -45,29 +49,47 @@ from repro.mechanisms.noise import (
     laplace_scale_for_budget,
 )
 from repro.plan.plan import ExecutionPlan
+from repro.sources.base import CountSource
+from repro.sources.dense import DenseCubeSource
 from repro.strategies.base import Measurement, Strategy
 from repro.strategies.marginal import submarginal
-from repro.transforms.hadamard import fourier_coefficients_for_masks
 from repro.utils.rng import RngLike, ensure_rng
+
+DataVector = Union[np.ndarray, CountSource]
+
+
+def _as_source(x: DataVector, d: int) -> CountSource:
+    if isinstance(x, CountSource):
+        return x
+    return DenseCubeSource(np.asarray(x, dtype=np.float64), d)
 
 
 def batched_marginals(
-    vector: np.ndarray, batches, d: int
+    source: DataVector, batches, d: int
 ) -> Dict[int, np.ndarray]:
     """Materialise many marginals via their shared-ancestor batches.
 
     Returns ``{member mask: exact marginal}`` for every member of every
-    batch.  Each batch costs one ``O(2**d)`` pass (its root) plus one
-    ``O(2**||root||)`` aggregation per member.
+    batch.  ``source`` may be a dense count vector (wrapped on the fly) or
+    any :class:`~repro.sources.base.CountSource`.  Each batch costs one
+    source pass for its root plus one ``O(2**||root||)`` aggregation per
+    member; sources that would pay more for the shared root than for direct
+    member passes (record-native sources with few records) answer each
+    member directly — the values are identical either way.
     """
+    source = _as_source(source, d)
     values: Dict[int, np.ndarray] = {}
     for batch in batches:
-        root_values = marginal_from_vector(vector, batch.root, d)
-        for member in batch.members:
-            if member == batch.root:
-                values[member] = root_values
-            else:
-                values[member] = submarginal(root_values, batch.root, member)
+        if batch.is_trivial or source.prefers_batch_root(batch.root):
+            root_values = source.marginal(batch.root)
+            for member in batch.members:
+                if member == batch.root:
+                    values[member] = root_values
+                else:
+                    values[member] = submarginal(root_values, batch.root, member)
+        else:
+            for member in batch.members:
+                values[member] = source.marginal(member)
     return values
 
 
@@ -94,40 +116,49 @@ class Executor:
     def measure(
         self,
         plan: ExecutionPlan,
-        x: np.ndarray,
+        x: DataVector,
         rng: RngLike = None,
         *,
         noiseless: bool = False,
     ) -> Measurement:
-        """Measure the plan's strategy queries on the count vector ``x``.
+        """Measure the plan's strategy queries on a count vector or source.
 
-        With ``noiseless=True`` no noise is drawn (and the random stream is
-        not consumed): the measurement carries the exact strategy answers,
-        which is how tests pin the batched kernels against the per-query
-        reference path.
+        ``x`` may be the dense count vector (historical API) or any
+        :class:`~repro.sources.base.CountSource`.  With ``noiseless=True`` no
+        noise is drawn (and the random stream is not consumed): the
+        measurement carries the exact strategy answers, which is how tests
+        pin the batched kernels against the per-query reference path.
         """
         strategy = self._strategy
         if plan.kind == "custom":
             # Strategy without the batched-kernel contract: delegate to its
-            # own measure(), which validates vector and allocation itself.
+            # own measure(), which validates vector and allocation itself
+            # (and therefore needs the dense vector).
             if noiseless:
                 raise PlanError(
                     "noiseless execution requires the mask-indexed planner "
                     "contract; strategy "
                     f"{strategy.name!r} only supports its own measure()"
                 )
+            if isinstance(x, CountSource):
+                x = x.dense_vector()
             return strategy.measure(x, plan.allocation, rng)
         if plan.kind != strategy.measurement_kind:
             raise PlanError(
                 f"plan kernel {plan.kind!r} does not match strategy "
                 f"{strategy.name!r} ({strategy.measurement_kind!r})"
             )
-        vector = strategy.check_vector(x)
+        if isinstance(x, CountSource):
+            source = strategy.check_source(x)
+        else:
+            source = DenseCubeSource(
+                strategy.check_vector(x), strategy.dimension
+            )
         strategy.check_allocation(plan.allocation)
         generator = ensure_rng(rng)
         if plan.kind == "matrix":
-            return self._measure_matrix(plan, vector, generator, noiseless)
-        exacts = self._exact_group_values(plan, vector)
+            return self._measure_matrix(plan, source.dense_vector(), generator, noiseless)
+        exacts = self._exact_group_values(plan, source)
         noisy = self._apply_noise(plan, exacts, generator, noiseless)
         values = {
             group.label: array for group, array in zip(plan.groups, noisy)
@@ -138,16 +169,14 @@ class Executor:
     # exact-value kernels
     # ------------------------------------------------------------------ #
     def _exact_group_values(
-        self, plan: ExecutionPlan, vector: np.ndarray
+        self, plan: ExecutionPlan, source: CountSource
     ) -> List[np.ndarray]:
         d = self._strategy.dimension
         if plan.kind == "marginal":
-            by_mask = batched_marginals(vector, plan.batches, d)
+            by_mask = batched_marginals(source, plan.batches, d)
             return [by_mask[group.mask] for group in plan.groups]
         if plan.kind == "fourier":
-            coefficients = fourier_coefficients_for_masks(
-                vector, plan.workload.masks, d
-            )
+            coefficients = source.fourier_coefficients_for_masks(plan.workload.masks)
             stacked = np.array(
                 [coefficients[group.mask] for group in plan.groups], dtype=np.float64
             ).reshape(-1, 1)

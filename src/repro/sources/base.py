@@ -1,0 +1,179 @@
+"""The :class:`CountSource` protocol: pluggable backends for exact counts.
+
+Every measurement in the release pipeline ultimately needs two primitives
+from the data:
+
+* the exact marginal ``C^alpha x`` of an arbitrary cuboid mask ``alpha``
+  (the ``"marginal"`` kernel of the plan executor), and
+* the exact Fourier coefficients of the workload's support (the
+  ``"fourier"`` kernel), each of which is a small Hadamard transform of a
+  marginal (Theorem 4.1).
+
+Historically both were computed from the dense count vector ``x`` of length
+``N = 2**d``, which hard-caps the pipeline at ``d`` around 24–26 bits no
+matter how few records actually exist.  A :class:`CountSource` abstracts the
+*supplier* of those primitives so the same planner/executor machinery can run
+against either representation:
+
+* :class:`~repro.sources.dense.DenseCubeSource` wraps the dense vector and
+  reproduces today's behaviour bit for bit;
+* :class:`~repro.sources.record.RecordSource` computes every marginal
+  directly from deduplicated ``(codes, weights)`` record arrays via
+  mask-projected bit codes and a weighted ``numpy.bincount`` — it never
+  allocates ``2**d`` anything, unlocking wide schemas (``d`` up to 62).
+
+Because the exact counts are integers (and float64 addition of integers
+below ``2**53`` is exact in any order), both backends produce **bitwise
+identical** exact values; the executor's single vectorized noise draw then
+makes whole seeded releases bitwise identical across backends.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Iterable, Optional
+
+import numpy as np
+
+from repro.exceptions import DataError, DomainSizeError
+from repro.fourier.index import submasks_array
+from repro.fourier.kernels import fwht_inplace
+from repro.utils.bits import hamming_weight
+
+#: Largest dimension for which a dense ``2**d`` float64 allocation is allowed
+#: without an explicit override: ``2**26`` cells is 512 MiB.  Above this the
+#: library refuses to materialise dense vectors/cuboids and points the caller
+#: at the record-native backend instead of dying with a ``MemoryError``.
+DENSE_LIMIT_BITS = 26
+
+
+def ensure_dense_allowed(
+    bits: int, *, limit_bits: Optional[int] = None, what: str = "a dense count vector"
+) -> None:
+    """Raise :class:`DomainSizeError` (a :class:`DataError`) when ``2**bits``
+    cells exceed the dense limit.
+
+    This replaces the silent ``MemoryError``-prone allocations of the dense
+    pipeline with a targeted error that names the record-native escape hatch,
+    using the same exception type as the pre-existing dense guards
+    (:meth:`repro.domain.schema.Schema.check_dense_feasible`,
+    :mod:`repro.queries.matrix`).
+    """
+    limit = DENSE_LIMIT_BITS if limit_bits is None else int(limit_bits)
+    if bits > limit:
+        raise DomainSizeError(
+            f"refusing to materialise {what} with 2**{bits} cells "
+            f"(dense limit 2**{limit}); use the record-native backend "
+            "(Dataset.as_source(backend='record') / RecordSource, or "
+            "backend='record' on the release engine) which never allocates "
+            "the full domain"
+        )
+
+
+def validate_count_vector(
+    vector: np.ndarray, dimension: Optional[int] = None
+) -> "tuple[np.ndarray, int]":
+    """Validate a dense count vector and return it (as float64) with its ``d``.
+
+    Shared by every source constructor that accepts a vector: the length must
+    be a power of two, and an explicitly passed ``dimension`` must match it.
+    """
+    array = np.asarray(vector, dtype=np.float64)
+    if array.ndim != 1 or array.shape[0] == 0 or array.shape[0] & (array.shape[0] - 1):
+        raise DataError(
+            f"expected a power-of-two count vector, got shape {array.shape}"
+        )
+    d = array.shape[0].bit_length() - 1
+    if dimension is not None and int(dimension) != d:
+        raise DataError(
+            f"count vector of length {array.shape[0]} does not match dimension {dimension}"
+        )
+    return array, d
+
+
+class CountSource(ABC):
+    """Supplier of exact cuboid marginals (and Fourier coefficients) of one
+    fixed dataset, independent of how the data is physically represented."""
+
+    #: Short backend identifier (``"dense"`` / ``"record"``), used by the
+    #: engine's ``explain`` output and by benchmarks.
+    backend: str = "abstract"
+
+    # ------------------------------------------------------------------ #
+    @property
+    @abstractmethod
+    def dimension(self) -> int:
+        """Number of binary attributes ``d`` of the underlying domain."""
+
+    @property
+    def domain_size(self) -> int:
+        """Size ``N = 2**d`` of the (possibly never materialised) domain."""
+        return 1 << self.dimension
+
+    @property
+    @abstractmethod
+    def total(self) -> float:
+        """Total number of tuples represented by the source."""
+
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def marginal(self, mask: int) -> np.ndarray:
+        """Exact marginal ``C^alpha x`` for ``alpha = mask`` (compact indexing).
+
+        Returns a fresh float64 vector of length ``2**hamming_weight(mask)``
+        the caller may mutate.  Implementations raise :class:`DataError` when
+        the requested cuboid itself exceeds the dense limit.
+        """
+
+    @abstractmethod
+    def dense_vector(self) -> np.ndarray:
+        """The full count vector ``x`` of length ``2**d``.
+
+        Only exists below the dense limit; record-native sources raise a
+        targeted :class:`DataError` instead of attempting the allocation.
+        """
+
+    def prefers_batch_root(self, root_mask: int) -> bool:
+        """Whether materialising ``root_mask`` once and refining members from
+        it (the grouped subset-sum kernel) beats computing members directly.
+
+        Dense sources always prefer the root: a full ``O(2**d)`` pass is the
+        expensive part and the root amortises it.  Record sources override
+        this — their per-marginal cost is ``O(n + 2**k)``, so a huge shared
+        root can cost more than direct per-member passes.
+        """
+        return True
+
+    def check_mask(self, mask: int) -> int:
+        """Validate that ``mask`` addresses this source's domain."""
+        mask = int(mask)
+        if mask < 0 or mask >= self.domain_size:
+            raise DataError(
+                f"mask {mask:#x} does not address a {self.dimension}-bit domain"
+            )
+        return mask
+
+    # ------------------------------------------------------------------ #
+    def fourier_coefficients_for_masks(self, masks: Iterable[int]) -> Dict[int, float]:
+        """Coefficients ``{beta: <f^beta, x>}`` for every ``beta ⪯ some mask``.
+
+        Mirrors :func:`repro.transforms.hadamard.fourier_coefficients_for_masks`
+        exactly — same mask ordering, same small-Hadamard arithmetic on the
+        exact marginal — so the coefficients are bitwise identical across
+        backends; only the marginal supplier differs.
+        """
+        d = self.dimension
+        scale = 2.0 ** (d / 2.0)
+        coefficients: Dict[int, float] = {}
+        for mask in sorted({int(m) for m in masks}, key=hamming_weight, reverse=True):
+            if mask in coefficients:
+                continue
+            # marginal() returns a fresh float64 array (contract above), so
+            # the in-place butterfly can run on it directly.
+            local = self.marginal(mask)
+            fwht_inplace(local)
+            local /= scale
+            for beta, value in zip(submasks_array(mask).tolist(), local.tolist()):
+                if beta not in coefficients:
+                    coefficients[beta] = value
+        return coefficients

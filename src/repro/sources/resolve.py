@@ -1,0 +1,119 @@
+"""Backend selection and data-input resolution for the release engine.
+
+The engine accepts datasets, contingency tables, raw count vectors and
+ready-made count sources.  :func:`as_count_source` normalises any of them
+into a :class:`~repro.sources.base.CountSource` under a backend policy:
+
+* ``"auto"`` — dense at or below the dense limit (bit-for-bit the historical
+  pipeline), record-native above it;
+* ``"dense"`` / ``"record"`` — explicit override (``"dense"`` raises a
+  targeted :class:`~repro.exceptions.DataError` when the domain exceeds the
+  limit instead of attempting the ``2**d`` allocation).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.domain.contingency import ContingencyTable
+from repro.domain.dataset import Dataset
+from repro.exceptions import DataError, WorkloadError
+from repro.queries.workload import MarginalWorkload
+from repro.sources.base import DENSE_LIMIT_BITS, CountSource, ensure_dense_allowed
+from repro.sources.dense import DenseCubeSource
+from repro.sources.record import RecordSource
+
+#: The accepted backend policies.
+BACKENDS = ("auto", "dense", "record")
+
+SourceInput = Union[Dataset, ContingencyTable, np.ndarray, CountSource]
+
+
+def check_backend(backend: str) -> str:
+    """Validate a backend policy string."""
+    if backend not in BACKENDS:
+        raise DataError(f"unknown backend {backend!r}; choose one of {BACKENDS}")
+    return backend
+
+
+def select_backend(
+    dimension: int, backend: str = "auto", *, limit_bits: Optional[int] = None
+) -> str:
+    """Resolve a backend policy into a concrete backend for ``d`` bits.
+
+    ``"auto"`` keeps the dense pipeline (current behaviour, bitwise) up to
+    the dense limit and switches to record-native above it; an explicit
+    ``"dense"`` above the limit raises the targeted allocation error.
+    """
+    check_backend(backend)
+    limit = DENSE_LIMIT_BITS if limit_bits is None else int(limit_bits)
+    if backend == "record":
+        return "record"
+    if backend == "dense":
+        ensure_dense_allowed(dimension, limit_bits=limit)
+        return "dense"
+    return "dense" if dimension <= limit else "record"
+
+
+def as_count_source(
+    data: SourceInput,
+    workload: MarginalWorkload,
+    backend: str = "auto",
+    *,
+    limit_bits: Optional[int] = None,
+) -> CountSource:
+    """Resolve any engine data input into a count source over the workload's domain.
+
+    A ready-made :class:`~repro.sources.base.CountSource` is passed through
+    verbatim — handing the engine a concrete source *is* the backend choice,
+    and overrides the policy.
+    """
+    check_backend(backend)
+    schema = workload.schema
+    if isinstance(data, CountSource):
+        if data.dimension != workload.dimension:
+            raise WorkloadError(
+                f"count source over {data.dimension} bits does not match the "
+                f"workload's {workload.dimension}-bit domain"
+            )
+        source_schema = getattr(data, "schema", None)
+        if source_schema is not None and source_schema != schema:
+            raise WorkloadError("count source schema does not match the workload schema")
+        return data
+    if isinstance(data, Dataset):
+        if data.schema != schema:
+            raise WorkloadError("dataset schema does not match the workload schema")
+        return data.as_source(backend=backend, limit_bits=limit_bits)
+    if isinstance(data, ContingencyTable):
+        if data.schema != schema:
+            raise WorkloadError("table schema does not match the workload schema")
+        return data.as_source(backend, limit_bits=limit_bits)
+    vector = np.asarray(data, dtype=np.float64)
+    if vector.ndim != 1 or vector.shape[0] != workload.domain_size:
+        raise WorkloadError(
+            f"count vector must have length {workload.domain_size}, got shape {vector.shape}"
+        )
+    if materialised_backend(workload.dimension, backend, limit_bits=limit_bits) == "record":
+        return RecordSource.from_vector(
+            vector, workload.dimension, schema=schema, limit_bits=limit_bits
+        )
+    return DenseCubeSource(vector, workload.dimension, schema=schema)
+
+
+def materialised_backend(
+    dimension: int, backend: str, *, limit_bits: Optional[int] = None
+) -> str:
+    """Backend choice for data that already exists densely in memory.
+
+    Wrapping an existing vector allocates nothing, so an explicit
+    ``"dense"`` is honoured even above the dense limit (the limit guards
+    *new* allocations); only the ``"auto"``/``"record"`` policies route
+    through :func:`select_backend`.  Shared by :func:`as_count_source` and
+    :meth:`repro.domain.contingency.ContingencyTable.as_source` so both
+    resolve ``"auto"`` identically.
+    """
+    if check_backend(backend) == "dense":
+        return "dense"
+    return select_backend(dimension, backend, limit_bits=limit_bits)

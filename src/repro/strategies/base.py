@@ -234,6 +234,16 @@ class Strategy(ABC):
             )
         return vector
 
+    def check_source(self, source) -> "object":
+        """Validate that a :class:`~repro.sources.base.CountSource` covers the
+        workload's domain (the source-backed analogue of :meth:`check_vector`)."""
+        if source.dimension != self._workload.dimension:
+            raise WorkloadError(
+                f"count source over {source.dimension} bits does not match the "
+                f"workload's {self._workload.dimension}-bit domain"
+            )
+        return source
+
     def sensitivity(self, *, pure: bool = True) -> float:
         """Classic (uniform-noise) sensitivity of the strategy matrix.
 

@@ -88,17 +88,16 @@ def fourier_coefficients_for_masks(
 
     ``masks`` is typically ``workload.fourier_masks()`` or the workload's
     query masks; in the latter case all dominated coefficients are included.
+    Delegates to the dense count source, which owns the single
+    implementation of the widest-mask-first coefficient loop (shared with
+    the record-native backend so the two stay bitwise identical).
     """
-    coefficients: Dict[int, float] = {}
-    for mask in sorted(set(int(m) for m in masks), key=hamming_weight, reverse=True):
-        if mask in coefficients:
-            continue
-        coefficients.update(
-            (beta, value)
-            for beta, value in fourier_coefficients_for_mask(x, mask, d).items()
-            if beta not in coefficients
-        )
-    return coefficients
+    from repro.sources.dense import DenseCubeSource
+
+    x = np.asarray(x, dtype=np.float64)
+    if x.shape[0] != (1 << d):
+        raise ValueError(f"x must have length 2**{d}, got {x.shape[0]}")
+    return DenseCubeSource(x, d).fourier_coefficients_for_masks(masks)
 
 
 def marginal_from_fourier(

@@ -1,0 +1,128 @@
+"""Regression pins for the vectorized CSV/record encoding.
+
+``infer_schema_from_records`` used to encode with per-row Python dict
+lookups; it now runs one ``numpy.unique(..., return_inverse=True)`` per
+column.  These tests pin the inferred schemas (labels, cardinalities, order)
+and the encoded codes against a verbatim copy of the historical scalar
+implementation, on both hand-written and randomised inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.data.loader import infer_schema_from_records, load_csv
+from repro.domain.attribute import Attribute
+from repro.domain.schema import Schema
+from repro.exceptions import DataError
+
+
+def scalar_infer_schema_from_records(columns, rows):
+    """Verbatim pre-vectorization reference implementation."""
+    if len(rows) == 0:
+        raise DataError("cannot infer a schema from an empty record collection")
+    if any(len(row) != len(columns) for row in rows):
+        raise DataError("all rows must have one value per column")
+    attributes = []
+    encodings = []
+    for position, name in enumerate(columns):
+        values = sorted({row[position] for row in rows})
+        if len(values) < 2:
+            raise DataError(
+                f"column {name!r} has fewer than two distinct values and cannot "
+                "be used as a categorical attribute"
+            )
+        attributes.append(Attribute(name, len(values), labels=tuple(values)))
+        encodings.append({value: code for code, value in enumerate(values)})
+    matrix = np.array(
+        [[encodings[j][row[j]] for j in range(len(columns))] for row in rows],
+        dtype=np.int64,
+    )
+    return Schema(attributes), matrix
+
+
+value_strings = st.text(
+    alphabet=st.characters(min_codepoint=33, max_codepoint=126), min_size=0, max_size=6
+)
+
+
+@st.composite
+def string_tables(draw):
+    n_columns = draw(st.integers(1, 4))
+    n_rows = draw(st.integers(2, 30))
+    # Per-column small vocabularies so columns usually have >= 2 distinct values.
+    vocabularies = [
+        draw(st.lists(value_strings, min_size=2, max_size=5, unique=True))
+        for _ in range(n_columns)
+    ]
+    rows = [
+        [draw(st.sampled_from(vocabularies[j])) for j in range(n_columns)]
+        for _ in range(n_rows)
+    ]
+    return [f"col{j}" for j in range(n_columns)], rows
+
+
+class TestVectorizedEncodingMatchesScalar:
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(string_tables())
+    def test_schema_and_codes_are_pinned(self, table):
+        columns, rows = table
+        try:
+            expected_schema, expected_codes = scalar_infer_schema_from_records(
+                columns, rows
+            )
+        except DataError:
+            with pytest.raises(DataError):
+                infer_schema_from_records(columns, rows)
+            return
+        schema, codes = infer_schema_from_records(columns, rows)
+        assert schema == expected_schema
+        assert [a.labels for a in schema.attributes] == [
+            a.labels for a in expected_schema.attributes
+        ]
+        assert np.array_equal(codes, expected_codes)
+
+    def test_hand_written_example(self):
+        columns = ["city", "smoker"]
+        rows = [["rome", "yes"], ["paris", "no"], ["rome", "no"], ["oslo", "yes"]]
+        schema, codes = infer_schema_from_records(columns, rows)
+        assert schema.names == ("city", "smoker")
+        assert schema.attribute("city").labels == ("oslo", "paris", "rome")
+        assert codes.tolist() == [[2, 1], [1, 0], [2, 0], [0, 1]]
+
+    def test_trailing_nul_characters_stay_distinct(self):
+        """Fixed-width numpy string dtypes silently drop trailing NULs; the
+        object-dtype columns must keep such values distinct like the
+        historical dict encoding did."""
+        columns = ["c"]
+        rows = [["a"], ["a\x00"], ["a"]]
+        expected_schema, expected_codes = scalar_infer_schema_from_records(
+            columns, rows
+        )
+        schema, codes = infer_schema_from_records(columns, rows)
+        assert schema.attribute("c").labels == expected_schema.attribute("c").labels
+        assert np.array_equal(codes, expected_codes)
+
+    def test_single_valued_column_raises(self):
+        with pytest.raises(DataError, match="fewer than two distinct"):
+            infer_schema_from_records(["only"], [["x"], ["x"]])
+
+    def test_ragged_rows_raise(self):
+        with pytest.raises(DataError, match="one value per column"):
+            infer_schema_from_records(["a", "b"], [["1", "2"], ["1"]])
+
+    def test_empty_rows_raise(self):
+        with pytest.raises(DataError, match="empty record collection"):
+            infer_schema_from_records(["a"], [])
+
+
+class TestLoadCsvStripping:
+    def test_values_are_stripped_like_the_scalar_loader(self, tmp_path):
+        path = tmp_path / "pad.csv"
+        path.write_text("a,b\n x , u\ny,  v \nx,u\n")
+        dataset = load_csv(path)
+        assert dataset.schema.attribute("a").labels == ("x", "y")
+        assert dataset.schema.attribute("b").labels == ("u", "v")
+        assert dataset.records.tolist() == [[0, 0], [1, 1], [0, 0]]

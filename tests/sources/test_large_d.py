@@ -1,0 +1,207 @@
+"""Wide-schema (d = 32) end-to-end coverage on the record-native backend.
+
+The dense pipeline physically cannot serve these domains (a 2**32-cell
+float64 vector is 32 GiB); the record-native backend releases, stores and
+serves them from a few thousand records.  This is the acceptance scenario of
+the record-native refactor: engine → store → QueryService round trip at
+d = 32, with the dense backend failing loudly instead of dying on the
+allocation.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.engine import MarginalReleaseEngine, release_marginals
+from repro.domain import Dataset, Schema
+from repro.exceptions import DataError
+from repro.queries import MarginalQuery, MarginalWorkload
+from repro.serving import QueryService, ReleaseStore
+from repro.strategies.marginal import submarginal
+
+D = 32
+
+
+@pytest.fixture(scope="module")
+def wide_schema():
+    return Schema.binary([f"a{i:02d}" for i in range(D)])
+
+
+@pytest.fixture(scope="module")
+def wide_dataset(wide_schema):
+    rng = np.random.default_rng(2013)
+    records = (rng.random((3000, D)) < 0.35).astype(np.int64)
+    return Dataset(wide_schema, records, name="wide-32")
+
+
+@pytest.fixture(scope="module")
+def wide_workload(wide_schema):
+    masks = [1 << i for i in range(D)]  # every 1-way
+    masks += [
+        (1 << i) | (1 << j) for i in range(8) for j in range(i + 1, 8)
+    ]  # 2-way over the first eight attributes
+    masks += [0b111, (1 << 31) | (1 << 15) | 1]  # two spanning 3-way cuboids
+    return MarginalWorkload(
+        wide_schema, [MarginalQuery(mask, D) for mask in masks], name="wide-mixed"
+    )
+
+
+class TestWideRelease:
+    @pytest.mark.parametrize("strategy", ["F", "Q", "C"])
+    def test_release_succeeds_and_is_exactly_reproducible(
+        self, wide_dataset, wide_workload, strategy
+    ):
+        first = release_marginals(
+            wide_dataset, wide_workload, budget=1.0, strategy=strategy, rng=7
+        )
+        second = release_marginals(
+            wide_dataset, wide_workload, budget=1.0, strategy=strategy, rng=7
+        )
+        assert len(first.marginals) == len(wide_workload)
+        for left, right in zip(first.marginals, second.marginals):
+            assert np.array_equal(left, right)
+
+    def test_released_marginals_track_the_exact_counts(
+        self, wide_dataset, wide_workload
+    ):
+        release = release_marginals(
+            wide_dataset, wide_workload, budget=50.0, strategy="Q", rng=3
+        )
+        source = wide_dataset.as_source(backend="record")
+        for query, noisy in zip(wide_workload.queries, release.marginals):
+            exact = source.marginal(query.mask)
+            assert np.abs(noisy - exact).max() < 25.0  # high budget -> tiny noise
+
+    def test_consistency_holds_across_overlapping_cuboids(
+        self, wide_dataset, wide_workload
+    ):
+        release = release_marginals(
+            wide_dataset, wide_workload, budget=1.0, strategy="F", rng=11
+        )
+        assert release.consistent
+        by_mask = release.as_dict()
+        wide = by_mask[0b111]
+        for bit in range(3):
+            assert np.allclose(
+                submarginal(wide, 0b111, 1 << bit), by_mask[1 << bit], atol=1e-8
+            )
+
+    def test_dense_backend_raises_instead_of_allocating(
+        self, wide_dataset, wide_workload
+    ):
+        with pytest.raises(DataError, match="record-native"):
+            release_marginals(
+                wide_dataset,
+                wide_workload,
+                budget=1.0,
+                strategy="F",
+                backend="dense",
+                rng=7,
+            )
+
+    def test_identity_strategy_raises_a_targeted_error(
+        self, wide_dataset, wide_workload
+    ):
+        with pytest.raises(DataError, match="2\\*\\*32"):
+            release_marginals(
+                wide_dataset, wide_workload, budget=1.0, strategy="I", rng=7
+            )
+
+    def test_explain_reports_the_record_backend(self, wide_workload):
+        engine = MarginalReleaseEngine(wide_workload, "F")
+        assert engine.resolved_backend == "record"
+        explanation = engine.explain(1.0)
+        assert "data backend" in explanation
+        assert "record" in explanation
+
+    def test_explain_never_raises_for_a_forced_dense_engine(self, wide_workload):
+        engine = MarginalReleaseEngine(wide_workload, "F", backend="dense")
+        assert engine.resolved_backend == "dense"  # introspection must not throw
+        assert "exceeds the dense limit" in engine.explain(1.0)
+
+
+class TestWideServingRoundTrip:
+    def test_engine_store_service_round_trip(
+        self, tmp_path, wide_dataset, wide_workload
+    ):
+        release = release_marginals(
+            wide_dataset, wide_workload, budget=1.0, strategy="F", rng=5
+        )
+        store = ReleaseStore(tmp_path / "store")
+        release_id = store.put(release)
+
+        reopened = ReleaseStore(tmp_path / "store", create=False)
+        service = QueryService(reopened)
+        answer = service.query(["a03", "a05"], release_id=release_id)
+        assert answer.values.shape == (4,)
+        assert np.isfinite(answer.std_error)
+        assert np.array_equal(
+            answer.values, release.marginal_for(["a03", "a05"])
+        )
+
+        sliced = service.query(["a00"], where={"a01": 1})
+        assert sliced.values.shape == (2,)
+        total = service.query([])
+        assert total.values.shape == (1,)
+
+
+class TestWideCli:
+    @pytest.fixture
+    def wide_csv(self, tmp_path):
+        rng = np.random.default_rng(5)
+        path = tmp_path / "wide.csv"
+        names = [f"c{i:02d}" for i in range(D)]
+        with path.open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(names)
+            for _ in range(400):
+                writer.writerow(["yes" if v else "no" for v in rng.integers(0, 2, D)])
+        return path
+
+    def test_release_and_query_a_wide_store(self, wide_csv, tmp_path, capsys):
+        store = tmp_path / "store"
+        code = main(
+            [
+                "release",
+                "--input",
+                str(wide_csv),
+                "--k",
+                "1",
+                "--epsilon",
+                "2.0",
+                "--seed",
+                "9",
+                "--out",
+                str(store),
+            ]
+        )
+        assert code == 0, capsys.readouterr().err
+        assert "stored release" in capsys.readouterr().out
+
+        code = main(
+            ["query", "--store", str(store), "--attributes", "c07", "--json"]
+        )
+        assert code == 0, capsys.readouterr().err
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["attributes"] == ["c07"]
+        assert len(payload["cells"]) == 2
+
+    def test_explain_shows_the_backend_choice(self, wide_csv, capsys):
+        code = main(
+            ["--input", str(wide_csv), "--k", "1", "--explain"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "data backend      : record" in out
+
+    def test_forced_dense_backend_fails_loudly(self, wide_csv, capsys):
+        code = main(
+            ["--input", str(wide_csv), "--k", "1", "--backend", "dense", "--seed", "1"]
+        )
+        assert code == 2
+        assert "record-native" in capsys.readouterr().err

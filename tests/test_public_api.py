@@ -18,6 +18,10 @@ EXPECTED_EXPORTS = [
     "Schema",
     "Dataset",
     "ContingencyTable",
+    "CountSource",
+    "DenseCubeSource",
+    "RecordSource",
+    "as_count_source",
     "MarginalQuery",
     "MarginalWorkload",
     "all_k_way",
