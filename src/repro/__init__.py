@@ -26,6 +26,7 @@ from repro.sources import (
     RecordSource,
     as_count_source,
 )
+from repro.shards import ShardedRecordSource, StreamingSourceBuilder
 from repro.queries import (
     MarginalQuery,
     MarginalWorkload,
@@ -78,6 +79,8 @@ __all__ = [
     "CountSource",
     "DenseCubeSource",
     "RecordSource",
+    "ShardedRecordSource",
+    "StreamingSourceBuilder",
     "as_count_source",
     "MarginalQuery",
     "MarginalWorkload",

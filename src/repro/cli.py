@@ -104,6 +104,22 @@ def _add_release_arguments(parser: argparse.ArgumentParser) -> None:
         "(dense for small domains, record-native for wide schemas)",
     )
     parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="hash-shard the record-native backend into this many partitions "
+        "(marginals are computed per shard in parallel and summed; results "
+        "are bitwise identical for any shard count; default: auto-shard "
+        "large datasets on multi-core machines)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker pool size for sharded measurement "
+        "(default: min(shards, cores))",
+    )
+    parser.add_argument(
         "--no-consistency",
         action="store_true",
         help="skip the consistency projection (answers may contradict each other)",
@@ -314,9 +330,11 @@ def _run_release(args: argparse.Namespace):
         non_uniform=not args.uniform,
         consistency=not args.no_consistency,
         backend=args.backend,
+        shards=args.shards,
+        workers=args.workers,
     )
     if args.explain:
-        print(engine.explain(budget))
+        print(engine.explain(budget, data=dataset))
         return dataset, None
     result = engine.release(dataset, budget, rng=args.seed)
     if args.nonnegative:

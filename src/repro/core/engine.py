@@ -32,7 +32,7 @@ from repro.budget.allocation import NoiseAllocation
 from repro.core.result import ReleaseResult
 from repro.domain.contingency import ContingencyTable
 from repro.domain.dataset import Dataset
-from repro.exceptions import WorkloadError
+from repro.exceptions import DataError, WorkloadError
 from repro.mechanisms.privacy import PrivacyBudget
 from repro.plan.executor import Executor
 from repro.plan.plan import ExecutionPlan
@@ -85,6 +85,15 @@ class MarginalReleaseEngine:
         record-native above — the default), ``"dense"`` or ``"record"``.
         The backend only changes *how* exact counts are computed; seeded
         releases are bitwise identical across backends.
+    shards:
+        Number of hash shards for the record-native backend (marginals are
+        computed per shard on a worker pool and summed in fixed shard
+        order).  ``None`` auto-shards above the record-count threshold on
+        multi-core machines; sharding never changes values — seeded
+        releases are bitwise identical for any shard and worker count.
+    workers:
+        Worker pool size for sharded measurement (defaults to
+        ``min(shards, cores)``).
     """
 
     def __init__(
@@ -96,9 +105,20 @@ class MarginalReleaseEngine:
         consistency: bool = True,
         query_weights: Optional[Sequence[float]] = None,
         backend: str = "auto",
+        shards: Optional[int] = None,
+        workers: Optional[int] = None,
     ):
+        from repro.shards.partition import check_shard_knobs
+
         self._workload = workload
         self._backend = check_backend(backend)
+        check_shard_knobs(shards, workers)
+        if shards is not None and int(shards) > 1:
+            # Fails fast on the dense-backend conflict (sharding partitions
+            # record arrays); auto/record policies resolve to "record".
+            select_backend(workload.dimension, backend, shards=shards)
+        self._shards = shards
+        self._workers = workers
         if isinstance(strategy, Strategy):
             if strategy.workload is not workload and strategy.workload.masks != workload.masks:
                 raise WorkloadError("the strategy was built for a different workload")
@@ -148,18 +168,30 @@ class MarginalReleaseEngine:
         return self._backend
 
     @property
+    def shards(self) -> Optional[int]:
+        """The configured shard count (``None`` = auto)."""
+        return self._shards
+
+    @property
+    def workers(self) -> Optional[int]:
+        """The configured worker count (``None`` = auto)."""
+        return self._workers
+
+    @property
     def resolved_backend(self) -> str:
         """The concrete backend this engine measures with (``"dense"``/``"record"``).
 
         Pure introspection — never raises.  A forced ``"dense"`` above the
         dense limit still resolves to ``"dense"`` here; the release itself
-        fails with the targeted allocation error.  When :meth:`release` is
-        handed a ready-made :class:`~repro.sources.base.CountSource`, that
-        source's own backend wins over this policy.
+        fails with the targeted allocation error.  An explicit multi-shard
+        request resolves to ``"record"`` (sharding partitions record
+        arrays).  When :meth:`release` is handed a ready-made
+        :class:`~repro.sources.base.CountSource`, that source's own backend
+        wins over this policy.
         """
         if self._backend != "auto":
             return self._backend
-        return select_backend(self._workload.dimension, "auto")
+        return select_backend(self._workload.dimension, "auto", shards=self._shards)
 
     def allocation(self, budget: BudgetInput) -> NoiseAllocation:
         """The noise allocation this engine would use for ``budget``."""
@@ -169,25 +201,57 @@ class MarginalReleaseEngine:
         """The execution plan this engine would run for ``budget``."""
         return self._planner.plan(_resolve_budget(budget))
 
-    def explain(self, budget: BudgetInput) -> str:
+    def explain(self, budget: BudgetInput, data: Optional[DataInput] = None) -> str:
         """Human-readable description of the plan for ``budget``, including
-        which count backend the engine will measure from."""
+        which count backend the engine will measure from.
+
+        With ``data``, the actual count source is resolved so the
+        explanation additionally reports the shard layout / worker count and
+        the backend-aware per-batch cost estimates the release would use; a
+        data input the configured backend cannot serve (e.g. a forced dense
+        backend over the limit) falls back to the data-independent
+        explanation with a note instead of raising.
+        """
         policy = (
             f"policy {self._backend!r}"
             if self._backend != "auto"
             else f"auto: dense up to 2**{DENSE_LIMIT_BITS} cells, record-native above"
         )
-        resolved = self.resolved_backend
-        if resolved == "dense" and self._workload.dimension > DENSE_LIMIT_BITS:
+        source = None
+        if data is not None:
+            try:
+                source = self._resolve_source(data)
+            except DataError:
+                source = None
+        resolved = self.resolved_backend if source is None else source.backend
+        if (
+            source is None
+            and self.resolved_backend == "dense"
+            and self._workload.dimension > DENSE_LIMIT_BITS
+        ):
             policy += "; exceeds the dense limit, dataset releases will fail"
-        return (
-            self.build_plan(budget).describe()
-            + f"\ndata backend      : {resolved} ({policy})"
-        )
+        plan = self._planner.plan(_resolve_budget(budget), source=source)
+        lines = [
+            plan.describe(),
+            f"data backend      : {resolved} ({policy})",
+        ]
+        if source is not None:
+            lines.append(f"source layout     : {source.describe_layout()}")
+        return "\n".join(lines)
 
     def expected_total_variance(self, budget: BudgetInput) -> float:
         """Analytic total weighted output variance for ``budget``."""
         return self.allocation(budget).total_weighted_variance()
+
+    def _resolve_source(self, data: DataInput) -> CountSource:
+        """Resolve a data input under this engine's backend + shard policy."""
+        return as_count_source(
+            data,
+            self._workload,
+            self._backend,
+            shards=self._shards,
+            workers=self._workers,
+        )
 
     # ------------------------------------------------------------------ #
     def release(
@@ -198,15 +262,17 @@ class MarginalReleaseEngine:
         ``data`` may be a :class:`~repro.domain.dataset.Dataset`, a
         :class:`~repro.domain.contingency.ContingencyTable`, a dense count
         vector, or a ready-made :class:`~repro.sources.base.CountSource`;
-        the engine's backend policy decides how exact counts are computed.
+        the engine's backend policy (plus the shard knobs) decides how exact
+        counts are computed.  The plan is costed against the resolved source
+        so the executor's root-vs-direct decisions match the backend.
         """
-        source = as_count_source(data, self._workload, self._backend)
+        source = self._resolve_source(data)
         resolved_budget = _resolve_budget(budget)
         generator = ensure_rng(rng)
         timings: Dict[str, float] = {}
 
         start = time.perf_counter()
-        plan = self._planner.plan(resolved_budget)
+        plan = self._planner.plan(resolved_budget, source=source)
         timings["budgeting"] = time.perf_counter() - start
 
         start = time.perf_counter()
@@ -246,6 +312,8 @@ def release_marginals(
     consistency: bool = True,
     query_weights: Optional[Sequence[float]] = None,
     backend: str = "auto",
+    shards: Optional[int] = None,
+    workers: Optional[int] = None,
     rng: RngLike = None,
 ) -> ReleaseResult:
     """One-shot private release of a marginal workload.
@@ -271,5 +339,7 @@ def release_marginals(
         consistency=consistency,
         query_weights=query_weights,
         backend=backend,
+        shards=shards,
+        workers=workers,
     )
     return engine.release(data, budget, rng=rng)

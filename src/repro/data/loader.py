@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import csv
 from pathlib import Path
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -113,3 +113,108 @@ def load_csv(
     stripped = [[row[position].strip() for position in positions] for row in body]
     schema, matrix = infer_schema_from_records(wanted, stripped)
     return Dataset(schema, matrix, name=name or file_path.stem)
+
+
+def _attribute_code_map(attribute: Attribute) -> Dict[str, int]:
+    """Label → code mapping of one attribute (labels, or plain digit codes)."""
+    if attribute.labels is not None:
+        return {label: code for code, label in enumerate(attribute.labels)}
+    return {str(code): code for code in range(attribute.cardinality)}
+
+
+def _encode_chunk(
+    columns: List[List[str]], maps: Sequence[Dict[str, int]], names: Sequence[str]
+) -> np.ndarray:
+    """Encode one buffered chunk of string columns into a code matrix.
+
+    One ``np.unique`` per column maps each *distinct* string through the
+    label dictionary once (instead of one dict lookup per cell).
+    """
+    matrix = np.empty((len(columns[0]), len(columns)), dtype=np.int64)
+    for position, (column, mapping, name) in enumerate(zip(columns, maps, names)):
+        values, inverse = np.unique(np.asarray(column, dtype=object), return_inverse=True)
+        try:
+            codes = np.array([mapping[value] for value in values.tolist()], dtype=np.int64)
+        except KeyError as error:
+            raise DataError(
+                f"column {name!r} contains the value {error.args[0]!r}, which is "
+                "not in the schema's label set"
+            ) from None
+        matrix[:, position] = codes[inverse.reshape(-1)]
+    return matrix
+
+
+def iter_csv_batches(
+    path: Union[str, Path],
+    schema: Schema,
+    *,
+    columns: Optional[Sequence[str]] = None,
+    delimiter: str = ",",
+    has_header: bool = True,
+    batch_size: int = 50_000,
+) -> Iterator[np.ndarray]:
+    """Stream a delimited file as encoded record batches over a fixed schema.
+
+    The streaming counterpart of :func:`load_csv` for datasets larger than
+    memory: the file is read row by row and yielded as ``(rows, attributes)``
+    int64 code matrices of at most ``batch_size`` rows — the whole file is
+    never resident.  Because values are *encoded* (not inferred), the schema
+    is fixed up front and every value must be one of its attribute labels
+    (schemas without labels accept the integer codes as digits); an unknown
+    value raises :class:`DataError` naming the column.
+
+    ``columns`` names the schema attributes to look up in the file's header
+    (a permutation of the schema's attribute names; useful when the file
+    holds extra columns or a different header order).  The yielded matrices
+    are **always in schema attribute order** — ready for
+    :meth:`repro.domain.schema.Schema.encode_records` /
+    :meth:`repro.shards.streaming.StreamingSourceBuilder.add_records` —
+    regardless of the ``columns`` order.
+    """
+    file_path = Path(path)
+    if not file_path.exists():
+        raise DataError(f"file not found: {file_path}")
+    if batch_size < 1:
+        raise DataError(f"batch_size must be positive, got {batch_size}")
+    names = [attribute.name for attribute in schema.attributes]
+    wanted = list(columns) if columns is not None else list(names)
+    if sorted(wanted) != sorted(names):
+        raise DataError(
+            f"columns must name every schema attribute exactly once "
+            f"(schema: {names}, got: {wanted})"
+        )
+    # Read in `wanted` (file) order, yield in schema attribute order: codes
+    # are packed positionally downstream, so column order must match the
+    # schema no matter how the file is laid out.
+    schema_order = [wanted.index(name) for name in names]
+    maps = [_attribute_code_map(schema.attribute(name)) for name in wanted]
+    with file_path.open(newline="") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        positions: Optional[List[int]] = None
+        if not has_header:
+            positions = list(range(len(wanted)))
+        buffer: List[List[str]] = [[] for _ in wanted]
+        buffered = 0
+        for row in reader:
+            if not any(cell.strip() for cell in row):
+                continue
+            if positions is None:  # first non-empty row is the header
+                header = [cell.strip() for cell in row]
+                missing = [column for column in wanted if column not in header]
+                if missing:
+                    raise DataError(
+                        f"columns {missing} not present in {file_path} (header: {header})"
+                    )
+                positions = [header.index(column) for column in wanted]
+                continue
+            if max(positions, default=-1) >= len(row):
+                raise DataError("all rows must have one value per column")
+            for column, position in zip(buffer, positions):
+                column.append(row[position].strip())
+            buffered += 1
+            if buffered >= batch_size:
+                yield _encode_chunk(buffer, maps, wanted)[:, schema_order]
+                buffer = [[] for _ in wanted]
+                buffered = 0
+        if buffered:
+            yield _encode_chunk(buffer, maps, wanted)[:, schema_order]

@@ -61,9 +61,12 @@ class Dataset:
         self._name = name or "dataset"
         self._table: Optional[ContingencyTable] = None
         # Deduplicated (codes, weights) encoding, shared by the record-native
-        # source and the dense cube build — plus the source built from it.
+        # source and the dense cube build — plus the sources built from it
+        # (the sharded ones keyed by their layout, so repeated releases reuse
+        # one partition and one worker pool).
         self._encoded: Optional[Tuple[np.ndarray, np.ndarray]] = None
         self._record_source: Optional["CountSource"] = None
+        self._sharded_sources: dict = {}
 
     # ------------------------------------------------------------------ #
     @property
@@ -134,30 +137,72 @@ class Dataset:
         return self.contingency_table().counts
 
     def as_source(
-        self, backend: str = "auto", *, limit_bits: Optional[int] = None
+        self,
+        backend: str = "auto",
+        *,
+        limit_bits: Optional[int] = None,
+        shards: Optional[int] = None,
+        workers: Optional[int] = None,
+        executor: str = "thread",
     ) -> "CountSource":
         """The dataset as a :class:`~repro.sources.base.CountSource`.
 
         ``backend="auto"`` wraps the dense contingency table up to the dense
         limit (bit-for-bit the historical pipeline) and switches to the
         record-native source above it; ``"dense"`` / ``"record"`` force one.
+
+        ``shards`` / ``workers`` partition the record-native source into
+        hash shards computed on a worker pool
+        (:class:`~repro.shards.sharded.ShardedRecordSource`); left unset,
+        datasets past the auto-shard record threshold shard automatically on
+        multi-core machines.  Sharding never changes values.
         """
+        from repro.shards.partition import check_shard_knobs, resolve_shard_count
+        from repro.shards.sharded import ShardedRecordSource
         from repro.sources.dense import DenseCubeSource
         from repro.sources.record import RecordSource
         from repro.sources.resolve import select_backend
 
-        if backend == "dense" and self._table is not None:
+        check_shard_knobs(shards, workers)
+        if backend == "dense" and self._table is not None and (
+            shards is None or int(shards) <= 1
+        ):
             # The dense table already exists (e.g. built under an explicit
             # limit_bits override); wrapping it allocates nothing, so the
             # dense limit — which guards *new* allocations — does not apply.
             return DenseCubeSource.from_table(self._table)
-        if select_backend(self._schema.total_bits, backend, limit_bits=limit_bits) == "dense":
+        resolved = select_backend(
+            self._schema.total_bits, backend, limit_bits=limit_bits, shards=shards
+        )
+        resolved_shards = (
+            resolve_shard_count(len(self), shards, workers=workers)
+            if resolved == "record"
+            else 1
+        )
+        if resolved == "dense":
             return DenseCubeSource.from_table(
                 self.contingency_table(limit_bits=limit_bits)
             )
+        codes, weights = self.encoded_counts()
+        if resolved_shards > 1:
+            key = (resolved_shards, workers, executor, limit_bits)
+            source = self._sharded_sources.get(key)
+            if source is None:
+                source = ShardedRecordSource(
+                    codes,
+                    weights,
+                    dimension=self._schema.total_bits,
+                    schema=self._schema,
+                    shards=resolved_shards,
+                    workers=workers,
+                    executor=executor,
+                    deduplicate=False,
+                    limit_bits=limit_bits,
+                )
+                self._sharded_sources[key] = source
+            return source
         if limit_bits is None and self._record_source is not None:
             return self._record_source
-        codes, weights = self.encoded_counts()
         source = RecordSource(
             codes,
             weights,

@@ -18,6 +18,7 @@ these pieces; the cuboid-lattice utilities in :mod:`repro.plan.lattice` are
 shared with the serving layer's query planner.
 """
 
+from repro.plan.cost import BatchCost, cost_marginal_batches
 from repro.plan.executor import Executor, batched_marginals
 from repro.plan.lattice import (
     MarginalBatch,
@@ -31,6 +32,7 @@ from repro.plan.plan import SINGLE_STREAM_SEED_POLICY, ExecutionPlan, PlanGroup
 from repro.plan.planner import Planner
 
 __all__ = [
+    "BatchCost",
     "Executor",
     "ExecutionPlan",
     "MarginalBatch",
@@ -39,6 +41,7 @@ __all__ = [
     "SINGLE_STREAM_SEED_POLICY",
     "ancestors_of",
     "batched_marginals",
+    "cost_marginal_batches",
     "covers",
     "default_batch_bits",
     "min_variance_source",

@@ -65,23 +65,47 @@ def _as_source(x: DataVector, d: int) -> CountSource:
 
 
 def batched_marginals(
-    source: DataVector, batches, d: int
+    source: DataVector, batches, d: int, *, costs=None
 ) -> Dict[int, np.ndarray]:
     """Materialise many marginals via their shared-ancestor batches.
 
     Returns ``{member mask: exact marginal}`` for every member of every
     batch.  ``source`` may be a dense count vector (wrapped on the fly) or
-    any :class:`~repro.sources.base.CountSource`.  Each batch costs one
-    source pass for its root plus one ``O(2**||root||)`` aggregation per
-    member; sources that would pay more for the shared root than for direct
-    member passes (record-native sources with few records) answer each
-    member directly — the values are identical either way.
+    any :class:`~repro.sources.base.CountSource`.  Each batch either
+    materialises its root with one source pass and aggregates every member
+    from the root's ``2**||root||`` cells, or answers each member directly —
+    decided by the plan's backend-aware cost model (``costs``, a
+    :class:`~repro.plan.cost.BatchCost` per batch) when present, else by the
+    source's own :meth:`~repro.sources.base.CountSource.prefers_batch_root`.
+    The values are identical either way.
+
+    All direct source computations of the whole worklist go through ONE
+    :meth:`~repro.sources.base.CountSource.marginals_for_batches` call, so
+    parallel backends dispatch the entire plan to their worker pool at once
+    (amortising pool overhead across the workload instead of per cuboid)
+    and record backends reuse one set of projected bit planes per batch.
     """
     source = _as_source(source, d)
+    if costs is not None and len(costs) != len(batches):
+        raise PlanError(
+            f"got {len(costs)} batch costs for {len(batches)} batches"
+        )
+    flags = []
+    work = []
+    for index, batch in enumerate(batches):
+        if batch.is_trivial:
+            use_root = True
+        elif costs is not None:
+            use_root = costs[index].use_root
+        else:
+            use_root = source.prefers_batch_root(batch.root)
+        flags.append(use_root)
+        work.append((batch.root, (batch.root,) if use_root else batch.members))
+    direct = source.marginals_for_batches(work)
     values: Dict[int, np.ndarray] = {}
-    for batch in batches:
-        if batch.is_trivial or source.prefers_batch_root(batch.root):
-            root_values = source.marginal(batch.root)
+    for batch, use_root in zip(batches, flags):
+        if use_root:
+            root_values = direct[batch.root]
             for member in batch.members:
                 if member == batch.root:
                     values[member] = root_values
@@ -89,7 +113,7 @@ def batched_marginals(
                     values[member] = submarginal(root_values, batch.root, member)
         else:
             for member in batch.members:
-                values[member] = source.marginal(member)
+                values[member] = direct[member]
     return values
 
 
@@ -173,7 +197,9 @@ class Executor:
     ) -> List[np.ndarray]:
         d = self._strategy.dimension
         if plan.kind == "marginal":
-            by_mask = batched_marginals(source, plan.batches, d)
+            by_mask = batched_marginals(
+                source, plan.batches, d, costs=plan.batch_costs
+            )
             return [by_mask[group.mask] for group in plan.groups]
         if plan.kind == "fourier":
             coefficients = source.fourier_coefficients_for_masks(plan.workload.masks)

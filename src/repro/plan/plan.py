@@ -17,6 +17,7 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from repro.budget.allocation import NoiseAllocation
+from repro.plan.cost import BatchCost
 from repro.plan.lattice import MarginalBatch
 from repro.queries.workload import MarginalWorkload
 
@@ -119,6 +120,14 @@ class ExecutionPlan:
     inherently_consistent:
         Whether the strategy's own recovery already yields consistent
         marginals (the finalize stage then skips the projection).
+    batch_costs:
+        Per-batch root-vs-direct decisions of the backend-aware cost model
+        (:func:`repro.plan.cost.cost_marginal_batches`), aligned with
+        ``batches``; ``None`` when the plan was built without a source (the
+        executor then falls back to the source's
+        :meth:`~repro.sources.base.CountSource.prefers_batch_root` at run
+        time).  Either way the exact values are identical — the decision
+        only changes how they are computed.
     seed_policy:
         Documentation of how the executor consumes the random stream.
     """
@@ -132,6 +141,7 @@ class ExecutionPlan:
     query_weights: np.ndarray
     row_budgets: Optional[np.ndarray] = None
     inherently_consistent: bool = False
+    batch_costs: Optional[Tuple[BatchCost, ...]] = None
     seed_policy: str = SINGLE_STREAM_SEED_POLICY
 
     # ------------------------------------------------------------------ #
@@ -206,10 +216,9 @@ class ExecutionPlan:
         ]
         if self.kind == "marginal":
             derived = sum(
-                1
-                for batch in self.batches
-                for member in batch.members
-                if member != batch.root
+                len(batch.members) - (batch.root in batch.members)
+                for index, batch in enumerate(self.batches)
+                if self.batch_costs is None or self.batch_costs[index].use_root
             )
             lines.append(
                 "stage 2 — execute : "
@@ -219,10 +228,18 @@ class ExecutionPlan:
                 f"{self.mechanism} draw over {self.measured_cells} cells"
             )
             for index, batch in enumerate(self.batches):
-                lines.append(
+                line = (
                     f"  batch {index:>3}      : root {batch.root:#x} "
                     f"({batch.root_cells} cells) -> {len(batch.members)} marginal(s)"
                 )
+                if self.batch_costs is not None:
+                    cost = self.batch_costs[index]
+                    line += (
+                        f" [{'root' if cost.use_root else 'direct'}:"
+                        f" est {cost.chosen_cost:.3g} cells"
+                        f" (root {cost.root_cost:.3g} vs direct {cost.direct_cost:.3g})]"
+                    )
+                lines.append(line)
         elif self.kind == "custom":
             lines.append(
                 "stage 2 — execute : delegated to the strategy's own measure() "

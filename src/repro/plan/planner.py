@@ -21,9 +21,11 @@ from repro.budget.allocation import NoiseAllocation, allocation_for
 from repro.exceptions import WorkloadError
 from repro.mechanisms.noise import gaussian_sigma_for_budget, laplace_scale_for_budget
 from repro.mechanisms.privacy import PrivacyBudget
+from repro.plan.cost import cost_marginal_batches
 from repro.plan.lattice import MarginalBatch, plan_marginal_batches
 from repro.plan.plan import ExecutionPlan, PlanGroup
 from repro.queries.workload import MarginalWorkload
+from repro.sources.base import CountSource
 from repro.strategies.base import Strategy
 
 
@@ -116,8 +118,18 @@ class Planner:
         )
 
     # ------------------------------------------------------------------ #
-    def plan(self, budget: PrivacyBudget) -> ExecutionPlan:
-        """Resolve the full execution plan for ``budget``."""
+    def plan(
+        self, budget: PrivacyBudget, *, source: Optional[CountSource] = None
+    ) -> ExecutionPlan:
+        """Resolve the full execution plan for ``budget``.
+
+        When a :class:`~repro.sources.base.CountSource` is supplied, the
+        marginal kernel's batches are priced against that backend
+        (:func:`repro.plan.cost.cost_marginal_batches`) and the
+        root-vs-direct decision is recorded on the plan for the executor to
+        honour and ``explain`` to report.  Without a source the plan stays
+        fully data-independent and the executor decides at run time.
+        """
         allocation = self.allocation(budget)
         groups: List[PlanGroup] = []
         for position, (spec, eta) in enumerate(
@@ -147,6 +159,9 @@ class Planner:
         if self._kind == "matrix":
             row_budgets = self._strategy.row_budgets(allocation)
             row_budgets.setflags(write=False)
+        batch_costs = None
+        if source is not None and self._kind == "marginal" and self._batches:
+            batch_costs = cost_marginal_batches(source, self._batches)
         return ExecutionPlan(
             workload=self._workload,
             strategy_name=self._strategy.name,
@@ -157,4 +172,5 @@ class Planner:
             query_weights=self._query_weights,
             row_budgets=row_budgets,
             inherently_consistent=self._strategy.inherently_consistent,
+            batch_costs=batch_costs,
         )

@@ -1,0 +1,75 @@
+"""Shared worker pools for sharded sources.
+
+Sources are created per release (``as_count_source`` resolves the engine's
+data input on every call), so giving each source its own executor would leak
+a thread/process pool per release.  This registry shares one executor per
+``(kind, workers)`` pair across the process, creates it lazily on first
+parallel dispatch, and shuts everything down at interpreter exit.
+
+Pool choice:
+
+* ``"thread"`` (default) — zero serialisation cost; NumPy's ufunc inner
+  loops release the GIL, so the projection passes of the shard kernel run
+  genuinely in parallel.
+* ``"process"`` — full parallelism for every pass (including the weighted
+  bincounts, which hold the GIL) at the price of pickling each shard's
+  arrays per dispatch.  Opt-in for workloads where the bincount share of the
+  kernel dominates.
+"""
+
+from __future__ import annotations
+
+import atexit
+import threading
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Dict, Tuple
+
+from repro.exceptions import DataError
+
+#: The accepted executor kinds.
+EXECUTOR_KINDS = ("thread", "process")
+
+_POOLS: Dict[Tuple[str, int], Executor] = {}
+_LOCK = threading.Lock()
+
+
+def check_executor_kind(kind: str) -> str:
+    """Validate an executor kind string."""
+    if kind not in EXECUTOR_KINDS:
+        raise DataError(
+            f"unknown executor kind {kind!r}; choose one of {EXECUTOR_KINDS}"
+        )
+    return kind
+
+
+def get_pool(kind: str, workers: int) -> Executor:
+    """The shared executor for ``(kind, workers)``, created on first use."""
+    check_executor_kind(kind)
+    workers = int(workers)
+    if workers < 1:
+        raise DataError(f"worker count must be at least 1, got {workers}")
+    key = (kind, workers)
+    with _LOCK:
+        pool = _POOLS.get(key)
+        if pool is None:
+            if kind == "thread":
+                pool = ThreadPoolExecutor(
+                    max_workers=workers, thread_name_prefix="repro-shard"
+                )
+            else:
+                pool = ProcessPoolExecutor(max_workers=workers)
+            _POOLS[key] = pool
+        return pool
+
+
+def shutdown_pools() -> None:
+    """Shut down every shared pool (registered at interpreter exit; also
+    handy for tests that want a clean slate)."""
+    with _LOCK:
+        pools = list(_POOLS.values())
+        _POOLS.clear()
+    for pool in pools:
+        pool.shutdown(wait=True)
+
+
+atexit.register(shutdown_pools)

@@ -1,0 +1,403 @@
+"""The sharded record-native backend: parallel per-shard marginals, exact sums.
+
+A :class:`ShardedRecordSource` partitions the deduplicated ``(codes,
+weights)`` arrays of a :class:`~repro.sources.record.RecordSource` into
+``S`` shards by a stable hash of the code
+(:func:`~repro.shards.partition.shard_of_codes`), computes each requested
+cuboid marginal **per shard** with exactly the record-native kernel
+(projected codes + weighted ``numpy.bincount``) on a worker pool, and sums
+the shard results in fixed shard order.
+
+Why the result is bitwise identical to the unsharded source, for any shard
+count ``S`` and any worker count:
+
+* every code lands in exactly one shard, so the per-shard bincounts are a
+  partition of the full bincount's addends;
+* the count weights are integers, and float64 addition of integers below
+  ``2**53`` is exact in *any* order — each per-shard cell value is the exact
+  integer sum of its weights, and the cross-shard sum of those integers is
+  again exact;
+* results are collected and summed in submission (shard) order, never in
+  completion order, so even non-integer weights stay deterministic for a
+  fixed ``S`` regardless of worker count or scheduling.
+
+Whole execution plans are dispatched in one call
+(:meth:`ShardedRecordSource.marginals_for_batches` submits a single task per
+shard covering every batch of the plan), so pool overhead is paid once per
+workload instead of once per cuboid.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import DataError
+from repro.fourier.index import submasks_array
+from repro.fourier.kernels import fwht_inplace
+from repro.shards.partition import (
+    partition_codes,
+    resolve_worker_count,
+)
+from repro.shards.pool import check_executor_kind, get_pool
+from repro.sources.base import CountSource, ensure_dense_allowed
+from repro.sources.record import (
+    DEFAULT_MARGINAL_CACHE,
+    MarginalMemo,
+    RecordSource,
+    projected_marginals,
+)
+from repro.utils.bits import hamming_weight
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.domain.schema import Schema
+
+#: Rough per-task dispatch overhead of the worker pool, in kernel cost units
+#: (cells touched).  Used only by the planner's cost model.
+DISPATCH_OVERHEAD = 256.0
+
+Worklist = Sequence[Tuple[int, Sequence[int]]]
+
+
+def _shard_batch_marginals(
+    codes: np.ndarray, weights: np.ndarray, work: Worklist
+) -> Dict[int, np.ndarray]:
+    """Worker kernel: every requested marginal of one shard, in one task.
+
+    Module-level (not a closure) so process pools can pickle it; thread
+    pools call it directly.  Reuses one set of projected bit planes per
+    batch via :func:`~repro.sources.record.projected_marginals`.
+    """
+    out: Dict[int, np.ndarray] = {}
+    for root, members in work:
+        pending = [member for member in members if member not in out]
+        if pending:
+            out.update(projected_marginals(codes, weights, root, pending))
+    return out
+
+
+class ShardedRecordSource(CountSource):
+    """Record-native count source partitioned into hash shards.
+
+    Parameters mirror :class:`~repro.sources.record.RecordSource` plus the
+    shard layout:
+
+    shards:
+        Number of hash partitions ``S`` (at least 1).
+    workers:
+        Worker pool size; defaults to ``min(shards, cores)``.  ``1`` runs
+        the shards serially (still sharded, still bitwise identical).
+    executor:
+        ``"thread"`` (default) or ``"process"`` — see :mod:`repro.shards.pool`.
+    """
+
+    backend = "sharded-record"
+
+    def __init__(
+        self,
+        codes: Union[np.ndarray, Sequence[int]],
+        weights: Optional[Union[np.ndarray, Sequence[float]]] = None,
+        *,
+        dimension: int,
+        shards: int,
+        workers: Optional[int] = None,
+        executor: str = "thread",
+        schema: Optional["Schema"] = None,
+        deduplicate: bool = True,
+        limit_bits: Optional[int] = None,
+        marginal_cache_size: int = DEFAULT_MARGINAL_CACHE,
+    ):
+        # Reuse the unsharded source's validation + dedup, then partition.
+        base = RecordSource(
+            codes,
+            weights,
+            dimension=dimension,
+            schema=schema,
+            deduplicate=deduplicate,
+            limit_bits=limit_bits,
+            marginal_cache_size=0,
+        )
+        self._init_from_arrays(
+            base.codes,
+            base.weights,
+            base=base,
+            shards=shards,
+            workers=workers,
+            executor=executor,
+            marginal_cache_size=marginal_cache_size,
+        )
+
+    def _init_from_arrays(
+        self,
+        codes: np.ndarray,
+        weights: np.ndarray,
+        *,
+        base: RecordSource,
+        shards: int,
+        workers: Optional[int],
+        executor: str,
+        marginal_cache_size: int,
+    ) -> None:
+        shard_count = int(shards)
+        if shard_count < 1:
+            raise DataError(f"shard count must be at least 1, got {shards}")
+        self._d = base.dimension
+        self._schema = base.schema
+        self._limit_bits = base.limit_bits
+        self._shards: Tuple[Tuple[np.ndarray, np.ndarray], ...] = tuple(
+            partition_codes(np.asarray(codes), np.asarray(weights), shard_count)
+        )
+        self._distinct = int(sum(part[0].shape[0] for part in self._shards))
+        self._total = float(sum(float(part[1].sum()) for part in self._shards))
+        self._workers = resolve_worker_count(shard_count, workers)
+        self._executor_kind = check_executor_kind(executor)
+        self._memo = MarginalMemo(marginal_cache_size)
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_record_source(
+        cls,
+        source: RecordSource,
+        *,
+        shards: int,
+        workers: Optional[int] = None,
+        executor: str = "thread",
+        marginal_cache_size: int = DEFAULT_MARGINAL_CACHE,
+    ) -> "ShardedRecordSource":
+        """Shard an existing record source (codes are already deduplicated)."""
+        instance = cls.__new__(cls)
+        instance._init_from_arrays(
+            source.codes,
+            source.weights,
+            base=source,
+            shards=shards,
+            workers=workers,
+            executor=executor,
+            marginal_cache_size=marginal_cache_size,
+        )
+        return instance
+
+    @classmethod
+    def from_records(
+        cls,
+        schema: "Schema",
+        records: Union[np.ndarray, Sequence[Sequence[int]]],
+        *,
+        shards: int,
+        workers: Optional[int] = None,
+        executor: str = "thread",
+        limit_bits: Optional[int] = None,
+    ) -> "ShardedRecordSource":
+        """Encode, deduplicate and shard a record matrix over ``schema``."""
+        codes = schema.encode_records(np.asarray(records, dtype=np.int64))
+        return cls(
+            codes,
+            dimension=schema.total_bits,
+            schema=schema,
+            shards=shards,
+            workers=workers,
+            executor=executor,
+            limit_bits=limit_bits,
+        )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def dimension(self) -> int:
+        return self._d
+
+    @property
+    def schema(self) -> Optional["Schema"]:
+        """The schema the codes are encoded under, when known."""
+        return self._schema
+
+    @property
+    def total(self) -> float:
+        return self._total
+
+    @property
+    def distinct_records(self) -> int:
+        """Number of distinct stored records across all shards."""
+        return self._distinct
+
+    @property
+    def shards(self) -> int:
+        """Number of hash partitions."""
+        return len(self._shards)
+
+    @property
+    def shard_sizes(self) -> Tuple[int, ...]:
+        """Distinct record count per shard, in shard order."""
+        return tuple(part[0].shape[0] for part in self._shards)
+
+    @property
+    def workers(self) -> int:
+        """Worker pool size (1 means the shards run serially)."""
+        return self._workers
+
+    @property
+    def executor_kind(self) -> str:
+        """``"thread"`` or ``"process"``."""
+        return self._executor_kind
+
+    @property
+    def shard_arrays(self) -> Tuple[Tuple[np.ndarray, np.ndarray], ...]:
+        """Per-shard ``(codes, weights)`` arrays (read-only views)."""
+        out = []
+        for codes, weights in self._shards:
+            code_view = codes.view()
+            code_view.setflags(write=False)
+            weight_view = weights.view()
+            weight_view.setflags(write=False)
+            out.append((code_view, weight_view))
+        return tuple(out)
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedRecordSource(d={self._d}, shards={self.shards}, "
+            f"workers={self._workers}, distinct={self._distinct}, "
+            f"total={self._total:g})"
+        )
+
+    def describe_layout(self) -> str:
+        """One-line shard layout for ``explain`` output."""
+        sizes = self.shard_sizes
+        if len(sizes) > 8:
+            shown = "/".join(str(s) for s in sizes[:8]) + f"/... ({len(sizes)} shards)"
+        else:
+            shown = "/".join(str(s) for s in sizes)
+        return (
+            f"{self.shards} shard(s) of {self._distinct} distinct records "
+            f"(sizes {shown}), {self._workers} {self._executor_kind} worker(s)"
+        )
+
+    # ------------------------------------------------------------------ #
+    # kernels
+    # ------------------------------------------------------------------ #
+    def _map_shards(self, work: Worklist) -> List[Dict[int, np.ndarray]]:
+        """Run the shard kernel over every shard; results in shard order."""
+        if self._workers <= 1 or len(self._shards) <= 1:
+            return [
+                _shard_batch_marginals(codes, weights, work)
+                for codes, weights in self._shards
+            ]
+        pool = get_pool(self._executor_kind, self._workers)
+        futures = [
+            pool.submit(_shard_batch_marginals, codes, weights, work)
+            for codes, weights in self._shards
+        ]
+        return [future.result() for future in futures]
+
+    def _combine(self, per_shard: List[Dict[int, np.ndarray]], mask: int) -> np.ndarray:
+        """Sum one mask's per-shard marginals in fixed shard order."""
+        total = per_shard[0][mask]
+        for shard_values in per_shard[1:]:
+            np.add(total, shard_values[mask], out=total)
+        return total
+
+    def marginal(self, mask: int) -> np.ndarray:
+        return self.marginals_for_batches([(mask, (mask,))])[mask]
+
+    def marginals_for_batches(
+        self, batches: Sequence[Tuple[int, Sequence[int]]]
+    ) -> Dict[int, np.ndarray]:
+        values: Dict[int, np.ndarray] = {}
+        work: List[Tuple[int, Tuple[int, ...]]] = []
+        for root, members in batches:
+            root = self.check_mask(int(root))
+            needed = []
+            for member in members:
+                member = self.check_mask(int(member))
+                if member in values:
+                    continue
+                ensure_dense_allowed(
+                    hamming_weight(member),
+                    limit_bits=self._limit_bits,
+                    what=f"the cuboid marginal {member:#x}",
+                )
+                cached = self._memo.get(member)
+                if cached is not None:
+                    values[member] = cached.copy()
+                else:
+                    needed.append(member)
+            if needed:
+                work.append((root, tuple(needed)))
+        if work:
+            per_shard = self._map_shards(work)
+            for _root, members in work:
+                for member in members:
+                    if member in values:
+                        continue
+                    value = self._combine(per_shard, member)
+                    if self._memo.put(member, value):
+                        values[member] = value.copy()
+                    else:
+                        values[member] = value
+        return values
+
+    def dense_vector(self) -> np.ndarray:
+        ensure_dense_allowed(self._d, limit_bits=self._limit_bits)
+        total = np.zeros(self.domain_size, dtype=np.float64)
+        for codes, weights in self._shards:
+            total += np.bincount(
+                codes, weights=weights, minlength=self.domain_size
+            ).astype(np.float64, copy=False)
+        return total
+
+    def fourier_coefficients_for_masks(self, masks: Iterable[int]) -> Dict[int, float]:
+        """Base-class semantics, but every required top marginal is fetched
+        in ONE pool dispatch before the small-Hadamard loop runs.
+
+        The mask ordering, skip logic and per-coefficient arithmetic mirror
+        :meth:`repro.sources.base.CountSource.fourier_coefficients_for_masks`
+        exactly, so the coefficients are bitwise identical — only the
+        marginal supplier is batched.
+        """
+        d = self.dimension
+        scale = 2.0 ** (d / 2.0)
+        ordered = sorted({int(m) for m in masks}, key=hamming_weight, reverse=True)
+        covered: set = set()
+        compute: List[int] = []
+        for mask in ordered:
+            if mask in covered:
+                continue
+            compute.append(mask)
+            covered.update(submasks_array(mask).tolist())
+        marginals = self.marginals_for_batches([(mask, (mask,)) for mask in compute])
+        coefficients: Dict[int, float] = {}
+        for mask in ordered:
+            if mask in coefficients:
+                continue
+            local = marginals[mask]
+            fwht_inplace(local)
+            local /= scale
+            for beta, value in zip(submasks_array(mask).tolist(), local.tolist()):
+                if beta not in coefficients:
+                    coefficients[beta] = value
+        return coefficients
+
+    # ------------------------------------------------------------------ #
+    # planner hooks
+    # ------------------------------------------------------------------ #
+    def prefers_batch_root(self, root_mask: int) -> bool:
+        """Same refinement rule as the unsharded record source."""
+        root_bits = hamming_weight(root_mask)
+        if root_bits > self._limit_bits:
+            return False
+        return (1 << root_bits) <= max(self._distinct, 1024)
+
+    def marginal_cost(self, mask: int) -> float:
+        """Per-shard projection in parallel, output cells per shard, plus a
+        flat dispatch overhead per pool task."""
+        parallel = max(1, min(self._workers, self.shards))
+        largest = max(self.shard_sizes) if self._shards else 0
+        serial_records = self._distinct / parallel if parallel > 1 else self._distinct
+        per_shard_records = max(float(largest), serial_records)
+        cells = float(2.0 ** hamming_weight(mask)) * self.shards
+        overhead = DISPATCH_OVERHEAD if self._workers > 1 else 0.0
+        return per_shard_records + cells + overhead
+
+    def can_materialise(self, mask: int) -> bool:
+        return hamming_weight(mask) <= self._limit_bits

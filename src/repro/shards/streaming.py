@@ -1,0 +1,263 @@
+"""Streaming ingestion: build sharded record sources without the record matrix.
+
+A :class:`StreamingSourceBuilder` ingests record batches — raw code arrays,
+record matrices over a schema, or chunked CSV via
+:func:`repro.data.loader.iter_csv_batches` — and maintains only sorted,
+deduplicated ``(codes, weights)`` runs.  Runs are merged (concatenate +
+sorted-unique + weight bincount) whenever the buffer grows past a threshold,
+so memory is bounded by the number of *distinct* records plus one batch — a
+dataset far larger than memory streams through without the ``n x d`` record
+matrix (or the ``2**d`` dense vector) ever existing.
+
+Exactness: every merge sums integer tuple counts in float64 (exact below
+``2**53``), and the final compacted arrays are the sorted distinct codes
+with summed weights — precisely what a one-shot
+:class:`~repro.sources.record.RecordSource` computes from the concatenation
+of all batches.  Feeding the same rows in any batch order therefore builds
+the **same source, bitwise**, and the stable hash partition makes the final
+shard layout independent of ingestion order too.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import DataError
+from repro.shards.partition import resolve_shard_count
+from repro.shards.sharded import ShardedRecordSource
+from repro.sources.record import MAX_RECORD_BITS, RecordSource
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.domain.schema import Schema
+
+#: Merge the buffered runs whenever their combined length exceeds this many
+#: entries (distinct-per-run codes).  Bounds ingest memory at roughly
+#: ``distinct + DEFAULT_MERGE_THRESHOLD`` int64/float64 pairs.
+DEFAULT_MERGE_THRESHOLD = 1 << 20
+
+
+class StreamingSourceBuilder:
+    """Incrementally build a :class:`ShardedRecordSource` from record batches.
+
+    Parameters
+    ----------
+    schema:
+        Schema of the incoming records (required for :meth:`add_records` /
+        :meth:`add_csv`; optional when only raw codes are fed).
+    dimension:
+        Number of binary attributes ``d``; inferred from ``schema`` when
+        omitted.
+    limit_bits:
+        Per-cuboid dense limit forwarded to the built source.
+    merge_threshold:
+        Buffered-entry count that triggers a run merge (default
+        :data:`DEFAULT_MERGE_THRESHOLD`).
+    """
+
+    def __init__(
+        self,
+        schema: Optional["Schema"] = None,
+        *,
+        dimension: Optional[int] = None,
+        limit_bits: Optional[int] = None,
+        merge_threshold: int = DEFAULT_MERGE_THRESHOLD,
+    ):
+        if dimension is None:
+            if schema is None:
+                raise DataError(
+                    "StreamingSourceBuilder needs a schema or an explicit dimension"
+                )
+            dimension = schema.total_bits
+        d = int(dimension)
+        if not (1 <= d <= MAX_RECORD_BITS):
+            raise DataError(
+                f"record sources support 1..{MAX_RECORD_BITS} binary attributes, got {d}"
+            )
+        if schema is not None and schema.total_bits != d:
+            raise DataError(
+                f"dimension {d} does not match the schema's {schema.total_bits} bits"
+            )
+        self._schema = schema
+        self._d = d
+        self._limit_bits = limit_bits
+        self._merge_threshold = int(merge_threshold)
+        self._runs: List[Tuple[np.ndarray, np.ndarray]] = []
+        self._buffered = 0
+        self._rows = 0
+        self._batches = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def schema(self) -> Optional["Schema"]:
+        """The schema incoming records are encoded under, when known."""
+        return self._schema
+
+    @property
+    def dimension(self) -> int:
+        """Number of binary attributes ``d``."""
+        return self._d
+
+    @property
+    def rows_ingested(self) -> int:
+        """Total rows (code entries) fed so far."""
+        return self._rows
+
+    @property
+    def batches_ingested(self) -> int:
+        """Number of batches fed so far."""
+        return self._batches
+
+    @property
+    def buffered_entries(self) -> int:
+        """Current buffered run entries — the live memory bound."""
+        return self._buffered
+
+    def __repr__(self) -> str:
+        return (
+            f"StreamingSourceBuilder(d={self._d}, rows={self._rows}, "
+            f"batches={self._batches}, buffered={self._buffered})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # ingestion
+    # ------------------------------------------------------------------ #
+    def add_codes(
+        self,
+        codes: Union[np.ndarray, Sequence[int]],
+        weights: Optional[Union[np.ndarray, Sequence[float]]] = None,
+    ) -> "StreamingSourceBuilder":
+        """Ingest one batch of packed domain codes (optionally weighted)."""
+        code_array = np.asarray(codes, dtype=np.int64).reshape(-1)
+        if code_array.size == 0:
+            return self
+        if int(code_array.min()) < 0 or int(code_array.max()) >= (1 << self._d):
+            raise DataError(f"record codes fall outside the {self._d}-bit domain")
+        if weights is None:
+            rows = code_array.shape[0]
+            unique, counts = np.unique(code_array, return_counts=True)
+            summed = counts.astype(np.float64)
+        else:
+            weight_array = np.asarray(weights, dtype=np.float64).reshape(-1)
+            if weight_array.shape != code_array.shape:
+                raise DataError(
+                    f"got {weight_array.shape[0]} weights for {code_array.shape[0]} codes"
+                )
+            if not np.isfinite(weight_array).all():
+                raise DataError("record weights must be finite")
+            rows = code_array.shape[0]
+            unique, inverse = np.unique(code_array, return_inverse=True)
+            summed = np.bincount(
+                inverse.reshape(-1), weights=weight_array, minlength=unique.shape[0]
+            )
+        self._runs.append((unique, summed))
+        self._buffered += int(unique.shape[0])
+        self._rows += int(rows)
+        self._batches += 1
+        if self._buffered > self._merge_threshold:
+            self._compact()
+        return self
+
+    def add_records(
+        self, records: Union[np.ndarray, Sequence[Sequence[int]]]
+    ) -> "StreamingSourceBuilder":
+        """Ingest one batch of records (rows of per-attribute codes)."""
+        if self._schema is None:
+            raise DataError("add_records needs a builder constructed with a schema")
+        matrix = np.asarray(records, dtype=np.int64)
+        if matrix.size == 0:
+            return self
+        return self.add_codes(self._schema.encode_records(matrix))
+
+    def add_csv(
+        self,
+        path: Union[str, Path],
+        *,
+        columns: Optional[Sequence[str]] = None,
+        delimiter: str = ",",
+        has_header: bool = True,
+        batch_size: int = 50_000,
+    ) -> "StreamingSourceBuilder":
+        """Stream a categorical CSV file in chunks (never loads it whole)."""
+        from repro.data.loader import iter_csv_batches
+
+        if self._schema is None:
+            raise DataError("add_csv needs a builder constructed with a schema")
+        for batch in iter_csv_batches(
+            path,
+            self._schema,
+            columns=columns,
+            delimiter=delimiter,
+            has_header=has_header,
+            batch_size=batch_size,
+        ):
+            self.add_records(batch)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # run merging
+    # ------------------------------------------------------------------ #
+    def _compact(self) -> None:
+        """Merge all sorted runs into one (sorted-unique codes, summed weights)."""
+        if len(self._runs) <= 1:
+            return
+        codes = np.concatenate([run[0] for run in self._runs])
+        weights = np.concatenate([run[1] for run in self._runs])
+        unique, inverse = np.unique(codes, return_inverse=True)
+        summed = np.bincount(
+            inverse.reshape(-1), weights=weights, minlength=unique.shape[0]
+        )
+        self._runs = [(unique, summed)]
+        self._buffered = int(unique.shape[0])
+
+    def arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The compacted ``(codes, weights)`` arrays ingested so far."""
+        self._compact()
+        if not self._runs:
+            return (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64))
+        return self._runs[0]
+
+    @property
+    def distinct_records(self) -> int:
+        """Distinct codes ingested so far (forces a compaction)."""
+        return int(self.arrays()[0].shape[0])
+
+    # ------------------------------------------------------------------ #
+    # building
+    # ------------------------------------------------------------------ #
+    def build(
+        self,
+        *,
+        shards: Optional[int] = None,
+        workers: Optional[int] = None,
+        executor: str = "thread",
+    ) -> ShardedRecordSource:
+        """Build the sharded source (auto-resolving the shard count from the
+        ingested row count when ``shards`` is omitted)."""
+        codes, weights = self.arrays()
+        shard_count = resolve_shard_count(self._rows, shards, workers=workers)
+        return ShardedRecordSource(
+            codes,
+            weights,
+            dimension=self._d,
+            schema=self._schema,
+            shards=shard_count,
+            workers=workers,
+            executor=executor,
+            deduplicate=False,
+            limit_bits=self._limit_bits,
+        )
+
+    def to_record_source(self) -> RecordSource:
+        """The equivalent unsharded :class:`RecordSource` (for comparisons)."""
+        codes, weights = self.arrays()
+        return RecordSource(
+            codes,
+            weights,
+            dimension=self._d,
+            schema=self._schema,
+            deduplicate=False,
+            limit_bits=self._limit_bits,
+        )

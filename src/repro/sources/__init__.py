@@ -16,12 +16,13 @@ from repro.sources.base import (
     ensure_dense_allowed,
 )
 from repro.sources.dense import DenseCubeSource
-from repro.sources.record import MAX_RECORD_BITS, RecordSource
+from repro.sources.record import MAX_RECORD_BITS, MarginalMemo, RecordSource
 from repro.sources.resolve import (
     BACKENDS,
     as_count_source,
     check_backend,
     select_backend,
+    sharded_record_source,
 )
 
 __all__ = [
@@ -30,9 +31,11 @@ __all__ = [
     "MAX_RECORD_BITS",
     "CountSource",
     "DenseCubeSource",
+    "MarginalMemo",
     "RecordSource",
     "as_count_source",
     "check_backend",
     "ensure_dense_allowed",
     "select_backend",
+    "sharded_record_source",
 ]

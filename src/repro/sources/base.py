@@ -31,7 +31,7 @@ makes whole seeded releases bitwise identical across backends.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -143,6 +143,64 @@ class CountSource(ABC):
         root can cost more than direct per-member passes.
         """
         return True
+
+    # ------------------------------------------------------------------ #
+    # cost model hooks (backend-aware planning)
+    # ------------------------------------------------------------------ #
+    def marginal_cost(self, mask: int) -> float:
+        """Estimated cells touched to answer ``marginal(mask)`` directly.
+
+        A unitless estimate used by the planner's per-backend cost model
+        (:func:`repro.plan.cost.cost_marginal_batches`) to price batch roots
+        against direct member marginals.  Pure arithmetic — never raises,
+        even for cuboids a real call would refuse.  The dense default is a
+        full domain pass; record-native backends override it.
+        """
+        return float(self.domain_size)
+
+    def can_materialise(self, mask: int) -> bool:
+        """Whether :meth:`marginal` would accept ``mask`` at all.
+
+        The cost model must never *choose* a batch root the source would
+        refuse at execute time (record backends cap per-cuboid width at
+        their dense limit); estimates alone cannot express that, so the
+        decision consults this guard.
+        """
+        return True
+
+    def derive_cost(self, root_mask: int, member_mask: int) -> float:
+        """Estimated cost of aggregating ``member_mask`` from a materialised
+        ``root_mask`` marginal (one pass over the root's cells)."""
+        return float(1 << hamming_weight(root_mask))
+
+    # ------------------------------------------------------------------ #
+    # batched access
+    # ------------------------------------------------------------------ #
+    def marginals_for_batches(
+        self, batches: Sequence[Tuple[int, Sequence[int]]]
+    ) -> Dict[int, np.ndarray]:
+        """Exact marginals for a whole worklist of ``(root, members)`` batches.
+
+        Each entry names a shared batch root and the member masks (all
+        dominated by the root) to compute *directly from the source*; the
+        result maps every requested member to its marginal, with the same
+        fresh-float64 ownership contract as :meth:`marginal`.  One call per
+        execution plan lets parallel backends dispatch the entire workload to
+        their worker pool at once (amortising pool overhead across the
+        workload instead of per cuboid) and lets record backends reuse one
+        set of projected bit planes per batch.  The default simply loops.
+        """
+        values: Dict[int, np.ndarray] = {}
+        for _root, members in batches:
+            for member in members:
+                member = int(member)
+                if member not in values:
+                    values[member] = self.marginal(member)
+        return values
+
+    def describe_layout(self) -> str:
+        """One-line physical layout description for ``explain`` output."""
+        return f"{self.backend} source over a {self.dimension}-bit domain"
 
     def check_mask(self, mask: int) -> int:
         """Validate that ``mask`` addresses this source's domain."""

@@ -78,6 +78,9 @@ class DenseCubeSource(CountSource):
     def __repr__(self) -> str:
         return f"DenseCubeSource(d={self._d}, total={self.total:g})"
 
+    def describe_layout(self) -> str:
+        return f"one dense 2**{self._d}-cell count vector"
+
     # ------------------------------------------------------------------ #
     def marginal(self, mask: int) -> np.ndarray:
         mask = self.check_mask(mask)

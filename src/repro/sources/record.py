@@ -16,7 +16,8 @@ across backends.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional, Sequence, Union
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Dict, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -28,13 +29,138 @@ from repro.sources.base import (
     ensure_dense_allowed,
     validate_count_vector,
 )
-from repro.utils.bits import hamming_weight
+from repro.utils.bits import bit_indices, hamming_weight
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.domain.schema import Schema
 
 #: Widest supported domain: codes are int64, so bit 62 is the last usable one.
 MAX_RECORD_BITS = 62
+
+#: Default capacity of the per-source marginal memo (see :class:`MarginalMemo`).
+DEFAULT_MARGINAL_CACHE = 64
+
+#: Default total-cell budget of the memo: 2**21 float64 cells is 16 MiB.
+#: Bounds memory on long-lived cached sources even when wide batch-root
+#: marginals (up to the dense limit, 512 MiB each) pass through.
+DEFAULT_MARGINAL_CACHE_CELLS = 1 << 21
+
+#: Transient cell budget of the plane-sharing batch kernel: at most 2**23
+#: int64 plane cells (64 MiB) held at once per kernel invocation.
+PLANE_CELL_BUDGET = 1 << 23
+
+
+class MarginalMemo:
+    """A small LRU of computed marginals, keyed by cuboid mask.
+
+    Consistency and recovery paths re-request the same cuboids (and serving
+    re-reads them per query); without the memo every repeat re-projects the
+    full code array.  The memo stores its own private arrays and the sources
+    copy on the way out, so the :meth:`CountSource.marginal` contract — the
+    caller owns the returned array and may mutate it — still holds.
+
+    Bounded twice: at most ``maxsize`` entries AND at most ``max_cells``
+    total cells (an array larger than the whole budget is never stored, so
+    one wide batch-root marginal cannot pin hundreds of MiB on a cached
+    source).  A ``maxsize`` of 0 disables caching entirely.
+    """
+
+    __slots__ = ("_entries", "_maxsize", "_max_cells", "_cells")
+
+    def __init__(
+        self,
+        maxsize: int = DEFAULT_MARGINAL_CACHE,
+        max_cells: int = DEFAULT_MARGINAL_CACHE_CELLS,
+    ):
+        self._entries: "OrderedDict[int, np.ndarray]" = OrderedDict()
+        self._maxsize = int(maxsize)
+        self._max_cells = int(max_cells)
+        self._cells = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def enabled(self) -> bool:
+        return self._maxsize > 0
+
+    @property
+    def cells(self) -> int:
+        """Total cells currently held."""
+        return self._cells
+
+    def get(self, mask: int) -> Optional[np.ndarray]:
+        value = self._entries.get(mask)
+        if value is not None:
+            self._entries.move_to_end(mask)
+        return value
+
+    def put(self, mask: int, value: np.ndarray) -> bool:
+        """Store ``value``; returns whether it was cached (too-large arrays
+        are not, and the caller then keeps sole ownership — no copy needed)."""
+        if self._maxsize <= 0 or value.size > self._max_cells:
+            return False
+        previous = self._entries.pop(mask, None)
+        if previous is not None:
+            self._cells -= previous.size
+        self._entries[mask] = value
+        self._cells += value.size
+        while len(self._entries) > self._maxsize or self._cells > self._max_cells:
+            _, evicted = self._entries.popitem(last=False)
+            self._cells -= evicted.size
+        return True
+
+
+def projected_marginals(
+    codes: np.ndarray,
+    weights: np.ndarray,
+    root: int,
+    members: Iterable[int],
+) -> Dict[int, np.ndarray]:
+    """Weighted-bincount marginals of several masks sharing one batch root.
+
+    The naive loop projects the full code array from scratch for every
+    member: four ufunc passes per mask bit (shift, and, shift, or).  Masks
+    sharing a batch ``root`` can instead hoist the per-bit bookkeeping: each
+    bit of the root is extracted into a 0/1 plane **once**, and every
+    member's compact codes are assembled from the shared planes with two
+    passes per bit.  The compact integers are identical either way, so the
+    bincounts — and therefore seeded releases — are bitwise unchanged.
+
+    A single member (or a root whose plane arrays would exceed the transient
+    memory budget) falls back to the plain per-mask projection; both paths
+    produce the same values.
+    """
+    member_list = [int(member) for member in members]
+    out: Dict[int, np.ndarray] = {}
+    root_bits = bit_indices(root)
+    # Plane arrays are held simultaneously (one codes-sized int64 array per
+    # root bit, possibly on several pool workers at once): cap the transient
+    # footprint instead of letting wide roots over huge code arrays multiply.
+    share_planes = (
+        len(member_list) >= 2
+        and len(root_bits) * codes.shape[0] <= PLANE_CELL_BUDGET
+    )
+    planes: Dict[int, np.ndarray] = {}
+    if share_planes:
+        for bit in root_bits:
+            planes[bit] = (codes >> np.int64(bit)) & np.int64(1)
+    for member in member_list:
+        if member in out:
+            continue
+        k = hamming_weight(member)
+        if share_planes and member & ~root == 0:
+            compact = np.zeros_like(codes)
+            for j, bit in enumerate(bit_indices(member)):
+                compact |= planes[bit] << np.int64(j)
+        else:
+            compact = project_indices(codes, member)
+        # astype: bincount of an *empty* weighted input yields int64 zeros;
+        # the source contract (and dense-backend parity) is float64.
+        out[member] = np.bincount(
+            compact, weights=weights, minlength=1 << k
+        ).astype(np.float64, copy=False)
+    return out
 
 
 class RecordSource(CountSource):
@@ -58,6 +184,9 @@ class RecordSource(CountSource):
         Per-cuboid dense limit (defaults to
         :data:`~repro.sources.base.DENSE_LIMIT_BITS`): requesting a marginal
         or dense vector wider than this raises :class:`DataError`.
+    marginal_cache_size:
+        Capacity of the per-source marginal memo (repeat requests for the
+        same cuboid are served from cache, as fresh copies); 0 disables it.
     """
 
     backend = "record"
@@ -71,6 +200,7 @@ class RecordSource(CountSource):
         schema: Optional["Schema"] = None,
         deduplicate: bool = True,
         limit_bits: Optional[int] = None,
+        marginal_cache_size: int = DEFAULT_MARGINAL_CACHE,
     ):
         d = int(dimension)
         if not (1 <= d <= MAX_RECORD_BITS):
@@ -103,6 +233,7 @@ class RecordSource(CountSource):
         self._d = d
         self._schema = schema
         self._limit_bits = DENSE_LIMIT_BITS if limit_bits is None else int(limit_bits)
+        self._memo = MarginalMemo(marginal_cache_size)
 
     # ------------------------------------------------------------------ #
     # constructors
@@ -172,6 +303,11 @@ class RecordSource(CountSource):
         return int(self._codes.shape[0])
 
     @property
+    def limit_bits(self) -> int:
+        """Per-cuboid dense limit this source enforces."""
+        return self._limit_bits
+
+    @property
     def total(self) -> float:
         return float(self._weights.sum())
 
@@ -181,19 +317,59 @@ class RecordSource(CountSource):
             f"total={self.total:g})"
         )
 
+    def describe_layout(self) -> str:
+        return (
+            f"1 shard of {self.distinct_records} distinct records "
+            "(unsharded, 1 worker)"
+        )
+
     # ------------------------------------------------------------------ #
     def marginal(self, mask: int) -> np.ndarray:
         mask = self.check_mask(mask)
-        k = hamming_weight(mask)
         ensure_dense_allowed(
-            k, limit_bits=self._limit_bits, what=f"the cuboid marginal {mask:#x}"
+            hamming_weight(mask),
+            limit_bits=self._limit_bits,
+            what=f"the cuboid marginal {mask:#x}",
         )
-        compact = project_indices(self._codes, mask)
-        # astype: bincount of an *empty* weighted input yields int64 zeros;
-        # the source contract (and dense-backend parity) is float64.
-        return np.bincount(
-            compact, weights=self._weights, minlength=1 << k
-        ).astype(np.float64, copy=False)
+        cached = self._memo.get(mask)
+        if cached is not None:
+            return cached.copy()
+        value = projected_marginals(self._codes, self._weights, mask, (mask,))[mask]
+        return self._memo_out(mask, value)
+
+    def _memo_out(self, mask: int, value: np.ndarray) -> np.ndarray:
+        """Store a freshly computed marginal and hand out a caller-owned array."""
+        if self._memo.put(mask, value):
+            return value.copy()
+        return value
+
+    def marginals_for_batches(
+        self, batches: Sequence[Tuple[int, Sequence[int]]]
+    ) -> Dict[int, np.ndarray]:
+        values: Dict[int, np.ndarray] = {}
+        for root, members in batches:
+            root = self.check_mask(int(root))
+            needed = []
+            for member in members:
+                member = self.check_mask(int(member))
+                if member in values:
+                    continue
+                ensure_dense_allowed(
+                    hamming_weight(member),
+                    limit_bits=self._limit_bits,
+                    what=f"the cuboid marginal {member:#x}",
+                )
+                cached = self._memo.get(member)
+                if cached is not None:
+                    values[member] = cached.copy()
+                else:
+                    needed.append(member)
+            if not needed:
+                continue
+            computed = projected_marginals(self._codes, self._weights, root, needed)
+            for member, value in computed.items():
+                values[member] = self._memo_out(member, value)
+        return values
 
     def dense_vector(self) -> np.ndarray:
         ensure_dense_allowed(self._d, limit_bits=self._limit_bits)
@@ -212,3 +388,11 @@ class RecordSource(CountSource):
         if root_bits > self._limit_bits:
             return False
         return (1 << root_bits) <= max(self.distinct_records, 1024)
+
+    def marginal_cost(self, mask: int) -> float:
+        """Projected-bincount cost: one pass over the ``n`` distinct codes
+        plus the ``2**k`` output cells — independent of ``2**d``."""
+        return float(self.distinct_records) + float(2.0 ** hamming_weight(mask))
+
+    def can_materialise(self, mask: int) -> bool:
+        return hamming_weight(mask) <= self._limit_bits

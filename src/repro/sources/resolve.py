@@ -9,6 +9,13 @@ into a :class:`~repro.sources.base.CountSource` under a backend policy:
 * ``"dense"`` / ``"record"`` — explicit override (``"dense"`` raises a
   targeted :class:`~repro.exceptions.DataError` when the domain exceeds the
   limit instead of attempting the ``2**d`` allocation).
+
+On top of the backend policy sit the shard knobs: ``shards=`` / ``workers=``
+partition a record-native source into hash shards computed on a worker pool
+(:class:`~repro.shards.sharded.ShardedRecordSource`).  Left unset, sources
+auto-shard above :data:`~repro.shards.partition.AUTO_SHARD_RECORDS` records
+on multi-core machines.  Sharding never changes values: seeded releases are
+bitwise identical for any shard and worker count.
 """
 
 from __future__ import annotations
@@ -39,16 +46,29 @@ def check_backend(backend: str) -> str:
 
 
 def select_backend(
-    dimension: int, backend: str = "auto", *, limit_bits: Optional[int] = None
+    dimension: int,
+    backend: str = "auto",
+    *,
+    limit_bits: Optional[int] = None,
+    shards: Optional[int] = None,
 ) -> str:
     """Resolve a backend policy into a concrete backend for ``d`` bits.
 
     ``"auto"`` keeps the dense pipeline (current behaviour, bitwise) up to
     the dense limit and switches to record-native above it; an explicit
-    ``"dense"`` above the limit raises the targeted allocation error.
+    ``"dense"`` above the limit raises the targeted allocation error.  An
+    explicit multi-shard request forces the record-native backend (shards
+    are partitions of the record arrays) and conflicts with ``"dense"``.
     """
     check_backend(backend)
     limit = DENSE_LIMIT_BITS if limit_bits is None else int(limit_bits)
+    if shards is not None and int(shards) > 1:
+        if backend == "dense":
+            raise DataError(
+                "sharding partitions the record arrays; it cannot be combined "
+                "with the dense backend (use backend='record' or 'auto')"
+            )
+        return "record"
     if backend == "record":
         return "record"
     if backend == "dense":
@@ -57,20 +77,50 @@ def select_backend(
     return "dense" if dimension <= limit else "record"
 
 
+def sharded_record_source(
+    source: RecordSource,
+    shards: Optional[int] = None,
+    workers: Optional[int] = None,
+    *,
+    executor: str = "thread",
+) -> CountSource:
+    """Wrap a record source into shards when the resolved count exceeds 1.
+
+    The shard count resolves from the source's distinct record count
+    (explicit ``shards`` / ``workers`` win; see
+    :func:`repro.shards.partition.resolve_shard_count`); a resolved count of
+    1 returns the source unchanged.
+    """
+    from repro.shards.partition import resolve_shard_count
+    from repro.shards.sharded import ShardedRecordSource
+
+    count = resolve_shard_count(source.distinct_records, shards, workers=workers)
+    if count <= 1:
+        return source
+    return ShardedRecordSource.from_record_source(
+        source, shards=count, workers=workers, executor=executor
+    )
+
+
 def as_count_source(
     data: SourceInput,
     workload: MarginalWorkload,
     backend: str = "auto",
     *,
     limit_bits: Optional[int] = None,
+    shards: Optional[int] = None,
+    workers: Optional[int] = None,
 ) -> CountSource:
     """Resolve any engine data input into a count source over the workload's domain.
 
     A ready-made :class:`~repro.sources.base.CountSource` is passed through
-    verbatim — handing the engine a concrete source *is* the backend choice,
-    and overrides the policy.
+    verbatim — handing the engine a concrete source *is* the backend (and
+    shard-layout) choice, and overrides the policy and the shard knobs.
     """
+    from repro.shards.partition import check_shard_knobs
+
     check_backend(backend)
+    check_shard_knobs(shards, workers)
     schema = workload.schema
     if isinstance(data, CountSource):
         if data.dimension != workload.dimension:
@@ -85,25 +135,41 @@ def as_count_source(
     if isinstance(data, Dataset):
         if data.schema != schema:
             raise WorkloadError("dataset schema does not match the workload schema")
-        return data.as_source(backend=backend, limit_bits=limit_bits)
+        return data.as_source(
+            backend=backend, limit_bits=limit_bits, shards=shards, workers=workers
+        )
     if isinstance(data, ContingencyTable):
         if data.schema != schema:
             raise WorkloadError("table schema does not match the workload schema")
-        return data.as_source(backend, limit_bits=limit_bits)
+        source = data.as_source(backend, limit_bits=limit_bits)
+        if isinstance(source, RecordSource):
+            return sharded_record_source(source, shards, workers)
+        return source
     vector = np.asarray(data, dtype=np.float64)
     if vector.ndim != 1 or vector.shape[0] != workload.domain_size:
         raise WorkloadError(
             f"count vector must have length {workload.domain_size}, got shape {vector.shape}"
         )
-    if materialised_backend(workload.dimension, backend, limit_bits=limit_bits) == "record":
-        return RecordSource.from_vector(
-            vector, workload.dimension, schema=schema, limit_bits=limit_bits
+    resolved = materialised_backend(
+        workload.dimension, backend, limit_bits=limit_bits, shards=shards
+    )
+    if resolved == "record":
+        return sharded_record_source(
+            RecordSource.from_vector(
+                vector, workload.dimension, schema=schema, limit_bits=limit_bits
+            ),
+            shards,
+            workers,
         )
     return DenseCubeSource(vector, workload.dimension, schema=schema)
 
 
 def materialised_backend(
-    dimension: int, backend: str, *, limit_bits: Optional[int] = None
+    dimension: int,
+    backend: str,
+    *,
+    limit_bits: Optional[int] = None,
+    shards: Optional[int] = None,
 ) -> str:
     """Backend choice for data that already exists densely in memory.
 
@@ -114,6 +180,8 @@ def materialised_backend(
     :meth:`repro.domain.contingency.ContingencyTable.as_source` so both
     resolve ``"auto"`` identically.
     """
+    if shards is not None and int(shards) > 1:
+        return select_backend(dimension, backend, limit_bits=limit_bits, shards=shards)
     if check_backend(backend) == "dense":
         return "dense"
     return select_backend(dimension, backend, limit_bits=limit_bits)

@@ -1,0 +1,207 @@
+"""Backend-aware plan costing: decisions recorded, honoured, and value-free.
+
+The cost model only ever changes *how* the marginal kernel computes its
+exact values (root materialisation vs direct member passes) — never the
+values.  These tests pin the decision logic per backend, that plans built
+with a source carry the decisions, that the executor honours them, and that
+forcing either decision produces bitwise-identical measurements.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.engine import MarginalReleaseEngine
+from repro.domain import Dataset, Schema
+from repro.mechanisms import PrivacyBudget
+from repro.plan import BatchCost, Planner, batched_marginals, cost_marginal_batches
+from repro.plan.lattice import MarginalBatch
+from repro.queries import all_k_way
+from repro.shards import ShardedRecordSource
+from repro.sources import DenseCubeSource, RecordSource
+from repro.strategies import query_strategy
+
+D = 8
+
+
+@pytest.fixture
+def dataset():
+    schema = Schema.binary([f"a{i}" for i in range(D)])
+    rng = np.random.default_rng(2)
+    return Dataset(schema, (rng.random((500, D)) < 0.4).astype(np.int64))
+
+
+@pytest.fixture
+def workload(dataset):
+    return all_k_way(dataset.schema, 2)
+
+
+class TestDecisions:
+    def test_dense_sources_always_prefer_the_root(self, dataset, workload):
+        strategy = query_strategy(workload)
+        planner = Planner(workload, strategy)
+        source = dataset.as_source(backend="dense")
+        costs = cost_marginal_batches(source, planner.batches)
+        assert len(costs) == len(planner.batches)
+        assert all(cost.use_root for cost in costs)
+        assert all(cost.backend == "dense" for cost in costs)
+
+    def test_record_source_goes_direct_when_the_root_is_too_wide(self):
+        # 10 distinct records, one batch whose root has 2**7 = 128 cells:
+        # two direct passes (~10 + 4 cells each) beat materialising 128.
+        source = RecordSource(np.arange(10, dtype=np.int64), dimension=D)
+        batch = MarginalBatch(root=0b1111111, members=(0b11, 0b1100000))
+        (cost,) = cost_marginal_batches(source, [batch])
+        assert not cost.use_root
+        assert cost.direct_cost < cost.root_cost
+
+    def test_trivial_batches_are_always_root(self):
+        source = RecordSource(np.arange(4, dtype=np.int64), dimension=D)
+        batch = MarginalBatch(root=0b11, members=(0b11,))
+        (cost,) = cost_marginal_batches(source, [batch])
+        assert cost.use_root
+
+    def test_root_beyond_the_dense_limit_is_never_chosen(self):
+        """Regression: a cheap-looking root the source would refuse to
+        materialise (wider than limit_bits) must not be selected — the
+        executor would otherwise hit the DataError mid-release."""
+        # With 4096 records a 4-bit root (16 cells) is far cheaper than two
+        # direct passes, but limit_bits=3 makes it unmaterialisable.
+        source = RecordSource(
+            np.arange(200, dtype=np.int64), dimension=D, limit_bits=3
+        )
+        batch = MarginalBatch(root=0b1111, members=(0b11, 0b1100))
+        (cost,) = cost_marginal_batches(source, [batch])
+        assert cost.root_cost < cost.direct_cost  # estimate alone says root
+        assert not cost.use_root  # ... but the guard overrides it
+        values = batched_marginals(source, [batch], D, costs=(cost,))
+        assert set(values) == {0b11, 0b1100}  # executes without raising
+
+    def test_sharded_cost_accounts_for_parallelism(self):
+        codes = np.arange(4000, dtype=np.int64)
+        serial = RecordSource(codes, dimension=13)
+        parallel = ShardedRecordSource(codes, dimension=13, shards=4, workers=4)
+        mask = 0b11
+        # Four workers split the record pass; the estimate must be cheaper
+        # than serial once the per-task overhead is amortised.
+        assert parallel.marginal_cost(mask) < serial.marginal_cost(mask)
+
+    def test_chosen_cost_matches_the_decision(self):
+        cost = BatchCost(
+            root=0b11, members=2, use_root=False,
+            root_cost=10.0, direct_cost=4.0, backend="record",
+        )
+        assert cost.chosen_cost == 4.0
+
+
+class TestPlansCarryDecisions:
+    def test_plan_without_source_has_no_costs(self, dataset, workload):
+        planner = Planner(workload, query_strategy(workload))
+        plan = planner.plan(PrivacyBudget.pure(1.0))
+        assert plan.batch_costs is None
+
+    def test_plan_with_source_records_costs(self, dataset, workload):
+        planner = Planner(workload, query_strategy(workload))
+        source = dataset.as_source(backend="record")
+        plan = planner.plan(PrivacyBudget.pure(1.0), source=source)
+        assert plan.batch_costs is not None
+        assert len(plan.batch_costs) == len(plan.batches)
+        assert all(cost.backend == "record" for cost in plan.batch_costs)
+        assert "est" in plan.describe()
+
+    def test_engine_explain_reports_costs_and_layout(self, dataset, workload):
+        engine = MarginalReleaseEngine(
+            workload, "Q", backend="record", shards=3, workers=2
+        )
+        text = engine.explain(1.0, data=dataset)
+        assert "source layout     : 3 shard(s)" in text
+        assert "[root:" in text or "[direct:" in text
+        # Without data the explanation stays data-independent.
+        assert "source layout" not in engine.explain(1.0)
+
+    def test_resolved_backend_accounts_for_the_shard_knob(self, workload):
+        """Regression: an auto-policy engine with explicit shards releases
+        on the sharded record backend — introspection must say so instead
+        of reporting the dense default of the small domain."""
+        from repro.exceptions import DataError
+
+        engine = MarginalReleaseEngine(workload, "Q", shards=4)
+        assert engine.resolved_backend == "record"
+        assert MarginalReleaseEngine(workload, "Q").resolved_backend == "dense"
+        with pytest.raises(DataError, match="dense"):
+            MarginalReleaseEngine(workload, "Q", backend="dense", shards=4)
+
+
+class TestDecisionsAreValueFree:
+    def test_forced_root_and_forced_direct_are_bitwise_identical(
+        self, dataset, workload
+    ):
+        strategy = query_strategy(workload)
+        planner = Planner(workload, strategy)
+        source = dataset.as_source(backend="record")
+        batches = planner.batches
+
+        def forced(use_root):
+            costs = tuple(
+                BatchCost(
+                    root=batch.root,
+                    members=len(batch.members),
+                    use_root=use_root,
+                    root_cost=0.0,
+                    direct_cost=0.0,
+                    backend="record",
+                )
+                for batch in batches
+            )
+            return batched_marginals(source, batches, D, costs=costs)
+
+        via_root = forced(True)
+        direct = forced(False)
+        assert via_root.keys() == direct.keys()
+        for mask in via_root:
+            assert np.array_equal(via_root[mask], direct[mask])
+
+    def test_release_identical_with_and_without_costed_plan(self, dataset, workload):
+        source = dataset.as_source(backend="record")
+        engine = MarginalReleaseEngine(workload, "Q", backend="record")
+        plan_uncosted = engine.build_plan(1.0)
+        plan_costed = engine.planner.plan(PrivacyBudget.pure(1.0), source=source)
+        assert plan_costed.batch_costs is not None
+        left = engine.executor.measure(plan_uncosted, source, rng=9)
+        right = engine.executor.measure(plan_costed, source, rng=9)
+        for label in left.values:
+            assert np.array_equal(left.values[label], right.values[label])
+
+    def test_dense_and_record_costed_plans_release_identically(
+        self, dataset, workload
+    ):
+        releases = []
+        for backend in ("dense", "record"):
+            engine = MarginalReleaseEngine(workload, "Q", backend=backend)
+            releases.append(engine.release(dataset, 1.0, rng=21))
+        for left, right in zip(releases[0].marginals, releases[1].marginals):
+            assert np.array_equal(left, right)
+
+    def test_mismatched_cost_count_is_rejected(self, dataset, workload):
+        from repro.exceptions import PlanError
+
+        source = dataset.as_source(backend="record")
+        planner = Planner(workload, query_strategy(workload))
+        with pytest.raises(PlanError):
+            batched_marginals(
+                source,
+                planner.batches,
+                D,
+                costs=(
+                    BatchCost(
+                        root=1, members=1, use_root=True,
+                        root_cost=0.0, direct_cost=0.0, backend="record",
+                    ),
+                ) * (len(planner.batches) + 1),
+            )
+
+    def test_dense_default_cost_hooks(self):
+        source = DenseCubeSource(np.ones(1 << 6), 6)
+        assert source.marginal_cost(0b11) == float(1 << 6)
+        assert source.derive_cost(0b1111, 0b11) == float(1 << 4)

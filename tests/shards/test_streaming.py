@@ -1,0 +1,177 @@
+"""Streaming ingestion: batch-order independence and exact one-shot equality.
+
+A :class:`~repro.shards.streaming.StreamingSourceBuilder` fed the same rows
+in any batch split and any order must build the exact ``(codes, weights)``
+arrays a one-shot :class:`~repro.sources.record.RecordSource` computes —
+sorted distinct codes with integer-exact summed weights — while never
+buffering more than the distinct codes plus one batch.
+"""
+
+from __future__ import annotations
+
+import csv
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.data.loader import iter_csv_batches, load_csv
+from repro.domain import Dataset, Schema
+from repro.exceptions import DataError
+from repro.shards import StreamingSourceBuilder
+from repro.sources import RecordSource
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+D = 6
+
+code_lists = st.lists(st.integers(0, (1 << D) - 1), min_size=1, max_size=120)
+
+
+class TestShuffledBatchesEqualOneShot:
+    @SETTINGS
+    @given(code_lists, st.integers(1, 9), st.integers(0, 2**16))
+    def test_any_batch_split_and_order(self, rows, n_batches, seed):
+        codes = np.array(rows, dtype=np.int64)
+        reference = RecordSource(codes, dimension=D)
+        shuffled = np.random.default_rng(seed).permutation(codes)
+        builder = StreamingSourceBuilder(dimension=D, merge_threshold=8)
+        for chunk in np.array_split(shuffled, min(n_batches, shuffled.shape[0])):
+            builder.add_codes(chunk)
+        built_codes, built_weights = builder.arrays()
+        assert np.array_equal(built_codes, reference.codes)
+        assert np.array_equal(built_weights, reference.weights)
+        assert builder.rows_ingested == codes.shape[0]
+        source = builder.to_record_source()
+        for mask in (0b1, 0b111, (1 << D) - 1):
+            assert np.array_equal(source.marginal(mask), reference.marginal(mask))
+
+    @SETTINGS
+    @given(code_lists, st.integers(0, 2**16))
+    def test_weighted_batches(self, rows, seed):
+        codes = np.array(rows, dtype=np.int64)
+        rng = np.random.default_rng(seed)
+        weights = rng.integers(1, 5, codes.shape[0]).astype(np.float64)
+        reference = RecordSource(codes, weights, dimension=D)
+        builder = StreamingSourceBuilder(dimension=D, merge_threshold=4)
+        order = rng.permutation(codes.shape[0])
+        for chunk in np.array_split(order, 5):
+            if chunk.size:
+                builder.add_codes(codes[chunk], weights[chunk])
+        built_codes, built_weights = builder.arrays()
+        assert np.array_equal(built_codes, reference.codes)
+        assert np.array_equal(built_weights, reference.weights)
+
+
+class TestBoundedBuffering:
+    def test_runs_merge_at_the_threshold(self):
+        builder = StreamingSourceBuilder(dimension=16, merge_threshold=100)
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            builder.add_codes(rng.integers(0, 64, 50))  # few distinct codes
+        # 30 batches of <= 50 distinct entries would buffer 1500 entries
+        # un-merged; compaction keeps the buffer near the 64 distinct codes.
+        assert builder.buffered_entries <= 100 + 64
+        assert builder.distinct_records <= 64
+        assert builder.rows_ingested == 1500
+
+    def test_records_and_schema_path(self):
+        schema = Schema.binary(["a", "b", "c"])
+        rows = np.array([[0, 1, 0], [1, 1, 1], [0, 1, 0]], dtype=np.int64)
+        builder = StreamingSourceBuilder(schema)
+        builder.add_records(rows[:2]).add_records(rows[2:])
+        reference = Dataset(schema, rows).as_source(backend="record")
+        source = builder.to_record_source()
+        assert np.array_equal(source.codes, reference.codes)
+        assert np.array_equal(source.weights, reference.weights)
+
+    def test_out_of_domain_codes_are_rejected(self):
+        builder = StreamingSourceBuilder(dimension=3)
+        with pytest.raises(DataError):
+            builder.add_codes([8])
+        with pytest.raises(DataError):
+            builder.add_codes([-1])
+
+    def test_needs_schema_for_records(self):
+        with pytest.raises(DataError):
+            StreamingSourceBuilder(dimension=3).add_records([[0, 0, 0]])
+        with pytest.raises(DataError):
+            StreamingSourceBuilder()
+
+
+class TestChunkedCsv:
+    @pytest.fixture
+    def csv_file(self, tmp_path):
+        rng = np.random.default_rng(4)
+        path = tmp_path / "stream.csv"
+        with path.open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["x", "y", "z"])
+            for _ in range(157):
+                writer.writerow(
+                    [
+                        "left" if rng.random() < 0.5 else "right",
+                        "no" if rng.random() < 0.6 else "yes",
+                        "lo" if rng.random() < 0.4 else "hi",
+                    ]
+                )
+        return path
+
+    def test_streamed_csv_equals_load_csv(self, csv_file):
+        dataset = load_csv(csv_file)
+        reference = dataset.as_source(backend="record")
+        builder = StreamingSourceBuilder(dataset.schema)
+        builder.add_csv(csv_file, batch_size=20)
+        source = builder.to_record_source()
+        assert np.array_equal(source.codes, reference.codes)
+        assert np.array_equal(source.weights, reference.weights)
+        assert builder.rows_ingested == len(dataset)
+        assert builder.batches_ingested == 8  # ceil(157 / 20)
+
+    def test_iter_csv_batches_chunking(self, csv_file):
+        dataset = load_csv(csv_file)
+        batches = list(iter_csv_batches(csv_file, dataset.schema, batch_size=50))
+        assert [batch.shape[0] for batch in batches] == [50, 50, 50, 7]
+        assert np.array_equal(np.vstack(batches), dataset.records)
+
+    def test_unknown_label_is_a_targeted_error(self, csv_file, tmp_path):
+        dataset = load_csv(csv_file)
+        bad = tmp_path / "bad.csv"
+        bad.write_text("x,y,z\nleft,no,UNSEEN\n")
+        with pytest.raises(DataError, match="'z'.*'UNSEEN'"):
+            list(iter_csv_batches(bad, dataset.schema))
+
+    def test_column_selection_and_headerless(self, tmp_path):
+        path = tmp_path / "nh.csv"
+        path.write_text("a,b\n0,1\n1,0\n0,0\n")
+        schema = Schema.binary(["b", "a"])
+        batches = list(
+            iter_csv_batches(path, schema, columns=["b", "a"], batch_size=2)
+        )
+        assert np.array_equal(
+            np.vstack(batches), np.array([[1, 0], [0, 1], [0, 0]])
+        )
+
+    def test_permuted_columns_still_yield_schema_order(self, tmp_path):
+        """Regression: `columns` in a different order than the schema must
+        not swap attribute codes — batches are always in schema order."""
+        path = tmp_path / "perm.csv"
+        path.write_text("a,b\n0,1\n0,1\n1,1\n")
+        schema = Schema.binary(["a", "b"])
+        straight = np.vstack(list(iter_csv_batches(path, schema)))
+        permuted = np.vstack(
+            list(iter_csv_batches(path, schema, columns=["b", "a"]))
+        )
+        assert np.array_equal(straight, permuted)
+        assert np.array_equal(straight, np.array([[0, 1], [0, 1], [1, 1]]))
+
+    def test_columns_must_cover_the_schema(self, tmp_path):
+        path = tmp_path / "cov.csv"
+        path.write_text("a,b\n0,1\n")
+        schema = Schema.binary(["a", "b"])
+        with pytest.raises(DataError, match="every schema attribute"):
+            list(iter_csv_batches(path, schema, columns=["a", "a"]))

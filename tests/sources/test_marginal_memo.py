@@ -1,0 +1,128 @@
+"""The marginal memo and the hoisted batch-projection kernel.
+
+Satellite regression pins: repeated ``marginal(mask)`` requests are served
+from a small LRU **bitwise identical** to the uncached computation, cached
+arrays are never aliased to callers (the mutate-your-copy contract holds),
+and the plane-sharing batch kernel produces exactly the per-mask projected
+bincounts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.fourier.index import project_indices
+from repro.sources.record import MarginalMemo, RecordSource, projected_marginals
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+D = 7
+
+code_lists = st.lists(st.integers(0, (1 << D) - 1), min_size=1, max_size=80)
+masks = st.integers(1, (1 << D) - 1)
+
+
+class TestMemo:
+    @SETTINGS
+    @given(code_lists, masks)
+    def test_cached_path_is_bitwise_identical_to_uncached(self, rows, mask):
+        codes = np.array(rows, dtype=np.int64)
+        cached = RecordSource(codes, dimension=D)
+        uncached = RecordSource(codes, dimension=D, marginal_cache_size=0)
+        first = cached.marginal(mask)
+        second = cached.marginal(mask)  # memo hit
+        reference = uncached.marginal(mask)
+        assert np.array_equal(first, reference)
+        assert np.array_equal(second, reference)
+
+    def test_callers_own_their_arrays(self):
+        source = RecordSource(np.arange(20, dtype=np.int64), dimension=D)
+        first = source.marginal(0b11)
+        second = source.marginal(0b11)
+        assert first is not second
+        first[:] = -123.0  # mutating a returned array must not poison the memo
+        assert np.array_equal(source.marginal(0b11), second)
+
+    def test_lru_evicts_oldest(self):
+        memo = MarginalMemo(maxsize=2)
+        memo.put(1, np.zeros(1))
+        memo.put(2, np.zeros(1))
+        memo.get(1)  # refresh 1 -> 2 becomes the eviction candidate
+        memo.put(3, np.zeros(1))
+        assert memo.get(1) is not None
+        assert memo.get(2) is None
+        assert memo.get(3) is not None
+
+    def test_disabled_memo_stores_nothing(self):
+        memo = MarginalMemo(maxsize=0)
+        assert not memo.put(1, np.zeros(1))
+        assert memo.get(1) is None
+        assert not memo.enabled
+
+    def test_cell_budget_bounds_memory(self):
+        """Regression: the memo is bounded in cells, not just entries — wide
+        batch-root marginals cannot pin unbounded memory on cached sources."""
+        memo = MarginalMemo(maxsize=64, max_cells=100)
+        assert not memo.put(1, np.zeros(101))  # larger than the whole budget
+        assert memo.get(1) is None
+        assert memo.put(2, np.zeros(60))
+        assert memo.put(3, np.zeros(60))  # pushes total over 100 -> evicts 2
+        assert memo.get(2) is None
+        assert memo.get(3) is not None
+        assert memo.cells == 60
+
+    def test_replacing_an_entry_keeps_the_cell_count_consistent(self):
+        memo = MarginalMemo(maxsize=4, max_cells=100)
+        memo.put(1, np.zeros(40))
+        memo.put(1, np.zeros(10))
+        assert memo.cells == 10
+
+    def test_repeats_hit_the_cache(self):
+        source = RecordSource(np.arange(50, dtype=np.int64), dimension=D)
+        for _ in range(3):
+            source.marginal(0b101)
+        assert len(source._memo) == 1
+
+
+class TestProjectedMarginalsKernel:
+    @SETTINGS
+    @given(
+        code_lists,
+        st.lists(masks, min_size=1, max_size=6, unique=True),
+    )
+    def test_plane_sharing_matches_per_mask_projection(self, rows, members):
+        codes = np.array(rows, dtype=np.int64)
+        weights = np.ones(codes.shape[0], dtype=np.float64)
+        root = 0
+        for member in members:
+            root |= member
+        batched = projected_marginals(codes, weights, root, members)
+        for member in members:
+            compact = project_indices(codes, member)
+            reference = np.bincount(
+                compact, weights=weights, minlength=1 << bin(member).count("1")
+            ).astype(np.float64, copy=False)
+            assert np.array_equal(batched[member], reference)
+
+    def test_member_outside_the_root_falls_back_to_direct_projection(self):
+        codes = np.arange(30, dtype=np.int64)
+        weights = np.ones(30)
+        out = projected_marginals(codes, weights, 0b11, [0b11, 0b100])
+        reference = np.bincount(
+            project_indices(codes, 0b100), weights=weights, minlength=2
+        )
+        assert np.array_equal(out[0b100], reference)
+
+    def test_batched_source_call_matches_individual_calls(self):
+        codes = np.random.default_rng(0).integers(0, 1 << D, 200)
+        source = RecordSource(codes, dimension=D)
+        fresh = RecordSource(codes, dimension=D, marginal_cache_size=0)
+        worklist = [(0b1111, (0b11, 0b1100)), (0b110001, (0b110001,))]
+        batch = source.marginals_for_batches(worklist)
+        for mask in (0b11, 0b1100, 0b110001):
+            assert np.array_equal(batch[mask], fresh.marginal(mask))
