@@ -36,6 +36,7 @@ except ModuleNotFoundError:  # pragma: no cover
 
 from repro.domain.schema import Schema  # noqa: E402
 from repro.mechanisms.privacy import PrivacyBudget  # noqa: E402
+from repro.obs import tracing  # noqa: E402
 from repro.plan import Executor, Planner  # noqa: E402
 from repro.queries.workload import all_k_way  # noqa: E402
 from repro.strategies.registry import make_strategy  # noqa: E402
@@ -82,6 +83,17 @@ def run(d: int, k: int, strategy_name: str, epsilon: float, reps: int, seed: int
     )
     batched_seconds = _time_best_of(lambda: executor.measure(plan, vector, rng), reps)
 
+    # One extra traced pass (outside the timing loops: those stay on the
+    # untraced fast path) so the report embeds what the pipeline did.
+    with tracing() as recorder:
+        executor.measure(plan, vector, np.random.default_rng(seed))
+    metrics = recorder.metrics.snapshot()
+    observability = {
+        "counters": metrics["counters"],
+        "span_durations": recorder.durations_by_name(),
+        "ledger_totals": recorder.ledger.totals(),
+    }
+
     return {
         "config": {
             "d": d,
@@ -104,6 +116,7 @@ def run(d: int, k: int, strategy_name: str, epsilon: float, reps: int, seed: int
             "plan_batched_seconds": batched_seconds,
             "speedup": baseline_seconds / batched_seconds,
         },
+        "observability": observability,
     }
 
 
@@ -125,6 +138,10 @@ def main(argv=None) -> int:
     reps = args.reps if args.reps is not None else (2 if args.quick else 7)
     report = run(args.d, args.k, args.strategy, args.epsilon, reps, args.seed)
 
+    observability = report["observability"]
+    if not (observability["counters"] and observability["span_durations"]):
+        raise AssertionError("embedded metrics snapshot is empty")
+
     config, plan, timing = report["config"], report["plan"], report["measurement"]
     print(
         f"d={config['d']} k={config['k']} strategy={config['strategy']} "
@@ -139,6 +156,12 @@ def main(argv=None) -> int:
         f"measurement: per-query={timing['per_query_seconds'] * 1e3:.2f} ms  "
         f"plan-batched={timing['plan_batched_seconds'] * 1e3:.2f} ms  "
         f"speedup={timing['speedup']:.1f}x"
+    )
+    ledger = observability["ledger_totals"]
+    print(
+        f"observability: {len(observability['counters'])} counters, "
+        f"{len(observability['span_durations'])} span names, "
+        f"ledger epsilon={ledger['epsilon']:.6g} over {int(ledger['charges'])} charges"
     )
 
     if not args.quick:

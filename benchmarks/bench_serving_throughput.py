@@ -76,7 +76,7 @@ def _run_batch(service: QueryService, requests: List[QueryRequest]) -> float:
     return time.perf_counter() - start
 
 
-def bench_serving_throughput(benchmark, nltcs_data, tmp_path_factory, report_writer, json_report_writer):
+def bench_serving_throughput(benchmark, nltcs_data, tmp_path_factory, report_writer, json_report_writer, obs_snapshot):
     tmp_path = tmp_path_factory.mktemp("serving-bench")
     store = _build_store(tmp_path, nltcs_data)
     requests = _query_mix(store, nltcs_data.schema)
@@ -100,10 +100,15 @@ def bench_serving_throughput(benchmark, nltcs_data, tmp_path_factory, report_wri
             "cold_seconds": best["cold"],
             "cached_seconds": best["cached"],
             "batched_seconds": best["batched"],
-            "cache_hit_rate": warm_service.stats["cache"]["hit_rate"],
+            "cache_hit_rate": warm_service.stats()["cache"]["hit_rate"],
         }
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # One traced pass (untimed) embeds the serving counters in the report.
+    snapshot = obs_snapshot(
+        lambda: _run_single(QueryService(store, cache_size=4096), requests)
+    )
 
     speedup_cached = results["cached_qps"] / results["cold_qps"]
     speedup_batched = results["batched_qps"] / results["cold_qps"]
@@ -141,6 +146,7 @@ def bench_serving_throughput(benchmark, nltcs_data, tmp_path_factory, report_wri
                     "speedup_vs_cold": speedup_batched,
                 },
             },
+            "observability": snapshot,
         },
     )
 

@@ -31,6 +31,7 @@ except ModuleNotFoundError:  # pragma: no cover
     sys.path.insert(0, str(_SRC))
 
 from repro.data import synthetic_adult, synthetic_nltcs  # noqa: E402
+from repro.obs import tracing  # noqa: E402
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
@@ -52,6 +53,31 @@ def repetitions() -> int:
 def record_count(default: int) -> int:
     override = os.environ.get("REPRO_BENCH_RECORDS")
     return int(override) if override else default
+
+
+def observability_snapshot(fn):
+    """Run ``fn`` once under the trace recorder; return a compact embed.
+
+    Benchmarks time their subject *untraced* (the no-op guard keeps the hot
+    path clean) and then call this once so every results file also records
+    what the pipeline actually did: counters, gauges, per-span timing
+    aggregates, and the privacy-budget ledger totals of that single run.
+    """
+    with tracing() as recorder:
+        fn()
+    metrics = recorder.metrics.snapshot()
+    return {
+        "counters": metrics["counters"],
+        "gauges": metrics["gauges"],
+        "span_durations": recorder.durations_by_name(),
+        "ledger_totals": recorder.ledger.totals(),
+    }
+
+
+@pytest.fixture(scope="session")
+def obs_snapshot():
+    """Fixture form of :func:`observability_snapshot`."""
+    return observability_snapshot
 
 
 @pytest.fixture(scope="session")

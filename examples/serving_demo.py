@@ -76,7 +76,7 @@ def main() -> None:
         worst = max(answer.std_error for answer in batch)
         print(f"batched {len(batch)} one-way marginals, worst std error {worst:.2f}")
 
-        stats = service.stats
+        stats = service.stats()
         print(f"\nserving stats: {stats['queries']} single queries, "
               f"{stats['batched_requests']} batched requests, "
               f"cache hit rate {stats['cache']['hit_rate']:.0%}")

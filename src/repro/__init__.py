@@ -68,8 +68,9 @@ from repro.serving import (
     ReleaseStore,
     ServedAnswer,
 )
+from repro.obs import BudgetLedger, CacheStats, Recorder, trace_span, tracing
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Attribute",
@@ -119,5 +120,10 @@ __all__ = [
     "QueryService",
     "ReleaseStore",
     "ServedAnswer",
+    "BudgetLedger",
+    "CacheStats",
+    "Recorder",
+    "trace_span",
+    "tracing",
     "__version__",
 ]

@@ -20,6 +20,16 @@ Three entry styles share one ``main``:
       python -m repro query --store store/ --attributes region \
           --where smoker=yes
 
+* ``stats`` — validate and summarise a trace written by
+  ``release --trace=json --trace-out trace.json``::
+
+      python -m repro stats trace.json
+
+Release commands accept ``--trace[=summary|json|logfmt]`` to run under the
+observability recorder (:mod:`repro.obs`) and emit the spans, metrics and
+privacy-budget ledger of the release; tracing never changes the released
+values (seeded releases are bitwise identical with tracing on or off).
+
 The CLI is a thin wrapper over :func:`repro.core.release_marginals` and
 :class:`~repro.serving.service.QueryService`; programmatic use should go
 through the API.
@@ -41,6 +51,13 @@ from repro.domain.dataset import Dataset
 from repro.domain.schema import Schema
 from repro.exceptions import ReproError
 from repro.mechanisms.privacy import PrivacyBudget
+from repro.obs import (
+    summarise,
+    to_json,
+    to_logfmt,
+    tracing,
+    validate_payload,
+)
 from repro.queries.workload import (
     MarginalWorkload,
     all_k_way,
@@ -137,6 +154,23 @@ def _add_release_arguments(parser: argparse.ArgumentParser) -> None:
         "instead of performing the release",
     )
     parser.add_argument(
+        "--trace",
+        nargs="?",
+        const="summary",
+        default=None,
+        choices=["summary", "json", "logfmt"],
+        help="run the release under the observability recorder and emit the "
+        "trace (spans, metrics, privacy-budget ledger) in the chosen format "
+        "(bare --trace prints the human summary); released values are "
+        "bitwise unchanged",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="write the trace to FILE instead of stdout (requires --trace)",
+    )
+    parser.add_argument(
         "--output",
         default=None,
         help="directory for the released marginal CSVs (default: print a summary only)",
@@ -220,6 +254,41 @@ def build_query_parser() -> argparse.ArgumentParser:
         help="print the answer as JSON instead of a table",
     )
     return parser
+
+
+def build_stats_parser() -> argparse.ArgumentParser:
+    """Parser of the ``stats`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro stats",
+        description="Validate a JSON trace written by 'release --trace=json' "
+        "and print its summary (spans, metrics, privacy-budget ledger).",
+        allow_abbrev=False,
+    )
+    parser.add_argument("trace", help="path to the JSON trace file")
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="re-emit the validated trace payload as JSON instead of the summary",
+    )
+    return parser
+
+
+def _main_stats(argv: Sequence[str]) -> int:
+    args = build_stats_parser().parse_args(argv)
+    try:
+        try:
+            payload = json.loads(Path(args.trace).read_text())
+        except json.JSONDecodeError as error:
+            raise ReproError(f"{args.trace} is not valid JSON: {error}") from error
+        validate_payload(payload)
+        if args.json:
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            print(summarise(payload))
+        return 0
+    except (ReproError, OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 def _build_workload(dataset: Dataset, args: argparse.Namespace) -> MarginalWorkload:
@@ -315,8 +384,12 @@ def _run_release(args: argparse.Namespace):
     """Shared release pipeline of the legacy form and the ``release`` subcommand.
 
     With ``--explain`` the execution plan is printed and no release is
-    performed (``result`` is then ``None``).
+    performed (``result`` is then ``None``).  With ``--trace`` the release
+    runs under a fresh observability recorder, returned as the third element
+    (``None`` otherwise).
     """
+    if args.trace_out is not None and args.trace is None:
+        raise ReproError("--trace-out requires --trace")
     dataset = load_csv(args.input, columns=args.columns, has_header=not args.no_header)
     workload = _build_workload(dataset, args)
     budget = (
@@ -335,8 +408,13 @@ def _run_release(args: argparse.Namespace):
     )
     if args.explain:
         print(engine.explain(budget, data=dataset))
-        return dataset, None
-    result = engine.release(dataset, budget, rng=args.seed)
+        return dataset, None, None
+    if args.trace is not None:
+        with tracing() as recorder:
+            result = engine.release(dataset, budget, rng=args.seed)
+    else:
+        recorder = None
+        result = engine.release(dataset, budget, rng=args.seed)
     if args.nonnegative:
         marginals = round_to_integers(project_nonnegative(result.marginals))
         result = ReleaseResult(
@@ -348,19 +426,37 @@ def _run_release(args: argparse.Namespace):
             expected_total_variance=result.expected_total_variance,
             elapsed_seconds=result.elapsed_seconds,
         )
-    return dataset, result
+    return dataset, result, recorder
+
+
+def _emit_trace(args: argparse.Namespace, recorder) -> None:
+    """Render the recorder in the ``--trace`` format, to stdout or a file."""
+    if recorder is None:
+        return
+    if args.trace == "json":
+        text = to_json(recorder)
+    elif args.trace == "logfmt":
+        text = to_logfmt(recorder)
+    else:
+        text = summarise(recorder)
+    if args.trace_out is not None:
+        Path(args.trace_out).write_text(text + "\n")
+        print(f"wrote {args.trace} trace to {args.trace_out}")
+    else:
+        print(text)
 
 
 def _main_legacy(argv: Optional[Sequence[str]]) -> int:
     args = build_parser().parse_args(argv)
     try:
-        dataset, result = _run_release(args)
+        dataset, result, recorder = _run_release(args)
         if result is None:  # --explain: the plan was printed instead
             return 0
         print(_summary(dataset, result))
         if args.output is not None:
             written = _write_outputs(dataset, result, Path(args.output))
             print(f"wrote {len(written)} marginal files to {args.output}")
+        _emit_trace(args, recorder)
         return 0
     except (ReproError, OSError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
@@ -370,7 +466,7 @@ def _main_legacy(argv: Optional[Sequence[str]]) -> int:
 def _main_release(argv: Sequence[str]) -> int:
     args = build_release_parser().parse_args(argv)
     try:
-        dataset, result = _run_release(args)
+        dataset, result, recorder = _run_release(args)
         if result is None:  # --explain: the plan was printed instead
             return 0
         print(_summary(dataset, result))
@@ -383,6 +479,7 @@ def _main_release(argv: Sequence[str]) -> int:
                 result, release_id=args.release_id, overwrite=args.overwrite
             )
             print(f"stored release {release_id!r} in {args.out}")
+        _emit_trace(args, recorder)
         return 0
     except (ReproError, OSError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
@@ -461,14 +558,17 @@ def _main_query(argv: Sequence[str]) -> int:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code.
 
-    Dispatches on an optional leading subcommand (``release`` / ``query``);
-    anything else falls through to the classic flag-only release interface.
+    Dispatches on an optional leading subcommand (``release`` / ``query`` /
+    ``stats``); anything else falls through to the classic flag-only release
+    interface.
     """
     arguments = list(argv) if argv is not None else sys.argv[1:]
     if arguments and arguments[0] == "release":
         return _main_release(arguments[1:])
     if arguments and arguments[0] == "query":
         return _main_query(arguments[1:])
+    if arguments and arguments[0] == "stats":
+        return _main_stats(arguments[1:])
     return _main_legacy(arguments if argv is not None else None)
 
 

@@ -34,6 +34,7 @@ from repro.domain.contingency import ContingencyTable
 from repro.domain.dataset import Dataset
 from repro.exceptions import DataError, WorkloadError
 from repro.mechanisms.privacy import PrivacyBudget
+from repro.obs import runtime as _obs
 from repro.plan.executor import Executor
 from repro.plan.plan import ExecutionPlan
 from repro.plan.planner import Planner
@@ -211,6 +212,10 @@ class MarginalReleaseEngine:
         data input the configured backend cannot serve (e.g. a forced dense
         backend over the limit) falls back to the data-independent
         explanation with a note instead of raising.
+
+        While observability is on (:func:`repro.obs.tracing`) and the active
+        recorder has already seen releases, the explanation closes with the
+        *observed* per-stage timings of those runs.
         """
         policy = (
             f"policy {self._backend!r}"
@@ -237,6 +242,22 @@ class MarginalReleaseEngine:
         ]
         if source is not None:
             lines.append(f"source layout     : {source.describe_layout()}")
+        if _obs.ENABLED:
+            active = _obs.recorder()
+            durations = active.durations_by_name() if active is not None else {}
+            observed = {
+                name: stats
+                for name, stats in durations.items()
+                if name.startswith("engine.")
+            }
+            if observed:
+                lines.append("observed timings  : (from the active trace recorder)")
+                for name, stats in observed.items():
+                    lines.append(
+                        f"  {name:<16}: {int(stats['count'])} span(s), "
+                        f"mean {stats['mean'] * 1e3:.3f} ms, "
+                        f"max {stats['max'] * 1e3:.3f} ms"
+                    )
         return "\n".join(lines)
 
     def expected_total_variance(self, budget: BudgetInput) -> float:
@@ -271,25 +292,45 @@ class MarginalReleaseEngine:
         generator = ensure_rng(rng)
         timings: Dict[str, float] = {}
 
-        start = time.perf_counter()
-        plan = self._planner.plan(resolved_budget, source=source)
-        timings["budgeting"] = time.perf_counter() - start
-
-        start = time.perf_counter()
-        measurement = self._executor.measure(plan, source, generator)
-        timings["measurement"] = time.perf_counter() - start
-
-        start = time.perf_counter()
-        estimates = self._strategy.estimate(measurement)
-        timings["recovery"] = time.perf_counter() - start
-
-        consistent = self._strategy.inherently_consistent
-        if self._consistency and not consistent:
+        observing = _obs.ENABLED
+        if observing:
+            _obs.counter_inc("engine.releases")
+        release_span = _obs.trace_span(
+            "engine.release",
+            strategy=self._strategy.name,
+            backend=source.backend,
+            epsilon=resolved_budget.epsilon,
+        )
+        with release_span:
             start = time.perf_counter()
-            projection = make_consistent(self._workload, estimates, plan=plan)
-            estimates = projection.marginals
-            consistent = True
-            timings["consistency"] = time.perf_counter() - start
+            with _obs.trace_span("engine.plan"):
+                plan = self._planner.plan(resolved_budget, source=source)
+            timings["budgeting"] = time.perf_counter() - start
+
+            start = time.perf_counter()
+            with _obs.trace_span("engine.measure"):
+                measurement = self._executor.measure(plan, source, generator)
+            timings["measurement"] = time.perf_counter() - start
+
+            start = time.perf_counter()
+            with _obs.trace_span("engine.recovery"):
+                estimates = self._strategy.estimate(measurement)
+            timings["recovery"] = time.perf_counter() - start
+
+            consistent = self._strategy.inherently_consistent
+            if self._consistency and not consistent:
+                start = time.perf_counter()
+                with _obs.trace_span("engine.consistency"):
+                    projection = make_consistent(
+                        self._workload, estimates, plan=plan
+                    )
+                estimates = projection.marginals
+                consistent = True
+                timings["consistency"] = time.perf_counter() - start
+
+        if observing:
+            for stage, seconds in timings.items():
+                _obs.observe(f"engine.{stage}_seconds", seconds)
 
         return ReleaseResult(
             workload=self._workload,

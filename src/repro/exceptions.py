@@ -68,3 +68,9 @@ class ServingError(ReproError):
 class PlanError(ReproError):
     """Raised when an execution plan is malformed or executed against a
     strategy or allocation it was not built for."""
+
+
+class ObservabilityError(ReproError):
+    """Raised by the observability layer: invalid metric definitions
+    (decreasing counters, non-monotone histogram edges) or trace payloads
+    that do not match the ``repro.obs`` schema."""

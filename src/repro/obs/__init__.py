@@ -1,0 +1,84 @@
+"""``repro.obs`` — tracing, metrics and privacy-budget accounting.
+
+The observability layer of the release pipeline:
+
+* **spans** (:func:`trace_span`, :class:`Recorder`): nested monotonic
+  timings across plan → execute → finalize, per-batch source kernels,
+  per-shard pool tasks, serving queries and streaming ingestion;
+* **metrics** (:class:`MetricsRegistry`): counters, gauges and
+  fixed-bucket histograms absorbing the pipeline's ad-hoc statistics
+  (cache hit/miss counters, shard task counts, batch root-vs-direct
+  decisions, per-batch timings);
+* **privacy-budget ledger** (:class:`BudgetLedger`): every ``(epsilon,
+  delta, sensitivity, mechanism, cuboid set)`` charge the executor makes,
+  composed exactly like :class:`~repro.mechanisms.privacy.PrivacyBudget`;
+* **exporters**: JSON (:func:`to_json`), logfmt (:func:`to_logfmt`) and a
+  human summary table (:func:`summarise`).
+
+Everything is off by default and *zero-overhead when off*: instrumented
+code guards on the module-level ``runtime.ENABLED`` flag, and
+:func:`trace_span` returns a shared no-op span while disabled.  Recording
+never touches the random stream or any numeric code path, so seeded
+releases are bitwise identical with tracing on or off.
+
+Typical use::
+
+    from repro.obs import tracing
+
+    with tracing() as recorder:
+        result = release_marginals(data, workload, budget=1.0, rng=0)
+    print(recorder.summary())
+    print(recorder.ledger.totals())   # {'epsilon': 1.0, ...}
+"""
+
+from repro.obs.cachestats import CacheStats
+from repro.obs.export import (
+    TRACE_SCHEMA,
+    summarise,
+    to_json,
+    to_logfmt,
+    to_payload,
+    validate_payload,
+)
+from repro.obs.ledger import BudgetCharge, BudgetLedger
+from repro.obs.metrics import (
+    DEFAULT_TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.runtime import (
+    disable,
+    enable,
+    recorder,
+    trace_span,
+    tracing,
+)
+from repro.obs.tracer import NOOP_SPAN, Recorder, Span, SpanRecord
+
+__all__ = [
+    "BudgetCharge",
+    "BudgetLedger",
+    "CacheStats",
+    "Counter",
+    "DEFAULT_TIME_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NOOP_SPAN",
+    "Recorder",
+    "Span",
+    "SpanRecord",
+    "TRACE_SCHEMA",
+    "disable",
+    "enable",
+    "recorder",
+    "summarise",
+    "to_json",
+    "to_logfmt",
+    "to_payload",
+    "trace_span",
+    "tracing",
+    "validate_payload",
+]

@@ -1,0 +1,265 @@
+"""Trace exporters: JSON payloads, logfmt lines and the summary table.
+
+All three render the same :class:`~repro.obs.tracer.Recorder` state:
+
+* :func:`to_payload` / :func:`to_json` — the canonical machine-readable
+  trace (schema :data:`TRACE_SCHEMA`), what ``release --trace=json`` emits
+  and ``repro stats`` reads back;
+* :func:`to_logfmt` — one ``key=value`` line per span / metric / charge,
+  for piping into line-oriented log tooling;
+* :func:`summarise` — the human table ``repro stats`` prints.
+
+:func:`validate_payload` checks the structural contract (used by the CLI
+and the CI trace-schema smoke test).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Union
+
+from repro.exceptions import ObservabilityError
+from repro.obs.tracer import Recorder
+
+#: Schema identifier stamped on (and required of) every trace payload.
+TRACE_SCHEMA = "repro.obs/v1"
+
+#: Keys every payload must carry, with their expected container types.
+_REQUIRED_KEYS = {
+    "schema": str,
+    "spans": list,
+    "metrics": dict,
+    "ledger": dict,
+}
+
+
+def to_payload(recorder: Recorder) -> Dict[str, object]:
+    """The canonical JSON-serialisable trace of one recorder."""
+    return {
+        "schema": TRACE_SCHEMA,
+        "spans": [record.to_dict() for record in recorder.spans],
+        "span_durations": recorder.durations_by_name(),
+        "metrics": recorder.metrics.snapshot(),
+        "ledger": recorder.ledger.to_dict(),
+    }
+
+
+def to_json(recorder: Recorder, *, indent: int = 2) -> str:
+    """The trace payload serialised as JSON text."""
+    return json.dumps(to_payload(recorder), indent=indent, sort_keys=True)
+
+
+def _logfmt_value(value: object) -> str:
+    text = str(value)
+    if " " in text or "=" in text or '"' in text:
+        return json.dumps(text)
+    return text
+
+
+def _logfmt_line(kind: str, fields: Dict[str, object]) -> str:
+    parts = [f"at={kind}"]
+    parts.extend(f"{key}={_logfmt_value(value)}" for key, value in fields.items())
+    return " ".join(parts)
+
+
+def to_logfmt(recorder: Recorder) -> str:
+    """The trace as logfmt lines (spans, then metrics, then charges)."""
+    lines: List[str] = []
+    for record in recorder.spans:
+        fields: Dict[str, object] = {
+            "span": record.name,
+            "id": record.span_id,
+            "parent": record.parent_id if record.parent_id is not None else "-",
+            "thread": record.thread,
+            "start_ms": f"{record.start * 1e3:.3f}",
+            "duration_ms": f"{record.duration * 1e3:.3f}",
+        }
+        fields.update(record.attrs)
+        lines.append(_logfmt_line("span", fields))
+    snapshot = recorder.metrics.snapshot()
+    for name, value in snapshot["counters"].items():  # type: ignore[union-attr]
+        lines.append(_logfmt_line("counter", {"name": name, "value": value}))
+    for name, value in snapshot["gauges"].items():  # type: ignore[union-attr]
+        lines.append(_logfmt_line("gauge", {"name": name, "value": value}))
+    for name, payload in snapshot["histograms"].items():  # type: ignore[union-attr]
+        lines.append(
+            _logfmt_line(
+                "histogram",
+                {
+                    "name": name,
+                    "count": payload["count"],
+                    "sum": f"{payload['sum']:.6f}",
+                },
+            )
+        )
+    for charge in recorder.ledger.charges:
+        fields = dict(charge.to_dict())
+        fields["cuboids"] = ",".join(charge.cuboids)
+        lines.append(_logfmt_line("charge", fields))
+    totals = recorder.ledger.totals()
+    lines.append(
+        _logfmt_line(
+            "ledger",
+            {
+                "epsilon_total": f"{totals['epsilon']:.6g}",
+                "delta_total": f"{totals['delta']:.6g}",
+                "charges": totals["charges"],
+            },
+        )
+    )
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------- #
+# validation + summary (operate on payloads so `repro stats` can read files)
+# --------------------------------------------------------------------------- #
+def validate_payload(payload: object) -> Dict[str, object]:
+    """Check a parsed trace against the schema; returns it on success."""
+    if not isinstance(payload, dict):
+        raise ObservabilityError(
+            f"a trace payload must be a JSON object, got {type(payload).__name__}"
+        )
+    for key, expected in _REQUIRED_KEYS.items():
+        if key not in payload:
+            raise ObservabilityError(f"trace payload is missing the {key!r} key")
+        if not isinstance(payload[key], expected):
+            raise ObservabilityError(
+                f"trace payload key {key!r} must be a {expected.__name__}, "
+                f"got {type(payload[key]).__name__}"
+            )
+    if payload["schema"] != TRACE_SCHEMA:
+        raise ObservabilityError(
+            f"unsupported trace schema {payload['schema']!r} "
+            f"(this build reads {TRACE_SCHEMA!r})"
+        )
+    for span in payload["spans"]:  # type: ignore[union-attr]
+        if not isinstance(span, dict) or "name" not in span or "duration" not in span:
+            raise ObservabilityError(
+                "every span must be an object with at least 'name' and 'duration'"
+            )
+    for key in ("charges", "totals"):
+        if key not in payload["ledger"]:  # type: ignore[operator]
+            raise ObservabilityError(f"trace ledger is missing the {key!r} key")
+    return payload
+
+
+def _span_duration_rows(payload: Dict[str, object]) -> List[List[str]]:
+    durations = payload.get("span_durations")
+    if not isinstance(durations, dict) or not durations:
+        # Rebuild from the raw spans (e.g. a payload written by another tool).
+        grouped: Dict[str, List[float]] = {}
+        for span in payload["spans"]:  # type: ignore[union-attr]
+            grouped.setdefault(span["name"], []).append(float(span["duration"]))
+        durations = {
+            name: {
+                "count": len(values),
+                "total": sum(values),
+                "mean": sum(values) / len(values),
+                "max": max(values),
+            }
+            for name, values in grouped.items()
+        }
+    rows = []
+    ordered = sorted(
+        durations.items(), key=lambda item: item[1]["total"], reverse=True
+    )
+    for name, stats in ordered:
+        rows.append(
+            [
+                name,
+                f"{int(stats['count'])}",
+                f"{stats['total'] * 1e3:.2f}",
+                f"{stats['mean'] * 1e3:.3f}",
+                f"{stats['max'] * 1e3:.3f}",
+            ]
+        )
+    return rows
+
+
+def _format_table(header: List[str], rows: List[List[str]]) -> str:
+    widths = [len(column) for column in header]
+    for row in rows:
+        widths = [max(w, len(cell)) for w, cell in zip(widths, row)]
+    lines = [
+        "  ".join(cell.ljust(width) for cell, width in zip(header, widths)).rstrip()
+    ]
+    for row in rows:
+        lines.append(
+            "  ".join(cell.ljust(width) for cell, width in zip(row, widths)).rstrip()
+        )
+    return "\n".join(lines)
+
+
+def summarise(source: Union[Recorder, Dict[str, object]]) -> str:
+    """Human-readable summary (spans by name, counters, cache rates, ledger)."""
+    payload = to_payload(source) if isinstance(source, Recorder) else source
+    validate_payload(payload)
+    sections: List[str] = []
+
+    rows = _span_duration_rows(payload)
+    if rows:
+        sections.append(
+            "spans (aggregated by name)\n"
+            + _format_table(
+                ["span", "count", "total ms", "mean ms", "max ms"], rows
+            )
+        )
+    else:
+        sections.append("spans (aggregated by name)\n  (no spans recorded)")
+
+    metrics = payload["metrics"]
+    counters = metrics.get("counters", {})  # type: ignore[union-attr]
+    gauges = metrics.get("gauges", {})  # type: ignore[union-attr]
+    if counters or gauges:
+        rows = [[name, f"{value:g}"] for name, value in sorted(counters.items())]
+        rows += [
+            [name + " (gauge)", f"{value:g}"] for name, value in sorted(gauges.items())
+        ]
+        sections.append("metrics\n" + _format_table(["metric", "value"], rows))
+    histograms = metrics.get("histograms", {})  # type: ignore[union-attr]
+    if histograms:
+        rows = []
+        for name, data in sorted(histograms.items()):
+            count = int(data["count"])
+            mean = (data["sum"] / count) if count else 0.0
+            rows.append(
+                [
+                    name,
+                    f"{count}",
+                    f"{data['sum'] * 1e3:.2f}",
+                    f"{mean * 1e3:.3f}",
+                ]
+            )
+        sections.append(
+            "timing histograms\n"
+            + _format_table(["histogram", "count", "total ms", "mean ms"], rows)
+        )
+
+    ledger = payload["ledger"]
+    totals = ledger["totals"]  # type: ignore[index]
+    charge_rows = [
+        [
+            charge["scope"],
+            charge["group"],
+            f"{charge['epsilon']:.4g}",
+            f"{charge['sensitivity']:g}",
+            charge["mechanism"],
+            f"{charge['cells']}",
+        ]
+        for charge in ledger["charges"]  # type: ignore[union-attr]
+    ]
+    ledger_lines = [
+        "privacy-budget ledger",
+        f"  epsilon total = {totals['epsilon']:.6g}  "
+        f"delta total = {totals['delta']:.6g}  "
+        f"({int(totals['charges'])} charges in {int(totals['scopes'])} scope(s))",
+    ]
+    if charge_rows:
+        ledger_lines.append(
+            _format_table(
+                ["scope", "group", "epsilon", "sensitivity", "mechanism", "cells"],
+                charge_rows,
+            )
+        )
+    sections.append("\n".join(ledger_lines))
+    return "\n\n".join(sections)

@@ -1,0 +1,159 @@
+"""The privacy-budget ledger: a structured audit trail of every charge.
+
+Each time the executor draws noise it records one :class:`BudgetCharge` per
+measured strategy group — ``(epsilon, delta, sensitivity, mechanism,
+cuboid set)`` — into the active recorder's :class:`BudgetLedger`.  Charges
+are grouped into *scopes* (one scope per measurement run), because the
+per-group contributions compose differently within a run than across runs:
+
+* **Laplace** (pure DP): the allocation satisfies
+  ``sum_r C_r * eta_r = epsilon``, so per-group epsilons add *linearly*
+  within a scope;
+* **Gaussian** (approximate DP): the allocation satisfies
+  ``sum_r (C_r * eta_r)**2 = epsilon**2``, so per-group epsilons add in
+  *quadrature* within a scope (each charge stores ``C_r * eta_r``); the
+  scope's delta is the release-level delta (recorded once per charge, not
+  additive within the scope).
+
+Across scopes the standard sequential-composition theorem applies: both
+epsilon and delta add.  :meth:`BudgetLedger.totals` implements exactly this
+two-level composition, so for any sequence of releases the ledger's epsilon
+total equals the sum of the requested release budgets.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+#: Ledger mechanisms with linear within-scope epsilon composition.
+LINEAR_MECHANISMS = ("laplace",)
+
+
+@dataclass(frozen=True)
+class BudgetCharge:
+    """One privacy charge: a group of strategy rows measured with noise.
+
+    Attributes
+    ----------
+    scope:
+        The measurement run the charge belongs to (``release-N``); charges
+        sharing a scope compose per the mechanism, scopes compose
+        sequentially.
+    group:
+        Label of the strategy group that was measured.
+    epsilon:
+        The group's epsilon contribution ``C_r * eta_r`` (linear for
+        Laplace, quadrature for Gaussian — see the module docstring).
+    delta:
+        The release-level delta (0 for pure DP).  Within a scope deltas are
+        all equal (one release, one delta); across scopes they add.
+    sensitivity:
+        The group sensitivity constant ``C_r`` of Definition 3.1.
+    mechanism:
+        ``"laplace"`` or ``"gaussian"``.
+    cuboids:
+        The cuboid masks (hex strings) or row labels the charge covers.
+    cells:
+        Number of noisy cells released under this charge.
+    """
+
+    scope: str
+    group: str
+    epsilon: float
+    delta: float
+    sensitivity: float
+    mechanism: str
+    cuboids: Tuple[str, ...] = field(default_factory=tuple)
+    cells: int = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "scope": self.scope,
+            "group": self.group,
+            "epsilon": self.epsilon,
+            "delta": self.delta,
+            "sensitivity": self.sensitivity,
+            "mechanism": self.mechanism,
+            "cuboids": list(self.cuboids),
+            "cells": self.cells,
+        }
+
+
+class BudgetLedger:
+    """Append-only, thread-safe record of every privacy charge."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._charges: List[BudgetCharge] = []
+        self._scopes = 0
+
+    def __len__(self) -> int:
+        return len(self._charges)
+
+    @property
+    def charges(self) -> Tuple[BudgetCharge, ...]:
+        with self._lock:
+            return tuple(self._charges)
+
+    # ------------------------------------------------------------------ #
+    def new_scope(self, label: str = "release") -> str:
+        """Open a fresh composition scope (one per measurement run)."""
+        with self._lock:
+            self._scopes += 1
+            return f"{label}-{self._scopes}"
+
+    def charge(self, charge: BudgetCharge) -> None:
+        """Append one charge to the trail."""
+        with self._lock:
+            self._charges.append(charge)
+
+    # ------------------------------------------------------------------ #
+    def scope_totals(self) -> Dict[str, Dict[str, float]]:
+        """Per-scope ``{"epsilon": ..., "delta": ..., "charges": ...}``.
+
+        Linear-mechanism epsilons add; quadrature mechanisms (Gaussian)
+        combine as the root of the sum of squares.  A scope mixing both (not
+        produced by the engine, but representable) adds the two parts.
+        """
+        per_scope: Dict[str, Dict[str, float]] = {}
+        for charge in self.charges:
+            bucket = per_scope.setdefault(
+                charge.scope,
+                {"linear": 0.0, "quadrature": 0.0, "delta": 0.0, "charges": 0.0},
+            )
+            if charge.mechanism in LINEAR_MECHANISMS:
+                bucket["linear"] += charge.epsilon
+            else:
+                bucket["quadrature"] += charge.epsilon**2
+            bucket["delta"] = max(bucket["delta"], charge.delta)
+            bucket["charges"] += 1
+        return {
+            scope: {
+                "epsilon": bucket["linear"] + math.sqrt(bucket["quadrature"]),
+                "delta": bucket["delta"],
+                "charges": int(bucket["charges"]),
+            }
+            for scope, bucket in per_scope.items()
+        }
+
+    def totals(self) -> Dict[str, float]:
+        """Sequentially composed totals over every scope."""
+        scopes = self.scope_totals()
+        return {
+            "epsilon": sum(bucket["epsilon"] for bucket in scopes.values()),
+            "delta": sum(bucket["delta"] for bucket in scopes.values()),
+            "charges": len(self._charges),
+            "scopes": len(scopes),
+        }
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable audit trail: charges plus composed totals."""
+        return {
+            "charges": [charge.to_dict() for charge in self.charges],
+            "scope_totals": self.scope_totals(),
+            "totals": self.totals(),
+        }

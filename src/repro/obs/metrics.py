@@ -1,0 +1,208 @@
+"""Deterministic process-local metrics: counters, gauges and histograms.
+
+The registry absorbs the ad-hoc statistics the pipeline used to scatter
+across subsystems (cache hit/miss counters, shard task counts, batch
+root-vs-direct decisions) into one queryable structure.  Everything is
+designed so that two identical runs produce *identical* snapshots:
+
+* histogram bucket edges are fixed at construction (no adaptive resizing),
+* snapshots list metrics in sorted-name order,
+* values are plain ints/floats — no timestamps, no process identifiers.
+
+Timing histograms still vary run to run (wall time is wall time); the
+*structure* — which metrics exist, their bucket edges, every counter value —
+is deterministic for a deterministic workload.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_right
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.exceptions import ObservabilityError
+
+#: Fixed bucket edges (seconds) of the default timing histograms.  Chosen to
+#: straddle the pipeline's real latencies: sub-millisecond cuboid kernels up
+#: to multi-second full releases.
+DEFAULT_TIME_BUCKETS: Tuple[float, ...] = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ObservabilityError(
+                f"counter {self.name!r} cannot decrease (inc by {amount})"
+            )
+        with self._lock:
+            self._value += amount
+
+
+class Gauge:
+    """A point-in-time value (worker counts, buffer sizes, ...)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+
+class Histogram:
+    """A histogram over fixed, immutable bucket edges.
+
+    ``edges`` are the (ascending) upper bounds of the first ``len(edges)``
+    buckets; one implicit overflow bucket catches everything above the last
+    edge.  Because the edges never adapt to the data, two runs observing the
+    same values produce byte-identical bucket counts.
+    """
+
+    __slots__ = ("name", "edges", "_counts", "_count", "_sum", "_min", "_max", "_lock")
+
+    def __init__(self, name: str, edges: Iterable[float] = DEFAULT_TIME_BUCKETS):
+        edge_tuple = tuple(float(edge) for edge in edges)
+        if not edge_tuple or any(
+            b <= a for a, b in zip(edge_tuple, edge_tuple[1:])
+        ):
+            raise ObservabilityError(
+                f"histogram {name!r} needs strictly increasing bucket edges, "
+                f"got {edge_tuple}"
+            )
+        self.name = name
+        self.edges = edge_tuple
+        self._counts = [0] * (len(edge_tuple) + 1)
+        self._count = 0
+        self._sum = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        bucket = bisect_right(self.edges, value)
+        with self._lock:
+            self._counts[bucket] += 1
+            self._count += 1
+            self._sum += value
+            if self._min is None or value < self._min:
+                self._min = value
+            if self._max is None or value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def total(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    def bucket_counts(self) -> Tuple[int, ...]:
+        """Per-bucket observation counts (last entry is the overflow bucket)."""
+        return tuple(self._counts)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "edges": list(self.edges),
+            "counts": list(self._counts),
+            "count": self._count,
+            "sum": self._sum,
+            "min": self._min,
+            "max": self._max,
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe, name-indexed home of every metric of one recorder."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------ #
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter ``name``."""
+        counter = self._counters.get(name)
+        if counter is None:
+            with self._lock:
+                counter = self._counters.setdefault(name, Counter(name))
+        return counter
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge ``name``."""
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            with self._lock:
+                gauge = self._gauges.setdefault(name, Gauge(name))
+        return gauge
+
+    def histogram(
+        self, name: str, edges: Iterable[float] = DEFAULT_TIME_BUCKETS
+    ) -> Histogram:
+        """Get or create the histogram ``name`` (edges fixed on first use)."""
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            with self._lock:
+                histogram = self._histograms.setdefault(name, Histogram(name, edges))
+        return histogram
+
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> Dict[str, object]:
+        """Deterministically ordered plain-dict view of every metric."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {name: counters[name].value for name in sorted(counters)},
+            "gauges": {name: gauges[name].value for name in sorted(gauges)},
+            "histograms": {
+                name: histograms[name].to_dict() for name in sorted(histograms)
+            },
+        }

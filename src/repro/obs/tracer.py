@@ -1,0 +1,222 @@
+"""Span-based tracing: nested monotonic timings with a process-local recorder.
+
+A :class:`Recorder` collects finished :class:`SpanRecord` entries from any
+thread (the shard pool's worker threads included).  Span nesting is tracked
+per thread via a ``threading.local`` stack, so concurrently running kernels
+on different workers each get their own parent chain while all records land
+in one shared, lock-guarded list.
+
+Timings use :func:`time.perf_counter` relative to the recorder's epoch —
+monotonic, unaffected by wall-clock adjustments.  Recording never touches
+the random stream or any numeric path of the release pipeline, which is what
+keeps traced releases bitwise identical to untraced ones.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.ledger import BudgetLedger
+from repro.obs.metrics import MetricsRegistry
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span.
+
+    Attributes
+    ----------
+    span_id:
+        Unique (per recorder) id, assigned at span start.
+    parent_id:
+        Id of the enclosing span *on the same thread*, or ``None`` for a
+        root span (spans started on pool workers are roots of their thread).
+    name:
+        The span name (``"engine.release"``, ``"shards.kernel"``, ...).
+    start:
+        Seconds since the recorder's epoch (monotonic).
+    duration:
+        Elapsed seconds.
+    thread:
+        Name of the thread the span ran on.
+    attrs:
+        Free-form attributes captured at start (plus any added via
+        :meth:`Span.set`).
+    """
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    start: float
+    duration: float
+    thread: str
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "duration": self.duration,
+            "thread": self.thread,
+            "attrs": dict(self.attrs),
+        }
+
+
+class Span:
+    """A live span handle (context manager).  Obtained via
+    :func:`repro.obs.trace_span` or :meth:`Recorder.span`."""
+
+    __slots__ = ("_recorder", "name", "attrs", "span_id", "parent_id", "_start")
+
+    def __init__(self, recorder: "Recorder", name: str, attrs: Dict[str, object]):
+        self._recorder = recorder
+        self.name = name
+        self.attrs = attrs
+        self.span_id = 0
+        self.parent_id: Optional[int] = None
+        self._start = 0.0
+
+    def set(self, **attrs: object) -> "Span":
+        """Attach (or overwrite) attributes on the live span."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        self._recorder._begin(self)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        end = time.perf_counter()
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self._recorder._finish(self, self._start, end)
+        return False
+
+
+class NoopSpan:
+    """The zero-overhead stand-in handed out while tracing is disabled.
+
+    A single shared instance; every method is a no-op, so instrumented code
+    can call :func:`~repro.obs.trace_span` unconditionally on warm paths.
+    """
+
+    __slots__ = ()
+
+    def set(self, **attrs: object) -> "NoopSpan":
+        return self
+
+    def __enter__(self) -> "NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+#: The shared no-op span (what ``trace_span`` returns when tracing is off).
+NOOP_SPAN = NoopSpan()
+
+
+class Recorder:
+    """Process-local collector of spans, metrics and budget charges.
+
+    Thread-safe: spans may start and finish on any thread; each thread keeps
+    its own nesting stack, while the finished-record list, the id counter,
+    the metrics registry and the ledger are shared under locks.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._records: List[SpanRecord] = []
+        self._next_id = 0
+        self._local = threading.local()
+        self._epoch = time.perf_counter()
+        self.metrics = MetricsRegistry()
+        self.ledger = BudgetLedger()
+
+    # ------------------------------------------------------------------ #
+    def span(self, name: str, attrs: Optional[Dict[str, object]] = None) -> Span:
+        """A new live span (use as a context manager)."""
+        return Span(self, name, dict(attrs) if attrs else {})
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _begin(self, span: Span) -> None:
+        with self._lock:
+            self._next_id += 1
+            span.span_id = self._next_id
+        stack = self._stack()
+        span.parent_id = stack[-1].span_id if stack else None
+        stack.append(span)
+
+    def _finish(self, span: Span, start: float, end: float) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        else:  # pragma: no cover - misnested exit; drop without corrupting
+            try:
+                stack.remove(span)
+            except ValueError:
+                pass
+        record = SpanRecord(
+            span_id=span.span_id,
+            parent_id=span.parent_id,
+            name=span.name,
+            start=start - self._epoch,
+            duration=end - start,
+            thread=threading.current_thread().name,
+            attrs=span.attrs,
+        )
+        with self._lock:
+            self._records.append(record)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def spans(self) -> Tuple[SpanRecord, ...]:
+        """Every finished span, ordered by start time (then id)."""
+        with self._lock:
+            records = list(self._records)
+        return tuple(sorted(records, key=lambda r: (r.start, r.span_id)))
+
+    def span_names(self) -> Tuple[str, ...]:
+        """Sorted distinct names of the finished spans."""
+        return tuple(sorted({record.name for record in self.spans}))
+
+    def durations_by_name(self) -> Dict[str, Dict[str, float]]:
+        """Aggregated ``{name: {count, total, mean, max}}`` over finished spans."""
+        grouped: Dict[str, List[float]] = {}
+        for record in self.spans:
+            grouped.setdefault(record.name, []).append(record.duration)
+        return {
+            name: {
+                "count": len(durations),
+                "total": sum(durations),
+                "mean": sum(durations) / len(durations),
+                "max": max(durations),
+            }
+            for name, durations in sorted(grouped.items())
+        }
+
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> Dict[str, object]:
+        """The full trace payload (spans + metrics + ledger); see
+        :func:`repro.obs.export.to_payload`."""
+        from repro.obs.export import to_payload
+
+        return to_payload(self)
+
+    def summary(self) -> str:
+        """Human-readable table view; see :func:`repro.obs.export.summarise`."""
+        from repro.obs.export import summarise
+
+        return summarise(self.snapshot())

@@ -48,6 +48,8 @@ from repro.mechanisms.noise import (
     laplace_noise,
     laplace_scale_for_budget,
 )
+from repro.obs import runtime as _obs
+from repro.obs.ledger import BudgetCharge
 from repro.plan.plan import ExecutionPlan
 from repro.sources.base import CountSource
 from repro.sources.dense import DenseCubeSource
@@ -101,6 +103,10 @@ def batched_marginals(
             use_root = source.prefers_batch_root(batch.root)
         flags.append(use_root)
         work.append((batch.root, (batch.root,) if use_root else batch.members))
+    if _obs.ENABLED:
+        root_count = sum(1 for flag in flags if flag)
+        _obs.counter_inc("plan.batches_root", root_count)
+        _obs.counter_inc("plan.batches_direct", len(flags) - root_count)
     direct = source.marginals_for_batches(work)
     values: Dict[int, np.ndarray] = {}
     for batch, use_root in zip(batches, flags):
@@ -152,7 +158,32 @@ class Executor:
         noise is drawn (and the random stream is not consumed): the
         measurement carries the exact strategy answers, which is how tests
         pin the batched kernels against the per-query reference path.
+
+        When observability is on, the run is wrapped in an
+        ``executor.measure`` span and every measured group's privacy charge
+        is appended to the active recorder's ledger (noiseless runs spend no
+        budget and record nothing).
         """
+        if not _obs.ENABLED:
+            return self._measure_impl(plan, x, rng, noiseless)
+        with _obs.trace_span(
+            "executor.measure",
+            kind=plan.kind,
+            groups=len(plan.groups),
+            cells=plan.measured_cells,
+        ):
+            measurement = self._measure_impl(plan, x, rng, noiseless)
+        if not noiseless:
+            self._record_charges(plan)
+        return measurement
+
+    def _measure_impl(
+        self,
+        plan: ExecutionPlan,
+        x: DataVector,
+        rng: RngLike,
+        noiseless: bool,
+    ) -> Measurement:
         strategy = self._strategy
         if plan.kind == "custom":
             # Strategy without the batched-kernel contract: delegate to its
@@ -188,6 +219,57 @@ class Executor:
             group.label: array for group, array in zip(plan.groups, noisy)
         }
         return strategy.build_measurement(values, plan.allocation)
+
+    # ------------------------------------------------------------------ #
+    # privacy-budget ledger
+    # ------------------------------------------------------------------ #
+    def _record_charges(self, plan: ExecutionPlan) -> None:
+        """Append one ledger charge per measured group of this run.
+
+        The charge's epsilon is the group's contribution ``C_r * eta_r`` to
+        the release constraint; the ledger composes them per mechanism
+        (linearly for Laplace, in quadrature for Gaussian), so the scope
+        total reproduces the requested release budget.  Plans without group
+        descriptions (``"custom"`` kernels) fall back to the allocation's
+        group specs — same labels, same budgets.
+        """
+        recorder = _obs.recorder()
+        if recorder is None:
+            return
+        scope = recorder.ledger.new_scope()
+        allocation = plan.allocation
+        delta = 0.0 if plan.is_pure else float(allocation.budget.delta)
+        if plan.groups:
+            entries = [
+                (
+                    group.label,
+                    group.constant,
+                    group.budget,
+                    group.size,
+                    (f"{group.mask:#x}",) if group.mask is not None else (),
+                )
+                for group in plan.groups
+                if group.measured
+            ]
+        else:
+            entries = [
+                (spec.label, spec.constant, eta, spec.size, ())
+                for spec, eta in zip(allocation.groups, allocation.group_budgets)
+                if eta > 0
+            ]
+        for label, constant, eta, cells, cuboids in entries:
+            recorder.ledger.charge(
+                BudgetCharge(
+                    scope=scope,
+                    group=label,
+                    epsilon=float(constant) * float(eta),
+                    delta=delta,
+                    sensitivity=float(constant),
+                    mechanism=plan.mechanism,
+                    cuboids=cuboids,
+                    cells=int(cells),
+                )
+            )
 
     # ------------------------------------------------------------------ #
     # exact-value kernels
@@ -236,10 +318,13 @@ class Executor:
         ) if any(measured) else np.empty(0)
         total = int(scales.shape[0])
         if total:
-            if plan.is_pure:
-                draw = laplace_noise(scales, total, generator)
-            else:
-                draw = gaussian_noise(scales, total, generator)
+            with _obs.trace_span(
+                "executor.noise", mechanism=plan.mechanism, cells=total
+            ):
+                if plan.is_pure:
+                    draw = laplace_noise(scales, total, generator)
+                else:
+                    draw = gaussian_noise(scales, total, generator)
         else:
             draw = np.empty(0)
         noisy: List[np.ndarray] = []

@@ -41,6 +41,7 @@ from scipy import optimize
 
 from repro.exceptions import ConsistencyError
 from repro.fourier.index import WorkloadFourierIndex
+from repro.obs import runtime as _obs
 from repro.queries.matrix import fourier_recovery_matrix
 from repro.queries.workload import MarginalWorkload
 
@@ -154,16 +155,19 @@ def fourier_consistency(
     """
     estimates = _validate_estimates(workload, noisy_marginals)
     weights = _resolve_query_weights(workload, query_weights)
-    index = WorkloadFourierIndex.for_workload(workload)
+    with _obs.trace_span(
+        "consistency.fourier", queries=len(estimates), dimension=workload.dimension
+    ):
+        index = WorkloadFourierIndex.for_workload(workload)
 
-    numerator, denominator, covered = index.consistency_normal_equations(
-        estimates, weights
-    )
-    coefficient_array = np.zeros(index.coefficient_count, dtype=np.float64)
-    np.divide(numerator, denominator, out=coefficient_array, where=covered)
-    marginals = index.marginals_from_coefficients(coefficient_array, covered)
-    residual = _residual(workload, marginals, estimates, 2)
-    coefficients = index.coefficients_dict(coefficient_array, covered)
+        numerator, denominator, covered = index.consistency_normal_equations(
+            estimates, weights
+        )
+        coefficient_array = np.zeros(index.coefficient_count, dtype=np.float64)
+        np.divide(numerator, denominator, out=coefficient_array, where=covered)
+        marginals = index.marginals_from_coefficients(coefficient_array, covered)
+        residual = _residual(workload, marginals, estimates, 2)
+        coefficients = index.coefficients_dict(coefficient_array, covered)
     return ConsistencyResult(
         marginals=marginals, coefficients=coefficients, residual=residual, norm=2
     )

@@ -4,17 +4,24 @@ Served answers are immutable (the planner freezes the value arrays), so they
 can be shared between the cache and callers without copying.  Keys are
 ``(release id, query mask, fixed mask, fixed bits)`` tuples — everything that
 determines an answer besides the release content itself.
+
+Hit/miss/eviction bookkeeping uses the pipeline-wide
+:class:`~repro.obs.cachestats.CacheStats` protocol (re-exported here for
+backwards compatibility), so serving cache statistics appear in
+observability snapshots alongside every other cache.
 """
 
 from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass
-from typing import Dict, Hashable, Optional, Tuple
+from typing import Hashable, Optional, Tuple
 
 from repro.exceptions import ServingError
+from repro.obs.cachestats import CacheStats
 from repro.serving.planner import ServedAnswer
+
+__all__ = ["AnswerCache", "CacheKey", "CacheStats", "answer_key"]
 
 CacheKey = Tuple[Optional[str], int, int, int]
 
@@ -24,34 +31,6 @@ def answer_key(
 ) -> CacheKey:
     """Canonical cache key of a (release, query, predicate) triple."""
     return (release_id, int(query_mask), int(fixed_mask), int(fixed_bits))
-
-
-@dataclass
-class CacheStats:
-    """Hit/miss/eviction counters of an :class:`AnswerCache`."""
-
-    hits: int = 0
-    misses: int = 0
-    evictions: int = 0
-
-    @property
-    def requests(self) -> int:
-        """Total lookups served (hits plus misses)."""
-        return self.hits + self.misses
-
-    @property
-    def hit_rate(self) -> float:
-        """Fraction of lookups answered from the cache (0 when unused)."""
-        return self.hits / self.requests if self.requests else 0.0
-
-    def to_dict(self) -> Dict[str, float]:
-        """Plain-dict view for reports and benchmarks."""
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "hit_rate": self.hit_rate,
-        }
 
 
 class AnswerCache:
@@ -69,7 +48,7 @@ class AnswerCache:
             raise ServingError(f"cache capacity must be non-negative, got {max_entries}")
         self._max_entries = max_entries
         self._entries: "OrderedDict[Hashable, ServedAnswer]" = OrderedDict()
-        self._stats = CacheStats()
+        self._stats = CacheStats(metric_prefix="serving.cache")
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
@@ -96,10 +75,10 @@ class AnswerCache:
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
-                self._stats.misses += 1
+                self._stats.record_miss()
                 return None
             self._entries.move_to_end(key)
-            self._stats.hits += 1
+            self._stats.record_hit()
             return entry
 
     def put(self, key: Hashable, answer: ServedAnswer) -> None:
@@ -112,7 +91,7 @@ class AnswerCache:
             self._entries[key] = answer
             while len(self._entries) > self._max_entries:
                 self._entries.popitem(last=False)
-                self._stats.evictions += 1
+                self._stats.record_eviction()
 
     def clear(self) -> None:
         """Drop every entry (the counters are kept)."""
@@ -122,4 +101,4 @@ class AnswerCache:
     def reset_stats(self) -> None:
         """Zero the hit/miss/eviction counters."""
         with self._lock:
-            self._stats = CacheStats()
+            self._stats = CacheStats(metric_prefix="serving.cache")

@@ -24,6 +24,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Uni
 from repro.core.result import ReleaseResult
 from repro.domain.schema import AttributeRef, Schema
 from repro.exceptions import ReproError, ServingError
+from repro.obs import runtime as _obs
 from repro.serving.cache import AnswerCache, answer_key
 from repro.serving.planner import QueryPlanner, ServedAnswer, slice_marginal
 from repro.serving.store import ReleaseStore
@@ -334,6 +335,15 @@ class QueryService:
             where=where,
         )
         self._queries += 1
+        if not _obs.ENABLED:
+            return self._query_impl(request, release_id)
+        _obs.counter_inc("serving.queries")
+        with _obs.trace_span("serving.query"):
+            return self._query_impl(request, release_id)
+
+    def _query_impl(
+        self, request: QueryRequest, release_id: Optional[str]
+    ) -> ServedAnswer:
         self._sync_with_store()
         signature = self._request_signature(request, release_id)
         hit = self._fast_lookup(signature)
@@ -369,6 +379,16 @@ class QueryService:
         coerced = [_coerce_request(request) for request in requests]
         self._batches += 1
         self._batched_requests += len(coerced)
+        if not _obs.ENABLED:
+            return self._query_batch_impl(coerced, release_id)
+        _obs.counter_inc("serving.batches")
+        _obs.counter_inc("serving.batched_requests", len(coerced))
+        with _obs.trace_span("serving.query_batch", requests=len(coerced)):
+            return self._query_batch_impl(coerced, release_id)
+
+    def _query_batch_impl(
+        self, coerced: List[QueryRequest], release_id: Optional[str]
+    ) -> List[ServedAnswer]:
         self._sync_with_store()
         answers: List[Optional[ServedAnswer]] = [None] * len(coerced)
         # position -> (rid, planner, plan, query_mask, fixed_mask, fixed_bits, key, signature)
@@ -421,12 +441,18 @@ class QueryService:
         return answers  # type: ignore[return-value]
 
     # ------------------------------------------------------------------ #
-    @property
     def stats(self) -> Dict[str, object]:
-        """Serving counters: query volume plus cache hit/miss/eviction stats."""
+        """Serving counters: query volume, live planners and cache stats.
+
+        ``queries`` / ``batches`` / ``batched_requests`` count calls to
+        :meth:`query` and :meth:`query_batch`; ``planners`` is the number of
+        per-release planners currently materialised; ``cache`` is the answer
+        cache's :meth:`~repro.obs.cachestats.CacheStats.to_dict` snapshot.
+        """
         return {
             "queries": self._queries,
             "batches": self._batches,
             "batched_requests": self._batched_requests,
+            "planners": len(self._planners),
             "cache": self._cache.stats.to_dict(),
         }

@@ -36,6 +36,7 @@ import numpy as np
 from repro.exceptions import DataError
 from repro.fourier.index import submasks_array
 from repro.fourier.kernels import fwht_inplace
+from repro.obs import runtime as _obs
 from repro.shards.partition import (
     partition_codes,
     resolve_worker_count,
@@ -75,6 +76,20 @@ def _shard_batch_marginals(
         if pending:
             out.update(projected_marginals(codes, weights, root, pending))
     return out
+
+
+def _traced_shard_kernel(
+    shard: int, codes: np.ndarray, weights: np.ndarray, work: Worklist
+) -> Dict[int, np.ndarray]:
+    """The shard kernel wrapped in a per-task span.
+
+    Module-level so process pools can still pickle it.  In a process-pool
+    child the observability flag is off (it is process-local), so the span
+    degrades to the shared no-op there; thread pools record real per-shard
+    spans on their worker threads.
+    """
+    with _obs.trace_span("shards.kernel", shard=shard, records=int(codes.shape[0])):
+        return _shard_batch_marginals(codes, weights, work)
 
 
 class ShardedRecordSource(CountSource):
@@ -243,6 +258,11 @@ class ShardedRecordSource(CountSource):
         return self._executor_kind
 
     @property
+    def memo_stats(self):
+        """Hit/miss/eviction counters of the per-source marginal memo."""
+        return self._memo.stats
+
+    @property
     def shard_arrays(self) -> Tuple[Tuple[np.ndarray, np.ndarray], ...]:
         """Per-shard ``(codes, weights)`` arrays (read-only views)."""
         out = []
@@ -278,17 +298,40 @@ class ShardedRecordSource(CountSource):
     # ------------------------------------------------------------------ #
     def _map_shards(self, work: Worklist) -> List[Dict[int, np.ndarray]]:
         """Run the shard kernel over every shard; results in shard order."""
-        if self._workers <= 1 or len(self._shards) <= 1:
-            return [
-                _shard_batch_marginals(codes, weights, work)
+        if not _obs.ENABLED:
+            if self._workers <= 1 or len(self._shards) <= 1:
+                return [
+                    _shard_batch_marginals(codes, weights, work)
+                    for codes, weights in self._shards
+                ]
+            pool = get_pool(self._executor_kind, self._workers)
+            futures = [
+                pool.submit(_shard_batch_marginals, codes, weights, work)
                 for codes, weights in self._shards
             ]
-        pool = get_pool(self._executor_kind, self._workers)
-        futures = [
-            pool.submit(_shard_batch_marginals, codes, weights, work)
-            for codes, weights in self._shards
-        ]
-        return [future.result() for future in futures]
+            return [future.result() for future in futures]
+
+        _obs.counter_inc("shards.tasks", len(self._shards))
+        _obs.gauge_set("shards.workers", self._workers)
+        _obs.gauge_set("shards.count", len(self._shards))
+        with _obs.trace_span(
+            "shards.dispatch",
+            shards=len(self._shards),
+            workers=self._workers,
+            executor=self._executor_kind,
+            batches=len(work),
+        ):
+            if self._workers <= 1 or len(self._shards) <= 1:
+                return [
+                    _traced_shard_kernel(index, codes, weights, work)
+                    for index, (codes, weights) in enumerate(self._shards)
+                ]
+            pool = get_pool(self._executor_kind, self._workers)
+            futures = [
+                pool.submit(_traced_shard_kernel, index, codes, weights, work)
+                for index, (codes, weights) in enumerate(self._shards)
+            ]
+            return [future.result() for future in futures]
 
     def _combine(self, per_shard: List[Dict[int, np.ndarray]], mask: int) -> np.ndarray:
         """Sum one mask's per-shard marginals in fixed shard order."""

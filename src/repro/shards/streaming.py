@@ -26,6 +26,7 @@ from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.exceptions import DataError
+from repro.obs import runtime as _obs
 from repro.shards.partition import resolve_shard_count
 from repro.shards.sharded import ShardedRecordSource
 from repro.sources.record import MAX_RECORD_BITS, RecordSource
@@ -156,6 +157,10 @@ class StreamingSourceBuilder:
         self._buffered += int(unique.shape[0])
         self._rows += int(rows)
         self._batches += 1
+        if _obs.ENABLED:
+            _obs.counter_inc("streaming.batches")
+            _obs.counter_inc("streaming.rows", float(rows))
+            _obs.gauge_set("streaming.buffered_entries", self._buffered)
         if self._buffered > self._merge_threshold:
             self._compact()
         return self
@@ -185,15 +190,16 @@ class StreamingSourceBuilder:
 
         if self._schema is None:
             raise DataError("add_csv needs a builder constructed with a schema")
-        for batch in iter_csv_batches(
-            path,
-            self._schema,
-            columns=columns,
-            delimiter=delimiter,
-            has_header=has_header,
-            batch_size=batch_size,
-        ):
-            self.add_records(batch)
+        with _obs.trace_span("streaming.add_csv", path=str(path)):
+            for batch in iter_csv_batches(
+                path,
+                self._schema,
+                columns=columns,
+                delimiter=delimiter,
+                has_header=has_header,
+                batch_size=batch_size,
+            ):
+                self.add_records(batch)
         return self
 
     # ------------------------------------------------------------------ #
@@ -203,14 +209,20 @@ class StreamingSourceBuilder:
         """Merge all sorted runs into one (sorted-unique codes, summed weights)."""
         if len(self._runs) <= 1:
             return
-        codes = np.concatenate([run[0] for run in self._runs])
-        weights = np.concatenate([run[1] for run in self._runs])
-        unique, inverse = np.unique(codes, return_inverse=True)
-        summed = np.bincount(
-            inverse.reshape(-1), weights=weights, minlength=unique.shape[0]
-        )
-        self._runs = [(unique, summed)]
-        self._buffered = int(unique.shape[0])
+        with _obs.trace_span(
+            "streaming.compact", runs=len(self._runs), buffered=self._buffered
+        ):
+            codes = np.concatenate([run[0] for run in self._runs])
+            weights = np.concatenate([run[1] for run in self._runs])
+            unique, inverse = np.unique(codes, return_inverse=True)
+            summed = np.bincount(
+                inverse.reshape(-1), weights=weights, minlength=unique.shape[0]
+            )
+            self._runs = [(unique, summed)]
+            self._buffered = int(unique.shape[0])
+        if _obs.ENABLED:
+            _obs.counter_inc("streaming.compactions")
+            _obs.gauge_set("streaming.buffered_entries", self._buffered)
 
     def arrays(self) -> Tuple[np.ndarray, np.ndarray]:
         """The compacted ``(codes, weights)`` arrays ingested so far."""
@@ -238,6 +250,24 @@ class StreamingSourceBuilder:
         ingested row count when ``shards`` is omitted)."""
         codes, weights = self.arrays()
         shard_count = resolve_shard_count(self._rows, shards, workers=workers)
+        if _obs.ENABLED:
+            _obs.counter_inc("streaming.builds")
+        with _obs.trace_span(
+            "streaming.build",
+            rows=self._rows,
+            distinct=int(codes.shape[0]),
+            shards=shard_count,
+        ):
+            return self._build_source(codes, weights, shard_count, workers, executor)
+
+    def _build_source(
+        self,
+        codes: np.ndarray,
+        weights: np.ndarray,
+        shard_count: int,
+        workers: Optional[int],
+        executor: str,
+    ) -> ShardedRecordSource:
         return ShardedRecordSource(
             codes,
             weights,

@@ -16,6 +16,7 @@ across backends.
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
 from typing import TYPE_CHECKING, Dict, Iterable, Optional, Sequence, Tuple, Union
 
@@ -23,6 +24,8 @@ import numpy as np
 
 from repro.exceptions import DataError
 from repro.fourier.index import project_indices
+from repro.obs import runtime as _obs
+from repro.obs.cachestats import CacheStats
 from repro.sources.base import (
     DENSE_LIMIT_BITS,
     CountSource,
@@ -65,7 +68,7 @@ class MarginalMemo:
     source).  A ``maxsize`` of 0 disables caching entirely.
     """
 
-    __slots__ = ("_entries", "_maxsize", "_max_cells", "_cells")
+    __slots__ = ("_entries", "_maxsize", "_max_cells", "_cells", "stats")
 
     def __init__(
         self,
@@ -76,6 +79,7 @@ class MarginalMemo:
         self._maxsize = int(maxsize)
         self._max_cells = int(max_cells)
         self._cells = 0
+        self.stats = CacheStats(metric_prefix="record.memo")
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -91,8 +95,11 @@ class MarginalMemo:
 
     def get(self, mask: int) -> Optional[np.ndarray]:
         value = self._entries.get(mask)
-        if value is not None:
-            self._entries.move_to_end(mask)
+        if value is None:
+            self.stats.record_miss()
+            return None
+        self._entries.move_to_end(mask)
+        self.stats.record_hit()
         return value
 
     def put(self, mask: int, value: np.ndarray) -> bool:
@@ -108,6 +115,7 @@ class MarginalMemo:
         while len(self._entries) > self._maxsize or self._cells > self._max_cells:
             _, evicted = self._entries.popitem(last=False)
             self._cells -= evicted.size
+            self.stats.record_eviction()
         return True
 
 
@@ -308,6 +316,11 @@ class RecordSource(CountSource):
         return self._limit_bits
 
     @property
+    def memo_stats(self) -> CacheStats:
+        """Hit/miss/eviction counters of the per-source marginal memo."""
+        return self._memo.stats
+
+    @property
     def total(self) -> float:
         return float(self._weights.sum())
 
@@ -346,6 +359,7 @@ class RecordSource(CountSource):
     def marginals_for_batches(
         self, batches: Sequence[Tuple[int, Sequence[int]]]
     ) -> Dict[int, np.ndarray]:
+        observing = _obs.ENABLED
         values: Dict[int, np.ndarray] = {}
         for root, members in batches:
             root = self.check_mask(int(root))
@@ -366,7 +380,20 @@ class RecordSource(CountSource):
                     needed.append(member)
             if not needed:
                 continue
-            computed = projected_marginals(self._codes, self._weights, root, needed)
+            if observing:
+                started = time.perf_counter()
+                with _obs.trace_span(
+                    "source.batch", root=f"{root:#x}", members=len(needed)
+                ):
+                    computed = projected_marginals(
+                        self._codes, self._weights, root, needed
+                    )
+                _obs.observe("source.batch_seconds", time.perf_counter() - started)
+                _obs.counter_inc("source.batches")
+            else:
+                computed = projected_marginals(
+                    self._codes, self._weights, root, needed
+                )
             for member, value in computed.items():
                 values[member] = self._memo_out(member, value)
         return values

@@ -1,0 +1,125 @@
+"""Instrumentation must be bitwise-neutral: traced == untraced, bit for bit.
+
+The acceptance gate for the observability layer.  Tracing wraps the plan /
+measure / noise / consistency stages and the sharded kernel dispatch, but it
+must never touch the RNG stream or any numeric path: a seeded release run
+with tracing enabled has to reproduce the untraced release — and the
+sha256 pin captured before the instrumentation existed — exactly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.core.engine import release_marginals
+from repro.domain import Dataset, Schema
+from repro.obs import tracing
+from repro.queries import MarginalQuery, MarginalWorkload
+
+D = 32
+
+#: The pre-instrumentation pin of the d = 32 record-native release (see
+#: tests/shards/test_shard_release_pins.py).  Tracing must reproduce it.
+EXPECTED_SHA256 = "fa7bc711f5d6a31c53a1c69a7207e07c035066db7fa84f2ee1fbf9d9ed63d805"
+
+
+def fingerprint(marginals) -> str:
+    digest = hashlib.sha256()
+    for marginal in marginals:
+        digest.update(
+            np.ascontiguousarray(np.asarray(marginal, dtype=np.float64)).tobytes()
+        )
+    return digest.hexdigest()
+
+
+@pytest.fixture(scope="module")
+def wide_inputs():
+    schema = Schema.binary([f"a{i:02d}" for i in range(D)])
+    rng = np.random.default_rng(2013)
+    records = (rng.random((3000, D)) < 0.35).astype(np.int64)
+    dataset = Dataset(schema, records, name="wide-32")
+    masks = [1 << i for i in range(D)]
+    masks += [(1 << i) | (1 << j) for i in range(8) for j in range(i + 1, 8)]
+    masks += [0b111, (1 << 31) | (1 << 15) | 1]
+    workload = MarginalWorkload(
+        schema, [MarginalQuery(mask, D) for mask in masks], name="wide-mixed"
+    )
+    return dataset, workload
+
+
+class TestTracedReleasePins:
+    def test_traced_sharded_release_matches_the_pin(self, wide_inputs):
+        dataset, workload = wide_inputs
+        with tracing() as recorder:
+            release = release_marginals(
+                dataset,
+                workload,
+                budget=1.0,
+                strategy="F",
+                shards=3,
+                workers=2,
+                rng=5,
+            )
+        assert fingerprint(release.marginals) == EXPECTED_SHA256
+        # The trace actually observed the release end to end.
+        names = set(recorder.span_names())
+        assert {
+            "engine.release",
+            "engine.plan",
+            "engine.measure",
+            "executor.measure",
+            "executor.noise",
+            "shards.dispatch",
+            "shards.kernel",
+        } <= names
+        assert recorder.ledger.totals()["epsilon"] == pytest.approx(1.0)
+
+    def test_traced_equals_untraced_arrays(self, wide_inputs):
+        dataset, workload = wide_inputs
+        kwargs = dict(budget=1.0, strategy="F", shards=3, workers=2, rng=5)
+        untraced = release_marginals(dataset, workload, **kwargs)
+        with tracing():
+            traced = release_marginals(dataset, workload, **kwargs)
+        for plain, observed in zip(untraced.marginals, traced.marginals):
+            assert np.array_equal(plain, observed)
+
+
+class TestConsistencyAndServingNeutrality:
+    def test_consistency_projection_unaffected(self, small_dataset, workload_2way_5):
+        kwargs = dict(budget=1.0, strategy="Q", consistency=True, rng=11)
+        untraced = release_marginals(small_dataset, workload_2way_5, **kwargs)
+        with tracing() as recorder:
+            traced = release_marginals(small_dataset, workload_2way_5, **kwargs)
+        assert "consistency.fourier" in recorder.span_names()
+        assert fingerprint(traced.marginals) == fingerprint(untraced.marginals)
+
+    def test_query_strategy_record_backend_unaffected(
+        self, small_dataset, workload_2way_5
+    ):
+        kwargs = dict(budget=1.0, strategy="Q", backend="record", rng=13)
+        untraced = release_marginals(small_dataset, workload_2way_5, **kwargs)
+        with tracing():
+            traced = release_marginals(small_dataset, workload_2way_5, **kwargs)
+        assert fingerprint(traced.marginals) == fingerprint(untraced.marginals)
+
+
+class TestOverheadGuard:
+    def test_disabled_guard_is_a_module_flag(self):
+        """The hot-path check must be a module attribute, not a dict lookup."""
+        from repro.obs import runtime
+
+        assert runtime.ENABLED is False
+        assert isinstance(runtime.ENABLED, bool)
+
+    def test_repeated_untraced_releases_stay_pinned(self, wide_inputs):
+        # Running traced releases must leave no residue that perturbs later
+        # untraced ones (global state leak guard).
+        dataset, workload = wide_inputs
+        kwargs = dict(budget=1.0, strategy="F", backend="record", rng=5)
+        with tracing():
+            release_marginals(dataset, workload, **kwargs)
+        after = release_marginals(dataset, workload, **kwargs)
+        assert fingerprint(after.marginals) == EXPECTED_SHA256

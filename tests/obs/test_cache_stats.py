@@ -1,0 +1,102 @@
+"""One CacheStats protocol across serving AnswerCache and source MarginalMemo."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.engine import release_marginals
+from repro.obs import CacheStats, tracing
+from repro.queries import all_k_way
+from repro.serving.cache import AnswerCache
+from repro.serving.service import QueryService
+from repro.sources.record import RecordSource
+
+
+class TestCacheStatsProtocol:
+    def test_counts_and_hit_rate(self):
+        stats = CacheStats()
+        assert stats.requests == 0
+        assert stats.hit_rate == 0.0
+        stats.record_miss()
+        stats.record_hit()
+        stats.record_hit()
+        stats.record_eviction()
+        assert stats.requests == 3
+        assert stats.hit_rate == pytest.approx(2 / 3)
+        assert stats.to_dict() == {
+            "hits": 2,
+            "misses": 1,
+            "evictions": 1,
+            "hit_rate": pytest.approx(2 / 3),
+        }
+
+    def test_mirrors_to_metrics_only_under_tracing(self):
+        stats = CacheStats(metric_prefix="test.cache")
+        stats.record_hit()  # no recorder active: plain increment only
+        with tracing() as recorder:
+            stats.record_hit()
+            stats.record_miss()
+            stats.record_eviction()
+        counters = recorder.metrics.snapshot()["counters"]
+        assert counters["test.cache.hits"] == 1.0
+        assert counters["test.cache.misses"] == 1.0
+        assert counters["test.cache.evictions"] == 1.0
+        assert stats.hits == 2  # both hits counted locally
+
+
+class TestAnswerCacheStats:
+    def test_hits_misses_evictions(self):
+        cache = AnswerCache(max_entries=2)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1
+        cache.put("c", 3)  # evicts the LRU entry ("b")
+        stats = cache.stats
+        assert isinstance(stats, CacheStats)
+        assert stats.misses == 1
+        assert stats.hits == 1
+        assert stats.evictions == 1
+
+    def test_traced_service_mirrors_cache_counters(self, small_dataset):
+        workload = all_k_way(small_dataset.schema, 2)
+        release = release_marginals(
+            small_dataset, workload, budget=1.0, strategy="F", rng=3
+        )
+        service = QueryService(release)
+        with tracing() as recorder:
+            service.query(["a"])
+            service.query(["a"])  # cache hit
+        counters = recorder.metrics.snapshot()["counters"]
+        assert counters["serving.cache.hits"] == 1.0
+        assert counters["serving.cache.misses"] == 1.0
+        assert counters["serving.queries"] == 2.0
+        stats = service.stats()
+        assert stats["queries"] == 2
+        assert stats["cache"]["hits"] == 1
+        assert stats["cache"]["hit_rate"] == pytest.approx(0.5)
+
+
+class TestMarginalMemoStats:
+    def test_memo_hits_are_counted(self, small_dataset):
+        source = RecordSource(np.arange(20, dtype=np.int64), dimension=5)
+        mask = 0b00011
+        first = source.marginals_for_batches([(mask, (mask,))])
+        second = source.marginals_for_batches([(mask, (mask,))])
+        assert np.array_equal(first[mask], second[mask])
+        stats = source.memo_stats
+        assert isinstance(stats, CacheStats)
+        assert stats.hits >= 1
+        assert stats.misses >= 1
+
+    def test_traced_memo_mirrors_counters(self, small_dataset):
+        source = RecordSource(np.arange(20, dtype=np.int64), dimension=5)
+        mask = 0b00011
+        with tracing() as recorder:
+            source.marginals_for_batches([(mask, (mask,))])
+            source.marginals_for_batches([(mask, (mask,))])
+        counters = recorder.metrics.snapshot()["counters"]
+        assert counters.get("record.memo.hits", 0.0) >= 1.0
+        assert counters.get("record.memo.misses", 0.0) >= 1.0
+        assert counters["source.batches"] >= 1.0

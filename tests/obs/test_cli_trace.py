@@ -1,0 +1,175 @@
+"""CLI trace emission (`release --trace`) and the `stats` subcommand."""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.obs import TRACE_SCHEMA, validate_payload
+
+
+@pytest.fixture
+def survey_csv(tmp_path) -> Path:
+    """A small categorical survey file (mirrors tests/test_cli.py)."""
+    rng = np.random.default_rng(0)
+    path = tmp_path / "survey.csv"
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["smoker", "region", "income"])
+        for _ in range(300):
+            writer.writerow(
+                [
+                    "yes" if rng.random() < 0.25 else "no",
+                    rng.choice(["north", "south", "east", "west"]),
+                    rng.choice(["low", "mid", "high"]),
+                ]
+            )
+    return path
+
+
+def _release_args(survey_csv, *extra: str) -> list:
+    return [
+        "release",
+        "--input",
+        str(survey_csv),
+        "--k",
+        "1",
+        "--epsilon",
+        "1.0",
+        "--seed",
+        "9",
+        *extra,
+    ]
+
+
+class TestTraceSummary:
+    def test_bare_trace_prints_the_summary(self, survey_csv, capsys):
+        assert main(_release_args(survey_csv, "--trace")) == 0
+        out = capsys.readouterr().out
+        assert "spans (aggregated by name)" in out
+        assert "engine.release" in out
+        assert "privacy-budget ledger" in out
+
+    def test_trace_out_requires_trace(self, survey_csv, tmp_path, capsys):
+        code = main(
+            _release_args(survey_csv, "--trace-out", str(tmp_path / "t.json"))
+        )
+        assert code != 0
+        assert "--trace" in capsys.readouterr().err
+
+
+class TestTraceJson:
+    def test_json_payload_validates_and_covers_the_pipeline(
+        self, survey_csv, tmp_path, capsys
+    ):
+        trace_path = tmp_path / "trace.json"
+        args = _release_args(
+            survey_csv,
+            "--strategy",
+            "Q",
+            "--backend",
+            "record",
+            "--shards",
+            "2",
+            "--trace=json",
+            "--trace-out",
+            str(trace_path),
+        )
+        assert main(args) == 0
+        payload = json.loads(trace_path.read_text())
+        validate_payload(payload)
+        assert payload["schema"] == TRACE_SCHEMA
+
+        names = {span["name"] for span in payload["spans"]}
+        assert {
+            "engine.release",
+            "engine.plan",
+            "engine.measure",
+            "engine.consistency",
+            "executor.measure",
+            "executor.noise",
+            "consistency.fourier",
+            "shards.dispatch",
+        } <= names
+
+        ledger = payload["ledger"]
+        assert ledger["totals"]["epsilon"] == pytest.approx(1.0)
+        assert ledger["totals"]["charges"] > 0
+        assert payload["metrics"]["counters"]["engine.releases"] == 1.0
+
+    def test_released_values_unchanged_by_tracing(
+        self, survey_csv, tmp_path, capsys
+    ):
+        plain_dir = tmp_path / "plain"
+        traced_dir = tmp_path / "traced"
+        base = ["--k", "2", "--epsilon", "1.0", "--seed", "4"]
+        assert main(
+            ["release", "--input", str(survey_csv), *base, "--output", str(plain_dir)]
+        ) == 0
+        assert main(
+            [
+                "release",
+                "--input",
+                str(survey_csv),
+                *base,
+                "--output",
+                str(traced_dir),
+                "--trace=json",
+                "--trace-out",
+                str(tmp_path / "t.json"),
+            ]
+        ) == 0
+        plain_files = sorted(p.name for p in plain_dir.glob("marginal_*.csv"))
+        assert plain_files
+        for name in plain_files:
+            assert (plain_dir / name).read_text() == (traced_dir / name).read_text()
+
+
+class TestTraceLogfmt:
+    def test_logfmt_lines(self, survey_csv, capsys):
+        assert main(_release_args(survey_csv, "--trace=logfmt")) == 0
+        out = capsys.readouterr().out
+        lines = [line for line in out.splitlines() if line.startswith("at=")]
+        kinds = {line.split()[0] for line in lines}
+        assert "at=span" in kinds
+        assert "at=counter" in kinds
+        assert "at=charge" in kinds
+
+
+class TestStatsSubcommand:
+    def test_stats_summarises_a_trace_file(self, survey_csv, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        assert main(
+            _release_args(
+                survey_csv, "--trace=json", "--trace-out", str(trace_path)
+            )
+        ) == 0
+        capsys.readouterr()
+        assert main(["stats", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "spans (aggregated by name)" in out
+        assert "engine.release" in out
+
+    def test_stats_json_re_emits_the_payload(self, survey_csv, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        main(_release_args(survey_csv, "--trace=json", "--trace-out", str(trace_path)))
+        capsys.readouterr()
+        assert main(["stats", str(trace_path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        validate_payload(payload)
+
+    def test_stats_rejects_garbage(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["stats", str(bad)]) != 0
+        assert main(["stats", str(tmp_path / "missing.json")]) != 0
+
+    def test_stats_rejects_wrong_schema(self, tmp_path, capsys):
+        off_schema = tmp_path / "off.json"
+        off_schema.write_text(json.dumps({"schema": "other/v9", "spans": []}))
+        assert main(["stats", str(off_schema)]) != 0

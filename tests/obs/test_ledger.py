@@ -1,0 +1,150 @@
+"""Budget ledger: per-charge accounting composes back to the requested budget."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.engine import release_marginals
+from repro.mechanisms.privacy import PrivacyBudget
+from repro.obs import BudgetCharge, BudgetLedger, tracing
+from repro.queries import all_k_way
+
+
+class TestLedgerUnit:
+    def test_laplace_epsilons_add_within_a_scope(self):
+        ledger = BudgetLedger()
+        scope = ledger.new_scope()
+        for epsilon in (0.2, 0.3, 0.5):
+            ledger.charge(
+                BudgetCharge(
+                    scope=scope,
+                    group="g",
+                    epsilon=epsilon,
+                    delta=0.0,
+                    sensitivity=1.0,
+                    mechanism="laplace",
+                )
+            )
+        totals = ledger.totals()
+        assert totals["epsilon"] == pytest.approx(1.0)
+        assert totals["delta"] == 0.0
+        assert totals["charges"] == 3
+        assert totals["scopes"] == 1
+
+    def test_gaussian_epsilons_compose_in_quadrature(self):
+        ledger = BudgetLedger()
+        scope = ledger.new_scope()
+        for epsilon in (0.6, 0.8):  # 3-4-5 triangle: sqrt(.36 + .64) = 1
+            ledger.charge(
+                BudgetCharge(
+                    scope=scope,
+                    group="g",
+                    epsilon=epsilon,
+                    delta=1e-6,
+                    sensitivity=1.0,
+                    mechanism="gaussian",
+                )
+            )
+        totals = ledger.totals()
+        assert totals["epsilon"] == pytest.approx(1.0)
+        assert totals["delta"] == pytest.approx(1e-6)
+
+    def test_scopes_compose_sequentially(self):
+        ledger = BudgetLedger()
+        for epsilon in (1.0, 0.5):
+            scope = ledger.new_scope()
+            ledger.charge(
+                BudgetCharge(
+                    scope=scope,
+                    group="g",
+                    epsilon=epsilon,
+                    delta=0.0,
+                    sensitivity=1.0,
+                    mechanism="laplace",
+                )
+            )
+        assert ledger.totals()["epsilon"] == pytest.approx(1.5)
+        assert ledger.totals()["scopes"] == 2
+
+    def test_to_dict_round_trips_charges(self):
+        ledger = BudgetLedger()
+        scope = ledger.new_scope("custom")
+        ledger.charge(
+            BudgetCharge(
+                scope=scope,
+                group="pairs",
+                epsilon=0.25,
+                delta=0.0,
+                sensitivity=2.0,
+                mechanism="laplace",
+                cuboids=("0x3",),
+                cells=4,
+            )
+        )
+        payload = ledger.to_dict()
+        (charge,) = payload["charges"]
+        assert charge["scope"] == "custom-1"
+        assert charge["epsilon"] == 0.25
+        assert charge["sensitivity"] == 2.0
+        assert charge["cuboids"] == ["0x3"]
+        assert payload["totals"]["epsilon"] == pytest.approx(0.25)
+
+
+class TestReleaseLedger:
+    """The charges a real release records must compose to its PrivacyBudget."""
+
+    @pytest.mark.parametrize("strategy", ["F", "Q"])
+    def test_pure_release_totals_match_requested_epsilon(
+        self, small_dataset, workload_2way_5, strategy
+    ):
+        with tracing() as recorder:
+            result = release_marginals(
+                small_dataset, workload_2way_5, budget=1.0, strategy=strategy, rng=7
+            )
+        totals = recorder.ledger.totals()
+        assert totals["epsilon"] == pytest.approx(result.budget.epsilon)
+        assert totals["delta"] == 0.0
+        assert totals["charges"] > 0
+        assert totals["scopes"] == 1
+        # Every charge is a Laplace charge with positive epsilon.
+        for charge in recorder.ledger.to_dict()["charges"]:
+            assert charge["mechanism"] == "laplace"
+            assert charge["epsilon"] > 0
+
+    def test_gaussian_release_composes_in_quadrature(
+        self, small_dataset, workload_2way_5
+    ):
+        budget = PrivacyBudget.approximate(1.0, 1e-6)
+        with tracing() as recorder:
+            release_marginals(
+                small_dataset, workload_2way_5, budget=budget, strategy="F", rng=7
+            )
+        totals = recorder.ledger.totals()
+        assert totals["epsilon"] == pytest.approx(budget.epsilon)
+        assert totals["delta"] == pytest.approx(budget.delta)
+
+    def test_sequential_releases_accumulate(self, small_dataset, workload_2way_5):
+        with tracing() as recorder:
+            release_marginals(
+                small_dataset, workload_2way_5, budget=1.0, strategy="F", rng=1
+            )
+            release_marginals(
+                small_dataset, workload_2way_5, budget=0.5, strategy="Q", rng=2
+            )
+        totals = recorder.ledger.totals()
+        assert totals["epsilon"] == pytest.approx(1.5)
+        assert totals["scopes"] == 2
+        per_scope = recorder.ledger.scope_totals()
+        assert sorted(per_scope) == ["release-1", "release-2"]
+        assert per_scope["release-1"]["epsilon"] == pytest.approx(1.0)
+        assert per_scope["release-2"]["epsilon"] == pytest.approx(0.5)
+
+    def test_untraced_release_keeps_no_ledger(self, small_dataset, workload_2way_5):
+        # Without an active recorder nothing accumulates anywhere global.
+        result = release_marginals(
+            small_dataset, workload_2way_5, budget=1.0, strategy="F", rng=7
+        )
+        assert np.isfinite(result.marginals[0]).all()
+        with tracing() as recorder:
+            assert recorder.ledger.totals()["charges"] == 0

@@ -1,0 +1,105 @@
+"""Metrics registry: counters, gauges, deterministic fixed-bucket histograms."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ObservabilityError
+from repro.obs import DEFAULT_TIME_BUCKETS, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_incrementing(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_same_name_same_counter(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+
+    def test_negative_increment_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ObservabilityError):
+            registry.counter("x").inc(-1)
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("workers")
+        gauge.set(4)
+        gauge.set(2)
+        assert gauge.value == 2.0
+
+
+class TestHistogram:
+    def test_default_edges_are_fixed_and_increasing(self):
+        assert len(DEFAULT_TIME_BUCKETS) == 16
+        assert all(
+            a < b for a, b in zip(DEFAULT_TIME_BUCKETS, DEFAULT_TIME_BUCKETS[1:])
+        )
+
+    def test_non_increasing_edges_rejected(self):
+        with pytest.raises(ObservabilityError):
+            Histogram("bad", edges=(1.0, 1.0, 2.0))
+        with pytest.raises(ObservabilityError):
+            Histogram("empty", edges=())
+
+    def test_bucketing_is_deterministic(self):
+        """Identical observations -> byte-identical bucket counts."""
+        values = [0.00005, 0.0002, 0.0002, 0.003, 0.07, 0.07, 0.07, 42.0]
+        first = Histogram("a")
+        second = Histogram("b")
+        for value in values:
+            first.observe(value)
+            second.observe(value)
+        assert first.bucket_counts() == second.bucket_counts()
+        assert first.count == len(values)
+        assert first.total == pytest.approx(sum(values))
+        # The overflow bucket catches values above the last edge.
+        assert first.bucket_counts()[-1] == 1
+
+    def test_edge_values_fall_into_the_next_bucket(self):
+        histogram = Histogram("edges", edges=(1.0, 2.0))
+        histogram.observe(1.0)  # on the edge: belongs to the (1, 2] bucket
+        histogram.observe(0.5)
+        histogram.observe(2.5)
+        assert histogram.bucket_counts() == (1, 1, 1)
+
+    def test_to_dict_shape(self):
+        histogram = Histogram("h", edges=(1.0, 2.0))
+        histogram.observe(1.5)
+        payload = histogram.to_dict()
+        assert payload["edges"] == [1.0, 2.0]
+        assert payload["counts"] == [0, 1, 0]
+        assert payload["count"] == 1
+        assert payload["min"] == payload["max"] == 1.5
+
+
+class TestSnapshot:
+    def test_sorted_and_complete(self):
+        registry = MetricsRegistry()
+        registry.counter("b.count").inc()
+        registry.counter("a.count").inc(2)
+        registry.gauge("workers").set(3)
+        registry.histogram("lat", edges=(0.1, 1.0)).observe(0.5)
+        snapshot = registry.snapshot()
+        assert list(snapshot["counters"]) == ["a.count", "b.count"]
+        assert snapshot["counters"]["a.count"] == 2.0
+        assert snapshot["gauges"] == {"workers": 3.0}
+        assert snapshot["histograms"]["lat"]["counts"] == [0, 1, 0]
+
+    def test_identical_runs_identical_snapshots(self):
+        def build() -> dict:
+            registry = MetricsRegistry()
+            registry.counter("cache.hits").inc(5)
+            registry.gauge("shards").set(8)
+            histogram = registry.histogram("t", edges=(0.001, 0.01))
+            for value in (0.0005, 0.005, 0.5):
+                histogram.observe(value)
+            return registry.snapshot()
+
+        assert build() == build()

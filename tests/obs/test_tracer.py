@@ -1,0 +1,162 @@
+"""Span recording: nesting, the disabled no-op path, and thread safety."""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.obs import (
+    NOOP_SPAN,
+    Recorder,
+    disable,
+    enable,
+    recorder,
+    trace_span,
+    tracing,
+)
+from repro.obs import runtime
+
+
+class TestNoopPath:
+    def test_disabled_by_default(self):
+        assert runtime.ENABLED is False
+        assert recorder() is None
+
+    def test_trace_span_returns_the_shared_noop(self):
+        span = trace_span("anything", attr=1)
+        assert span is NOOP_SPAN
+        with span as inner:
+            inner.set(more=2)  # must be accepted and dropped silently
+
+    def test_noop_records_nothing(self):
+        with trace_span("outer"):
+            with trace_span("inner"):
+                pass
+        assert recorder() is None
+
+
+class TestEnableDisable:
+    def test_enable_installs_a_recorder(self):
+        try:
+            active = enable()
+            assert runtime.ENABLED is True
+            assert recorder() is active
+        finally:
+            disable()
+        assert runtime.ENABLED is False
+        assert recorder() is None
+
+    def test_tracing_restores_previous_state(self):
+        with tracing() as outer:
+            assert recorder() is outer
+            with tracing() as inner:
+                assert recorder() is inner
+                assert inner is not outer
+            # The outer recorder comes back after the nested block.
+            assert recorder() is outer
+            assert runtime.ENABLED is True
+        assert runtime.ENABLED is False
+
+    def test_tracing_accepts_an_existing_recorder(self):
+        mine = Recorder()
+        with tracing(mine) as active:
+            assert active is mine
+            with trace_span("hello"):
+                pass
+        assert mine.span_names() == ("hello",)
+
+
+class TestNesting:
+    def test_parent_ids_follow_lexical_nesting(self):
+        with tracing() as rec:
+            with trace_span("root"):
+                with trace_span("child"):
+                    with trace_span("grandchild"):
+                        pass
+                with trace_span("sibling"):
+                    pass
+        by_name = {record.name: record for record in rec.spans}
+        assert by_name["root"].parent_id is None
+        assert by_name["child"].parent_id == by_name["root"].span_id
+        assert by_name["grandchild"].parent_id == by_name["child"].span_id
+        assert by_name["sibling"].parent_id == by_name["root"].span_id
+
+    def test_durations_are_monotone_and_nested(self):
+        with tracing() as rec:
+            with trace_span("outer"):
+                with trace_span("inner"):
+                    pass
+        by_name = {record.name: record for record in rec.spans}
+        assert by_name["inner"].duration >= 0.0
+        assert by_name["outer"].duration >= by_name["inner"].duration
+        assert by_name["outer"].start <= by_name["inner"].start
+
+    def test_attrs_and_set(self):
+        with tracing() as rec:
+            with trace_span("work", items=3) as span:
+                span.set(outcome="ok")
+        (record,) = rec.spans
+        assert record.attrs == {"items": 3, "outcome": "ok"}
+
+    def test_exception_marks_the_span_and_propagates(self):
+        with tracing() as rec:
+            with pytest.raises(ValueError):
+                with trace_span("boom"):
+                    raise ValueError("nope")
+        (record,) = rec.spans
+        assert record.attrs["error"] == "ValueError"
+
+    def test_durations_by_name_aggregates(self):
+        with tracing() as rec:
+            for _ in range(3):
+                with trace_span("repeat"):
+                    pass
+        stats = rec.durations_by_name()["repeat"]
+        assert stats["count"] == 3
+        assert stats["total"] >= stats["max"] >= stats["mean"] >= 0.0
+
+
+class TestThreadSafety:
+    def test_pool_workers_record_independent_stacks(self):
+        """Worker threads must become span roots, not children of each other."""
+
+        def task(index: int) -> None:
+            with trace_span("task", index=index):
+                with trace_span("step"):
+                    pass
+
+        with tracing() as rec:
+            with ThreadPoolExecutor(max_workers=4) as pool:
+                futures = [pool.submit(task, index) for index in range(32)]
+                for future in futures:
+                    future.result()
+
+        spans = rec.spans
+        assert len(spans) == 64
+        assert len({record.span_id for record in spans}) == 64
+        tasks = {record.span_id: record for record in spans if record.name == "task"}
+        steps = [record for record in spans if record.name == "step"]
+        assert len(tasks) == 32 and len(steps) == 32
+        # Every task span is a thread root; every step's parent is a task
+        # span recorded on the SAME worker thread.
+        assert all(record.parent_id is None for record in tasks.values())
+        for step in steps:
+            assert step.parent_id in tasks
+            assert tasks[step.parent_id].thread == step.thread
+
+    def test_concurrent_metric_updates_are_not_lost(self):
+        with tracing() as rec:
+            counter = rec.metrics.counter("hits")
+
+            def bump() -> None:
+                for _ in range(1000):
+                    counter.inc()
+
+            threads = [threading.Thread(target=bump) for _ in range(8)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert counter.value == 8000

@@ -72,7 +72,7 @@ class TestSingleQueries:
         assert not first.cached
         assert second.cached
         np.testing.assert_allclose(second.values, first.values)
-        assert service.stats["cache"]["hits"] == 1
+        assert service.stats()["cache"]["hits"] == 1
 
     def test_cache_disabled(self, store):
         service = QueryService(store, cache_size=0)
@@ -248,10 +248,12 @@ class TestBatching:
         service = QueryService(store)
         service.query(["a"])
         service.query_batch([["a"], ["b"]])
-        stats = service.stats
+        stats = service.stats()
         assert stats["queries"] == 1
         assert stats["batches"] == 1
         assert stats["batched_requests"] == 2
+        assert stats["planners"] >= 1
+        assert set(stats["cache"]) == {"hits", "misses", "evictions", "hit_rate"}
 
 
 class TestSlices:
