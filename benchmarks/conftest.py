@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import json
 import os
+import resource
 import sys
 from pathlib import Path
 from typing import List
@@ -53,6 +54,19 @@ def repetitions() -> int:
 def record_count(default: int) -> int:
     override = os.environ.get("REPRO_BENCH_RECORDS")
     return int(override) if override else default
+
+
+def peak_rss_mib() -> float:
+    """Peak resident set size of this process in MiB.
+
+    ``ru_maxrss`` is KiB on Linux and bytes on macOS; it is a high-water
+    mark, so it never decreases — out-of-core benchmarks should record it
+    before *and* after their subject to attribute growth correctly.
+    """
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - linux CI
+        return peak / float(1 << 20)
+    return peak / 1024.0
 
 
 def observability_snapshot(fn):
@@ -111,6 +125,8 @@ def json_report_writer():
     RESULTS_DIR.mkdir(exist_ok=True)
 
     def write(name: str, payload: dict) -> None:
+        payload = dict(payload)
+        payload.setdefault("peak_rss_mib", round(peak_rss_mib(), 2))
         path = RESULTS_DIR / f"{name}.json"
         path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
         print(f"\n===== {name} (JSON) =====\n{json.dumps(payload, indent=2, sort_keys=True)}\n")

@@ -27,6 +27,12 @@ from repro.sources import (
     as_count_source,
 )
 from repro.shards import ShardedRecordSource, StreamingSourceBuilder
+from repro.store import (
+    MappedRecordSource,
+    open_source,
+    parse_memory_budget,
+    write_source,
+)
 from repro.queries import (
     MarginalQuery,
     MarginalWorkload,
@@ -70,7 +76,7 @@ from repro.serving import (
 )
 from repro.obs import BudgetLedger, CacheStats, Recorder, trace_span, tracing
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Attribute",
@@ -82,6 +88,10 @@ __all__ = [
     "RecordSource",
     "ShardedRecordSource",
     "StreamingSourceBuilder",
+    "MappedRecordSource",
+    "open_source",
+    "parse_memory_budget",
+    "write_source",
     "as_count_source",
     "MarginalQuery",
     "MarginalWorkload",

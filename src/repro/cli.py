@@ -137,6 +137,16 @@ def _add_release_arguments(parser: argparse.ArgumentParser) -> None:
         "(default: min(shards, cores))",
     )
     parser.add_argument(
+        "--memory-budget",
+        default=None,
+        metavar="BYTES",
+        help="stream the input CSV under this ingest memory budget (e.g. 256M, "
+        "1GiB, or plain bytes): rows are deduplicated incrementally and "
+        "compacted runs spill to disk instead of growing the buffer, so "
+        "files far larger than memory ingest flat; released values are "
+        "bitwise identical to the in-memory pipeline (record backend)",
+    )
+    parser.add_argument(
         "--no-consistency",
         action="store_true",
         help="skip the consistency projection (answers may contradict each other)",
@@ -216,6 +226,15 @@ def build_release_parser() -> argparse.ArgumentParser:
         "--overwrite",
         action="store_true",
         help="replace an existing release with the same id",
+    )
+    parser.add_argument(
+        "--store-format",
+        default=None,
+        choices=["v1", "v2"],
+        help="on-disk layout for --out: v1 packs the marginals into one "
+        "compressed archive (the default, readable by older builds); v2 "
+        "writes one raw .npy per marginal so queries memory-map vectors "
+        "straight off the page cache",
     )
     return parser
 
@@ -380,6 +399,49 @@ def _summary(dataset: Dataset, result: ReleaseResult) -> str:
     return "\n".join(lines)
 
 
+class _StreamedDataset:
+    """Dataset-shaped summary of a CSV ingested via the streaming builder.
+
+    ``--memory-budget`` never materialises the record matrix, so the summary
+    and workload construction work off this shim (schema + row count) while
+    the release itself measures from the streamed count source.
+    """
+
+    def __init__(self, name: str, schema: Schema, rows: int):
+        self.name = name
+        self.schema = schema
+        self._rows = int(rows)
+
+    def __len__(self) -> int:
+        return self._rows
+
+
+def _stream_input(args: argparse.Namespace):
+    """Ingest the input CSV under ``--memory-budget``.
+
+    Returns the dataset shim (for the summary/workload) and the streamed
+    count source the engine will measure from.  Two passes over the file:
+    one to infer the schema, one to encode batches into the builder —
+    memory stays bounded by the distinct-record runs, never the row count.
+    """
+    from repro.data.loader import infer_csv_schema
+    from repro.shards.streaming import StreamingSourceBuilder
+
+    if args.backend == "dense":
+        raise ReproError(
+            "--memory-budget streams the input into a record-native source; "
+            "it cannot be combined with --backend dense"
+        )
+    schema = infer_csv_schema(
+        args.input, columns=args.columns, has_header=not args.no_header
+    )
+    builder = StreamingSourceBuilder(schema, memory_budget=args.memory_budget)
+    builder.add_csv(args.input, columns=args.columns, has_header=not args.no_header)
+    source = builder.build(shards=args.shards, workers=args.workers)
+    dataset = _StreamedDataset(Path(args.input).stem, schema, builder.rows_ingested)
+    return dataset, source
+
+
 def _run_release(args: argparse.Namespace):
     """Shared release pipeline of the legacy form and the ``release`` subcommand.
 
@@ -390,7 +452,11 @@ def _run_release(args: argparse.Namespace):
     """
     if args.trace_out is not None and args.trace is None:
         raise ReproError("--trace-out requires --trace")
-    dataset = load_csv(args.input, columns=args.columns, has_header=not args.no_header)
+    if args.memory_budget is not None:
+        dataset, data = _stream_input(args)
+    else:
+        dataset = load_csv(args.input, columns=args.columns, has_header=not args.no_header)
+        data = dataset
     workload = _build_workload(dataset, args)
     budget = (
         PrivacyBudget.pure(args.epsilon)
@@ -407,14 +473,14 @@ def _run_release(args: argparse.Namespace):
         workers=args.workers,
     )
     if args.explain:
-        print(engine.explain(budget, data=dataset))
+        print(engine.explain(budget, data=data))
         return dataset, None, None
     if args.trace is not None:
         with tracing() as recorder:
-            result = engine.release(dataset, budget, rng=args.seed)
+            result = engine.release(data, budget, rng=args.seed)
     else:
         recorder = None
-        result = engine.release(dataset, budget, rng=args.seed)
+        result = engine.release(data, budget, rng=args.seed)
     if args.nonnegative:
         marginals = round_to_integers(project_nonnegative(result.marginals))
         result = ReleaseResult(
@@ -476,9 +542,13 @@ def _main_release(argv: Sequence[str]) -> int:
         if args.out is not None:
             store = ReleaseStore(args.out)
             release_id = store.put(
-                result, release_id=args.release_id, overwrite=args.overwrite
+                result,
+                release_id=args.release_id,
+                overwrite=args.overwrite,
+                store_format=args.store_format,
             )
-            print(f"stored release {release_id!r} in {args.out}")
+            layout = args.store_format or store.store_format
+            print(f"stored release {release_id!r} in {args.out} ({layout} layout)")
         _emit_trace(args, recorder)
         return 0
     except (ReproError, OSError, ValueError) as error:

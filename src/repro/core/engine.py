@@ -24,6 +24,7 @@ The convenience function :func:`release_marginals` covers the common
 from __future__ import annotations
 
 import time
+from pathlib import Path
 from typing import Dict, Optional, Sequence, Union
 
 import numpy as np
@@ -51,7 +52,7 @@ from repro.strategies.base import Strategy
 from repro.strategies.registry import make_strategy
 from repro.utils.rng import RngLike, ensure_rng
 
-DataInput = Union[Dataset, ContingencyTable, np.ndarray, CountSource]
+DataInput = Union[Dataset, ContingencyTable, np.ndarray, CountSource, str, Path]
 BudgetInput = Union[PrivacyBudget, float]
 StrategyInput = Union[str, Strategy]
 
@@ -95,6 +96,11 @@ class MarginalReleaseEngine:
     workers:
         Worker pool size for sharded measurement (defaults to
         ``min(shards, cores)``).
+    memory_budget:
+        Approximate memory ceiling (bytes, or a string like ``"256M"``) for
+        out-of-core inputs.  Applies when ``data`` is a path to an encoded
+        source directory (see :mod:`repro.store`): the mapped source's
+        marginal cache is capped against it.  Ignored for in-memory inputs.
     """
 
     def __init__(
@@ -108,6 +114,7 @@ class MarginalReleaseEngine:
         backend: str = "auto",
         shards: Optional[int] = None,
         workers: Optional[int] = None,
+        memory_budget: Optional[Union[int, str]] = None,
     ):
         from repro.shards.partition import check_shard_knobs
 
@@ -120,6 +127,7 @@ class MarginalReleaseEngine:
             select_backend(workload.dimension, backend, shards=shards)
         self._shards = shards
         self._workers = workers
+        self._memory_budget = memory_budget
         if isinstance(strategy, Strategy):
             if strategy.workload is not workload and strategy.workload.masks != workload.masks:
                 raise WorkloadError("the strategy was built for a different workload")
@@ -177,6 +185,11 @@ class MarginalReleaseEngine:
     def workers(self) -> Optional[int]:
         """The configured worker count (``None`` = auto)."""
         return self._workers
+
+    @property
+    def memory_budget(self) -> Optional[Union[int, str]]:
+        """The configured memory budget for out-of-core inputs (``None`` = unbounded)."""
+        return self._memory_budget
 
     @property
     def resolved_backend(self) -> str:
@@ -272,6 +285,7 @@ class MarginalReleaseEngine:
             self._backend,
             shards=self._shards,
             workers=self._workers,
+            memory_budget=self._memory_budget,
         )
 
     # ------------------------------------------------------------------ #
@@ -282,10 +296,12 @@ class MarginalReleaseEngine:
 
         ``data`` may be a :class:`~repro.domain.dataset.Dataset`, a
         :class:`~repro.domain.contingency.ContingencyTable`, a dense count
-        vector, or a ready-made :class:`~repro.sources.base.CountSource`;
-        the engine's backend policy (plus the shard knobs) decides how exact
-        counts are computed.  The plan is costed against the resolved source
-        so the executor's root-vs-direct decisions match the backend.
+        vector, a ready-made :class:`~repro.sources.base.CountSource`, or a
+        path to an encoded source directory (memory-mapped via
+        :mod:`repro.store`; counts stream off disk); the engine's backend
+        policy (plus the shard knobs) decides how exact counts are computed.
+        The plan is costed against the resolved source so the executor's
+        root-vs-direct decisions match the backend.
         """
         source = self._resolve_source(data)
         resolved_budget = _resolve_budget(budget)
@@ -355,6 +371,7 @@ def release_marginals(
     backend: str = "auto",
     shards: Optional[int] = None,
     workers: Optional[int] = None,
+    memory_budget: Optional[Union[int, str]] = None,
     rng: RngLike = None,
 ) -> ReleaseResult:
     """One-shot private release of a marginal workload.
@@ -382,5 +399,6 @@ def release_marginals(
         backend=backend,
         shards=shards,
         workers=workers,
+        memory_budget=memory_budget,
     )
     return engine.release(data, budget, rng=rng)

@@ -115,6 +115,67 @@ def load_csv(
     return Dataset(schema, matrix, name=name or file_path.stem)
 
 
+def infer_csv_schema(
+    path: Union[str, Path],
+    *,
+    columns: Optional[Sequence[str]] = None,
+    delimiter: str = ",",
+    has_header: bool = True,
+) -> Schema:
+    """Infer a schema from a delimited file in one streaming pass.
+
+    Memory is bounded by the number of *distinct* values per column (never
+    the row count), so arbitrarily large files can be schema'd before being
+    streamed through :func:`iter_csv_batches`.  The result is identical to
+    ``load_csv(path, ...).schema``: every kept column becomes a categorical
+    attribute over its sorted distinct (stripped) strings.
+    """
+    file_path = Path(path)
+    if not file_path.exists():
+        raise DataError(f"file not found: {file_path}")
+    with file_path.open(newline="") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        positions: Optional[List[int]] = None
+        wanted: Optional[List[str]] = None
+        seen: List[set] = []
+        rows = 0
+        for row in reader:
+            if not any(cell.strip() for cell in row):
+                continue
+            if positions is None:
+                if has_header:
+                    header = [cell.strip() for cell in row]
+                else:
+                    header = [f"column_{i}" for i in range(len(row))]
+                wanted = list(columns) if columns is not None else header
+                missing = [column for column in wanted if column not in header]
+                if missing:
+                    raise DataError(
+                        f"columns {missing} not present in {file_path} (header: {header})"
+                    )
+                positions = [header.index(column) for column in wanted]
+                seen = [set() for _ in wanted]
+                if has_header:
+                    continue
+            if max(positions, default=-1) >= len(row):
+                raise DataError("all rows must have one value per column")
+            for values, position in zip(seen, positions):
+                values.add(row[position].strip())
+            rows += 1
+    if positions is None or rows == 0:
+        raise DataError(f"{file_path} contains no records")
+    attributes: List[Attribute] = []
+    assert wanted is not None
+    for name, values in zip(wanted, seen):
+        if len(values) < 2:
+            raise DataError(
+                f"column {name!r} has fewer than two distinct values and cannot "
+                "be used as a categorical attribute"
+            )
+        attributes.append(Attribute(name, len(values), labels=tuple(sorted(values))))
+    return Schema(attributes)
+
+
 def _attribute_code_map(attribute: Attribute) -> Dict[str, int]:
     """Label → code mapping of one attribute (labels, or plain digit codes)."""
     if attribute.labels is not None:
@@ -122,19 +183,38 @@ def _attribute_code_map(attribute: Attribute) -> Dict[str, int]:
     return {str(code): code for code in range(attribute.cardinality)}
 
 
+def _batch_code_dtype(schema: Schema) -> np.dtype:
+    """Narrowest unsigned dtype holding every per-attribute code of ``schema``.
+
+    Batch matrices hold *per-attribute* codes (bounded by the largest
+    attribute cardinality, not the packed domain), so uint8 covers most real
+    schemas — an 8x memory cut per buffered batch against plain int64.
+    ``Schema.encode_records`` widens to int64 internally, so narrowed
+    batches pack to identical domain codes.
+    """
+    top = max(attribute.cardinality - 1 for attribute in schema.attributes)
+    for dtype in (np.uint8, np.uint16, np.uint32):
+        if top <= np.iinfo(dtype).max:
+            return np.dtype(dtype)
+    return np.dtype(np.int64)
+
+
 def _encode_chunk(
-    columns: List[List[str]], maps: Sequence[Dict[str, int]], names: Sequence[str]
+    columns: List[List[str]],
+    maps: Sequence[Dict[str, int]],
+    names: Sequence[str],
+    dtype: np.dtype = np.dtype(np.int64),
 ) -> np.ndarray:
     """Encode one buffered chunk of string columns into a code matrix.
 
     One ``np.unique`` per column maps each *distinct* string through the
     label dictionary once (instead of one dict lookup per cell).
     """
-    matrix = np.empty((len(columns[0]), len(columns)), dtype=np.int64)
+    matrix = np.empty((len(columns[0]), len(columns)), dtype=dtype)
     for position, (column, mapping, name) in enumerate(zip(columns, maps, names)):
         values, inverse = np.unique(np.asarray(column, dtype=object), return_inverse=True)
         try:
-            codes = np.array([mapping[value] for value in values.tolist()], dtype=np.int64)
+            codes = np.array([mapping[value] for value in values.tolist()], dtype=dtype)
         except KeyError as error:
             raise DataError(
                 f"column {name!r} contains the value {error.args[0]!r}, which is "
@@ -157,8 +237,11 @@ def iter_csv_batches(
 
     The streaming counterpart of :func:`load_csv` for datasets larger than
     memory: the file is read row by row and yielded as ``(rows, attributes)``
-    int64 code matrices of at most ``batch_size`` rows — the whole file is
-    never resident.  Because values are *encoded* (not inferred), the schema
+    code matrices of at most ``batch_size`` rows — the whole file is never
+    resident.  Matrices use the narrowest unsigned dtype that holds the
+    schema's per-attribute codes (uint8/16/32, int64 as the fallback); the
+    code *values* are identical to the historical int64 batches and pack to
+    the same domain codes.  Because values are *encoded* (not inferred), the schema
     is fixed up front and every value must be one of its attribute labels
     (schemas without labels accept the integer codes as digits); an unknown
     value raises :class:`DataError` naming the column.
@@ -188,6 +271,7 @@ def iter_csv_batches(
     # schema no matter how the file is laid out.
     schema_order = [wanted.index(name) for name in names]
     maps = [_attribute_code_map(schema.attribute(name)) for name in wanted]
+    dtype = _batch_code_dtype(schema)
     with file_path.open(newline="") as handle:
         reader = csv.reader(handle, delimiter=delimiter)
         positions: Optional[List[int]] = None
@@ -213,8 +297,8 @@ def iter_csv_batches(
                 column.append(row[position].strip())
             buffered += 1
             if buffered >= batch_size:
-                yield _encode_chunk(buffer, maps, wanted)[:, schema_order]
+                yield _encode_chunk(buffer, maps, wanted, dtype)[:, schema_order]
                 buffer = [[] for _ in wanted]
                 buffered = 0
         if buffered:
-            yield _encode_chunk(buffer, maps, wanted)[:, schema_order]
+            yield _encode_chunk(buffer, maps, wanted, dtype)[:, schema_order]

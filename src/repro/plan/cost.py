@@ -74,9 +74,12 @@ def cost_marginal_batches(
     going to the root (the historical behaviour of dense sources).  A root
     the source would refuse to materialise at all
     (:meth:`~repro.sources.base.CountSource.can_materialise`, e.g. wider
-    than a record backend's dense limit) is never chosen regardless of the
-    estimates.
+    than a record backend's dense limit) or whose vector would not fit the
+    source's memory ceiling
+    (:meth:`~repro.sources.base.CountSource.max_root_cells`, e.g. budgeted
+    out-of-core backends) is never chosen regardless of the estimates.
     """
+    ceiling = source.max_root_cells()
     costs = []
     for batch in batches:
         root_cost = source.marginal_cost(batch.root) + sum(
@@ -87,8 +90,11 @@ def cost_marginal_batches(
         direct_cost = float(
             sum(source.marginal_cost(member) for member in batch.members)
         )
+        oversized = ceiling is not None and batch.root_cells > ceiling
         use_root = batch.is_trivial or (
-            source.can_materialise(batch.root) and root_cost <= direct_cost
+            not oversized
+            and source.can_materialise(batch.root)
+            and root_cost <= direct_cost
         )
         costs.append(
             BatchCost(

@@ -1,20 +1,30 @@
 """Persistent, versioned storage of private releases.
 
-A :class:`ReleaseStore` is a directory of releases, one sub-directory each::
+A :class:`ReleaseStore` is a directory of releases, one sub-directory each.
+Two layouts coexist::
 
     <root>/
         index.json                  # store-level index (rebuildable)
-        release-0001/
+        release-0001/               # v1 layout (compressed archive)
             meta.json               # ReleaseResult.to_dict(include_marginals=False)
             marginals.npz           # one array per released cuboid
-        release-0002/
-            ...
+        release-0002/               # v2 layout (zero-copy serving)
+            meta.json
+            marginals/
+                marginal_00000.npy  # raw float64, opened with mmap_mode="r"
+                marginal_00001.npy
+                ...
 
 ``meta.json`` carries everything needed to rebuild the
 :class:`~repro.core.result.ReleaseResult` — schema, workload masks, noise
-allocation, strategy name — while the (potentially large) marginal vectors
-live in a compressed NPZ archive next to it.  Both files embed a format
-version so future layouts can evolve without breaking old stores.
+allocation, strategy name — plus a ``marginals_layout`` tag.  The **v1**
+layout stores the marginal vectors in one compressed NPZ archive: compact,
+but the whole archive is decompressed on open.  The **v2** layout stores
+each vector as a raw aligned ``.npy`` file that :meth:`ReleaseStore.get`
+opens with ``mmap_mode="r"`` — a cold open touches no data pages, and
+:class:`~repro.serving.service.QueryService` serves slices straight off the
+page cache.  Both layouts are written staged-then-rename, so a crashed put
+leaves the store fully old, never torn.
 
 The store-level ``index.json`` caches per-release summaries (released masks,
 strategy, budget) so that queries can be routed to a covering release without
@@ -27,6 +37,7 @@ from __future__ import annotations
 import json
 import os
 import re
+import shutil
 import time
 import warnings
 from pathlib import Path
@@ -35,20 +46,34 @@ from typing import Dict, Iterator, List, Optional, Union
 import numpy as np
 
 from repro.core.result import RELEASE_FORMAT_VERSION, ReleaseResult
-from repro.exceptions import ReproError, ServingError
+from repro.exceptions import DataError, ReproError, ServingError
+from repro.obs import runtime as _obs
+from repro.store.layout import replace_directory, staging_path
 from repro.utils.bits import dominated_by
 
-STORE_FORMAT_VERSION = 1
+STORE_FORMAT_VERSION = 2
+
+#: Marginal-vector layouts a release can be written with.
+STORE_LAYOUTS = ("v1", "v2")
+DEFAULT_STORE_LAYOUT = "v1"
 
 _INDEX_FILE = "index.json"
 _META_FILE = "meta.json"
 _MARGINALS_FILE = "marginals.npz"
+_MARGINALS_DIR = "marginals"
 _MARGINAL_KEY = "marginal_{position:05d}"
 _RELEASE_ID_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
 
 
 def _marginal_keys(count: int) -> List[str]:
     return [_MARGINAL_KEY.format(position=position) for position in range(count)]
+
+
+def check_store_layout(layout: str) -> str:
+    """Validate a marginal-vector layout name."""
+    if layout not in STORE_LAYOUTS:
+        raise ServingError(f"unknown store layout {layout!r}; choose one of {STORE_LAYOUTS}")
+    return layout
 
 
 def _write_json_atomic(path: Path, payload: Dict[str, object]) -> None:
@@ -67,9 +92,20 @@ class ReleaseStore:
         Store directory; created (with parents) unless ``create=False``.
     create:
         Whether a missing root directory is an error.
+    store_format:
+        Default marginal-vector layout for :meth:`put` — ``"v1"``
+        (compressed NPZ) or ``"v2"`` (raw ``.npy`` files served via
+        memmap).  Reading always supports both.
     """
 
-    def __init__(self, root: Union[str, Path], *, create: bool = True):
+    def __init__(
+        self,
+        root: Union[str, Path],
+        *,
+        create: bool = True,
+        store_format: str = DEFAULT_STORE_LAYOUT,
+    ):
+        self._store_format = check_store_layout(store_format)
         self._root = Path(root)
         if not self._root.exists():
             if not create:
@@ -97,6 +133,24 @@ class ReleaseStore:
         """The store's root directory."""
         return self._root
 
+    @property
+    def store_format(self) -> str:
+        """Default marginal-vector layout new releases are written with."""
+        return self._store_format
+
+    def _meta_paths(self) -> List[Path]:
+        """Per-release ``meta.json`` paths, skipping non-release directories.
+
+        Staging directories (hidden ``.stage-*`` names from interrupted or
+        in-flight writes) never match the release-id pattern, so a crashed
+        put can never be half-indexed.
+        """
+        return [
+            path
+            for path in self._root.glob(f"*/{_META_FILE}")
+            if _RELEASE_ID_PATTERN.match(path.parent.name)
+        ]
+
     def _index_path(self) -> Path:
         return self._root / _INDEX_FILE
 
@@ -117,7 +171,7 @@ class ReleaseStore:
                 payload = json.loads(path.read_text())
                 if int(payload.get("format_version", 0)) == STORE_FORMAT_VERSION:
                     entries = payload.get("releases", {})
-                    on_disk = {p.parent.name for p in self._root.glob(f"*/{_META_FILE}")}
+                    on_disk = {p.parent.name for p in self._meta_paths()}
                     complete = all(
                         isinstance(entry, dict) and "schema" in entry
                         for entry in entries.values()
@@ -142,7 +196,7 @@ class ReleaseStore:
         """
         self._generation += 1
         self._index = {}
-        for meta_path in sorted(self._root.glob(f"*/{_META_FILE}")):
+        for meta_path in sorted(self._meta_paths()):
             release_id = meta_path.parent.name
             try:
                 meta = json.loads(meta_path.read_text())
@@ -219,12 +273,20 @@ class ReleaseStore:
         *,
         release_id: Optional[str] = None,
         overwrite: bool = False,
+        store_format: Optional[str] = None,
     ) -> str:
         """Persist a release; returns its id.
 
         Ids default to ``release-NNNN`` with an increasing sequence number.
         Storing under an existing id requires ``overwrite=True``.
+        ``store_format`` overrides the store's default layout for this
+        release only.
+
+        The release directory is built under a hidden staging name and
+        published with one atomic rename: readers (and the index scan) see
+        the store fully old or fully new, never a torn release.
         """
+        layout = check_store_layout(store_format or self._store_format)
         # Pick up releases written by other store instances since we last
         # looked, so sequence numbers stay unique and the rewritten index
         # does not drop them.  (Simultaneous writers are not coordinated —
@@ -245,24 +307,48 @@ class ReleaseStore:
                 "enable overwrite to replace it"
             )
         directory = self._release_dir(release_id)
-        directory.mkdir(parents=True, exist_ok=True)
         meta = release.to_dict(include_marginals=False)
-        meta["store_format_version"] = STORE_FORMAT_VERSION
+        # v1-layout releases keep format version 1 so pre-v2 builds of this
+        # library can still read them; only the new layout requires 2.
+        meta["store_format_version"] = 1 if layout == "v1" else STORE_FORMAT_VERSION
+        meta["marginals_layout"] = layout
         meta["created_at"] = time.time()
         meta["sequence"] = sequence
-        arrays = {
-            key: np.asarray(marginal, dtype=np.float64)
-            for key, marginal in zip(_marginal_keys(len(release.marginals)), release.marginals)
-        }
-        np.savez_compressed(directory / _MARGINALS_FILE, **arrays)
-        # The marginals go first and meta.json lands atomically last: a crash
-        # anywhere mid-put leaves a directory without meta.json, which the
-        # index scan simply ignores.
-        _write_json_atomic(directory / _META_FILE, meta)
+        staging = staging_path(directory)
+        staging.mkdir(parents=True, exist_ok=False)
+        try:
+            self._write_marginals(staging, layout, release.marginals)
+            # The marginals go first and meta.json lands last: a failure
+            # injected between the two leaves only the staging directory,
+            # which readers never look at — and the final rename below
+            # publishes the whole release or nothing.
+            (staging / _META_FILE).write_text(json.dumps(meta, indent=2, sort_keys=True))
+        except BaseException:
+            shutil.rmtree(staging, ignore_errors=True)
+            raise
+        replace_directory(staging, directory, overwrite=True)
+        if _obs.ENABLED:
+            _obs.counter_inc("serving.store.puts")
         self._index[release_id] = self._summary(meta, release_id)
         self._write_index()
         self._generation += 1
         return release_id
+
+    @staticmethod
+    def _write_marginals(directory: Path, layout: str, marginals) -> None:
+        """Write the marginal vectors under ``directory`` in ``layout``."""
+        keys = _marginal_keys(len(marginals))
+        if layout == "v1":
+            arrays = {
+                key: np.asarray(marginal, dtype=np.float64)
+                for key, marginal in zip(keys, marginals)
+            }
+            np.savez_compressed(directory / _MARGINALS_FILE, **arrays)
+            return
+        vectors = directory / _MARGINALS_DIR
+        vectors.mkdir()
+        for key, marginal in zip(keys, marginals):
+            np.save(vectors / f"{key}.npy", np.asarray(marginal, dtype=np.float64))
 
     def get(self, release_id: str) -> ReleaseResult:
         """Load a stored release back into a :class:`ReleaseResult`."""
@@ -280,22 +366,59 @@ class ReleaseStore:
                 f"release {release_id!r} uses store format {stored_version}; this build "
                 f"reads up to {STORE_FORMAT_VERSION}"
             )
-        marginals_path = directory / _MARGINALS_FILE
-        if not marginals_path.exists():
-            raise ServingError(f"release {release_id!r} is missing {_MARGINALS_FILE}")
-        with np.load(marginals_path) as archive:
-            count = len(meta["workload"]["masks"])
-            keys = _marginal_keys(count)
-            missing = [key for key in keys if key not in archive]
-            if missing:
-                raise ServingError(
-                    f"release {release_id!r} is missing marginal arrays {missing}"
-                )
-            marginals = [archive[key] for key in keys]
+        layout = str(meta.get("marginals_layout", "v1"))
+        masks = [int(mask) for mask in meta["workload"]["masks"]]
+        with _obs.trace_span("store.open", release=release_id, layout=layout):
+            if layout == "v2":
+                marginals = self._read_marginals_v2(directory, release_id, masks)
+            else:
+                marginals = self._read_marginals_v1(directory, release_id, masks)
         try:
             return ReleaseResult.from_dict(meta, marginals=marginals)
         except ReproError as error:
             raise ServingError(f"cannot rebuild release {release_id!r}: {error}") from error
+
+    def _read_marginals_v1(
+        self, directory: Path, release_id: str, masks: List[int]
+    ) -> List[np.ndarray]:
+        """Read the v1 NPZ archive: one pass, each array read exactly once."""
+        marginals_path = directory / _MARGINALS_FILE
+        if not marginals_path.exists():
+            raise ServingError(f"release {release_id!r} is missing {_MARGINALS_FILE}")
+        marginals: List[np.ndarray] = []
+        with np.load(marginals_path) as archive:
+            for key, mask in zip(_marginal_keys(len(masks)), masks):
+                if key not in archive:
+                    raise DataError(
+                        f"release {release_id!r} archive is missing marginal "
+                        f"array {key!r} for cuboid {mask:#x}"
+                    )
+                marginals.append(archive[key])
+        return marginals
+
+    def _read_marginals_v2(
+        self, directory: Path, release_id: str, masks: List[int]
+    ) -> List[np.ndarray]:
+        """Map the v2 raw ``.npy`` vectors — no data pages are touched."""
+        vectors = directory / _MARGINALS_DIR
+        if not vectors.is_dir():
+            raise ServingError(f"release {release_id!r} is missing {_MARGINALS_DIR}/")
+        marginals: List[np.ndarray] = []
+        bytes_mapped = 0
+        for key, mask in zip(_marginal_keys(len(masks)), masks):
+            path = vectors / f"{key}.npy"
+            if not path.exists():
+                raise DataError(
+                    f"release {release_id!r} is missing marginal array {key!r} "
+                    f"for cuboid {mask:#x}"
+                )
+            vector = np.load(path, mmap_mode="r")
+            bytes_mapped += int(vector.nbytes)
+            marginals.append(vector)
+        if _obs.ENABLED:
+            _obs.counter_inc("store.opens")
+            _obs.gauge_set("store.bytes_mapped", float(bytes_mapped))
+        return marginals
 
     def delete(self, release_id: str) -> None:
         """Remove a release and its files from the store."""
@@ -306,6 +429,14 @@ class ReleaseStore:
             path = directory / name
             if path.exists():
                 path.unlink()
+        vectors = directory / _MARGINALS_DIR
+        if vectors.is_dir():
+            for path in vectors.glob("marginal_*.npy"):
+                path.unlink()
+            try:
+                vectors.rmdir()
+            except OSError:
+                pass  # extra user files; leave them be
         try:
             directory.rmdir()
         except OSError:
@@ -316,4 +447,11 @@ class ReleaseStore:
 
 
 # Re-exported for introspection/tests.
-__all__ = ["ReleaseStore", "STORE_FORMAT_VERSION", "RELEASE_FORMAT_VERSION"]
+__all__ = [
+    "ReleaseStore",
+    "STORE_FORMAT_VERSION",
+    "STORE_LAYOUTS",
+    "DEFAULT_STORE_LAYOUT",
+    "RELEASE_FORMAT_VERSION",
+    "check_store_layout",
+]

@@ -29,6 +29,7 @@ workload instead of once per cuboid.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -90,6 +91,14 @@ def _traced_shard_kernel(
     """
     with _obs.trace_span("shards.kernel", shard=shard, records=int(codes.shape[0])):
         return _shard_batch_marginals(codes, weights, work)
+
+
+def _plain_shard_kernel(
+    shard: int, codes: np.ndarray, weights: np.ndarray, work: Worklist
+) -> Dict[int, np.ndarray]:
+    """:func:`_shard_batch_marginals` under the uniform ``(shard, codes,
+    weights, work)`` dispatch signature (module-level for process pools)."""
+    return _shard_batch_marginals(codes, weights, work)
 
 
 class ShardedRecordSource(CountSource):
@@ -296,24 +305,39 @@ class ShardedRecordSource(CountSource):
     # ------------------------------------------------------------------ #
     # kernels
     # ------------------------------------------------------------------ #
-    def _map_shards(self, work: Worklist) -> List[Dict[int, np.ndarray]]:
-        """Run the shard kernel over every shard; results in shard order."""
-        if not _obs.ENABLED:
-            if self._workers <= 1 or len(self._shards) <= 1:
-                return [
-                    _shard_batch_marginals(codes, weights, work)
-                    for codes, weights in self._shards
-                ]
-            pool = get_pool(self._executor_kind, self._workers)
-            futures = [
-                pool.submit(_shard_batch_marginals, codes, weights, work)
-                for codes, weights in self._shards
-            ]
-            return [future.result() for future in futures]
+    def _shard_kernel_callable(self):
+        """The per-shard kernel under the ``(shard, codes, weights, work)``
+        signature; module-level so process pools can pickle it."""
+        return _traced_shard_kernel if _obs.ENABLED else _plain_shard_kernel
 
-        _obs.counter_inc("shards.tasks", len(self._shards))
-        _obs.gauge_set("shards.workers", self._workers)
-        _obs.gauge_set("shards.count", len(self._shards))
+    @staticmethod
+    def _accumulate(
+        totals: Dict[int, np.ndarray], result: Dict[int, np.ndarray]
+    ) -> None:
+        """Fold one shard's marginals into the running totals in place."""
+        for mask, value in result.items():
+            held = totals.get(mask)
+            if held is None:
+                totals[mask] = value
+            else:
+                np.add(held, value, out=held)
+
+    def _reduce_shards(self, work: Worklist) -> Dict[int, np.ndarray]:
+        """Stream the shard kernels into per-mask running totals.
+
+        Shard results are consumed **in ascending shard order** — exactly the
+        summation order of a gather-then-sum — so the totals are bitwise
+        identical for any worker count.  At most ``workers + 1`` shard
+        results are in flight at once (a bounded submission window, not a
+        full gather), so reducing a wide marginal across many shards holds
+        a couple of result-sized arrays, never one per shard.
+        """
+        totals: Dict[int, np.ndarray] = {}
+        kernel = self._shard_kernel_callable()
+        if _obs.ENABLED:
+            _obs.counter_inc("shards.tasks", len(self._shards))
+            _obs.gauge_set("shards.workers", self._workers)
+            _obs.gauge_set("shards.count", len(self._shards))
         with _obs.trace_span(
             "shards.dispatch",
             shards=len(self._shards),
@@ -322,23 +346,19 @@ class ShardedRecordSource(CountSource):
             batches=len(work),
         ):
             if self._workers <= 1 or len(self._shards) <= 1:
-                return [
-                    _traced_shard_kernel(index, codes, weights, work)
-                    for index, (codes, weights) in enumerate(self._shards)
-                ]
+                for index, (codes, weights) in enumerate(self._shards):
+                    self._accumulate(totals, kernel(index, codes, weights, work))
+                return totals
             pool = get_pool(self._executor_kind, self._workers)
-            futures = [
-                pool.submit(_traced_shard_kernel, index, codes, weights, work)
-                for index, (codes, weights) in enumerate(self._shards)
-            ]
-            return [future.result() for future in futures]
-
-    def _combine(self, per_shard: List[Dict[int, np.ndarray]], mask: int) -> np.ndarray:
-        """Sum one mask's per-shard marginals in fixed shard order."""
-        total = per_shard[0][mask]
-        for shard_values in per_shard[1:]:
-            np.add(total, shard_values[mask], out=total)
-        return total
+            window = self._workers + 1
+            pending: "deque" = deque()
+            for index, (codes, weights) in enumerate(self._shards):
+                pending.append(pool.submit(kernel, index, codes, weights, work))
+                if len(pending) >= window:
+                    self._accumulate(totals, pending.popleft().result())
+            while pending:
+                self._accumulate(totals, pending.popleft().result())
+        return totals
 
     def marginal(self, mask: int) -> np.ndarray:
         return self.marginals_for_batches([(mask, (mask,))])[mask]
@@ -368,12 +388,12 @@ class ShardedRecordSource(CountSource):
             if needed:
                 work.append((root, tuple(needed)))
         if work:
-            per_shard = self._map_shards(work)
+            totals = self._reduce_shards(work)
             for _root, members in work:
                 for member in members:
                     if member in values:
                         continue
-                    value = self._combine(per_shard, member)
+                    value = totals[member]
                     if self._memo.put(member, value):
                         values[member] = value.copy()
                     else:

@@ -16,12 +16,20 @@ with summed weights — precisely what a one-shot
 of all batches.  Feeding the same rows in any batch order therefore builds
 the **same source, bitwise**, and the stable hash partition makes the final
 shard layout independent of ingestion order too.
+
+Under a ``memory_budget`` the builder goes out-of-core: compacted runs that
+would breach the budget are spilled to disk (:mod:`repro.store.spill`) and
+merged back in bounded-size streamed chunks — either into final arrays, or
+straight into an on-disk encoded source via :meth:`write_store` without the
+full arrays ever existing in memory.  The disk path runs the exact same
+``np.unique`` + weight-bincount dedup kernel, so the result stays bitwise
+identical to an unbounded in-memory build.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
-from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -30,6 +38,8 @@ from repro.obs import runtime as _obs
 from repro.shards.partition import resolve_shard_count
 from repro.shards.sharded import ShardedRecordSource
 from repro.sources.record import MAX_RECORD_BITS, RecordSource
+from repro.store.layout import parse_memory_budget
+from repro.store.spill import RunSpiller, merge_sorted_runs, spill_threshold_entries
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.domain.schema import Schema
@@ -56,6 +66,16 @@ class StreamingSourceBuilder:
     merge_threshold:
         Buffered-entry count that triggers a run merge (default
         :data:`DEFAULT_MERGE_THRESHOLD`).
+    memory_budget:
+        Optional ingest memory budget in bytes (or a ``"64M"``-style
+        string).  Enables disk spilling: compacted runs larger than half
+        the budget-derived entry threshold move to disk, keeping resident
+        buffered entries — and the compaction transients — under the
+        budget no matter how many distinct records stream through.
+    spill_dir:
+        Directory for spilled runs (a private temp directory by default).
+        Giving one without a ``memory_budget`` enables spilling at the
+        default merge threshold.
     """
 
     def __init__(
@@ -65,6 +85,8 @@ class StreamingSourceBuilder:
         dimension: Optional[int] = None,
         limit_bits: Optional[int] = None,
         merge_threshold: int = DEFAULT_MERGE_THRESHOLD,
+        memory_budget: Optional[Union[int, str]] = None,
+        spill_dir: Optional[Union[str, Path]] = None,
     ):
         if dimension is None:
             if schema is None:
@@ -85,6 +107,14 @@ class StreamingSourceBuilder:
         self._d = d
         self._limit_bits = limit_bits
         self._merge_threshold = int(merge_threshold)
+        self._memory_budget = parse_memory_budget(memory_budget)
+        if self._memory_budget is not None:
+            self._merge_threshold = min(
+                self._merge_threshold, spill_threshold_entries(self._memory_budget)
+            )
+        self._spiller: Optional[RunSpiller] = None
+        if self._memory_budget is not None or spill_dir is not None:
+            self._spiller = RunSpiller(spill_dir)
         self._runs: List[Tuple[np.ndarray, np.ndarray]] = []
         self._buffered = 0
         self._rows = 0
@@ -116,10 +146,26 @@ class StreamingSourceBuilder:
         """Current buffered run entries — the live memory bound."""
         return self._buffered
 
+    @property
+    def memory_budget(self) -> Optional[int]:
+        """Ingest memory budget in bytes, when spilling is enabled."""
+        return self._memory_budget
+
+    @property
+    def spilled_runs(self) -> int:
+        """Number of sorted runs currently spilled to disk."""
+        return self._spiller.run_count if self._spiller is not None else 0
+
+    @property
+    def spilled_bytes(self) -> int:
+        """Total bytes of spilled run files currently on disk."""
+        return self._spiller.bytes_spilled if self._spiller is not None else 0
+
     def __repr__(self) -> str:
+        spilled = f", spilled_runs={self.spilled_runs}" if self._spiller is not None else ""
         return (
             f"StreamingSourceBuilder(d={self._d}, rows={self._rows}, "
-            f"batches={self._batches}, buffered={self._buffered})"
+            f"batches={self._batches}, buffered={self._buffered}{spilled})"
         )
 
     # ------------------------------------------------------------------ #
@@ -205,28 +251,72 @@ class StreamingSourceBuilder:
     # ------------------------------------------------------------------ #
     # run merging
     # ------------------------------------------------------------------ #
-    def _compact(self) -> None:
-        """Merge all sorted runs into one (sorted-unique codes, summed weights)."""
-        if len(self._runs) <= 1:
-            return
-        with _obs.trace_span(
-            "streaming.compact", runs=len(self._runs), buffered=self._buffered
+    def _compact(self, spill_ok: bool = True) -> None:
+        """Merge all sorted runs into one (sorted-unique codes, summed weights).
+
+        Under a memory budget the compacted run is spilled to disk when it
+        alone would keep the buffer near the threshold, so resident entries
+        stay bounded regardless of the distinct-record count.
+        """
+        if len(self._runs) > 1:
+            with _obs.trace_span(
+                "streaming.compact", runs=len(self._runs), buffered=self._buffered
+            ):
+                codes = np.concatenate([run[0] for run in self._runs])
+                weights = np.concatenate([run[1] for run in self._runs])
+                unique, inverse = np.unique(codes, return_inverse=True)
+                summed = np.bincount(
+                    inverse.reshape(-1), weights=weights, minlength=unique.shape[0]
+                )
+                self._runs = [(unique, summed)]
+                self._buffered = int(unique.shape[0])
+            if _obs.ENABLED:
+                _obs.counter_inc("streaming.compactions")
+                _obs.gauge_set("streaming.buffered_entries", self._buffered)
+        if (
+            spill_ok
+            and self._spiller is not None
+            and self._runs
+            and self._buffered >= max(1, self._merge_threshold // 2)
         ):
-            codes = np.concatenate([run[0] for run in self._runs])
-            weights = np.concatenate([run[1] for run in self._runs])
-            unique, inverse = np.unique(codes, return_inverse=True)
-            summed = np.bincount(
-                inverse.reshape(-1), weights=weights, minlength=unique.shape[0]
-            )
-            self._runs = [(unique, summed)]
-            self._buffered = int(unique.shape[0])
-        if _obs.ENABLED:
-            _obs.counter_inc("streaming.compactions")
-            _obs.gauge_set("streaming.buffered_entries", self._buffered)
+            codes, weights = self._runs[0]
+            self._spiller.spill(codes, weights)
+            self._runs = []
+            self._buffered = 0
+            if _obs.ENABLED:
+                _obs.gauge_set("streaming.buffered_entries", 0)
+                _obs.gauge_set("streaming.spilled_runs", self._spiller.run_count)
+
+    def _merge_stream(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Stream the k-way merge of spilled runs + the in-memory remainder.
+
+        Chunks cover disjoint increasing code ranges with fully summed
+        weights — read-only over the spilled files, so the builder's state
+        is untouched and the stream can be consumed more than once.
+        """
+        self._compact(spill_ok=False)
+        runs: List[Tuple[np.ndarray, np.ndarray]] = []
+        if self._spiller is not None:
+            runs.extend(self._spiller.open_runs())
+        runs.extend(self._runs)
+        return merge_sorted_runs(runs)
 
     def arrays(self) -> Tuple[np.ndarray, np.ndarray]:
-        """The compacted ``(codes, weights)`` arrays ingested so far."""
-        self._compact()
+        """The compacted ``(codes, weights)`` arrays ingested so far.
+
+        Spilled runs are merged back and the result re-materialised in
+        memory (use :meth:`write_store` + ``open_source`` to stay
+        out-of-core); the spilled files are then deleted.
+        """
+        if self._spiller is not None and self._spiller.run_count:
+            chunks = list(self._merge_stream())
+            codes = np.concatenate([chunk[0] for chunk in chunks])
+            weights = np.concatenate([chunk[1] for chunk in chunks])
+            self._spiller.cleanup()
+            self._runs = [(codes, weights)]
+            self._buffered = int(codes.shape[0])
+            return self._runs[0]
+        self._compact(spill_ok=False)
         if not self._runs:
             return (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64))
         return self._runs[0]
@@ -279,6 +369,44 @@ class StreamingSourceBuilder:
             deduplicate=False,
             limit_bits=self._limit_bits,
         )
+
+    def write_store(
+        self,
+        path: Union[str, Path],
+        *,
+        shards: Optional[int] = None,
+        overwrite: bool = False,
+    ) -> Path:
+        """Stream everything ingested so far into an on-disk encoded source.
+
+        The spilled runs and the in-memory remainder are k-way merged in
+        bounded chunks straight into the shard files of
+        :class:`~repro.store.encoded.EncodedSourceWriter` — the full arrays
+        never exist in memory, so ingest → store stays within the memory
+        budget at any dataset size.  The files are byte-identical to a
+        one-shot :func:`~repro.store.encoded.write_source` of the same data
+        and shard count.  Read-only over the builder's state: ingestion can
+        continue after.
+        """
+        from repro.store.encoded import EncodedSourceWriter, resolve_store_shards
+
+        shard_count = resolve_store_shards(max(self._buffered, self._rows, 1), shards)
+        with _obs.trace_span(
+            "streaming.write_store", path=str(path), shards=shard_count
+        ):
+            writer = EncodedSourceWriter(
+                path,
+                dimension=self._d,
+                shards=shard_count,
+                schema=self._schema,
+                overwrite=overwrite,
+            )
+            with writer:
+                for codes, weights in self._merge_stream():
+                    writer.append(codes, weights)
+        if _obs.ENABLED:
+            _obs.counter_inc("streaming.stores_written")
+        return writer.path
 
     def to_record_source(self) -> RecordSource:
         """The equivalent unsharded :class:`RecordSource` (for comparisons)."""

@@ -21,6 +21,7 @@ from repro.sources.resolve import (
     BACKENDS,
     as_count_source,
     check_backend,
+    mapped_count_source,
     select_backend,
     sharded_record_source,
 )
@@ -36,6 +37,7 @@ __all__ = [
     "as_count_source",
     "check_backend",
     "ensure_dense_allowed",
+    "mapped_count_source",
     "select_backend",
     "sharded_record_source",
 ]

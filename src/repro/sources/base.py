@@ -173,6 +173,18 @@ class CountSource(ABC):
         ``root_mask`` marginal (one pass over the root's cells)."""
         return float(1 << hamming_weight(root_mask))
 
+    def max_root_cells(self) -> Optional[int]:
+        """Memory ceiling (in cells) on materialised batch roots, or ``None``.
+
+        Batch execution holds the root marginal — and on sharded backends a
+        window of per-shard partials — fully in memory while members are
+        refined from it.  Backends operating under an explicit memory budget
+        return the largest root vector that keeps those residents inside it;
+        the planner then refuses to *choose* such a root even when the cost
+        estimates alone would favour it.  ``None`` means unlimited.
+        """
+        return None
+
     # ------------------------------------------------------------------ #
     # batched access
     # ------------------------------------------------------------------ #

@@ -16,10 +16,18 @@ partition a record-native source into hash shards computed on a worker pool
 auto-shard above :data:`~repro.shards.partition.AUTO_SHARD_RECORDS` records
 on multi-core machines.  Sharding never changes values: seeded releases are
 bitwise identical for any shard and worker count.
+
+A :class:`str` / :class:`~pathlib.Path` input names an **encoded source
+directory** (see :mod:`repro.store.encoded`): it is opened memory-mapped via
+:func:`repro.store.encoded.open_source`, so the engine runs straight off the
+on-disk shard files without materialising them.  The on-disk layout fixes
+the shard count, so a path input rejects the ``shards=`` knob (``workers=``
+still applies) and the ``"dense"`` backend.
 """
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Optional, Union
 
 import numpy as np
@@ -35,7 +43,7 @@ from repro.sources.record import RecordSource
 #: The accepted backend policies.
 BACKENDS = ("auto", "dense", "record")
 
-SourceInput = Union[Dataset, ContingencyTable, np.ndarray, CountSource]
+SourceInput = Union[Dataset, ContingencyTable, np.ndarray, CountSource, str, Path]
 
 
 def check_backend(backend: str) -> str:
@@ -102,6 +110,56 @@ def sharded_record_source(
     )
 
 
+def mapped_count_source(
+    path: Union[str, Path],
+    workload: MarginalWorkload,
+    backend: str = "auto",
+    *,
+    limit_bits: Optional[int] = None,
+    shards: Optional[int] = None,
+    workers: Optional[int] = None,
+    memory_budget: Optional[Union[int, str]] = None,
+) -> CountSource:
+    """Open an encoded source directory as a workload-validated count source.
+
+    The directory's shard layout is authoritative — an explicit ``shards=``
+    knob conflicts with it, and the mapped backend is record-native by
+    construction, so ``backend="dense"`` is rejected rather than silently
+    materialising ``2**d`` cells from disk.
+    """
+    from repro.store.encoded import open_source
+
+    if backend == "dense":
+        raise DataError(
+            "an encoded source directory is memory-mapped and record-native; "
+            "it cannot be opened with the dense backend"
+        )
+    if shards is not None:
+        raise DataError(
+            "the on-disk layout of an encoded source fixes its shard count; "
+            "drop the shards= knob (workers= still applies)"
+        )
+    source = open_source(
+        path,
+        workers=workers,
+        limit_bits=limit_bits,
+        memory_budget=memory_budget,
+    )
+    if source.dimension != workload.dimension:
+        raise WorkloadError(
+            f"encoded source {Path(path)} spans {source.dimension} bits; the "
+            f"workload's domain has {workload.dimension}"
+        )
+    source_schema = getattr(source, "schema", None)
+    if (
+        source_schema is not None
+        and workload.schema is not None
+        and source_schema != workload.schema
+    ):
+        raise WorkloadError("encoded source schema does not match the workload schema")
+    return source
+
+
 def as_count_source(
     data: SourceInput,
     workload: MarginalWorkload,
@@ -110,16 +168,30 @@ def as_count_source(
     limit_bits: Optional[int] = None,
     shards: Optional[int] = None,
     workers: Optional[int] = None,
+    memory_budget: Optional[Union[int, str]] = None,
 ) -> CountSource:
     """Resolve any engine data input into a count source over the workload's domain.
 
     A ready-made :class:`~repro.sources.base.CountSource` is passed through
     verbatim — handing the engine a concrete source *is* the backend (and
-    shard-layout) choice, and overrides the policy and the shard knobs.
+    shard-layout) choice, and overrides the policy and the shard knobs.  A
+    ``str`` / ``Path`` names an encoded source directory, opened
+    memory-mapped (``memory_budget`` caps its marginal-cache bytes;
+    the knob is ignored for inputs that are already in memory).
     """
     from repro.shards.partition import check_shard_knobs
 
     check_backend(backend)
+    if isinstance(data, (str, Path)):
+        return mapped_count_source(
+            data,
+            workload,
+            backend,
+            limit_bits=limit_bits,
+            shards=shards,
+            workers=workers,
+            memory_budget=memory_budget,
+        )
     check_shard_knobs(shards, workers)
     schema = workload.schema
     if isinstance(data, CountSource):

@@ -1,0 +1,188 @@
+"""Disk-spilled sorted runs and their bounded-memory k-way merge.
+
+:class:`~repro.shards.streaming.StreamingSourceBuilder` keeps its sorted,
+deduplicated ``(codes, weights)`` runs in memory; under a ``memory_budget``
+it hands compacted runs to a :class:`RunSpiller` instead, which writes each
+as a pair of ``.npy`` files.  :func:`merge_sorted_runs` then streams the
+spilled runs (opened with ``mmap_mode="r"``) plus any in-memory remainder
+back together in bounded-size chunks.
+
+Exactness: within a run the codes are strictly increasing and weights are
+exact float64 integer-count sums.  The merge picks a code *boundary* (the
+smallest last-code among the runs' peek windows), gathers every entry
+``<= boundary`` from all runs, and deduplicates with the same
+``np.unique`` + ``np.bincount`` kernel the in-memory compaction uses.
+Chunks therefore cover disjoint, increasing code ranges, and concatenating
+them yields exactly the arrays a one-shot in-memory build would produce —
+same codes, same float64 weight sums, bitwise.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+from pathlib import Path
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import DataError
+from repro.obs import runtime as _obs
+from repro.store.layout import release_pages
+
+#: Conservative bytes-per-buffered-entry estimate used to convert a memory
+#: budget into a spill threshold.  A buffered entry is 16 bytes at rest
+#: (int64 code + float64 weight); compaction transients (concatenate +
+#: ``np.unique`` scratch + bincount) multiply that several times over, so
+#: budget / 128 entries keeps the whole ingest under budget.
+SPILL_ENTRY_BYTES = 128
+
+#: Floor on the spill threshold so pathological budgets still make progress.
+MIN_SPILL_ENTRIES = 1 << 10
+
+#: Total entries pulled across all runs per merge step (before dedup).
+DEFAULT_MERGE_CHUNK = 1 << 19
+
+
+def spill_threshold_entries(memory_budget: int) -> int:
+    """Buffered-entry cap for ``memory_budget`` bytes of ingest memory."""
+    return max(MIN_SPILL_ENTRIES, int(memory_budget) // SPILL_ENTRY_BYTES)
+
+
+class RunSpiller:
+    """Persist sorted deduplicated runs as ``.npy`` pairs in one directory.
+
+    The directory is created lazily on first spill (a private temp dir when
+    none is given) and removed by :meth:`cleanup`.
+    """
+
+    def __init__(self, directory: Optional[Union[str, Path]] = None):
+        self._directory = Path(directory) if directory is not None else None
+        self._owns_directory = directory is None
+        self._created = False
+        self._runs: List[Tuple[Path, Path]] = []
+        self._sequence = 0
+        self._bytes_spilled = 0
+
+    @property
+    def run_count(self) -> int:
+        return len(self._runs)
+
+    @property
+    def bytes_spilled(self) -> int:
+        """Total bytes written across all spilled runs."""
+        return self._bytes_spilled
+
+    @property
+    def directory(self) -> Optional[Path]:
+        return self._directory
+
+    def _ensure_directory(self) -> Path:
+        if self._directory is None:
+            self._directory = Path(tempfile.mkdtemp(prefix="repro-spill-"))
+        elif not self._created:
+            self._directory.mkdir(parents=True, exist_ok=True)
+        self._created = True
+        return self._directory
+
+    def spill(self, codes: np.ndarray, weights: np.ndarray) -> None:
+        """Write one sorted deduplicated run to disk."""
+        if codes.shape != weights.shape:  # pragma: no cover - internal misuse
+            raise DataError("spilled codes and weights must align")
+        directory = self._ensure_directory()
+        stem = f"run-{self._sequence:05d}"
+        self._sequence += 1
+        code_path = directory / f"{stem}.codes.npy"
+        weight_path = directory / f"{stem}.weights.npy"
+        nbytes = int(codes.nbytes + weights.nbytes)
+        with _obs.trace_span("store.spill", run=stem, entries=int(codes.shape[0])):
+            np.save(code_path, np.ascontiguousarray(codes, dtype=np.int64))
+            np.save(weight_path, np.ascontiguousarray(weights, dtype=np.float64))
+        self._runs.append((code_path, weight_path))
+        self._bytes_spilled += nbytes
+        if _obs.ENABLED:
+            _obs.counter_inc("store.spills")
+            _obs.counter_inc("store.spill_bytes", float(nbytes))
+
+    def open_runs(self) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Memory-map every spilled run (read-only)."""
+        return [
+            (np.load(code_path, mmap_mode="r"), np.load(weight_path, mmap_mode="r"))
+            for code_path, weight_path in self._runs
+        ]
+
+    def cleanup(self) -> None:
+        """Remove the spilled files (and the directory, when owned)."""
+        for code_path, weight_path in self._runs:
+            code_path.unlink(missing_ok=True)
+            weight_path.unlink(missing_ok=True)
+        self._runs = []
+        self._bytes_spilled = 0
+        if self._owns_directory and self._directory is not None and self._created:
+            shutil.rmtree(self._directory, ignore_errors=True)
+            self._directory = None
+            self._created = False
+
+
+def merge_sorted_runs(
+    runs: Sequence[Tuple[np.ndarray, np.ndarray]],
+    *,
+    chunk_entries: int = DEFAULT_MERGE_CHUNK,
+) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """Stream the k-way merge of sorted deduplicated runs.
+
+    Yields ``(codes, weights)`` chunks whose codes are strictly increasing
+    within and across chunks, with weights summed across runs.  Peak
+    transient memory is a few multiples of ``chunk_entries`` regardless of
+    the total data size; memmap-backed runs have their consumed pages
+    released as the merge advances.
+    """
+    live = [(codes, weights) for codes, weights in runs if codes.shape[0]]
+    if not live:
+        return
+    window = max(1 << 12, int(chunk_entries) // len(live))
+    positions = [0] * len(live)
+    while True:
+        active = [i for i in range(len(live)) if positions[i] < live[i][0].shape[0]]
+        if not active:
+            break
+        # Copy one code window per active run (a real copy — a view would
+        # keep faulting the mapping) and release that run's mapped pages
+        # immediately: RSS accounting is folio-granular, so touching even
+        # one entry can map a multi-MiB page-cache folio, and with many
+        # runs a single release sweep at the end of the step would
+        # transiently pin runs x folio-size of memory — far more than the
+        # windows themselves.  The merge boundary is the smallest
+        # window-final code, so every entry <= boundary across all runs is
+        # inside some copied window.
+        code_windows = {}
+        boundary = None
+        for i in active:
+            codes = live[i][0]
+            end = min(positions[i] + window, codes.shape[0])
+            code_window = np.array(codes[positions[i]:end], dtype=np.int64, copy=True)
+            release_pages(codes)
+            code_windows[i] = code_window
+            last = int(code_window[-1])
+            boundary = last if boundary is None else min(boundary, last)
+        code_parts: List[np.ndarray] = []
+        weight_parts: List[np.ndarray] = []
+        for i in active:
+            code_window = code_windows[i]
+            take = int(np.searchsorted(code_window, boundary, side="right"))
+            if take:
+                weights = live[i][1]
+                lo = positions[i]
+                code_parts.append(code_window[:take])
+                weight_parts.append(
+                    np.array(weights[lo:lo + take], dtype=np.float64, copy=True)
+                )
+                release_pages(weights)
+                positions[i] = lo + take
+        merged_codes = np.concatenate(code_parts)
+        merged_weights = np.concatenate(weight_parts)
+        unique, inverse = np.unique(merged_codes, return_inverse=True)
+        summed = np.bincount(
+            inverse.reshape(-1), weights=merged_weights, minlength=unique.shape[0]
+        )
+        yield unique, summed

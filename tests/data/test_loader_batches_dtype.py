@@ -1,0 +1,84 @@
+"""Narrowed batch dtypes: ``iter_csv_batches`` codes stay pinned to ``load_csv``."""
+
+from __future__ import annotations
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.data.loader import _batch_code_dtype, infer_csv_schema, iter_csv_batches, load_csv
+from repro.domain import Attribute, Schema
+
+
+def _write_csv(path, header, rows):
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        writer.writerows(rows)
+    return path
+
+
+@pytest.fixture
+def survey_csv(tmp_path):
+    rng = np.random.default_rng(42)
+    rows = [
+        [
+            rng.choice(["yes", "no"]),
+            rng.choice(["north", "south", "east", "west"]),
+            rng.choice(["low", "mid", "high"]),
+        ]
+        for _ in range(700)
+    ]
+    return _write_csv(tmp_path / "survey.csv", ["smoker", "region", "income"], rows)
+
+
+class TestBatchCodeDtype:
+    def test_small_cardinalities_use_uint8(self):
+        schema = Schema([Attribute("a", 2), Attribute("b", 256)])
+        assert _batch_code_dtype(schema) == np.uint8
+
+    def test_wider_cardinalities_widen_in_steps(self):
+        assert _batch_code_dtype(Schema([Attribute("a", 257)])) == np.uint16
+        assert _batch_code_dtype(Schema([Attribute("a", 1 << 16)])) == np.uint16
+        assert _batch_code_dtype(Schema([Attribute("a", (1 << 16) + 1)])) == np.uint32
+
+    def test_widest_attribute_wins(self):
+        schema = Schema([Attribute("a", 2), Attribute("b", 70_000)])
+        assert _batch_code_dtype(schema) == np.uint32
+
+
+class TestBatchesMatchLoadCsv:
+    def test_codes_are_pinned_to_load_csv(self, survey_csv):
+        dataset = load_csv(survey_csv)
+        schema = infer_csv_schema(survey_csv)
+        assert schema == dataset.schema
+        batches = list(iter_csv_batches(survey_csv, schema, batch_size=64))
+        assert all(batch.dtype == np.uint8 for batch in batches)
+        stacked = np.concatenate(batches).astype(np.int64)
+        assert np.array_equal(stacked, dataset.records)
+
+    def test_narrow_batches_pack_to_identical_domain_codes(self, survey_csv):
+        dataset = load_csv(survey_csv)
+        schema = dataset.schema
+        narrow = np.concatenate(list(iter_csv_batches(survey_csv, schema)))
+        assert np.array_equal(
+            schema.encode_records(narrow), schema.encode_records(dataset.records)
+        )
+
+    def test_column_selection_reorders_to_schema_order(self, survey_csv):
+        dataset = load_csv(survey_csv, columns=["income", "smoker"])
+        batches = list(
+            iter_csv_batches(
+                survey_csv, dataset.schema, columns=["income", "smoker"], batch_size=100
+            )
+        )
+        assert np.array_equal(np.concatenate(batches), dataset.records)
+
+    def test_unknown_value_names_the_column(self, tmp_path):
+        schema = Schema([Attribute("color", 2, labels=("blue", "red"))])
+        path = _write_csv(tmp_path / "bad.csv", ["color"], [["blue"], ["green"]])
+        from repro.exceptions import DataError
+
+        with pytest.raises(DataError, match="color.*green"):
+            list(iter_csv_batches(path, schema))

@@ -1,0 +1,165 @@
+"""CLI storage knobs: ``--memory-budget`` streaming and ``--store-format``."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import build_release_parser, main
+
+
+@pytest.fixture
+def survey_csv(tmp_path):
+    rng = np.random.default_rng(8)
+    path = tmp_path / "survey.csv"
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["smoker", "region", "income"])
+        for _ in range(400):
+            writer.writerow(
+                [
+                    "yes" if rng.random() < 0.3 else "no",
+                    rng.choice(["north", "south", "east", "west"]),
+                    rng.choice(["low", "mid", "high"]),
+                ]
+            )
+    return path
+
+
+def _query_json(store, attributes, capsys):
+    exit_code = main(
+        ["query", "--store", str(store), "--attributes", *attributes, "--json"]
+    )
+    captured = capsys.readouterr()
+    assert exit_code == 0, captured.err
+    return json.loads(captured.out)
+
+
+class TestParser:
+    def test_store_knob_defaults(self):
+        args = build_release_parser().parse_args(["--input", "x.csv"])
+        assert args.memory_budget is None
+        assert args.store_format is None
+
+    def test_store_format_choices(self):
+        with pytest.raises(SystemExit):
+            build_release_parser().parse_args(
+                ["--input", "x.csv", "--store-format", "v9"]
+            )
+
+
+class TestStreamedRelease:
+    def test_streamed_release_matches_in_memory(self, survey_csv, tmp_path, capsys):
+        """Same seed, with and without --memory-budget: identical answers."""
+        common = [
+            "release",
+            "--input",
+            str(survey_csv),
+            "--k",
+            "2",
+            "--seed",
+            "6",
+        ]
+        assert main(common + ["--out", str(tmp_path / "plain")]) == 0
+        assert (
+            main(
+                common
+                + [
+                    "--out",
+                    str(tmp_path / "streamed"),
+                    "--memory-budget",
+                    "64M",
+                    "--store-format",
+                    "v2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "v2 layout" in out
+
+        plain = _query_json(tmp_path / "plain", ["smoker", "region"], capsys)
+        streamed = _query_json(tmp_path / "streamed", ["smoker", "region"], capsys)
+        assert plain["cells"] == streamed["cells"]
+
+    def test_streamed_summary_reports_rows(self, survey_csv, capsys):
+        exit_code = main(
+            [
+                "release",
+                "--input",
+                str(survey_csv),
+                "--k",
+                "1",
+                "--seed",
+                "1",
+                "--memory-budget",
+                "1M",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "400" in captured.out  # row count survives streaming
+
+    def test_memory_budget_rejects_dense_backend(self, survey_csv, capsys):
+        exit_code = main(
+            [
+                "release",
+                "--input",
+                str(survey_csv),
+                "--k",
+                "1",
+                "--memory-budget",
+                "1M",
+                "--backend",
+                "dense",
+            ]
+        )
+        assert exit_code == 2
+        assert "dense" in capsys.readouterr().err
+
+    def test_bad_budget_reports_error(self, survey_csv, capsys):
+        exit_code = main(
+            [
+                "release",
+                "--input",
+                str(survey_csv),
+                "--k",
+                "1",
+                "--memory-budget",
+                "lots",
+            ]
+        )
+        assert exit_code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestStoreFormat:
+    def test_v1_and_v2_serve_identically(self, survey_csv, tmp_path, capsys):
+        for layout in ("v1", "v2"):
+            exit_code = main(
+                [
+                    "release",
+                    "--input",
+                    str(survey_csv),
+                    "--k",
+                    "2",
+                    "--seed",
+                    "9",
+                    "--out",
+                    str(tmp_path / layout),
+                    "--store-format",
+                    layout,
+                ]
+            )
+            assert exit_code == 0
+        capsys.readouterr()
+        v1 = _query_json(tmp_path / "v1", ["region", "income"], capsys)
+        v2 = _query_json(tmp_path / "v2", ["region", "income"], capsys)
+        assert v1["cells"] == v2["cells"]
+        release_dir = next(
+            p for p in (tmp_path / "v2").iterdir() if p.is_dir()
+        )
+        assert (release_dir / "marginals").is_dir()

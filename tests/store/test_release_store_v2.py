@@ -1,0 +1,148 @@
+"""ReleaseStore v2 layout: memmap serving, v1 compat, targeted errors."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.engine import release_marginals
+from repro.data import synthetic_nltcs
+from repro.exceptions import DataError, ServingError
+from repro.queries import all_k_way
+from repro.serving.service import QueryService
+from repro.serving.store import (
+    DEFAULT_STORE_LAYOUT,
+    STORE_LAYOUTS,
+    ReleaseStore,
+    check_store_layout,
+)
+
+
+@pytest.fixture(scope="module")
+def release():
+    data = synthetic_nltcs(n_records=1500, rng=3)
+    workload = all_k_way(data.schema, 2)
+    return release_marginals(data, workload, 1.0, strategy="F", rng=3)
+
+
+class TestLayouts:
+    def test_check_store_layout(self):
+        assert DEFAULT_STORE_LAYOUT == "v1"
+        for layout in STORE_LAYOUTS:
+            assert check_store_layout(layout) == layout
+        with pytest.raises(ServingError, match="layout"):
+            check_store_layout("v3")
+
+    def test_v2_round_trip_is_bitwise(self, tmp_path, release):
+        store = ReleaseStore(tmp_path / "store", store_format="v2")
+        release_id = store.put(release)
+        reloaded = store.get(release_id)
+        for ours, exact in zip(reloaded.marginals, release.marginals):
+            assert np.array_equal(np.asarray(ours), exact)
+
+    def test_v2_layout_on_disk(self, tmp_path, release):
+        store = ReleaseStore(tmp_path / "store", store_format="v2")
+        release_id = store.put(release)
+        directory = tmp_path / "store" / release_id
+        assert (directory / "marginals").is_dir()
+        assert not (directory / "marginals.npz").exists()
+        meta = json.loads((directory / "meta.json").read_text())
+        assert meta["marginals_layout"] == "v2"
+        assert meta["store_format_version"] == 2
+
+    def test_v1_stays_version_1_for_old_readers(self, tmp_path, release):
+        store = ReleaseStore(tmp_path / "store")  # default layout
+        release_id = store.put(release)
+        directory = tmp_path / "store" / release_id
+        assert (directory / "marginals.npz").exists()
+        meta = json.loads((directory / "meta.json").read_text())
+        assert meta["store_format_version"] == 1
+
+    def test_per_put_override_beats_the_store_default(self, tmp_path, release):
+        store = ReleaseStore(tmp_path / "store", store_format="v1")
+        release_id = store.put(release, store_format="v2")
+        assert (tmp_path / "store" / release_id / "marginals").is_dir()
+
+    def test_v2_vectors_are_memmapped(self, tmp_path, release):
+        store = ReleaseStore(tmp_path / "store", store_format="v2")
+        reloaded = store.get(store.put(release))
+        assert any(
+            isinstance(np.asarray(m).base, np.memmap) or isinstance(m, np.memmap)
+            for m in reloaded.marginals
+        )
+
+    def test_service_answers_identically_across_layouts(self, tmp_path, release):
+        answers = {}
+        for layout in STORE_LAYOUTS:
+            store = ReleaseStore(tmp_path / layout, store_format=layout)
+            release_id = store.put(release)
+            service = QueryService(ReleaseStore(tmp_path / layout, create=False))
+            schema = release.workload.schema
+            names = [attribute.name for attribute in schema.attributes[:2]]
+            answers[layout] = service.query(names, release_id=release_id).values
+        assert np.array_equal(answers["v1"], answers["v2"])
+
+    def test_overwrite_switches_layout_in_place(self, tmp_path, release):
+        store = ReleaseStore(tmp_path / "store", store_format="v1")
+        release_id = store.put(release, release_id="r")
+        store.put(release, release_id="r", overwrite=True, store_format="v2")
+        directory = tmp_path / "store" / "r"
+        assert (directory / "marginals").is_dir()
+        assert not (directory / "marginals.npz").exists()  # no v1 leftovers
+        reloaded = store.get("r")
+        for ours, exact in zip(reloaded.marginals, release.marginals):
+            assert np.array_equal(np.asarray(ours), exact)
+
+    def test_delete_removes_v2_vectors(self, tmp_path, release):
+        store = ReleaseStore(tmp_path / "store", store_format="v2")
+        release_id = store.put(release)
+        store.delete(release_id)
+        assert not (tmp_path / "store" / release_id).exists()
+
+
+class TestTargetedErrors:
+    def test_missing_release_is_a_serving_error(self, tmp_path):
+        store = ReleaseStore(tmp_path / "store")
+        with pytest.raises(ServingError, match="no release"):
+            store.get("nope")
+
+    def test_missing_v1_archive_is_a_serving_error(self, tmp_path, release):
+        store = ReleaseStore(tmp_path / "store", store_format="v1")
+        release_id = store.put(release)
+        (tmp_path / "store" / release_id / "marginals.npz").unlink()
+        with pytest.raises(ServingError, match="marginals.npz"):
+            store.get(release_id)
+
+    def test_missing_v1_array_is_a_data_error_naming_the_cuboid(
+        self, tmp_path, release
+    ):
+        store = ReleaseStore(tmp_path / "store", store_format="v1")
+        release_id = store.put(release)
+        directory = tmp_path / "store" / release_id
+        archive = np.load(directory / "marginals.npz")
+        arrays = {key: archive[key] for key in archive.files}
+        arrays.pop("marginal_00003")
+        np.savez_compressed(directory / "marginals.npz", **arrays)
+        with pytest.raises(DataError, match="marginal_00003.*cuboid 0x"):
+            store.get(release_id)
+
+    def test_missing_v2_vector_is_a_data_error_naming_the_cuboid(
+        self, tmp_path, release
+    ):
+        store = ReleaseStore(tmp_path / "store", store_format="v2")
+        release_id = store.put(release)
+        directory = tmp_path / "store" / release_id
+        (directory / "marginals" / "marginal_00001.npy").unlink()
+        with pytest.raises(DataError, match="marginal_00001.*cuboid 0x"):
+            store.get(release_id)
+
+    def test_missing_v2_directory_is_a_serving_error(self, tmp_path, release):
+        import shutil
+
+        store = ReleaseStore(tmp_path / "store", store_format="v2")
+        release_id = store.put(release)
+        shutil.rmtree(tmp_path / "store" / release_id / "marginals")
+        with pytest.raises(ServingError, match="marginals/"):
+            store.get(release_id)

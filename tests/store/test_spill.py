@@ -1,0 +1,131 @@
+"""Disk-spilled sorted runs and their bounded-memory k-way merge."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataError
+from repro.store.layout import parse_memory_budget
+from repro.store.spill import (
+    RunSpiller,
+    merge_sorted_runs,
+    spill_threshold_entries,
+)
+
+
+def _run(rng, size, top):
+    codes = np.unique(rng.integers(0, top, size, dtype=np.int64))
+    weights = rng.integers(1, 5, codes.shape[0]).astype(np.float64)
+    return codes, weights
+
+
+def _reference_merge(runs):
+    codes = np.concatenate([r[0] for r in runs])
+    weights = np.concatenate([r[1] for r in runs])
+    unique, inverse = np.unique(codes, return_inverse=True)
+    summed = np.bincount(inverse, weights=weights, minlength=unique.shape[0])
+    return unique, summed
+
+
+class TestParseMemoryBudget:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("64M", 64 << 20),
+            ("64MiB", 64 << 20),
+            ("1G", 1 << 30),
+            ("2GB", 2 << 30),
+            ("128K", 128 << 10),
+            ("1.5M", int(1.5 * (1 << 20))),
+            (1 << 20, 1 << 20),
+        ],
+    )
+    def test_accepted_forms(self, text, expected):
+        assert parse_memory_budget(text) == expected
+
+    @pytest.mark.parametrize("bad", ["", "lots", "-5M", "12Q", 0, 1024])
+    def test_rejected_forms(self, bad):
+        with pytest.raises(DataError):
+            parse_memory_budget(bad)
+
+    def test_threshold_scales_with_budget(self):
+        assert spill_threshold_entries(1 << 20) < spill_threshold_entries(1 << 26)
+        assert spill_threshold_entries(1 << 16) >= 1024  # floor
+
+
+class TestRunSpiller:
+    def test_round_trip(self, tmp_path):
+        rng = np.random.default_rng(0)
+        spiller = RunSpiller(tmp_path / "runs")
+        stored = [_run(rng, 500, 1 << 20) for _ in range(3)]
+        for codes, weights in stored:
+            spiller.spill(codes, weights)
+        assert spiller.run_count == 3
+        assert spiller.bytes_spilled > 0
+        for (codes, weights), (back_codes, back_weights) in zip(
+            stored, spiller.open_runs()
+        ):
+            assert np.array_equal(np.asarray(back_codes), codes)
+            assert np.array_equal(np.asarray(back_weights), weights)
+
+    def test_cleanup_removes_files(self, tmp_path):
+        spiller = RunSpiller(tmp_path / "runs")
+        spiller.spill(np.array([1, 2, 3], dtype=np.int64), np.ones(3))
+        directory = spiller.directory
+        assert directory is not None and any(directory.iterdir())
+        spiller.cleanup()
+        assert spiller.run_count == 0
+        # A caller-provided directory is kept (not owned); its files are gone.
+        assert list(directory.iterdir()) == []
+
+    def test_cleanup_removes_owned_temp_directory(self):
+        spiller = RunSpiller()
+        spiller.spill(np.array([1, 2, 3], dtype=np.int64), np.ones(3))
+        directory = spiller.directory
+        assert directory is not None and directory.exists()
+        spiller.cleanup()
+        assert not directory.exists()
+
+
+class TestMergeSortedRuns:
+    def test_matches_one_shot_dedup(self, tmp_path):
+        rng = np.random.default_rng(7)
+        runs = [_run(rng, size, 1 << 16) for size in (900, 1300, 400, 2000)]
+        chunks = list(merge_sorted_runs(runs, chunk_entries=256))
+        merged_codes = np.concatenate([c for c, _ in chunks])
+        merged_weights = np.concatenate([w for _, w in chunks])
+        exact_codes, exact_weights = _reference_merge(runs)
+        assert np.array_equal(merged_codes, exact_codes)
+        assert np.array_equal(merged_weights, exact_weights)
+
+    def test_chunks_are_strictly_increasing_and_disjoint(self):
+        rng = np.random.default_rng(3)
+        runs = [_run(rng, 1500, 1 << 14) for _ in range(5)]
+        last = -1
+        for codes, weights in merge_sorted_runs(runs, chunk_entries=128):
+            assert codes.shape == weights.shape
+            assert int(codes[0]) > last
+            assert bool((np.diff(codes) > 0).all()) if codes.shape[0] > 1 else True
+            last = int(codes[-1])
+
+    def test_merges_memmapped_runs(self, tmp_path):
+        rng = np.random.default_rng(11)
+        spiller = RunSpiller(tmp_path / "runs")
+        runs = [_run(rng, 800, 1 << 18) for _ in range(4)]
+        for codes, weights in runs:
+            spiller.spill(codes, weights)
+        chunks = list(merge_sorted_runs(spiller.open_runs(), chunk_entries=512))
+        merged = np.concatenate([c for c, _ in chunks])
+        exact_codes, _ = _reference_merge(runs)
+        assert np.array_equal(merged, exact_codes)
+        spiller.cleanup()
+
+    def test_single_run_passes_through(self):
+        codes = np.arange(10, dtype=np.int64) * 3
+        weights = np.ones(10)
+        chunks = list(merge_sorted_runs([(codes, weights)], chunk_entries=4))
+        assert np.array_equal(np.concatenate([c for c, _ in chunks]), codes)
+
+    def test_empty_input_yields_nothing(self):
+        assert list(merge_sorted_runs([])) == []

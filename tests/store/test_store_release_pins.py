@@ -1,0 +1,112 @@
+"""sha256-pinned wide-schema releases measured through the storage tier.
+
+The out-of-core acceptance scenario: the d = 32 release pinned in
+``tests/shards/test_shard_release_pins.py`` must be reproduced **bit for
+bit** when the records are (a) written to an encoded on-disk source and
+measured off ``np.memmap`` shards, (b) streamed through a budgeted
+``StreamingSourceBuilder`` that spills sorted runs to disk, and (c) round
+tripped through ``write_store`` and released straight from the path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.core.engine import release_marginals
+from repro.domain import Dataset, Schema
+from repro.queries import MarginalQuery, MarginalWorkload
+from repro.shards import StreamingSourceBuilder
+from repro.store import open_source, write_source
+
+D = 32
+
+#: Captured from the unsharded in-memory record-native backend (PR 4); every
+#: storage-tier configuration must reproduce it exactly.
+EXPECTED_SHA256 = "fa7bc711f5d6a31c53a1c69a7207e07c035066db7fa84f2ee1fbf9d9ed63d805"
+
+
+def fingerprint(marginals) -> str:
+    digest = hashlib.sha256()
+    for marginal in marginals:
+        digest.update(
+            np.ascontiguousarray(np.asarray(marginal, dtype=np.float64)).tobytes()
+        )
+    return digest.hexdigest()
+
+
+@pytest.fixture(scope="module")
+def wide_inputs():
+    schema = Schema.binary([f"a{i:02d}" for i in range(D)])
+    rng = np.random.default_rng(2013)
+    records = (rng.random((3000, D)) < 0.35).astype(np.int64)
+    dataset = Dataset(schema, records, name="wide-32")
+    masks = [1 << i for i in range(D)]
+    masks += [(1 << i) | (1 << j) for i in range(8) for j in range(i + 1, 8)]
+    masks += [0b111, (1 << 31) | (1 << 15) | 1]
+    workload = MarginalWorkload(
+        schema, [MarginalQuery(mask, D) for mask in masks], name="wide-mixed"
+    )
+    return dataset, workload
+
+
+def _release(data, workload, **kwargs):
+    return release_marginals(data, workload, budget=1.0, strategy="F", rng=5, **kwargs)
+
+
+class TestStoredSourcePins:
+    @pytest.mark.parametrize("shards,workers", [(1, 1), (4, 2)])
+    def test_mapped_source_reproduces_the_pin(
+        self, tmp_path, wide_inputs, shards, workers
+    ):
+        dataset, workload = wide_inputs
+        reference = dataset.as_source(backend="record")
+        path = write_source(
+            tmp_path / "src",
+            reference.codes,
+            reference.weights,
+            dimension=D,
+            schema=dataset.schema,
+            shards=shards,
+        )
+        mapped = open_source(path, workers=workers)
+        release = _release(mapped, workload)
+        assert fingerprint(release.marginals) == EXPECTED_SHA256
+
+    def test_path_input_reproduces_the_pin(self, tmp_path, wide_inputs):
+        dataset, workload = wide_inputs
+        reference = dataset.as_source(backend="record")
+        path = write_source(
+            tmp_path / "src",
+            reference.codes,
+            reference.weights,
+            dimension=D,
+            schema=dataset.schema,
+            shards=3,
+        )
+        release = _release(str(path), workload)
+        assert fingerprint(release.marginals) == EXPECTED_SHA256
+
+
+class TestSpilledBuildPins:
+    def test_spilled_build_reproduces_the_pin(self, wide_inputs):
+        dataset, workload = wide_inputs
+        builder = StreamingSourceBuilder(dataset.schema, memory_budget="64K")
+        for start in range(0, len(dataset.records), 500):
+            builder.add_records(dataset.records[start : start + 500])
+        assert builder.spilled_runs > 0
+        source = builder.build(shards=3, workers=2)
+        release = _release(source, workload)
+        assert fingerprint(release.marginals) == EXPECTED_SHA256
+
+    def test_spilled_write_store_reproduces_the_pin(self, tmp_path, wide_inputs):
+        dataset, workload = wide_inputs
+        builder = StreamingSourceBuilder(dataset.schema, memory_budget=1 << 16)
+        for start in range(0, len(dataset.records), 500):
+            builder.add_records(dataset.records[start : start + 500])
+        assert builder.spilled_runs > 0
+        path = builder.write_store(tmp_path / "store", shards=2)
+        release = _release(path, workload)
+        assert fingerprint(release.marginals) == EXPECTED_SHA256

@@ -1,0 +1,130 @@
+"""StreamingSourceBuilder under a memory budget: spills, merges, write_store."""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.shards import StreamingSourceBuilder
+from repro.sources import RecordSource
+from repro.store import open_source, write_source
+
+
+def _batches(d, count, size, seed):
+    rng = np.random.default_rng(seed)
+    return [rng.integers(0, 1 << d, size, dtype=np.int64) for _ in range(count)]
+
+
+def _file_digests(path):
+    return {
+        item.name: hashlib.sha256(item.read_bytes()).hexdigest()
+        for item in sorted(path.iterdir())
+        if item.suffix == ".npy"
+    }
+
+
+class TestSpillingBuilder:
+    def test_budget_triggers_spills(self, tmp_path):
+        builder = StreamingSourceBuilder(
+            dimension=20, memory_budget=1 << 20, spill_dir=tmp_path / "spill"
+        )
+        for batch in _batches(20, 12, 20_000, 3):
+            builder.add_codes(batch)
+        assert builder.memory_budget == 1 << 20
+        assert builder.spilled_runs > 0
+        assert builder.spilled_bytes > 0
+
+    def test_spilled_arrays_equal_unbounded_build(self, tmp_path):
+        batches = _batches(18, 10, 15_000, 9)
+        spilling = StreamingSourceBuilder(dimension=18, memory_budget="1M")
+        plain = StreamingSourceBuilder(dimension=18)
+        for batch in batches:
+            spilling.add_codes(batch)
+            plain.add_codes(batch)
+        assert spilling.spilled_runs > 0
+        s_codes, s_weights = spilling.arrays()
+        p_codes, p_weights = plain.arrays()
+        assert np.array_equal(s_codes, p_codes)
+        assert np.array_equal(s_weights, p_weights)
+        reference = RecordSource(np.concatenate(batches), dimension=18)
+        assert np.array_equal(s_codes, reference.codes)
+        assert np.array_equal(s_weights, reference.weights)
+
+    def test_built_source_is_bitwise_identical(self):
+        batches = _batches(22, 8, 10_000, 1)
+        spilling = StreamingSourceBuilder(dimension=22, memory_budget="1M")
+        for batch in batches:
+            spilling.add_codes(batch)
+        source = spilling.build(shards=3, workers=1)
+        reference = RecordSource(np.concatenate(batches), dimension=22)
+        for mask in (0b1, 0b110011, (1 << 22) - 1):
+            assert np.array_equal(source.marginal(mask), reference.marginal(mask))
+
+
+class TestWriteStore:
+    def test_streamed_store_is_byte_identical_to_one_shot(self, tmp_path):
+        batches = _batches(20, 10, 15_000, 21)
+        builder = StreamingSourceBuilder(dimension=20, memory_budget="1M")
+        for batch in batches:
+            builder.add_codes(batch)
+        assert builder.spilled_runs > 0
+        streamed = builder.write_store(tmp_path / "streamed", shards=5)
+
+        reference = RecordSource(np.concatenate(batches), dimension=20)
+        one_shot = write_source(
+            tmp_path / "one-shot",
+            reference.codes,
+            reference.weights,
+            dimension=20,
+            shards=5,
+        )
+        assert _file_digests(streamed) == _file_digests(one_shot)
+
+    def test_store_without_budget_also_streams(self, tmp_path):
+        batches = _batches(16, 4, 5_000, 2)
+        builder = StreamingSourceBuilder(dimension=16)
+        for batch in batches:
+            builder.add_codes(batch)
+        path = builder.write_store(tmp_path / "store", shards=2)
+        source = open_source(path, verify=True)
+        reference = RecordSource(np.concatenate(batches), dimension=16)
+        assert source.total == reference.total
+        assert np.array_equal(source.marginal(0b111), reference.marginal(0b111))
+
+    def test_ingestion_continues_after_write_store(self, tmp_path):
+        first = _batches(16, 3, 5_000, 4)
+        second = _batches(16, 3, 5_000, 5)
+        builder = StreamingSourceBuilder(dimension=16, memory_budget="1M")
+        for batch in first:
+            builder.add_codes(batch)
+        builder.write_store(tmp_path / "early", shards=2)
+        for batch in second:
+            builder.add_codes(batch)
+        path = builder.write_store(tmp_path / "late", shards=2, overwrite=True)
+        reference = RecordSource(np.concatenate(first + second), dimension=16)
+        late = open_source(path)
+        assert late.distinct_records == reference.distinct_records
+        assert np.array_equal(late.marginal(0b11), reference.marginal(0b11))
+
+    def test_release_from_streamed_store_matches_in_memory(self, tmp_path):
+        from repro.core.engine import release_marginals
+        from repro.domain import Schema
+        from repro.queries import all_k_way
+
+        d = 12
+        schema = Schema.binary([f"b{i}" for i in range(d)])
+        batches = _batches(d, 6, 8_000, 7)
+        builder = StreamingSourceBuilder(schema, memory_budget="1M")
+        for batch in batches:
+            builder.add_codes(batch)
+        path = builder.write_store(tmp_path / "store")
+        workload = all_k_way(schema, 2)
+        from_disk = release_marginals(path, workload, 1.0, strategy="F", rng=17)
+        reference = RecordSource(
+            np.concatenate(batches), dimension=d, schema=schema
+        )
+        in_memory = release_marginals(reference, workload, 1.0, strategy="F", rng=17)
+        for ours, exact in zip(from_disk.marginals, in_memory.marginals):
+            assert np.array_equal(ours, exact)
