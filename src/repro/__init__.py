@@ -75,8 +75,16 @@ from repro.serving import (
     ServedAnswer,
 )
 from repro.obs import BudgetLedger, CacheStats, Recorder, trace_span, tracing
+from repro.resilience import (
+    FaultPlan,
+    FaultSpec,
+    ReleaseCheckpoint,
+    RetryPolicy,
+    fault_injection,
+    plan_fingerprint,
+)
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "Attribute",
@@ -135,5 +143,11 @@ __all__ = [
     "Recorder",
     "trace_span",
     "tracing",
+    "FaultPlan",
+    "FaultSpec",
+    "ReleaseCheckpoint",
+    "RetryPolicy",
+    "fault_injection",
+    "plan_fingerprint",
     "__version__",
 ]

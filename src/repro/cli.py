@@ -21,9 +21,16 @@ Three entry styles share one ``main``:
           --where smoker=yes
 
 * ``stats`` — validate and summarise a trace written by
-  ``release --trace=json --trace-out trace.json``::
+  ``release --trace=json --trace-out trace.json``, or health-check a release
+  store's stored vectors against their pinned digests::
 
       python -m repro stats trace.json
+      python -m repro stats --store store/
+
+Release commands accept ``--checkpoint DIR`` (and ``--resume``) to stage each
+measured batch crash-safely; a release killed mid-measurement resumes from
+the staged batches and produces output bitwise identical to an uninterrupted
+run with the same seed.
 
 Release commands accept ``--trace[=summary|json|logfmt]`` to run under the
 observability recorder (:mod:`repro.obs`) and emit the spans, metrics and
@@ -158,6 +165,21 @@ def _add_release_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument("--seed", type=int, default=None, help="random seed for reproducibility")
     parser.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="DIR",
+        help="stage each measured batch into DIR (crash-safe, atomic-rename "
+        "writes) so an interrupted release can be resumed; only the marginal "
+        "measurement kernel (strategies Q/I/C) is checkpointable",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay the batches already staged in --checkpoint and measure "
+        "only the missing ones; the resumed release is bitwise identical to "
+        "an uninterrupted run with the same seed",
+    )
+    parser.add_argument(
         "--explain",
         action="store_true",
         help="print the execution plan (stages, batches, per-group expected variance) "
@@ -280,21 +302,58 @@ def build_stats_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro stats",
         description="Validate a JSON trace written by 'release --trace=json' "
-        "and print its summary (spans, metrics, privacy-budget ledger).",
+        "and print its summary (spans, metrics, privacy-budget ledger) — or, "
+        "with --store, integrity-check a release store's marginal vectors.",
         allow_abbrev=False,
     )
-    parser.add_argument("trace", help="path to the JSON trace file")
+    parser.add_argument(
+        "trace", nargs="?", default=None, help="path to the JSON trace file"
+    )
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="health-check the release store at DIR instead: read every "
+        "stored marginal vector end to end and verify it against its pinned "
+        "sha256 digest (exit code 1 when any release is corrupt)",
+    )
     parser.add_argument(
         "--json",
         action="store_true",
-        help="re-emit the validated trace payload as JSON instead of the summary",
+        help="emit the validated trace payload (or the store health report) "
+        "as JSON instead of the summary",
     )
     return parser
+
+
+def _store_health_lines(report: Dict[str, object]) -> List[str]:
+    lines = [f"store   : {report['root']} ({report['releases']} release(s))"]
+    for entry in report["reports"]:  # type: ignore[union-attr]
+        if entry["ok"]:
+            lines.append(
+                f"{entry['release_id']}: OK ({entry['verified']}/{entry['marginals']} "
+                f"vectors digest-verified, {entry['layout']} layout)"
+            )
+        else:
+            lines.append(f"{entry['release_id']}: CORRUPT")
+            for problem in entry["corrupt"]:
+                lines.append(f"  - {problem['error']}")
+    lines.append("health  : " + ("OK" if report["ok"] else "DEGRADED"))
+    return lines
 
 
 def _main_stats(argv: Sequence[str]) -> int:
     args = build_stats_parser().parse_args(argv)
     try:
+        if (args.store is None) == (args.trace is None):
+            raise ReproError("pass either a trace file or --store DIR (not both)")
+        if args.store is not None:
+            report = ReleaseStore(args.store, create=False).verify_all()
+            if args.json:
+                print(json.dumps(report, indent=2, sort_keys=True))
+            else:
+                print("\n".join(_store_health_lines(report)))
+            return 0 if report["ok"] else 1
         try:
             payload = json.loads(Path(args.trace).read_text())
         except json.JSONDecodeError as error:
@@ -452,6 +511,8 @@ def _run_release(args: argparse.Namespace):
     """
     if args.trace_out is not None and args.trace is None:
         raise ReproError("--trace-out requires --trace")
+    if args.resume and args.checkpoint is None:
+        raise ReproError("--resume requires --checkpoint")
     if args.memory_budget is not None:
         dataset, data = _stream_input(args)
     else:
@@ -477,10 +538,16 @@ def _run_release(args: argparse.Namespace):
         return dataset, None, None
     if args.trace is not None:
         with tracing() as recorder:
-            result = engine.release(data, budget, rng=args.seed)
+            result = engine.release(
+                data, budget, rng=args.seed,
+                checkpoint=args.checkpoint, resume=args.resume,
+            )
     else:
         recorder = None
-        result = engine.release(data, budget, rng=args.seed)
+        result = engine.release(
+            data, budget, rng=args.seed,
+            checkpoint=args.checkpoint, resume=args.resume,
+        )
     if args.nonnegative:
         marginals = round_to_integers(project_nonnegative(result.marginals))
         result = ReleaseResult(

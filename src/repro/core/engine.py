@@ -39,6 +39,7 @@ from repro.obs import runtime as _obs
 from repro.plan.executor import Executor
 from repro.plan.plan import ExecutionPlan
 from repro.plan.planner import Planner
+from repro.resilience.checkpoint import ReleaseCheckpoint
 from repro.queries.workload import MarginalWorkload
 from repro.recovery.consistency import make_consistent
 from repro.sources import (
@@ -288,9 +289,23 @@ class MarginalReleaseEngine:
             memory_budget=self._memory_budget,
         )
 
+    @staticmethod
+    def _resolve_checkpoint(
+        checkpoint: Optional[Union[str, Path, "ReleaseCheckpoint"]],
+    ) -> Optional["ReleaseCheckpoint"]:
+        if checkpoint is None or isinstance(checkpoint, ReleaseCheckpoint):
+            return checkpoint
+        return ReleaseCheckpoint(checkpoint)
+
     # ------------------------------------------------------------------ #
     def release(
-        self, data: DataInput, budget: BudgetInput, *, rng: RngLike = None
+        self,
+        data: DataInput,
+        budget: BudgetInput,
+        *,
+        rng: RngLike = None,
+        checkpoint: Optional[Union[str, Path, "ReleaseCheckpoint"]] = None,
+        resume: bool = False,
     ) -> ReleaseResult:
         """Produce a differentially private release of the workload on ``data``.
 
@@ -302,10 +317,19 @@ class MarginalReleaseEngine:
         policy (plus the shard knobs) decides how exact counts are computed.
         The plan is costed against the resolved source so the executor's
         root-vs-direct decisions match the backend.
+
+        ``checkpoint`` (a directory path or a ready
+        :class:`~repro.resilience.checkpoint.ReleaseCheckpoint`) stages each
+        measured batch crash-safely; after a kill, re-running the same
+        release with ``resume=True`` replays the staged batches and — given
+        the same ``rng`` seed — reproduces the uninterrupted release bit for
+        bit.  Checkpoints require a ``"marginal"``-kernel strategy
+        (``"Q"``/``"I"``/``"C"``).
         """
         source = self._resolve_source(data)
         resolved_budget = _resolve_budget(budget)
         generator = ensure_rng(rng)
+        store = self._resolve_checkpoint(checkpoint)
         timings: Dict[str, float] = {}
 
         observing = _obs.ENABLED
@@ -325,7 +349,9 @@ class MarginalReleaseEngine:
 
             start = time.perf_counter()
             with _obs.trace_span("engine.measure"):
-                measurement = self._executor.measure(plan, source, generator)
+                measurement = self._executor.measure(
+                    plan, source, generator, checkpoint=store, resume=resume
+                )
             timings["measurement"] = time.perf_counter() - start
 
             start = time.perf_counter()
@@ -373,12 +399,16 @@ def release_marginals(
     workers: Optional[int] = None,
     memory_budget: Optional[Union[int, str]] = None,
     rng: RngLike = None,
+    checkpoint: Optional[Union[str, Path, ReleaseCheckpoint]] = None,
+    resume: bool = False,
 ) -> ReleaseResult:
     """One-shot private release of a marginal workload.
 
     Parameters mirror :class:`MarginalReleaseEngine`; ``budget`` may be a
     plain ``float`` (interpreted as a pure-DP epsilon) or a
-    :class:`~repro.mechanisms.privacy.PrivacyBudget`.
+    :class:`~repro.mechanisms.privacy.PrivacyBudget`.  ``checkpoint`` /
+    ``resume`` stage and replay measured batches crash-safely — see
+    :meth:`MarginalReleaseEngine.release`.
 
     Examples
     --------
@@ -401,4 +431,4 @@ def release_marginals(
         workers=workers,
         memory_budget=memory_budget,
     )
-    return engine.release(data, budget, rng=rng)
+    return engine.release(data, budget, rng=rng, checkpoint=checkpoint, resume=resume)

@@ -7,6 +7,8 @@ while still being able to distinguish the finer-grained categories below.
 
 from __future__ import annotations
 
+from typing import Optional
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the library."""
@@ -60,9 +62,56 @@ class DomainSizeError(DataError):
     by a single ``except DataError``."""
 
 
+class ShardError(DataError):
+    """Raised when sharded parallel measurement fails at the worker-pool
+    layer: a broken process pool (worker death), a worker-pickling failure,
+    or a shard task that keeps failing after its retry budget.  Subclasses
+    :class:`DataError` so existing backend-configuration handling catches it;
+    the message always names the ``workers=``/``kind=`` configuration and the
+    thread-pool escape hatch."""
+
+
 class ServingError(ReproError):
     """Raised by the query-serving subsystem: a release cannot be stored or
     loaded, or a query cannot be answered from the released cuboids."""
+
+
+class CorruptMarginalError(ServingError):
+    """Raised when a stored marginal vector fails its integrity check — a
+    truncated (short-read) ``.npy`` file or a content-digest mismatch.
+    :class:`~repro.serving.service.QueryService` catches this to quarantine
+    the corrupt cuboid and fall back to the next covering one instead of
+    failing the query.  ``mask`` and ``release_id`` identify the corrupt
+    cuboid when known, so the caller can quarantine it precisely."""
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        mask: Optional[int] = None,
+        release_id: Optional[str] = None,
+    ):
+        super().__init__(message)
+        self.mask = mask
+        self.release_id = release_id
+
+
+class ResilienceError(ReproError):
+    """Raised by the resilience layer (:mod:`repro.resilience`): invalid
+    fault plans or retry policies, or misuse of the injection harness."""
+
+
+class CheckpointError(ResilienceError):
+    """Raised when a release checkpoint directory cannot be used: it belongs
+    to a different (workload, strategy, budget, data) configuration, it holds
+    entries but resume was not requested, or its manifest is corrupt."""
+
+
+class TransientFault(ReproError):
+    """The default error raised by an injected fault
+    (:mod:`repro.resilience.faults`) and the canonical *retryable* failure
+    class: retry policies treat it — alongside :class:`OSError` — as
+    transient.  Production code never raises it outside fault injection."""
 
 
 class PlanError(ReproError):

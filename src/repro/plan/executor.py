@@ -37,11 +37,11 @@ downstream recovery code run unchanged.
 
 from __future__ import annotations
 
-from typing import Dict, List, Union
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
-from repro.exceptions import PlanError, RecoveryError
+from repro.exceptions import CheckpointError, PlanError, RecoveryError
 from repro.mechanisms.noise import (
     gaussian_noise,
     gaussian_sigma_for_budget,
@@ -51,6 +51,7 @@ from repro.mechanisms.noise import (
 from repro.obs import runtime as _obs
 from repro.obs.ledger import BudgetCharge
 from repro.plan.plan import ExecutionPlan
+from repro.resilience.checkpoint import ReleaseCheckpoint, plan_fingerprint
 from repro.sources.base import CountSource
 from repro.sources.dense import DenseCubeSource
 from repro.strategies.base import Measurement, Strategy
@@ -67,7 +68,12 @@ def _as_source(x: DataVector, d: int) -> CountSource:
 
 
 def batched_marginals(
-    source: DataVector, batches, d: int, *, costs=None
+    source: DataVector,
+    batches,
+    d: int,
+    *,
+    costs=None,
+    checkpoint: Optional[ReleaseCheckpoint] = None,
 ) -> Dict[int, np.ndarray]:
     """Materialise many marginals via their shared-ancestor batches.
 
@@ -86,6 +92,16 @@ def batched_marginals(
     parallel backends dispatch the entire plan to their worker pool at once
     (amortising pool overhead across the workload instead of per cuboid)
     and record backends reuse one set of projected bit planes per batch.
+
+    With a ``checkpoint``
+    (:class:`~repro.resilience.checkpoint.ReleaseCheckpoint`), the worklist
+    is instead dispatched **one batch at a time**: each batch's freshly
+    computed arrays are staged crash-safely before the next batch starts,
+    and batches whose arrays are already staged are replayed from disk
+    without touching the source.  The per-batch granularity trades the
+    single-dispatch pool amortisation for resumability; the *values* are
+    identical either way because the computed unit (root or direct members)
+    does not change.
     """
     source = _as_source(source, d)
     if costs is not None and len(costs) != len(batches):
@@ -107,7 +123,10 @@ def batched_marginals(
         root_count = sum(1 for flag in flags if flag)
         _obs.counter_inc("plan.batches_root", root_count)
         _obs.counter_inc("plan.batches_direct", len(flags) - root_count)
-    direct = source.marginals_for_batches(work)
+    if checkpoint is None:
+        direct = source.marginals_for_batches(work)
+    else:
+        direct = _checkpointed_marginals(source, work, checkpoint)
     values: Dict[int, np.ndarray] = {}
     for batch, use_root in zip(batches, flags):
         if use_root:
@@ -120,6 +139,42 @@ def batched_marginals(
         else:
             for member in batch.members:
                 values[member] = direct[member]
+    return values
+
+
+def _checkpointed_marginals(
+    source: CountSource, work, checkpoint: ReleaseCheckpoint
+) -> Dict[int, np.ndarray]:
+    """Dispatch the worklist batch by batch, staging each result.
+
+    Masks already staged in the checkpoint are replayed (digest-verified;
+    a corrupt entry silently falls back to a clean re-measure), the rest
+    are measured and staged before the next batch starts — so a kill at any
+    instant loses at most one batch of work.
+    """
+    values: Dict[int, np.ndarray] = {}
+    replayed = 0
+    measured = 0
+    for root, members in work:
+        missing = []
+        for member in members:
+            if member in values:
+                continue
+            staged = checkpoint.load(member)
+            if staged is not None:
+                values[member] = staged
+                replayed += 1
+            else:
+                missing.append(member)
+        if missing:
+            fresh = source.marginals_for_batches([(root, tuple(missing))])
+            for member in missing:
+                checkpoint.store(member, fresh[member])
+                values[member] = fresh[member]
+                measured += 1
+    if _obs.ENABLED:
+        _obs.counter_inc("checkpoint.entries_replayed", replayed)
+        _obs.counter_inc("checkpoint.entries_measured", measured)
     return values
 
 
@@ -150,6 +205,8 @@ class Executor:
         rng: RngLike = None,
         *,
         noiseless: bool = False,
+        checkpoint: Optional[ReleaseCheckpoint] = None,
+        resume: bool = False,
     ) -> Measurement:
         """Measure the plan's strategy queries on a count vector or source.
 
@@ -159,20 +216,27 @@ class Executor:
         measurement carries the exact strategy answers, which is how tests
         pin the batched kernels against the per-query reference path.
 
+        With a ``checkpoint`` the exact per-batch marginals are staged
+        crash-safely as they are produced; a re-run with ``resume=True``
+        replays the staged batches and re-measures only the rest.  The
+        resumed release is bitwise identical to an uninterrupted one (the
+        exacts are pure, and the seeded noise draw happens after all of
+        them exist).  Only ``"marginal"``-kernel plans are checkpointable.
+
         When observability is on, the run is wrapped in an
         ``executor.measure`` span and every measured group's privacy charge
         is appended to the active recorder's ledger (noiseless runs spend no
         budget and record nothing).
         """
         if not _obs.ENABLED:
-            return self._measure_impl(plan, x, rng, noiseless)
+            return self._measure_impl(plan, x, rng, noiseless, checkpoint, resume)
         with _obs.trace_span(
             "executor.measure",
             kind=plan.kind,
             groups=len(plan.groups),
             cells=plan.measured_cells,
         ):
-            measurement = self._measure_impl(plan, x, rng, noiseless)
+            measurement = self._measure_impl(plan, x, rng, noiseless, checkpoint, resume)
         if not noiseless:
             self._record_charges(plan)
         return measurement
@@ -183,8 +247,16 @@ class Executor:
         x: DataVector,
         rng: RngLike,
         noiseless: bool,
+        checkpoint: Optional[ReleaseCheckpoint] = None,
+        resume: bool = False,
     ) -> Measurement:
         strategy = self._strategy
+        if checkpoint is not None and plan.kind != "marginal":
+            raise CheckpointError(
+                f"only the 'marginal' measurement kernel supports checkpoints; "
+                f"this plan uses {plan.kind!r} (strategy {strategy.name!r}), "
+                "which measures in one indivisible pass"
+            )
         if plan.kind == "custom":
             # Strategy without the batched-kernel contract: delegate to its
             # own measure(), which validates vector and allocation itself
@@ -213,7 +285,9 @@ class Executor:
         generator = ensure_rng(rng)
         if plan.kind == "matrix":
             return self._measure_matrix(plan, source.dense_vector(), generator, noiseless)
-        exacts = self._exact_group_values(plan, source)
+        if checkpoint is not None:
+            checkpoint.bind(plan_fingerprint(plan, source), resume=resume)
+        exacts = self._exact_group_values(plan, source, checkpoint)
         noisy = self._apply_noise(plan, exacts, generator, noiseless)
         values = {
             group.label: array for group, array in zip(plan.groups, noisy)
@@ -275,12 +349,15 @@ class Executor:
     # exact-value kernels
     # ------------------------------------------------------------------ #
     def _exact_group_values(
-        self, plan: ExecutionPlan, source: CountSource
+        self,
+        plan: ExecutionPlan,
+        source: CountSource,
+        checkpoint: Optional[ReleaseCheckpoint] = None,
     ) -> List[np.ndarray]:
         d = self._strategy.dimension
         if plan.kind == "marginal":
             by_mask = batched_marginals(
-                source, plan.batches, d, costs=plan.batch_costs
+                source, plan.batches, d, costs=plan.batch_costs, checkpoint=checkpoint
             )
             return [by_mask[group.mask] for group in plan.groups]
         if plan.kind == "fourier":

@@ -1,0 +1,47 @@
+"""Resilience layer: fault injection, retry policies, and release checkpoints.
+
+Production failures — a worker killed by the OOM reaper, a transient
+``EIO`` on a cold mmap page, a crash halfway through a long release — are
+the inputs this package turns into recoverable events instead of lost work:
+
+- :mod:`repro.resilience.faults` injects those failures deterministically at
+  named sites inside the real kernels, so the recovery paths are tested
+  against the same call stacks production exercises.
+- :mod:`repro.resilience.retry` defines :class:`RetryPolicy`, applied at the
+  shard-pool dispatch layer and on store reads; retried units are pure, so
+  recovered runs stay bitwise identical.
+- :mod:`repro.resilience.checkpoint` stages exact pre-noise marginals to a
+  crash-safe directory and replays them on ``--resume``, reproducing the
+  uninterrupted release bit for bit.
+
+Degraded-mode *serving* (quarantine of corrupt marginals, fallback cuboids)
+lives in :mod:`repro.serving`; this package supplies the targeted errors and
+injection sites it builds on.
+"""
+
+from repro.resilience.checkpoint import ReleaseCheckpoint, plan_fingerprint
+from repro.resilience.faults import (
+    INJECTION_SITES,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    fault_injection,
+)
+from repro.resilience.retry import (
+    DEFAULT_RETRY_POLICY,
+    NO_RETRY,
+    RetryPolicy,
+)
+
+__all__ = [
+    "INJECTION_SITES",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "fault_injection",
+    "RetryPolicy",
+    "DEFAULT_RETRY_POLICY",
+    "NO_RETRY",
+    "ReleaseCheckpoint",
+    "plan_fingerprint",
+]

@@ -27,17 +27,20 @@ of :mod:`repro.core.variance`.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Tuple
+from typing import AbstractSet, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from repro.core.result import ReleaseResult
 from repro.core.variance import per_query_variances
 from repro.domain.contingency import marginal_from_cube
-from repro.exceptions import ReproError, ServingError
+from repro.exceptions import CorruptMarginalError, ReproError, ServingError
 from repro.plan.lattice import ancestors_of, covers, min_variance_source
+from repro.store.layout import sha256_of_array
 from repro.strategies.registry import make_strategy
 from repro.utils.bits import bit_indices, dominated_by, hamming_weight, project_index
+
+_NO_EXCLUDE: FrozenSet[int] = frozenset()
 
 
 def released_cell_variances(release: ReleaseResult) -> Dict[int, float]:
@@ -122,6 +125,10 @@ class QueryPlan:
     per_cell_variance:
         Expected noise variance of each served cell
         (``source cell variance * expansion``).
+    degraded:
+        ``True`` when an excluded (quarantined) cuboid dominates the query —
+        the answer comes from a fallback source with wider error bars than a
+        healthy release would have produced.
     """
 
     union_mask: int
@@ -129,6 +136,7 @@ class QueryPlan:
     source_position: int
     expansion: int
     per_cell_variance: float
+    degraded: bool = False
 
 
 @dataclass(frozen=True, eq=False)
@@ -166,6 +174,11 @@ class ServedAnswer:
         """``True`` iff the answer is a single cell."""
         return self.values.shape == (1,)
 
+    @property
+    def degraded(self) -> bool:
+        """``True`` when a quarantined cuboid forced a fallback source."""
+        return self.plan.degraded
+
     def with_provenance(self, *, release_id: Optional[str] = None, cached: bool = False):
         """Copy with serving metadata filled in (used by the service layer)."""
         return replace(self, release_id=release_id, cached=cached)
@@ -181,6 +194,12 @@ class QueryPlanner:
     cell_variances:
         Optional pre-computed per-cell variances by released mask (defaults
         to :func:`released_cell_variances` of the release).
+    marginal_digests:
+        Optional sha256 content digests of the released vectors, in workload
+        order (``ReleaseStore.marginal_digests``).  When given, each source
+        cuboid is verified against its digest the first time a query touches
+        it; a mismatch raises :class:`~repro.exceptions.CorruptMarginalError`
+        so the service can quarantine that cuboid and re-plan around it.
     """
 
     def __init__(
@@ -188,6 +207,7 @@ class QueryPlanner:
         release: ReleaseResult,
         *,
         cell_variances: Optional[Dict[int, float]] = None,
+        marginal_digests: Optional[Sequence[str]] = None,
     ):
         self._release = release
         self._positions: Dict[int, int] = {}
@@ -196,6 +216,17 @@ class QueryPlanner:
         # Aggregate fast path: per-source (2,) * k cube views of the released
         # vectors, built lazily (shared memory, so caching is always safe).
         self._cubes: Dict[int, np.ndarray] = {}
+        self._digests = (
+            tuple(str(digest) for digest in marginal_digests)
+            if marginal_digests is not None
+            else None
+        )
+        if self._digests is not None and len(self._digests) != len(release.marginals):
+            raise ServingError(
+                f"{len(self._digests)} marginal digests for "
+                f"{len(release.marginals)} released vectors"
+            )
+        self._verified: Set[int] = set()
         self._cell_variances = (
             dict(cell_variances) if cell_variances is not None else released_cell_variances(release)
         )
@@ -226,17 +257,27 @@ class QueryPlanner:
         """Released cuboids that dominate ``mask`` (can answer it exactly)."""
         return ancestors_of(mask, self._positions)
 
-    def covers(self, mask: int) -> bool:
-        """``True`` iff some released cuboid can answer the marginal ``mask``."""
-        return covers(mask, self._positions)
+    def covers(self, mask: int, *, exclude: AbstractSet[int] = _NO_EXCLUDE) -> bool:
+        """``True`` iff some (non-quarantined) released cuboid answers ``mask``."""
+        sources = (
+            [source for source in self._positions if source not in exclude]
+            if exclude
+            else self._positions
+        )
+        return covers(mask, sources)
 
     # ------------------------------------------------------------------ #
-    def plan(self, union_mask: int) -> QueryPlan:
+    def plan(
+        self, union_mask: int, *, exclude: AbstractSet[int] = _NO_EXCLUDE
+    ) -> QueryPlan:
         """Choose the minimum-expected-variance source for ``union_mask``.
 
         Source selection (and its deterministic tie-break: fewer collapsed
         cells, then the smaller mask) is the shared lattice scan of
-        :func:`repro.plan.lattice.min_variance_source`.
+        :func:`repro.plan.lattice.min_variance_source`.  ``exclude`` removes
+        quarantined cuboids from consideration; when one of them would have
+        covered the query, the plan is flagged ``degraded`` — the chosen
+        fallback carries wider error bars than the healthy release would.
         """
         domain_mask = self._release.workload.schema.full_mask
         if union_mask < 0 or union_mask > domain_mask:
@@ -244,11 +285,23 @@ class QueryPlanner:
                 f"query mask {union_mask:#x} is outside the release's "
                 f"{self._release.workload.dimension}-bit domain"
             )
-        best = min_variance_source(union_mask, self._cell_variances, self._positions)
+        positions = self._positions
+        degraded = False
+        if exclude:
+            positions = {
+                mask: position
+                for mask, position in self._positions.items()
+                if mask not in exclude
+            }
+            degraded = any(dominated_by(union_mask, mask) for mask in exclude)
+        best = min_variance_source(union_mask, self._cell_variances, positions)
         if best is None:
+            quarantined = (
+                f" ({len(exclude)} cuboid(s) quarantined)" if exclude else ""
+            )
             raise ServingError(
-                f"no released cuboid covers marginal {union_mask:#x}; released masks: "
-                f"{[hex(m) for m in self._positions]}"
+                f"no released cuboid covers marginal {union_mask:#x}{quarantined}; "
+                f"released masks: {[hex(m) for m in positions]}"
             )
         variance, expansion, source, position = best
         return QueryPlan(
@@ -257,6 +310,7 @@ class QueryPlanner:
             source_position=position,
             expansion=expansion,
             per_cell_variance=variance,
+            degraded=degraded,
         )
 
     def aggregate(self, plan: QueryPlan) -> np.ndarray:
@@ -278,28 +332,60 @@ class QueryPlanner:
             source_values = np.asarray(
                 self._release.marginals[plan.source_position], dtype=np.float64
             )
+            self._verify_source(plan.source_position, plan.source_mask, source_values)
             k = hamming_weight(plan.source_mask)
             cube = source_values.reshape((2,) * k)
             self._cubes[plan.source_position] = cube
         compact_union = project_index(plan.union_mask, plan.source_mask)
         return marginal_from_cube(cube, compact_union, cube.ndim)
 
+    def _verify_source(
+        self, position: int, source_mask: int, values: np.ndarray
+    ) -> None:
+        """Digest-check one source vector the first time a query touches it.
+
+        Verification is lazy and once-per-source: cold queries pay one hash
+        over the vector they aggregate anyway, and cuboids nothing reads are
+        never hashed.  A mismatch is a targeted
+        :class:`~repro.exceptions.CorruptMarginalError` carrying the cuboid
+        mask, so the service can quarantine it and re-plan.
+        """
+        if self._digests is None or position in self._verified:
+            return
+        actual = sha256_of_array(values)
+        expected = self._digests[position]
+        if actual != expected:
+            raise CorruptMarginalError(
+                f"released cuboid {source_mask:#x} fails its integrity check: "
+                f"stored digest {expected[:12]}..., vector hashes to "
+                f"{actual[:12]}... — the stored marginal was corrupted after "
+                "release",
+                mask=source_mask,
+            )
+        self._verified.add(position)
+
     def answer(
-        self, query_mask: int, *, fixed_mask: int = 0, fixed_bits: int = 0
+        self,
+        query_mask: int,
+        *,
+        fixed_mask: int = 0,
+        fixed_bits: int = 0,
+        exclude: AbstractSet[int] = _NO_EXCLUDE,
     ) -> ServedAnswer:
         """Serve the marginal ``query_mask``, optionally with a predicate.
 
         ``fixed_mask``/``fixed_bits`` pin a disjoint set of bits to fixed
         values (a slice; a point query when ``query_mask == 0``).  The
         aggregation runs over the union of query and predicate bits, then the
-        predicate selects the matching cells.
+        predicate selects the matching cells.  ``exclude`` skips quarantined
+        source cuboids (see :meth:`plan`).
         """
         if fixed_mask & query_mask:
             raise ServingError(
                 f"predicate bits {fixed_mask:#x} overlap the queried bits {query_mask:#x}"
             )
         union_mask = query_mask | fixed_mask
-        plan = self.plan(union_mask)
+        plan = self.plan(union_mask, exclude=exclude)
         aggregated = self.aggregate(plan)
         if fixed_mask:
             # Copy: the slice is a view that would otherwise keep the whole

@@ -17,13 +17,14 @@ post-processing of the released vectors.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from itertools import islice
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
 from repro.core.result import ReleaseResult
 from repro.domain.schema import AttributeRef, Schema
-from repro.exceptions import ReproError, ServingError
+from repro.exceptions import CorruptMarginalError, ReproError, ServingError
 from repro.obs import runtime as _obs
 from repro.serving.cache import AnswerCache, answer_key
 from repro.serving.planner import QueryPlanner, ServedAnswer, slice_marginal
@@ -142,6 +143,14 @@ class QueryService:
             )
         self._schemas: Dict[Optional[str], Schema] = {}
         self._seen_generation = source.generation if isinstance(source, ReleaseStore) else 0
+        # Degradation state: cuboids whose stored vectors failed an integrity
+        # check are quarantined per release (never aggregated again), and
+        # releases whose files cannot be loaded at all are sidelined from
+        # routing.  Both sets heal on invalidate() — e.g. after the operator
+        # re-puts a repaired release.
+        self._quarantined: Dict[Optional[str], Set[int]] = {}
+        self._degraded_releases: Dict[str, str] = {}
+        self._quarantine_events = 0
         self._cache = AnswerCache(cache_size)
         # Request-signature fast path: maps the *raw* request (before name
         # resolution and routing) to the canonical cache key so warm hits
@@ -177,25 +186,40 @@ class QueryService:
             self.invalidate()
 
     def planner(self, release_id: Optional[str] = None) -> QueryPlanner:
-        """The (lazily built) planner of one release."""
+        """The (lazily built) planner of one release.
+
+        Store-backed planners verify each source cuboid against its stored
+        content digest the first time a query aggregates it.
+        """
         if self._store is None:
             return self._planners[None]
         self._sync_with_store()
         if release_id is None:
             release_id = self._store.latest_release_id()
         if release_id not in self._planners:
-            self._planners[release_id] = QueryPlanner(self._store.get(release_id))
+            self._planners[release_id] = QueryPlanner(
+                self._store.get(release_id),
+                marginal_digests=self._store.marginal_digests(release_id),
+            )
         return self._planners[release_id]
 
     def invalidate(self, release_id: Optional[str] = None) -> None:
-        """Drop cached planners, schemas and answers (after store mutation)."""
+        """Drop cached planners, schemas, answers — and degradation state.
+
+        Quarantines heal here on purpose: after store mutation the corrupt
+        file may have been repaired or replaced, and a re-verify on next
+        touch is cheap."""
         if release_id is None:
             if self._store is not None:
                 self._planners.clear()
                 self._schemas.clear()
+            self._quarantined.clear()
+            self._degraded_releases.clear()
         else:
             self._planners.pop(release_id, None)
             self._schemas.pop(release_id, None)
+            self._quarantined.pop(release_id, None)
+            self._degraded_releases.pop(release_id, None)
         self._cache.clear()
         self._request_keys.clear()
         if self._store is not None:
@@ -222,12 +246,47 @@ class QueryService:
             self._schemas[release_id] = Schema.from_dict(payload)  # type: ignore[arg-type]
         return self._schemas[release_id]
 
+    def _exclude(self, release_id: Optional[str]) -> FrozenSet[int]:
+        """The quarantined cuboid masks of one release (usually empty)."""
+        quarantined = self._quarantined.get(release_id)
+        return frozenset(quarantined) if quarantined else frozenset()
+
+    def _quarantine(
+        self, release_id: Optional[str], mask: int, error: CorruptMarginalError
+    ) -> None:
+        """Sideline one corrupt cuboid; later plans route around it."""
+        masks = self._quarantined.setdefault(release_id, set())
+        if int(mask) in masks:
+            return
+        self._quarantine_events += 1
+        masks.add(int(mask))
+        if _obs.ENABLED:
+            _obs.counter_inc("serving.marginals_quarantined")
+            _obs.gauge_set(
+                "serving.quarantined_marginals",
+                float(sum(len(masks) for masks in self._quarantined.values())),
+            )
+        warnings.warn(
+            f"quarantined corrupt cuboid {mask:#x} and degraded serving: {error}",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
     def _covers(self, release_id: Optional[str], union_mask: int) -> bool:
-        """Coverage check from the store index, without loading the release."""
+        """Coverage check from the store index, without loading the release.
+
+        Quarantined cuboids do not count as coverage: a release whose only
+        covering cuboid is corrupt routes the query to an older release
+        instead of failing it."""
+        exclude = self._exclude(release_id)
         if self._store is None:
-            return self._planners[None].covers(union_mask)
+            return self._planners[None].covers(union_mask, exclude=exclude)
         masks = self._store.metadata(release_id)["masks"]
-        return any(union_mask & ~int(source) == 0 for source in masks)  # type: ignore[union-attr]
+        return any(
+            union_mask & ~int(source) == 0
+            for source in masks  # type: ignore[union-attr]
+            if int(source) not in exclude
+        )
 
     def _resolve(self, schema: Schema, request: QueryRequest) -> Tuple[int, int, int]:
         if request.mask is not None:
@@ -258,6 +317,12 @@ class QueryService:
         """
         last_error: Optional[ServingError] = None
         for candidate in self._candidate_release_ids(release_id):
+            if candidate is not None and candidate in self._degraded_releases:
+                last_error = ServingError(
+                    f"release {candidate!r} is degraded: "
+                    f"{self._degraded_releases[candidate]}"
+                )
+                continue
             try:
                 schema = self._schema_for(candidate)
                 query_mask, fixed_mask, fixed_bits = self._resolve(schema, request)
@@ -265,14 +330,40 @@ class QueryService:
                 last_error = ServingError(str(error))
                 continue
             if not self._covers(candidate, query_mask | fixed_mask):
+                excluded = self._exclude(candidate)
+                quarantined = f" ({len(excluded)} cuboid(s) quarantined)" if excluded else ""
                 last_error = ServingError(
-                    f"no released cuboid covers marginal {(query_mask | fixed_mask):#x}"
+                    f"no released cuboid covers marginal "
+                    f"{(query_mask | fixed_mask):#x}{quarantined}"
                 )
                 continue
-            return candidate, self.planner(candidate), query_mask, fixed_mask, fixed_bits
+            try:
+                planner = self.planner(candidate)
+            except ServingError as error:
+                # The release's files cannot be loaded (torn archive, corrupt
+                # metadata): sideline the whole release and keep routing —
+                # an older covering release can still answer.
+                if candidate is not None:
+                    self._sideline_release(candidate, error)
+                last_error = error
+                continue
+            return candidate, planner, query_mask, fixed_mask, fixed_bits
         if last_error is not None:
             raise last_error
         raise ServingError("the release store is empty")
+
+    def _sideline_release(self, release_id: str, error: ServingError) -> None:
+        """Mark a whole release unloadable; routing skips it from now on."""
+        self._quarantine_events += 1
+        self._degraded_releases[release_id] = str(error)
+        if _obs.ENABLED:
+            _obs.counter_inc("serving.releases_degraded")
+        warnings.warn(
+            f"release {release_id!r} is unloadable and was sidelined from "
+            f"serving: {error}",
+            RuntimeWarning,
+            stacklevel=3,
+        )
 
     # ------------------------------------------------------------------ #
     # serving
@@ -349,19 +440,34 @@ class QueryService:
         hit = self._fast_lookup(signature)
         if hit is not None:
             return hit
-        rid, planner, query_mask, fixed_mask, fixed_bits = self._route(request, release_id)
-        key = answer_key(rid, query_mask, fixed_mask, fixed_bits)
-        cached = self._cache.get(key)
-        if cached is not None:
+        # Degradation loop: a corrupt source cuboid discovered mid-answer is
+        # quarantined and the query re-planned — first around the quarantine
+        # within the same release, then (when coverage is gone) re-routed to
+        # an older release.  Each pass strictly grows the quarantine set, so
+        # the loop terminates in at most released-cuboid-count passes.
+        while True:
+            rid, planner, query_mask, fixed_mask, fixed_bits = self._route(request, release_id)
+            key = answer_key(rid, query_mask, fixed_mask, fixed_bits)
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._remember_key(signature, key)
+                return cached
+            try:
+                answer = planner.answer(
+                    query_mask,
+                    fixed_mask=fixed_mask,
+                    fixed_bits=fixed_bits,
+                    exclude=self._exclude(rid),
+                ).with_provenance(release_id=rid)
+            except CorruptMarginalError as error:
+                if error.mask is None:
+                    raise
+                self._quarantine(rid, error.mask, error)
+                continue
+            # Entries are stored pre-marked as cached so hits return them as-is.
+            self._cache.put(key, answer.with_provenance(release_id=rid, cached=True))
             self._remember_key(signature, key)
-            return cached
-        answer = planner.answer(
-            query_mask, fixed_mask=fixed_mask, fixed_bits=fixed_bits
-        ).with_provenance(release_id=rid)
-        # Entries are stored pre-marked as cached so hits return them as-is.
-        self._cache.put(key, answer.with_provenance(release_id=rid, cached=True))
-        self._remember_key(signature, key)
-        return answer
+            return answer
 
     def query_batch(
         self,
@@ -406,7 +512,7 @@ class QueryService:
                 self._remember_key(signature, key)
                 answers[position] = cached
                 continue
-            plan = planner.plan(query_mask | fixed_mask)
+            plan = planner.plan(query_mask | fixed_mask, exclude=self._exclude(rid))
             pending.append(
                 (position, rid, planner, plan, query_mask, fixed_mask, fixed_bits, key, signature)
             )
@@ -416,7 +522,17 @@ class QueryService:
         for position, rid, planner, plan, query_mask, fixed_mask, fixed_bits, key, signature in pending:
             group = (rid, plan.source_mask, plan.union_mask)
             if group not in aggregates:
-                aggregates[group] = planner.aggregate(plan)
+                try:
+                    aggregates[group] = planner.aggregate(plan)
+                except CorruptMarginalError as error:
+                    if error.mask is None:
+                        raise
+                    self._quarantine(rid, error.mask, error)
+                    # Fall back through the single-query path, which re-plans
+                    # around the quarantine (and re-routes across releases
+                    # when this release no longer covers the query).
+                    answers[position] = self._query_impl(coerced[position], release_id)
+                    continue
             aggregated = aggregates[group]
             if fixed_mask:
                 # Copy: a cached slice must not pin the shared aggregate.
@@ -441,13 +557,37 @@ class QueryService:
         return answers  # type: ignore[return-value]
 
     # ------------------------------------------------------------------ #
+    def health(self) -> Dict[str, object]:
+        """Degradation state: quarantined cuboids and sidelined releases.
+
+        ``ok`` is ``True`` while every query is served at full fidelity;
+        once a corrupt vector is quarantined the service still answers every
+        coverable query, but ``quarantined`` names the cuboids whose answers
+        now come from fallback sources with wider error bars, and
+        ``degraded_releases`` names releases that could not be loaded at all.
+        """
+        quarantined = {
+            (release_id if release_id is not None else "<in-memory>"): [
+                hex(mask) for mask in sorted(masks)
+            ]
+            for release_id, masks in self._quarantined.items()
+            if masks
+        }
+        return {
+            "ok": not quarantined and not self._degraded_releases,
+            "quarantine_events": self._quarantine_events,
+            "quarantined": quarantined,
+            "degraded_releases": dict(self._degraded_releases),
+        }
+
     def stats(self) -> Dict[str, object]:
-        """Serving counters: query volume, live planners and cache stats.
+        """Serving counters: query volume, live planners, cache and health.
 
         ``queries`` / ``batches`` / ``batched_requests`` count calls to
         :meth:`query` and :meth:`query_batch`; ``planners`` is the number of
         per-release planners currently materialised; ``cache`` is the answer
-        cache's :meth:`~repro.obs.cachestats.CacheStats.to_dict` snapshot.
+        cache's :meth:`~repro.obs.cachestats.CacheStats.to_dict` snapshot;
+        ``health`` is the :meth:`health` degradation report.
         """
         return {
             "queries": self._queries,
@@ -455,4 +595,5 @@ class QueryService:
             "batched_requests": self._batched_requests,
             "planners": len(self._planners),
             "cache": self._cache.stats.to_dict(),
+            "health": self.health(),
         }

@@ -40,15 +40,16 @@ import re
 import shutil
 import time
 import warnings
+import zipfile
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Union
 
 import numpy as np
 
 from repro.core.result import RELEASE_FORMAT_VERSION, ReleaseResult
-from repro.exceptions import DataError, ReproError, ServingError
+from repro.exceptions import CorruptMarginalError, DataError, ReproError, ServingError
 from repro.obs import runtime as _obs
-from repro.store.layout import replace_directory, staging_path
+from repro.store.layout import replace_directory, sha256_of_array, staging_path
 from repro.utils.bits import dominated_by
 
 STORE_FORMAT_VERSION = 2
@@ -317,7 +318,12 @@ class ReleaseStore:
         staging = staging_path(directory)
         staging.mkdir(parents=True, exist_ok=False)
         try:
-            self._write_marginals(staging, layout, release.marginals)
+            # Per-marginal content digests ride along in the metadata so
+            # readers (QueryPlanner, ReleaseStore.verify) can detect silent
+            # corruption of a stored vector and quarantine just that cuboid.
+            meta["marginal_digests"] = self._write_marginals(
+                staging, layout, release.marginals
+            )
             # The marginals go first and meta.json lands last: a failure
             # injected between the two leaves only the staging directory,
             # which readers never look at — and the final rename below
@@ -335,25 +341,26 @@ class ReleaseStore:
         return release_id
 
     @staticmethod
-    def _write_marginals(directory: Path, layout: str, marginals) -> None:
-        """Write the marginal vectors under ``directory`` in ``layout``."""
+    def _write_marginals(directory: Path, layout: str, marginals) -> List[str]:
+        """Write the marginal vectors under ``directory`` in ``layout``.
+
+        Returns the per-marginal sha256 content digests, in workload order.
+        """
         keys = _marginal_keys(len(marginals))
+        arrays = [np.asarray(marginal, dtype=np.float64) for marginal in marginals]
+        digests = [sha256_of_array(array) for array in arrays]
         if layout == "v1":
-            arrays = {
-                key: np.asarray(marginal, dtype=np.float64)
-                for key, marginal in zip(keys, marginals)
-            }
-            np.savez_compressed(directory / _MARGINALS_FILE, **arrays)
-            return
+            np.savez_compressed(directory / _MARGINALS_FILE, **dict(zip(keys, arrays)))
+            return digests
         vectors = directory / _MARGINALS_DIR
         vectors.mkdir()
-        for key, marginal in zip(keys, marginals):
-            np.save(vectors / f"{key}.npy", np.asarray(marginal, dtype=np.float64))
+        for key, array in zip(keys, arrays):
+            np.save(vectors / f"{key}.npy", array)
+        return digests
 
-    def get(self, release_id: str) -> ReleaseResult:
-        """Load a stored release back into a :class:`ReleaseResult`."""
-        directory = self._release_dir(release_id)
-        meta_path = directory / _META_FILE
+    def _read_meta(self, release_id: str) -> Dict[str, object]:
+        """Read and validate one release's ``meta.json``."""
+        meta_path = self._release_dir(release_id) / _META_FILE
         if not meta_path.exists():
             raise ServingError(f"no release {release_id!r} in store {self._root}")
         try:
@@ -366,6 +373,23 @@ class ReleaseStore:
                 f"release {release_id!r} uses store format {stored_version}; this build "
                 f"reads up to {STORE_FORMAT_VERSION}"
             )
+        return meta
+
+    def marginal_digests(self, release_id: str) -> Optional[List[str]]:
+        """Stored sha256 digests of one release's marginal vectors.
+
+        In workload order; ``None`` for releases written before digest
+        pinning existed (they are served without verification).
+        """
+        digests = self._read_meta(release_id).get("marginal_digests")
+        if digests is None:
+            return None
+        return [str(digest) for digest in digests]  # type: ignore[union-attr]
+
+    def get(self, release_id: str) -> ReleaseResult:
+        """Load a stored release back into a :class:`ReleaseResult`."""
+        directory = self._release_dir(release_id)
+        meta = self._read_meta(release_id)
         layout = str(meta.get("marginals_layout", "v1"))
         masks = [int(mask) for mask in meta["workload"]["masks"]]
         with _obs.trace_span("store.open", release=release_id, layout=layout):
@@ -386,14 +410,30 @@ class ReleaseStore:
         if not marginals_path.exists():
             raise ServingError(f"release {release_id!r} is missing {_MARGINALS_FILE}")
         marginals: List[np.ndarray] = []
-        with np.load(marginals_path) as archive:
+        try:
+            archive_cm = np.load(marginals_path)
+        except (zipfile.BadZipFile, ValueError, OSError) as error:
+            raise CorruptMarginalError(
+                f"release {release_id!r} archive {marginals_path} is truncated "
+                f"or corrupt: {error}",
+                release_id=release_id,
+            ) from error
+        with archive_cm as archive:
             for key, mask in zip(_marginal_keys(len(masks)), masks):
                 if key not in archive:
                     raise DataError(
                         f"release {release_id!r} archive is missing marginal "
                         f"array {key!r} for cuboid {mask:#x}"
                     )
-                marginals.append(archive[key])
+                try:
+                    marginals.append(archive[key])
+                except (zipfile.BadZipFile, ValueError, OSError) as error:
+                    raise CorruptMarginalError(
+                        f"marginal array {key!r} (cuboid {mask:#x}) of release "
+                        f"{release_id!r} is truncated or corrupt: {error}",
+                        mask=mask,
+                        release_id=release_id,
+                    ) from error
         return marginals
 
     def _read_marginals_v2(
@@ -412,13 +452,97 @@ class ReleaseStore:
                     f"release {release_id!r} is missing marginal array {key!r} "
                     f"for cuboid {mask:#x}"
                 )
-            vector = np.load(path, mmap_mode="r")
+            try:
+                vector = np.load(path, mmap_mode="r")
+            except (ValueError, OSError) as error:
+                # A short-read .npy (torn copy, bad disk) fails the mmap
+                # header/size check with a bare numpy ValueError; name the
+                # cuboid so the service can quarantine exactly this vector.
+                raise CorruptMarginalError(
+                    f"marginal file {path} (cuboid {mask:#x}) of release "
+                    f"{release_id!r} is truncated or corrupt — {error}",
+                    mask=mask,
+                    release_id=release_id,
+                ) from error
             bytes_mapped += int(vector.nbytes)
             marginals.append(vector)
         if _obs.ENABLED:
             _obs.counter_inc("store.opens")
             _obs.gauge_set("store.bytes_mapped", float(bytes_mapped))
         return marginals
+
+    # ------------------------------------------------------------------ #
+    # health
+    # ------------------------------------------------------------------ #
+    def verify(self, release_id: str) -> Dict[str, object]:
+        """Integrity-check one release's marginal vectors.
+
+        Reads every vector end to end and, when the release carries
+        ``marginal_digests``, re-hashes each against its pinned sha256.
+        Returns a report (never raises for data corruption)::
+
+            {"release_id", "layout", "marginals", "verified", "ok",
+             "corrupt": [{"position", "mask", "error"}, ...]}
+
+        ``verified`` is the number of digest-checked vectors — 0 for
+        pre-digest releases, which can only be checked for readability.
+        """
+        meta = self._read_meta(release_id)
+        layout = str(meta.get("marginals_layout", "v1"))
+        masks = [int(mask) for mask in meta["workload"]["masks"]]  # type: ignore[index, call-overload]
+        digests = meta.get("marginal_digests")
+        directory = self._release_dir(release_id)
+        corrupt: List[Dict[str, object]] = []
+        verified = 0
+        try:
+            if layout == "v2":
+                marginals = self._read_marginals_v2(directory, release_id, masks)
+            else:
+                marginals = self._read_marginals_v1(directory, release_id, masks)
+        except CorruptMarginalError as error:
+            corrupt.append(
+                {"position": None, "mask": error.mask, "error": str(error)}
+            )
+            marginals = []
+        except (ServingError, DataError) as error:
+            corrupt.append({"position": None, "mask": None, "error": str(error)})
+            marginals = []
+        for position, (mask, vector) in enumerate(zip(masks, marginals)):
+            if digests is None:
+                continue
+            actual = sha256_of_array(np.asarray(vector, dtype=np.float64))
+            if actual != digests[position]:
+                corrupt.append(
+                    {
+                        "position": position,
+                        "mask": mask,
+                        "error": (
+                            f"digest mismatch on cuboid {mask:#x}: stored "
+                            f"{str(digests[position])[:12]}..., file hashes to "
+                            f"{actual[:12]}..."
+                        ),
+                    }
+                )
+            else:
+                verified += 1
+        return {
+            "release_id": release_id,
+            "layout": layout,
+            "marginals": len(masks),
+            "verified": verified,
+            "ok": not corrupt,
+            "corrupt": corrupt,
+        }
+
+    def verify_all(self) -> Dict[str, object]:
+        """Run :meth:`verify` over every release; aggregate store health."""
+        reports = [self.verify(release_id) for release_id in self.release_ids()]
+        return {
+            "root": str(self._root),
+            "releases": len(reports),
+            "ok": all(report["ok"] for report in reports),
+            "reports": reports,
+        }
 
     def delete(self, release_id: str) -> None:
         """Remove a release and its files from the store."""

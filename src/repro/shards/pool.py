@@ -15,16 +15,27 @@ Pool choice:
   bincounts, which hold the GIL) at the price of pickling each shard's
   arrays per dispatch.  Opt-in for workloads where the bincount share of the
   kernel dominates.
+
+Failure handling: a process pool whose worker dies (OOM-killed, segfaulted)
+is permanently broken — every queued and future submission fails with
+:class:`~concurrent.futures.process.BrokenProcessPool`.  :func:`rebuild_pool`
+evicts the broken executor from the registry and builds a fresh one so the
+dispatch layer can replay the affected shards once; :func:`shard_error`
+turns pool-layer failures into a targeted
+:class:`~repro.exceptions.ShardError` naming the configuration and the
+thread-pool escape hatch.
 """
 
 from __future__ import annotations
 
 import atexit
+import pickle
 import threading
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Dict, Tuple
 
-from repro.exceptions import DataError
+from repro.exceptions import DataError, ShardError
 
 #: The accepted executor kinds.
 EXECUTOR_KINDS = ("thread", "process")
@@ -60,6 +71,63 @@ def get_pool(kind: str, workers: int) -> Executor:
                 pool = ProcessPoolExecutor(max_workers=workers)
             _POOLS[key] = pool
         return pool
+
+
+def rebuild_pool(kind: str, workers: int) -> Executor:
+    """Replace the shared executor for ``(kind, workers)`` with a fresh one.
+
+    Called by the dispatch layer after a
+    :class:`~concurrent.futures.process.BrokenProcessPool`: the old executor
+    can never run another task, so it is evicted from the registry, shut down
+    without waiting (its futures are already dead), and rebuilt lazily via
+    :func:`get_pool`.
+    """
+    check_executor_kind(kind)
+    key = (kind, int(workers))
+    with _LOCK:
+        broken = _POOLS.pop(key, None)
+    if broken is not None:
+        broken.shutdown(wait=False)
+    return get_pool(kind, workers)
+
+
+#: Pool-layer failures that are about the *pool configuration*, not the
+#: shard data: worker death and shard-pickling problems.
+POOL_FAILURES = (BrokenProcessPool, pickle.PicklingError)
+
+
+def shard_error(
+    error: BaseException,
+    *,
+    kind: str,
+    workers: int,
+    shard: int,
+    attempts: int = 0,
+) -> ShardError:
+    """Wrap a pool-layer failure into a targeted :class:`ShardError`.
+
+    The message names the active ``kind=``/``workers=`` configuration and
+    points at the thread-pool escape hatch — a thread pool shares memory, so
+    neither worker death by re-pickling nor pickling failures exist there.
+    """
+    if isinstance(error, BrokenProcessPool):
+        detail = (
+            "a pool worker died (killed or crashed) and the pool stayed "
+            "broken after one rebuild"
+        )
+    elif isinstance(error, pickle.PicklingError):
+        detail = f"the shard payload could not be pickled to a worker ({error})"
+    else:
+        detail = (
+            f"the shard task kept failing after {max(attempts, 1)} attempt(s) "
+            f"({type(error).__name__}: {error})"
+        )
+    return ShardError(
+        f"sharded measurement failed on shard {shard} with "
+        f"kind={kind!r}, workers={workers}: {detail}; if this persists, "
+        "switch the backend to the thread pool (kind='thread'), which "
+        "shares memory and needs no pickling"
+    )
 
 
 def shutdown_pools() -> None:

@@ -29,7 +29,11 @@ workload instead of once per cuboid.
 
 from __future__ import annotations
 
+import time
 from collections import deque
+from concurrent.futures import Executor, Future
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -38,11 +42,19 @@ from repro.exceptions import DataError
 from repro.fourier.index import submasks_array
 from repro.fourier.kernels import fwht_inplace
 from repro.obs import runtime as _obs
+from repro.resilience import faults as _faults
+from repro.resilience.retry import DEFAULT_RETRY_POLICY, RetryPolicy
 from repro.shards.partition import (
     partition_codes,
     resolve_worker_count,
 )
-from repro.shards.pool import check_executor_kind, get_pool
+from repro.shards.pool import (
+    POOL_FAILURES,
+    check_executor_kind,
+    get_pool,
+    rebuild_pool,
+    shard_error,
+)
 from repro.sources.base import CountSource, ensure_dense_allowed
 from repro.sources.record import (
     DEFAULT_MARGINAL_CACHE,
@@ -89,6 +101,8 @@ def _traced_shard_kernel(
     degrades to the shared no-op there; thread pools record real per-shard
     spans on their worker threads.
     """
+    if _faults.ENABLED:
+        _faults.fire("shards.task", shard=shard)
     with _obs.trace_span("shards.kernel", shard=shard, records=int(codes.shape[0])):
         return _shard_batch_marginals(codes, weights, work)
 
@@ -98,7 +112,20 @@ def _plain_shard_kernel(
 ) -> Dict[int, np.ndarray]:
     """:func:`_shard_batch_marginals` under the uniform ``(shard, codes,
     weights, work)`` dispatch signature (module-level for process pools)."""
+    if _faults.ENABLED:
+        _faults.fire("shards.task", shard=shard)
     return _shard_batch_marginals(codes, weights, work)
+
+
+@dataclass
+class _DispatchState:
+    """Mutable state of one pooled reduction: the live executor, the bounded
+    window of in-flight ``(shard, future)`` pairs, and the remaining pool
+    rebuilds (one per dispatch — a pool that breaks twice is a real fault)."""
+
+    pool: "Executor"
+    pending: "deque" = field(default_factory=deque)
+    rebuilds_left: int = 1
 
 
 class ShardedRecordSource(CountSource):
@@ -114,6 +141,11 @@ class ShardedRecordSource(CountSource):
         the shards serially (still sharded, still bitwise identical).
     executor:
         ``"thread"`` (default) or ``"process"`` — see :mod:`repro.shards.pool`.
+    retry_policy:
+        :class:`~repro.resilience.retry.RetryPolicy` applied per shard task
+        at the dispatch layer (default: three immediate attempts on
+        transient failures).  Retried tasks are pure and results are summed
+        in fixed shard order, so recovered runs stay bitwise identical.
     """
 
     backend = "sharded-record"
@@ -131,6 +163,7 @@ class ShardedRecordSource(CountSource):
         deduplicate: bool = True,
         limit_bits: Optional[int] = None,
         marginal_cache_size: int = DEFAULT_MARGINAL_CACHE,
+        retry_policy: Optional[RetryPolicy] = None,
     ):
         # Reuse the unsharded source's validation + dedup, then partition.
         base = RecordSource(
@@ -150,6 +183,7 @@ class ShardedRecordSource(CountSource):
             workers=workers,
             executor=executor,
             marginal_cache_size=marginal_cache_size,
+            retry_policy=retry_policy,
         )
 
     def _init_from_arrays(
@@ -162,6 +196,7 @@ class ShardedRecordSource(CountSource):
         workers: Optional[int],
         executor: str,
         marginal_cache_size: int,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         shard_count = int(shards)
         if shard_count < 1:
@@ -177,6 +212,7 @@ class ShardedRecordSource(CountSource):
         self._workers = resolve_worker_count(shard_count, workers)
         self._executor_kind = check_executor_kind(executor)
         self._memo = MarginalMemo(marginal_cache_size)
+        self._retry = retry_policy if retry_policy is not None else DEFAULT_RETRY_POLICY
 
     # ------------------------------------------------------------------ #
     # constructors
@@ -190,6 +226,7 @@ class ShardedRecordSource(CountSource):
         workers: Optional[int] = None,
         executor: str = "thread",
         marginal_cache_size: int = DEFAULT_MARGINAL_CACHE,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> "ShardedRecordSource":
         """Shard an existing record source (codes are already deduplicated)."""
         instance = cls.__new__(cls)
@@ -201,6 +238,7 @@ class ShardedRecordSource(CountSource):
             workers=workers,
             executor=executor,
             marginal_cache_size=marginal_cache_size,
+            retry_policy=retry_policy,
         )
         return instance
 
@@ -331,9 +369,23 @@ class ShardedRecordSource(CountSource):
         results are in flight at once (a bounded submission window, not a
         full gather), so reducing a wide marginal across many shards holds
         a couple of result-sized arrays, never one per shard.
+
+        Failure handling, all value-preserving because shard kernels are
+        pure and the sum order is fixed:
+
+        * a shard task failing with a transient error (injected
+          :class:`~repro.exceptions.TransientFault` or real ``OSError``) is
+          resubmitted under the source's retry policy;
+        * a :class:`~concurrent.futures.process.BrokenProcessPool` (a worker
+          died) rebuilds the shared pool **once** and replays every
+          in-flight shard on the fresh pool;
+        * anything past those budgets is a targeted
+          :class:`~repro.exceptions.ShardError` naming the ``workers=`` /
+          ``kind=`` configuration.
         """
         totals: Dict[int, np.ndarray] = {}
         kernel = self._shard_kernel_callable()
+        policy = self._retry
         if _obs.ENABLED:
             _obs.counter_inc("shards.tasks", len(self._shards))
             _obs.gauge_set("shards.workers", self._workers)
@@ -347,18 +399,110 @@ class ShardedRecordSource(CountSource):
         ):
             if self._workers <= 1 or len(self._shards) <= 1:
                 for index, (codes, weights) in enumerate(self._shards):
-                    self._accumulate(totals, kernel(index, codes, weights, work))
+                    try:
+                        result = policy.run(
+                            kernel, index, codes, weights, work, what=f"shard {index}"
+                        )
+                    except BaseException as error:  # noqa: BLE001 - classified below
+                        if not policy.is_retryable(error):
+                            raise
+                        raise shard_error(
+                            error,
+                            kind=self._executor_kind,
+                            workers=self._workers,
+                            shard=index,
+                            attempts=policy.max_attempts,
+                        ) from error
+                    self._accumulate(totals, result)
                 return totals
-            pool = get_pool(self._executor_kind, self._workers)
-            window = self._workers + 1
-            pending: "deque" = deque()
-            for index, (codes, weights) in enumerate(self._shards):
-                pending.append(pool.submit(kernel, index, codes, weights, work))
-                if len(pending) >= window:
-                    self._accumulate(totals, pending.popleft().result())
-            while pending:
-                self._accumulate(totals, pending.popleft().result())
+            self._reduce_shards_pooled(totals, kernel, work)
         return totals
+
+    def _collect_shard(
+        self, state: "_DispatchState", kernel, work: Worklist, index: int, future: "Future"
+    ) -> Dict[int, np.ndarray]:
+        """Resolve one in-flight shard, retrying transients and rebuilding a
+        broken pool (once) with the whole pending window replayed."""
+        policy = self._retry
+        attempts = 1
+        while True:
+            try:
+                if _faults.ENABLED:
+                    _faults.fire("pool.worker", shard=index)
+                return future.result()
+            except BrokenProcessPool as error:
+                if state.rebuilds_left <= 0:
+                    raise shard_error(
+                        error,
+                        kind=self._executor_kind,
+                        workers=self._workers,
+                        shard=index,
+                    ) from error
+                state.rebuilds_left -= 1
+                if _obs.ENABLED:
+                    _obs.counter_inc("resilience.pool_rebuilds")
+                state.pool = rebuild_pool(self._executor_kind, self._workers)
+                future = self._resubmit(state.pool, kernel, work, index)
+                # A broken pool killed every in-flight future with it; replay
+                # the pending window on the fresh pool, preserving order.
+                replayed = [
+                    (held_index, self._resubmit(state.pool, kernel, work, held_index))
+                    for held_index, _dead in state.pending
+                ]
+                state.pending.clear()
+                state.pending.extend(replayed)
+            except BaseException as error:  # noqa: BLE001 - classified below
+                if not policy.is_retryable(error):
+                    raise
+                if attempts >= policy.max_attempts:
+                    raise shard_error(
+                        error,
+                        kind=self._executor_kind,
+                        workers=self._workers,
+                        shard=index,
+                        attempts=attempts,
+                    ) from error
+                if _obs.ENABLED:
+                    _obs.counter_inc("resilience.retries")
+                pause = policy.delay(attempts)
+                if pause > 0:
+                    time.sleep(pause)
+                attempts += 1
+                future = self._resubmit(state.pool, kernel, work, index)
+
+    def _resubmit(self, pool, kernel, work: Worklist, index: int) -> "Future":
+        """Submit one shard task, mapping submit-time pool failures (e.g. an
+        unpicklable payload) to a targeted :class:`ShardError`."""
+        codes, weights = self._shards[index]
+        try:
+            return pool.submit(kernel, index, codes, weights, work)
+        except POOL_FAILURES as error:
+            raise shard_error(
+                error,
+                kind=self._executor_kind,
+                workers=self._workers,
+                shard=index,
+            ) from error
+
+    def _reduce_shards_pooled(
+        self, totals: Dict[int, np.ndarray], kernel, work: Worklist
+    ) -> None:
+        state = _DispatchState(pool=get_pool(self._executor_kind, self._workers))
+        window = self._workers + 1
+        for index in range(len(self._shards)):
+            state.pending.append(
+                (index, self._resubmit(state.pool, kernel, work, index))
+            )
+            if len(state.pending) >= window:
+                held_index, future = state.pending.popleft()
+                self._accumulate(
+                    totals, self._collect_shard(state, kernel, work, held_index, future)
+                )
+        while state.pending:
+            held_index, future = state.pending.popleft()
+            self._accumulate(
+                totals, self._collect_shard(state, kernel, work, held_index, future)
+            )
 
     def marginal(self, mask: int) -> np.ndarray:
         return self.marginals_for_batches([(mask, (mask,))])[mask]

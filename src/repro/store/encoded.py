@@ -36,6 +36,8 @@ import numpy as np
 
 from repro.exceptions import DataError
 from repro.obs import runtime as _obs
+from repro.resilience import faults as _faults
+from repro.resilience.retry import DEFAULT_RETRY_POLICY
 from repro.shards.partition import shard_of_codes
 from repro.sources.record import DEFAULT_MARGINAL_CACHE, MAX_RECORD_BITS, RecordSource
 from repro.store.layout import (
@@ -346,23 +348,11 @@ def open_source(
         shard_arrays: List[Tuple[np.ndarray, np.ndarray]] = []
         bytes_mapped = 0
         for entry in manifest["shard_files"]:
-            code_path = root / str(entry["codes"])
-            weight_path = root / str(entry["weights"])
-            for required in (code_path, weight_path):
-                if not required.exists():
-                    raise DataError(f"encoded source {root} is missing {required.name}")
-            shard_codes = np.load(code_path, mmap_mode="r")
-            shard_weights = np.load(weight_path, mmap_mode="r")
-            if shard_codes.shape[0] != int(entry["entries"]) or shard_weights.shape[
-                0
-            ] != int(entry["entries"]):
-                raise DataError(
-                    f"encoded source {root}: shard {entry['codes']} has "
-                    f"{shard_codes.shape[0]}/{shard_weights.shape[0]} entries, "
-                    f"manifest says {entry['entries']}"
-                )
-            if verify:
-                _verify_shard(root, entry, shard_codes, shard_weights)
+            # Opening (and with verify=True, re-hashing) a shard is pure, so
+            # transient I/O failures are simply retried before giving up.
+            shard_codes, shard_weights = DEFAULT_RETRY_POLICY.run(
+                _open_shard, root, entry, verify, what=f"open {entry['codes']}"
+            )
             shard_arrays.append((shard_codes, shard_weights))
             bytes_mapped += int(shard_codes.nbytes + shard_weights.nbytes)
         if _obs.ENABLED:
@@ -381,6 +371,50 @@ def open_source(
             root=root,
             bytes_mapped=bytes_mapped,
         )
+
+
+def _load_shard_array(root: Path, path: Path, expected_entries: int) -> np.ndarray:
+    """Map one shard ``.npy``, turning a short file into a targeted error.
+
+    A truncated shard (interrupted copy, bad disk) either fails inside
+    ``np.load`` — the mmap buffer is smaller than the header's shape claims,
+    a bare ``ValueError`` — or maps fine but with fewer entries than the
+    manifest records.  Both become a :class:`~repro.exceptions.DataError`
+    naming the file and both sizes instead of a NumPy internals message.
+    """
+    try:
+        array = np.load(path, mmap_mode="r")
+    except ValueError as error:
+        raise DataError(
+            f"encoded source {root}: shard file {path.name} is truncated or "
+            f"corrupt — {path.stat().st_size} bytes on disk cannot hold the "
+            f"{expected_entries} entries its header/manifest promise ({error})"
+        ) from error
+    if array.shape[0] != expected_entries:
+        raise DataError(
+            f"encoded source {root}: shard file {path.name} is truncated — it "
+            f"holds {array.shape[0]} entries, the manifest says {expected_entries}"
+        )
+    return array
+
+
+def _open_shard(
+    root: Path, entry: Dict[str, object], verify: bool
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Map (and optionally verify) one shard's code/weight files."""
+    if _faults.ENABLED:
+        _faults.fire("store.open", shard=str(entry["codes"]))
+    code_path = root / str(entry["codes"])
+    weight_path = root / str(entry["weights"])
+    for required in (code_path, weight_path):
+        if not required.exists():
+            raise DataError(f"encoded source {root} is missing {required.name}")
+    entries = int(entry["entries"])
+    shard_codes = _load_shard_array(root, code_path, entries)
+    shard_weights = _load_shard_array(root, weight_path, entries)
+    if verify:
+        _verify_shard(root, entry, shard_codes, shard_weights)
+    return shard_codes, shard_weights
 
 
 def _verify_shard(

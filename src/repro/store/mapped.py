@@ -26,6 +26,8 @@ import numpy as np
 
 from repro.exceptions import DataError
 from repro.obs import runtime as _obs
+from repro.resilience import faults as _faults
+from repro.resilience.retry import DEFAULT_RETRY_POLICY, RetryPolicy
 from repro.shards.partition import resolve_worker_count
 from repro.shards.pool import check_executor_kind
 from repro.shards.sharded import ShardedRecordSource, Worklist, _shard_batch_marginals
@@ -56,7 +58,14 @@ def _mapped_shard_kernel(
     feed the projected-bincount kernel, and are returned to the OS before
     the next shard starts (per worker).  The page cache may retain them, so
     warm re-scans stay fast — only this process's residency is bounded.
+
+    The ``store.read`` injection site stands in for a transient I/O error
+    (e.g. ``EIO`` faulting in a cold page); the dispatch layer's retry
+    policy re-runs the shard, and because the kernel is pure the recovered
+    totals are bitwise identical.
     """
+    if _faults.ENABLED:
+        _faults.fire("store.read", shard=shard)
     if _obs.ENABLED:
         with _obs.trace_span("shards.kernel", shard=shard, records=int(codes.shape[0])):
             out = _shard_batch_marginals(codes, weights, work)
@@ -98,6 +107,7 @@ class MappedRecordSource(ShardedRecordSource):
         total_weight: Optional[float] = None,
         root: Optional[Path] = None,
         bytes_mapped: int = 0,
+        retry_policy: Optional[RetryPolicy] = None,
     ):
         d = int(dimension)
         if not (1 <= d <= MAX_RECORD_BITS):
@@ -143,6 +153,7 @@ class MappedRecordSource(ShardedRecordSource):
         )
         self._root = Path(root) if root is not None else None
         self._bytes_mapped = int(bytes_mapped)
+        self._retry = retry_policy if retry_policy is not None else DEFAULT_RETRY_POLICY
 
     # ------------------------------------------------------------------ #
     @property

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.exceptions import DataError
 from repro.obs import runtime as _obs
+from repro.resilience import faults as _faults
 from repro.store.layout import release_pages
 
 #: Conservative bytes-per-buffered-entry estimate used to convert a memory
@@ -146,6 +147,8 @@ def merge_sorted_runs(
         active = [i for i in range(len(live)) if positions[i] < live[i][0].shape[0]]
         if not active:
             break
+        if _faults.ENABLED:
+            _faults.fire("spill.merge", active_runs=len(active))
         # Copy one code window per active run (a real copy — a view would
         # keep faulting the mapping) and release that run's mapped pages
         # immediately: RSS accounting is folio-granular, so touching even

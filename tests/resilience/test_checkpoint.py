@@ -1,0 +1,173 @@
+"""Release checkpoints: crash-safe staging, binding guards, fingerprints."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.data import synthetic_nltcs
+from repro.exceptions import CheckpointError
+from repro.mechanisms import PrivacyBudget
+from repro.plan import Planner
+from repro.queries import all_k_way
+from repro.resilience import ReleaseCheckpoint, plan_fingerprint
+from repro.resilience.checkpoint import MANIFEST_FILE
+from repro.strategies import query_strategy
+
+
+@pytest.fixture
+def checkpoint(tmp_path):
+    return ReleaseCheckpoint(tmp_path / "ckpt")
+
+
+FP = "a" * 64
+OTHER_FP = "b" * 64
+
+
+class TestBinding:
+    def test_fresh_directory_records_the_fingerprint(self, tmp_path):
+        store = ReleaseCheckpoint(tmp_path / "ckpt")
+        store.bind(FP, resume=False)
+        assert store.fingerprint == FP
+        # A reopened instance sees the persisted binding.
+        assert ReleaseCheckpoint(tmp_path / "ckpt").fingerprint == FP
+
+    def test_fingerprint_mismatch_is_a_targeted_error(self, checkpoint):
+        checkpoint.bind(FP, resume=False)
+        with pytest.raises(CheckpointError, match="different release"):
+            checkpoint.bind(OTHER_FP, resume=False)
+
+    def test_entries_without_resume_are_refused(self, checkpoint):
+        checkpoint.bind(FP, resume=False)
+        checkpoint.store(0b11, np.arange(4, dtype=np.float64))
+        reopened = ReleaseCheckpoint(checkpoint.directory)
+        with pytest.raises(CheckpointError, match="--resume"):
+            reopened.bind(FP, resume=False)
+        reopened.bind(FP, resume=True)  # with resume it binds fine
+
+    def test_non_directory_path_is_rejected(self, tmp_path):
+        target = tmp_path / "file"
+        target.write_text("x")
+        with pytest.raises(CheckpointError, match="not a directory"):
+            ReleaseCheckpoint(target)
+
+
+class TestEntries:
+    def test_store_load_round_trip_is_bitwise(self, checkpoint):
+        value = np.random.default_rng(3).random(8)
+        checkpoint.store(0b101, value)
+        loaded = checkpoint.load(0b101)
+        assert loaded is not None
+        assert loaded.tobytes() == np.ascontiguousarray(value).tobytes()
+        assert checkpoint.has(0b101)
+        assert checkpoint.masks() == [0b101]
+
+    def test_missing_entry_loads_none(self, checkpoint):
+        assert checkpoint.load(0b111) is None
+
+    def test_corrupt_entry_loads_none_and_forces_remeasure(self, checkpoint):
+        checkpoint.store(0b11, np.arange(4, dtype=np.float64))
+        (entry_file,) = checkpoint.directory.glob("m*.npy")
+        data = bytearray(entry_file.read_bytes())
+        data[-1] ^= 0xFF  # flip one payload byte; header stays valid
+        entry_file.write_bytes(bytes(data))
+        assert ReleaseCheckpoint(checkpoint.directory).load(0b11) is None
+
+    def test_truncated_entry_loads_none(self, checkpoint):
+        checkpoint.store(0b11, np.arange(4, dtype=np.float64))
+        (entry_file,) = checkpoint.directory.glob("m*.npy")
+        with open(entry_file, "r+b") as handle:
+            handle.truncate(16)
+        assert ReleaseCheckpoint(checkpoint.directory).load(0b11) is None
+
+    def test_no_temp_files_survive_a_store(self, checkpoint):
+        for mask in (0b1, 0b10, 0b11):
+            checkpoint.store(mask, np.arange(4, dtype=np.float64))
+        leftovers = list(checkpoint.directory.glob("*.tmp"))
+        assert leftovers == []
+
+    def test_clear_drops_entries_but_keeps_the_binding(self, checkpoint):
+        checkpoint.bind(FP, resume=False)
+        checkpoint.store(0b1, np.arange(2, dtype=np.float64))
+        checkpoint.clear()
+        assert checkpoint.entry_count == 0
+        assert checkpoint.fingerprint == FP
+        assert list(checkpoint.directory.glob("m*.npy")) == []
+
+
+class TestManifest:
+    def test_corrupt_manifest_is_a_targeted_error(self, tmp_path):
+        directory = tmp_path / "ckpt"
+        directory.mkdir()
+        (directory / MANIFEST_FILE).write_text("{not json")
+        with pytest.raises(CheckpointError, match="corrupt checkpoint manifest"):
+            ReleaseCheckpoint(directory)
+
+    def test_foreign_format_tag_is_rejected(self, tmp_path):
+        directory = tmp_path / "ckpt"
+        directory.mkdir()
+        (directory / MANIFEST_FILE).write_text(
+            json.dumps({"format": "something/else", "entries": {}})
+        )
+        with pytest.raises(CheckpointError, match="format"):
+            ReleaseCheckpoint(directory)
+
+    def test_future_format_version_is_rejected(self, tmp_path):
+        directory = tmp_path / "ckpt"
+        directory.mkdir()
+        (directory / MANIFEST_FILE).write_text(
+            json.dumps(
+                {
+                    "format": "repro.resilience/checkpoint",
+                    "format_version": 99,
+                    "entries": {},
+                }
+            )
+        )
+        with pytest.raises(CheckpointError, match="format version"):
+            ReleaseCheckpoint(directory)
+
+
+class TestFingerprint:
+    @pytest.fixture
+    def inputs(self):
+        dataset = synthetic_nltcs(400, rng=5)
+        workload = all_k_way(dataset.schema, 2)
+        return dataset, workload
+
+    def _plan(self, workload, epsilon):
+        return Planner(workload, query_strategy(workload)).plan(
+            PrivacyBudget.pure(epsilon)
+        )
+
+    def test_same_configuration_same_fingerprint(self, inputs):
+        dataset, workload = inputs
+        source = dataset.as_source(backend="record")
+        plan = self._plan(workload, 1.0)
+        assert plan_fingerprint(plan, source) == plan_fingerprint(plan, source)
+
+    def test_budget_changes_the_fingerprint(self, inputs):
+        dataset, workload = inputs
+        source = dataset.as_source(backend="record")
+        assert plan_fingerprint(self._plan(workload, 1.0), source) != plan_fingerprint(
+            self._plan(workload, 2.0), source
+        )
+
+    def test_data_changes_the_fingerprint(self, inputs):
+        dataset, workload = inputs
+        plan = self._plan(workload, 1.0)
+        other = synthetic_nltcs(401, rng=5)
+        assert plan_fingerprint(plan, dataset.as_source(backend="record")) != (
+            plan_fingerprint(plan, other.as_source(backend="record"))
+        )
+
+    def test_machine_shape_does_not_change_the_fingerprint(self, inputs):
+        # Worker/shard counts never change values, so a checkpoint taken on
+        # one machine shape must resume on another.
+        dataset, workload = inputs
+        plan = self._plan(workload, 1.0)
+        narrow = dataset.as_source(backend="record", shards=1, workers=1)
+        wide = dataset.as_source(backend="record", shards=4, workers=4)
+        assert plan_fingerprint(plan, narrow) == plan_fingerprint(plan, wide)

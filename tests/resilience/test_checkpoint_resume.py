@@ -1,0 +1,199 @@
+"""Checkpointed releases: resume after a hard kill is bitwise identical.
+
+The engine stages each measured batch (exact, pre-noise marginals) in the
+checkpoint; noise is drawn only after every exact value exists, so a resumed
+run with the same rng seed replays the staged batches and reproduces the
+uninterrupted release bit for bit — including after a SIGKILL mid-measure.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.engine import release_marginals
+from repro.data import synthetic_nltcs
+from repro.exceptions import CheckpointError
+from repro.obs.runtime import tracing
+from repro.queries import all_k_way
+from repro.resilience import ReleaseCheckpoint
+
+
+def fingerprint(marginals) -> str:
+    digest = hashlib.sha256()
+    for marginal in marginals:
+        digest.update(
+            np.ascontiguousarray(np.asarray(marginal, dtype=np.float64)).tobytes()
+        )
+    return digest.hexdigest()
+
+
+@pytest.fixture(scope="module")
+def inputs():
+    dataset = synthetic_nltcs(400, rng=5)
+    workload = all_k_way(dataset.schema, 2)
+    return dataset, workload
+
+
+@pytest.fixture(scope="module")
+def clean_pin(inputs):
+    dataset, workload = inputs
+    release = release_marginals(dataset, workload, budget=1.0, strategy="Q", rng=11)
+    return fingerprint(release.marginals)
+
+
+class TestCheckpointedRelease:
+    def test_checkpointed_run_matches_a_clean_run_bitwise(
+        self, tmp_path, inputs, clean_pin
+    ):
+        dataset, workload = inputs
+        release = release_marginals(
+            dataset,
+            workload,
+            budget=1.0,
+            strategy="Q",
+            rng=11,
+            checkpoint=tmp_path / "ckpt",
+        )
+        assert fingerprint(release.marginals) == clean_pin
+        # Every measured batch got staged.
+        assert ReleaseCheckpoint(tmp_path / "ckpt").entry_count > 0
+
+    def test_resume_replays_staged_batches_bitwise(self, tmp_path, inputs, clean_pin):
+        dataset, workload = inputs
+        kwargs = dict(budget=1.0, strategy="Q", rng=11, checkpoint=tmp_path / "ckpt")
+        release_marginals(dataset, workload, **kwargs)
+        with tracing() as recorder:
+            resumed = release_marginals(dataset, workload, resume=True, **kwargs)
+        assert fingerprint(resumed.marginals) == clean_pin
+        counters = recorder.metrics.snapshot()["counters"]
+        assert counters.get("checkpoint.entries_replayed", 0) > 0
+        assert counters.get("checkpoint.entries_measured", 0) == 0
+
+    def test_reuse_without_resume_is_refused(self, tmp_path, inputs):
+        dataset, workload = inputs
+        kwargs = dict(budget=1.0, strategy="Q", rng=11, checkpoint=tmp_path / "ckpt")
+        release_marginals(dataset, workload, **kwargs)
+        with pytest.raises(CheckpointError, match="resume"):
+            release_marginals(dataset, workload, **kwargs)
+
+    def test_checkpoint_from_a_different_release_is_refused(self, tmp_path, inputs):
+        dataset, workload = inputs
+        release_marginals(
+            dataset,
+            workload,
+            budget=1.0,
+            strategy="Q",
+            rng=11,
+            checkpoint=tmp_path / "ckpt",
+        )
+        with pytest.raises(CheckpointError, match="different release"):
+            release_marginals(
+                dataset,
+                workload,
+                budget=2.0,  # different budget → different fingerprint
+                strategy="Q",
+                rng=11,
+                checkpoint=tmp_path / "ckpt",
+                resume=True,
+            )
+
+    def test_non_marginal_kernels_refuse_checkpoints(self, tmp_path, inputs):
+        dataset, workload = inputs
+        with pytest.raises(CheckpointError, match="marginal"):
+            release_marginals(
+                dataset,
+                workload,
+                budget=1.0,
+                strategy="F",
+                rng=11,
+                checkpoint=tmp_path / "ckpt",
+            )
+
+
+KILL_SCRIPT = textwrap.dedent(
+    """
+    import os
+    import signal
+    import sys
+
+    import numpy as np
+
+    from repro.core.engine import release_marginals
+    from repro.data import synthetic_nltcs
+    from repro.queries import all_k_way
+    from repro.resilience import ReleaseCheckpoint
+
+    class KillAfter(ReleaseCheckpoint):
+        '''Stages batches normally, then dies mid-release like a crashed host.'''
+
+        def __init__(self, directory, kill_after):
+            super().__init__(directory)
+            self._kill_after = kill_after
+
+        def store(self, mask, values):
+            super().store(mask, values)
+            if self.entry_count >= self._kill_after:
+                os.kill(os.getpid(), signal.SIGKILL)
+
+    directory, kill_after = sys.argv[1], int(sys.argv[2])
+    dataset = synthetic_nltcs(400, rng=5)
+    workload = all_k_way(dataset.schema, 2)
+    release_marginals(
+        dataset,
+        workload,
+        budget=1.0,
+        strategy="Q",
+        rng=11,
+        checkpoint=KillAfter(directory, kill_after),
+    )
+    print("UNREACHABLE: the release survived the kill")
+    sys.exit(3)
+    """
+)
+
+
+class TestKillResume:
+    def test_sigkill_mid_release_then_resume_is_bitwise(
+        self, tmp_path, inputs, clean_pin
+    ):
+        dataset, workload = inputs
+        script = tmp_path / "kill_release.py"
+        script.write_text(KILL_SCRIPT)
+        ckpt_dir = tmp_path / "ckpt"
+
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, str(script), str(ckpt_dir), "3"],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == -signal.SIGKILL, proc.stderr
+
+        # The kill left a partial (but uncorrupted) checkpoint behind.
+        staged = ReleaseCheckpoint(ckpt_dir)
+        assert staged.entry_count >= 3
+        assert list(ckpt_dir.glob("*.tmp")) == []
+
+        resumed = release_marginals(
+            dataset,
+            workload,
+            budget=1.0,
+            strategy="Q",
+            rng=11,
+            checkpoint=ckpt_dir,
+            resume=True,
+        )
+        assert fingerprint(resumed.marginals) == clean_pin

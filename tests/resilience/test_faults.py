@@ -1,0 +1,118 @@
+"""The fault-injection harness: validation, determinism, scoping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ResilienceError, TransientFault
+from repro.resilience import FaultPlan, FaultSpec, fault_injection
+from repro.resilience import faults
+
+
+class TestFaultSpec:
+    def test_unknown_site_is_rejected(self):
+        with pytest.raises(ResilienceError, match="unknown injection site"):
+            FaultSpec("shards.bogus", hits=(1,))
+
+    def test_hits_and_rate_are_mutually_exclusive(self):
+        with pytest.raises(ResilienceError, match="not both"):
+            FaultSpec("shards.task", hits=(1,), rate=0.5)
+
+    def test_spec_must_fail_something(self):
+        with pytest.raises(ResilienceError, match="fails nothing"):
+            FaultSpec("shards.task")
+
+    def test_hits_are_one_based(self):
+        with pytest.raises(ResilienceError, match="1-based"):
+            FaultSpec("shards.task", hits=(0,))
+
+    def test_rate_bounds(self):
+        with pytest.raises(ResilienceError, match=r"\[0, 1\]"):
+            FaultSpec("shards.task", rate=1.5)
+
+    def test_canonical_errors_per_site(self):
+        from concurrent.futures.process import BrokenProcessPool
+
+        assert FaultSpec("pool.worker", hits=(1,)).resolved_error() is BrokenProcessPool
+        io_error = FaultSpec("store.read", hits=(1,)).resolved_error()
+        assert issubclass(io_error, TransientFault)
+        assert issubclass(io_error, OSError)
+        assert FaultSpec("shards.task", hits=(1,)).resolved_error() is TransientFault
+
+    def test_explicit_error_override(self):
+        spec = FaultSpec("spill.merge", hits=(1,), error=RuntimeError)
+        assert spec.resolved_error() is RuntimeError
+
+
+class TestFaultPlan:
+    def test_duplicate_sites_are_rejected(self):
+        with pytest.raises(ResilienceError, match="twice"):
+            FaultPlan([
+                FaultSpec("shards.task", hits=(1,)),
+                FaultSpec("shards.task", hits=(2,)),
+            ])
+
+    def test_total_planned_counts_hit_specs(self):
+        plan = FaultPlan([
+            FaultSpec("shards.task", hits=(1, 3)),
+            FaultSpec("store.read", rate=0.5),
+        ])
+        assert plan.total_planned() == 2
+        assert plan.sites == ("shards.task", "store.read")
+
+
+class TestInjection:
+    def test_disabled_by_default(self):
+        assert faults.ENABLED is False
+        assert faults.injector() is None
+        faults.fire("shards.task")  # no-op, never raises
+
+    def test_exact_hits_fire_on_schedule(self):
+        plan = FaultPlan([FaultSpec("shards.task", hits=(2,))])
+        with fault_injection(plan) as injector:
+            faults.fire("shards.task")
+            with pytest.raises(TransientFault, match="injected fault"):
+                faults.fire("shards.task")
+            faults.fire("shards.task")
+            assert injector.injected("shards.task") == 1
+            assert injector.hit_counts["shards.task"] == 3
+        assert faults.ENABLED is False
+
+    def test_unplanned_sites_never_fire(self):
+        with fault_injection(FaultPlan([FaultSpec("store.read", hits=(1,))])) as inj:
+            for _ in range(10):
+                faults.fire("shards.task")
+            assert inj.injected() == 0
+
+    def test_rate_decisions_are_deterministic_per_seed(self):
+        def decisions(seed: int):
+            fired = []
+            plan = FaultPlan([FaultSpec("spill.merge", rate=0.4)], seed=seed)
+            with fault_injection(plan):
+                for step in range(30):
+                    try:
+                        faults.fire("spill.merge")
+                        fired.append(False)
+                    except TransientFault:
+                        fired.append(True)
+            return fired
+
+        assert decisions(7) == decisions(7)
+        assert decisions(7) != decisions(8)
+        assert any(decisions(7))
+
+    def test_nested_injection_restores_outer_plan(self):
+        outer = FaultPlan([FaultSpec("shards.task", hits=(1,))])
+        inner = FaultPlan([FaultSpec("store.read", hits=(1,))])
+        with fault_injection(outer) as outer_inj:
+            with fault_injection(inner):
+                assert faults.injector().plan is inner
+            assert faults.injector() is outer_inj
+        assert faults.injector() is None
+
+    def test_state_restored_after_error_inside_block(self):
+        with pytest.raises(RuntimeError):
+            with fault_injection(FaultPlan([FaultSpec("shards.task", hits=(1,))])):
+                raise RuntimeError("boom")
+        assert faults.ENABLED is False
+        assert faults.injector() is None

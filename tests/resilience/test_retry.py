@@ -1,0 +1,90 @@
+"""Retry policies: classification, schedules, and run() semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ResilienceError, TransientFault
+from repro.resilience import NO_RETRY, RetryPolicy
+from repro.resilience.retry import DEFAULT_RETRY_POLICY
+
+
+class TestPolicyValidation:
+    def test_needs_at_least_one_attempt(self):
+        with pytest.raises(ResilienceError, match="at least one attempt"):
+            RetryPolicy(max_attempts=0)
+
+    def test_backoff_must_be_nonnegative(self):
+        with pytest.raises(ResilienceError, match="non-negative"):
+            RetryPolicy(backoff_base=-1.0)
+
+    def test_default_classification(self):
+        policy = DEFAULT_RETRY_POLICY
+        assert policy.is_retryable(TransientFault("x"))
+        assert policy.is_retryable(OSError("x"))
+        assert not policy.is_retryable(ValueError("x"))
+
+    def test_deterministic_backoff_schedule(self):
+        policy = RetryPolicy(max_attempts=4, backoff_base=0.1, backoff_factor=2.0)
+        assert policy.delays() == pytest.approx((0.1, 0.2, 0.4))
+        assert DEFAULT_RETRY_POLICY.delays() == (0.0, 0.0)
+
+
+class TestRun:
+    def test_recovers_from_transient_failures(self):
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise TransientFault("transient")
+            return "ok"
+
+        assert RetryPolicy(max_attempts=3).run(flaky) == "ok"
+        assert len(calls) == 3
+
+    def test_non_retryable_fails_fast(self):
+        calls = []
+
+        def broken():
+            calls.append(1)
+            raise ValueError("bug")
+
+        with pytest.raises(ValueError, match="bug"):
+            RetryPolicy(max_attempts=5).run(broken)
+        assert len(calls) == 1
+
+    def test_final_attempt_propagates_the_original_error(self):
+        def always_transient():
+            raise TransientFault("still down")
+
+        with pytest.raises(TransientFault, match="still down"):
+            RetryPolicy(max_attempts=2).run(always_transient)
+
+    def test_no_retry_policy_raises_first_error(self):
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            raise OSError("io")
+
+        with pytest.raises(OSError):
+            NO_RETRY.run(flaky)
+        assert len(calls) == 1
+
+    def test_on_retry_callback_sees_attempt_and_error(self):
+        seen = []
+
+        def flaky():
+            if len(seen) < 1:
+                raise OSError("io")
+            return 42
+
+        result = RetryPolicy(max_attempts=2).run(
+            flaky, on_retry=lambda attempt, error: seen.append((attempt, str(error)))
+        )
+        assert result == 42
+        assert seen == [(1, "io")]
+
+    def test_arguments_are_forwarded(self):
+        assert RetryPolicy().run(lambda a, b: a + b, 2, 3) == 5

@@ -1,0 +1,220 @@
+"""Degraded-mode serving: digest pinning, quarantine, fallback, sidelining.
+
+Each released cuboid's sha256 is pinned in the store metadata at ``put``
+time; the planner re-verifies a vector the first time it aggregates from it.
+A digest mismatch quarantines that one cuboid (the query falls back to the
+next covering source, with honestly wider error bars); an unloadable release
+is sidelined whole and routing falls back to an older one.  Corrupt data is
+never served silently: a query only a corrupt cuboid could answer fails.
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.exceptions import CorruptMarginalError, ServingError
+from repro.serving.service import QueryService
+from repro.serving.store import ReleaseStore
+
+
+@pytest.fixture
+def store(tmp_path, release) -> ReleaseStore:
+    return ReleaseStore(tmp_path / "store", store_format="v2")
+
+
+def _corrupt_in_place(root: Path, release_id: str, position: int, release) -> None:
+    """Overwrite one stored vector with same-shape different bytes."""
+    target = root / release_id / "marginals" / f"marginal_{position:05d}.npy"
+    bad = np.asarray(release.marginals[position], dtype=np.float64).copy()
+    bad[0] += 1.0
+    np.save(target, bad)
+
+
+def _truncate(path: Path, size: int = 40) -> None:
+    with open(path, "r+b") as handle:
+        handle.truncate(size)
+
+
+class TestDigestPinning:
+    def test_put_records_one_digest_per_marginal(self, store, release):
+        rid = store.put(release)
+        digests = store.marginal_digests(rid)
+        assert digests is not None
+        assert len(digests) == len(release.marginals)
+        assert all(len(d) == 64 for d in digests)
+
+    def test_verify_green_on_an_intact_release(self, store, release):
+        rid = store.put(release)
+        report = store.verify(rid)
+        assert report["ok"]
+        assert report["verified"] == len(release.marginals)
+        assert report["corrupt"] == []
+
+    def test_verify_flags_in_place_corruption(self, store, release):
+        rid = store.put(release)
+        _corrupt_in_place(store.root, rid, 0, release)
+        report = store.verify(rid)
+        assert not report["ok"]
+        (problem,) = report["corrupt"]
+        assert problem["position"] == 0
+        assert "integrity" in problem["error"] or "digest" in problem["error"]
+
+    def test_verify_all_rolls_up_every_release(self, store, release):
+        good = store.put(release)
+        bad = store.put(release)
+        _corrupt_in_place(store.root, bad, 1, release)
+        report = store.verify_all()
+        assert not report["ok"]
+        by_id = {entry["release_id"]: entry for entry in report["reports"]}
+        assert by_id[good]["ok"]
+        assert not by_id[bad]["ok"]
+
+
+class TestQuarantine:
+    def test_corrupt_cuboid_is_quarantined_and_served_from_a_fallback(
+        self, store, release
+    ):
+        rid = store.put(release)
+        clean = QueryService(store).query(["a"])
+        assert not clean.degraded
+        _corrupt_in_place(store.root, rid, clean.plan.source_position, release)
+
+        service = QueryService(store)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            degraded = service.query(["a"])
+        assert any("quarantined" in str(w.message) for w in caught)
+        assert degraded.degraded
+        assert degraded.plan.source_mask != clean.plan.source_mask
+        # The release is consistent, so the fallback answer matches bitwise.
+        np.testing.assert_array_equal(degraded.values, clean.values)
+        # Honest accounting: the fallback source is farther up the lattice.
+        assert degraded.std_error >= clean.std_error
+
+    def test_health_reflects_the_quarantine(self, store, release):
+        rid = store.put(release)
+        clean = QueryService(store).query(["a"])
+        _corrupt_in_place(store.root, rid, clean.plan.source_position, release)
+        service = QueryService(store)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            service.query(["a"])
+        health = service.health()
+        assert not health["ok"]
+        assert health["quarantine_events"] == 1
+        assert hex(clean.plan.source_mask) in health["quarantined"][rid]
+        assert service.stats()["health"] == health
+
+    def test_batch_path_avoids_the_quarantined_source(self, store, release):
+        rid = store.put(release)
+        clean = QueryService(store).query(["a"])
+        corrupt_mask = clean.plan.source_mask
+        _corrupt_in_place(store.root, rid, clean.plan.source_position, release)
+        service = QueryService(store)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            answers = service.query_batch([("a",), ("b",), ("c",)])
+        assert all(a.plan.source_mask != corrupt_mask for a in answers)
+
+    def test_a_query_only_the_corrupt_cuboid_covers_fails(self, store, release):
+        rid = store.put(release)
+        clean = QueryService(store).query(["a", "b"])
+        # ("a","b") is a maximal 2-way cuboid: nothing else covers it.
+        _corrupt_in_place(store.root, rid, clean.plan.source_position, release)
+        service = QueryService(store)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            with pytest.raises(ServingError, match="quarantined"):
+                service.query(["a", "b"])
+
+    def test_invalidate_clears_the_quarantine(self, store, release):
+        rid = store.put(release)
+        clean = QueryService(store).query(["a"])
+        _corrupt_in_place(store.root, rid, clean.plan.source_position, release)
+        service = QueryService(store)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            service.query(["a"])
+        assert not service.health()["ok"]
+        service.invalidate(rid)
+        assert service.health()["ok"]
+
+
+class TestTruncation:
+    def test_truncated_v2_vector_is_a_targeted_error(self, store, release):
+        rid = store.put(release)
+        target = store.root / rid / "marginals" / "marginal_00001.npy"
+        _truncate(target)
+        with pytest.raises(CorruptMarginalError, match="truncated or corrupt") as info:
+            store.get(rid)
+        assert info.value.mask is not None
+        assert info.value.release_id == rid
+
+    def test_truncated_v1_archive_is_a_targeted_error(self, tmp_path, release):
+        store = ReleaseStore(tmp_path / "v1store", store_format="v1")
+        rid = store.put(release)
+        assert store.marginal_digests(rid) is not None
+        assert store.verify(rid)["ok"]
+        _truncate(store.root / rid / "marginals.npz", size=60)
+        with pytest.raises(CorruptMarginalError):
+            store.get(rid)
+        assert not store.verify(rid)["ok"]
+
+
+class TestSidelining:
+    def test_unloadable_newest_release_falls_back_to_an_older_one(
+        self, store, release
+    ):
+        older = store.put(release)
+        newest = store.put(release)
+        _truncate(store.root / newest / "marginals" / "marginal_00001.npy")
+        service = QueryService(store)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            answer = service.query(["a"])
+        assert answer.release_id == older
+        assert any("sidelined" in str(w.message) for w in caught)
+        health = service.health()
+        assert newest in health["degraded_releases"]
+        assert not health["ok"]
+
+
+class TestStatsStoreCli:
+    def test_healthy_store_exits_zero(self, store, release, capsys):
+        store.put(release)
+        rc = main(["stats", "--store", str(store.root)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "health  : OK" in out
+        assert "digest-verified" in out
+
+    def test_corrupt_store_exits_one_and_names_the_cuboid(
+        self, store, release, capsys
+    ):
+        rid = store.put(release)
+        _corrupt_in_place(store.root, rid, 0, release)
+        rc = main(["stats", "--store", str(store.root)])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "CORRUPT" in out
+        assert "health  : DEGRADED" in out
+
+    def test_json_report_round_trips(self, store, release, capsys):
+        store.put(release)
+        rc = main(["stats", "--store", str(store.root), "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert payload["ok"]
+        assert payload["releases"] == 1
+
+    def test_trace_and_store_are_mutually_exclusive(self, store, capsys):
+        rc = main(["stats", "trace.json", "--store", str(store.root)])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert "either a trace file or --store" in err
