@@ -84,7 +84,7 @@ from repro.resilience import (
     plan_fingerprint,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "Attribute",

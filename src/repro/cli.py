@@ -48,6 +48,7 @@ import argparse
 import csv
 import json
 import sys
+import time
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
@@ -293,6 +294,15 @@ def build_query_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="print the answer as JSON instead of a table",
+    )
+    parser.add_argument(
+        "--batch",
+        default=None,
+        metavar="FILE",
+        help="answer a JSON-lines file of queries through the grouped batch "
+        "path instead: each line is an object with optional 'attributes', "
+        "'mask' and 'where' keys; answers are printed as JSON lines (request "
+        "order) and a timing summary goes to stderr",
     )
     return parser
 
@@ -655,11 +665,69 @@ def _query_payload(answer, schema: Schema, attributes: Sequence[str], where) -> 
     }
 
 
+def _read_batch_requests(path: str) -> List[Dict[str, object]]:
+    """Parse a JSON-lines batch-query file (blank and ``#`` lines skipped)."""
+    requests: List[Dict[str, object]] = []
+    for number, line in enumerate(Path(path).read_text().splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise ReproError(f"{path}:{number} is not valid JSON: {error}") from error
+        if not isinstance(payload, dict):
+            raise ReproError(
+                f"{path}:{number}: each batch line must be a JSON object with "
+                "optional 'attributes', 'mask' and 'where' keys"
+            )
+        requests.append(payload)
+    if not requests:
+        raise ReproError(f"batch file {path} contains no queries")
+    return requests
+
+
+def _main_query_batch(service: QueryService, args: argparse.Namespace) -> int:
+    requests = _read_batch_requests(args.batch)
+    start = time.perf_counter()
+    answers = service.query_batch(requests, release_id=args.release)
+    elapsed = time.perf_counter() - start
+    for request, answer in zip(requests, answers):
+        schema = service.planner(answer.release_id).release.workload.schema
+        payload = _query_payload(
+            answer,
+            schema,
+            request.get("attributes") or [],  # type: ignore[arg-type]
+            request.get("where"),
+        )
+        print(json.dumps(payload))
+    stats = service.stats()
+    plan_cache = stats["plan_cache"]  # type: ignore[index]
+    qps = len(answers) / elapsed if elapsed > 0 else float("inf")
+    print(
+        f"batch    : {len(answers)} queries in {elapsed * 1e3:.2f} ms "
+        f"({qps:,.0f} qps, {elapsed / len(answers) * 1e6:.1f} us/query)",
+        file=sys.stderr,
+    )
+    print(
+        f"grouping : {stats['batch_groups']} aggregation group(s); plan cache "
+        f"{plan_cache['hits']} hit(s) / {plan_cache['misses']} miss(es)",  # type: ignore[index]
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _main_query(argv: Sequence[str]) -> int:
     args = build_query_parser().parse_args(argv)
     try:
         store = ReleaseStore(args.store, create=False)
         service = QueryService(store)
+        if args.batch is not None:
+            if args.attributes or args.where:
+                raise ReproError(
+                    "--batch answers queries from FILE; drop --attributes/--where"
+                )
+            return _main_query_batch(service, args)
         where = _parse_where(args.where)
         answer = service.query(
             args.attributes, where=where or None, release_id=args.release

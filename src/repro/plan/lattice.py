@@ -19,11 +19,14 @@ the single implementation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import AbstractSet, Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.utils.bits import dominated_by, hamming_weight
 
 __all__ = [
+    "CoveringIndex",
     "MarginalBatch",
     "ancestors_of",
     "covers",
@@ -69,6 +72,143 @@ def min_variance_source(
         if best is None or key < best:
             best = key
     return best
+
+
+_NO_EXCLUDE: FrozenSet[int] = frozenset()
+
+
+class CoveringIndex:
+    """Precomputed containment index over a fixed set of cuboid masks.
+
+    :func:`ancestors_of` / :func:`covers` / :func:`min_variance_source` rescan
+    every source mask per query; a serving tier answering hundreds of
+    thousands of queries against one release repeats that identical scan each
+    time.  This index does the lattice work once: the masks are sorted by
+    ``(popcount, mask)`` into contiguous popcount buckets, so a query of
+    order ``w`` only scans sources of order ``>= w``, and the containment
+    test over that suffix is one vectorised ``query & ~sources == 0`` pass.
+
+    The selection rule is bit-for-bit the one of :func:`min_variance_source`
+    (minimum ``(variance, expansion, source, position)`` tuple): variances
+    stay float64 in both paths and the lexicographic argmin reproduces the
+    Python tuple comparison exactly, so a planner switching to the index
+    picks identical sources — including under near-tie variance.
+
+    Parameters
+    ----------
+    positions:
+        Mapping from source mask to its workload position (the planner's
+        released-cuboid index).
+    cell_variances:
+        Optional per-cell variance by source mask; required for
+        :meth:`best_source`, unused by the pure containment queries.
+    """
+
+    def __init__(
+        self,
+        positions: Mapping[int, int],
+        cell_variances: Optional[Mapping[int, float]] = None,
+    ):
+        self._positions: Dict[int, int] = dict(positions)
+        order = sorted(
+            self._positions, key=lambda mask: (hamming_weight(mask), mask)
+        )
+        self._masks = np.array(order, dtype=np.uint64)
+        self._mask_positions = np.array(
+            [self._positions[mask] for mask in order], dtype=np.int64
+        )
+        weights = np.array([hamming_weight(mask) for mask in order], dtype=np.int64)
+        self._weights = weights
+        # Popcount buckets: bucket_start[w] is the first index of order >= w.
+        max_weight = int(weights[-1]) if order else 0
+        self._bucket_start = np.searchsorted(
+            weights, np.arange(max_weight + 2), side="left"
+        )
+        self._max_weight = max_weight
+        if cell_variances is not None:
+            self._variances: Optional[np.ndarray] = np.array(
+                [float(cell_variances[mask]) for mask in order], dtype=np.float64
+            )
+        else:
+            self._variances = None
+
+    def __len__(self) -> int:
+        return len(self._positions)
+
+    @property
+    def masks(self) -> Tuple[int, ...]:
+        """The indexed source masks, sorted by ``(popcount, mask)``."""
+        return tuple(int(mask) for mask in self._masks)
+
+    # ------------------------------------------------------------------ #
+    def _candidates(self, mask: int) -> np.ndarray:
+        """Indices (into the sorted arrays) of sources dominating ``mask``."""
+        order = hamming_weight(mask)
+        if order > self._max_weight:
+            return np.empty(0, dtype=np.intp)
+        start = int(self._bucket_start[order])
+        suffix = self._masks[start:]
+        hits = np.flatnonzero((np.uint64(mask) & ~suffix) == 0)
+        return hits + start
+
+    def covers(self, mask: int, *, exclude: AbstractSet[int] = _NO_EXCLUDE) -> bool:
+        """``True`` iff some (non-excluded) indexed source dominates ``mask``."""
+        candidates = self._candidates(mask)
+        if not len(candidates):
+            return False
+        if not exclude:
+            return True
+        return any(int(self._masks[i]) not in exclude for i in candidates)
+
+    def ancestors(self, mask: int) -> List[int]:
+        """Sources dominating ``mask``, in their original ``positions`` order
+        (matching :func:`ancestors_of` over the same mapping)."""
+        candidates = self._candidates(mask)
+        by_position = candidates[np.argsort(self._mask_positions[candidates], kind="stable")]
+        return [int(self._masks[i]) for i in by_position]
+
+    def best_source(
+        self, mask: int, *, exclude: AbstractSet[int] = _NO_EXCLUDE
+    ) -> Optional[Tuple[float, int, int, int]]:
+        """Minimum-variance covering source, exactly as
+        :func:`min_variance_source` would choose it.
+
+        Returns ``(variance, expansion, source, position)`` or ``None`` when
+        nothing (non-excluded) covers ``mask``.  Requires the index to have
+        been built with ``cell_variances``.
+        """
+        if self._variances is None:
+            raise ValueError("CoveringIndex was built without cell variances")
+        if exclude:
+            # Quarantine is the rare degraded path; the filtered scalar scan
+            # keeps it bit-identical to the planner's historical behaviour.
+            positions = {
+                mask_: position
+                for mask_, position in self._positions.items()
+                if mask_ not in exclude
+            }
+            return min_variance_source(
+                mask,
+                {m: float(v) for m, v in zip(self.masks, self._variances)},
+                positions,
+            )
+        candidates = self._candidates(mask)
+        if not len(candidates):
+            return None
+        order = hamming_weight(mask)
+        expansions = np.int64(1) << (self._weights[candidates] - order)
+        variances = self._variances[candidates] * expansions.astype(np.float64)
+        sources = self._masks[candidates]
+        positions = self._mask_positions[candidates]
+        # Lexicographic argmin over (variance, expansion, source, position) —
+        # the same tuple order Python's `<` uses in min_variance_source.
+        best = np.lexsort((positions, sources, expansions, variances))[0]
+        return (
+            float(variances[best]),
+            int(expansions[best]),
+            int(sources[best]),
+            int(positions[best]),
+        )
 
 
 # --------------------------------------------------------------------------- #

@@ -26,7 +26,9 @@ of :mod:`repro.core.variance`.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, replace
+from functools import lru_cache
 from typing import AbstractSet, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
@@ -35,12 +37,19 @@ from repro.core.result import ReleaseResult
 from repro.core.variance import per_query_variances
 from repro.domain.contingency import marginal_from_cube
 from repro.exceptions import CorruptMarginalError, ReproError, ServingError
-from repro.plan.lattice import ancestors_of, covers, min_variance_source
+from repro.fourier.index import expand_indices, project_indices
+from repro.obs.cachestats import CacheStats
+from repro.plan.lattice import CoveringIndex
 from repro.store.layout import sha256_of_array
 from repro.strategies.registry import make_strategy
 from repro.utils.bits import bit_indices, dominated_by, hamming_weight, project_index
 
 _NO_EXCLUDE: FrozenSet[int] = frozenset()
+
+#: Resolved plans kept per planner; distinct query *shapes* per release are
+#: naturally bounded (sub-lattice of the released cuboids), the cap only
+#: guards against adversarial mask traffic.
+PLAN_CACHE_ENTRIES = 8192
 
 
 def released_cell_variances(release: ReleaseResult) -> Dict[int, float]:
@@ -107,6 +116,55 @@ def slice_marginal(
         else:
             indexer.append(slice(None))
     return cube[tuple(indexer)].reshape(-1)
+
+
+def slice_marginal_batch(
+    values: np.ndarray, union_mask: int, fixed_mask: int, fixed_bits: Sequence[int]
+) -> np.ndarray:
+    """Vectorised :func:`slice_marginal` over many predicate values at once.
+
+    All queries share the aggregated marginal ``values`` (over ``union_mask``)
+    and the predicate bit set ``fixed_mask``; ``fixed_bits`` carries one
+    pinned-value pattern per query.  Returns an ``(n, 2**f)`` array whose row
+    ``i`` is bitwise identical to
+    ``slice_marginal(values, union_mask, fixed_mask, fixed_bits[i])`` — the
+    whole group is answered with ONE fancy-indexed gather instead of ``n``
+    cube reshapes, which is what makes grouped batch serving fast.
+
+    The row layout follows from the compact indexing contract: output bit
+    ``i`` of a sliced answer is the ``i``-th smallest free bit of the union,
+    so row indices are ``expand(j over free compact bits) | compact(fixed)``.
+    """
+    if not dominated_by(fixed_mask, union_mask):
+        raise ServingError(
+            f"predicate bits {fixed_mask:#x} are not contained in the query bits {union_mask:#x}"
+        )
+    flat = np.asarray(values, dtype=np.float64).reshape(-1)
+    bits = np.asarray(list(fixed_bits), dtype=np.int64)
+    if np.any(bits & ~np.int64(fixed_mask)):
+        raise ServingError(
+            f"predicate values set bits outside the predicate mask {fixed_mask:#x}"
+        )
+    if fixed_mask == 0:
+        return np.broadcast_to(flat, (len(bits), flat.shape[0]))
+    template = _slice_template(union_mask, fixed_mask)
+    fixed_compact = project_indices(bits, union_mask)
+    return flat[fixed_compact[:, None] | template[None, :]]
+
+
+@lru_cache(maxsize=4096)
+def _slice_template(union_mask: int, fixed_mask: int) -> np.ndarray:
+    """Free-bit row template of one predicate shape, cached across batches.
+
+    The template depends only on ``(union_mask, fixed_mask)`` — every batch
+    group with the same predicate shape reuses it, skipping the per-call
+    ``project_index`` bit walk and ``expand_indices`` allocation.
+    """
+    free_compact = project_index(union_mask & ~fixed_mask, union_mask)
+    f = hamming_weight(free_compact)
+    template = expand_indices(np.arange(1 << f, dtype=np.int64), free_compact)
+    template.setflags(write=False)
+    return template
 
 
 @dataclass(frozen=True)
@@ -216,6 +274,7 @@ class QueryPlanner:
         # Aggregate fast path: per-source (2,) * k cube views of the released
         # vectors, built lazily (shared memory, so caching is always safe).
         self._cubes: Dict[int, np.ndarray] = {}
+        self._compact_unions: Dict[Tuple[int, int], int] = {}
         self._digests = (
             tuple(str(digest) for digest in marginal_digests)
             if marginal_digests is not None
@@ -235,6 +294,12 @@ class QueryPlanner:
             raise ServingError(
                 f"no cell variance for released cuboids {[hex(m) for m in missing]}"
             )
+        # Containment queries (covers / covering_masks / plan) run against a
+        # precomputed popcount-bucketed index instead of rescanning every
+        # released mask, and resolved plans are memoised by query shape.
+        self._index = CoveringIndex(self._positions, self._cell_variances)
+        self._plan_cache: "OrderedDict[Tuple[int, FrozenSet[int]], QueryPlan]" = OrderedDict()
+        self._plan_stats = CacheStats(metric_prefix="serving.plan_cache")
 
     # ------------------------------------------------------------------ #
     @property
@@ -255,16 +320,16 @@ class QueryPlanner:
 
     def covering_masks(self, mask: int) -> List[int]:
         """Released cuboids that dominate ``mask`` (can answer it exactly)."""
-        return ancestors_of(mask, self._positions)
+        return self._index.ancestors(mask)
 
     def covers(self, mask: int, *, exclude: AbstractSet[int] = _NO_EXCLUDE) -> bool:
         """``True`` iff some (non-quarantined) released cuboid answers ``mask``."""
-        sources = (
-            [source for source in self._positions if source not in exclude]
-            if exclude
-            else self._positions
-        )
-        return covers(mask, sources)
+        return self._index.covers(mask, exclude=exclude)
+
+    @property
+    def plan_stats(self) -> CacheStats:
+        """Hit/miss counters of the resolved-plan memo."""
+        return self._plan_stats
 
     # ------------------------------------------------------------------ #
     def plan(
@@ -273,38 +338,46 @@ class QueryPlanner:
         """Choose the minimum-expected-variance source for ``union_mask``.
 
         Source selection (and its deterministic tie-break: fewer collapsed
-        cells, then the smaller mask) is the shared lattice scan of
-        :func:`repro.plan.lattice.min_variance_source`.  ``exclude`` removes
-        quarantined cuboids from consideration; when one of them would have
-        covered the query, the plan is flagged ``degraded`` — the chosen
-        fallback carries wider error bars than the healthy release would.
+        cells, then the smaller mask) runs on the precomputed
+        :class:`~repro.plan.lattice.CoveringIndex`, which reproduces the
+        scalar :func:`repro.plan.lattice.min_variance_source` scan exactly —
+        same covering choice under near-tie variance.  Resolved plans are
+        memoised by ``(union mask, quarantine set)``: repeated query shapes
+        (same columns, different predicate values) skip planning entirely.
+        ``exclude`` removes quarantined cuboids from consideration; when one
+        of them would have covered the query, the plan is flagged
+        ``degraded`` — the chosen fallback carries wider error bars than the
+        healthy release would.
         """
+        exclude_key = exclude if isinstance(exclude, frozenset) else frozenset(exclude)
+        cache_key = (union_mask, exclude_key)
+        cached = self._plan_cache.get(cache_key)
+        if cached is not None:
+            self._plan_cache.move_to_end(cache_key)
+            self._plan_stats.record_hit()
+            return cached
+        self._plan_stats.record_miss()
         domain_mask = self._release.workload.schema.full_mask
         if union_mask < 0 or union_mask > domain_mask:
             raise ServingError(
                 f"query mask {union_mask:#x} is outside the release's "
                 f"{self._release.workload.dimension}-bit domain"
             )
-        positions = self._positions
-        degraded = False
-        if exclude:
-            positions = {
-                mask: position
-                for mask, position in self._positions.items()
-                if mask not in exclude
-            }
-            degraded = any(dominated_by(union_mask, mask) for mask in exclude)
-        best = min_variance_source(union_mask, self._cell_variances, positions)
+        degraded = bool(exclude) and any(
+            dominated_by(union_mask, mask) for mask in exclude
+        )
+        best = self._index.best_source(union_mask, exclude=exclude_key)
         if best is None:
             quarantined = (
                 f" ({len(exclude)} cuboid(s) quarantined)" if exclude else ""
             )
+            available = [hex(m) for m in self._positions if m not in exclude_key]
             raise ServingError(
                 f"no released cuboid covers marginal {union_mask:#x}{quarantined}; "
-                f"released masks: {[hex(m) for m in positions]}"
+                f"released masks: {available}"
             )
         variance, expansion, source, position = best
-        return QueryPlan(
+        plan = QueryPlan(
             union_mask=union_mask,
             source_mask=source,
             source_position=position,
@@ -312,6 +385,11 @@ class QueryPlanner:
             per_cell_variance=variance,
             degraded=degraded,
         )
+        self._plan_cache[cache_key] = plan
+        if len(self._plan_cache) > PLAN_CACHE_ENTRIES:
+            self._plan_cache.popitem(last=False)
+            self._plan_stats.record_eviction()
+        return plan
 
     def aggregate(self, plan: QueryPlan) -> np.ndarray:
         """Aggregate the plan's source cuboid down to its union marginal.
@@ -336,7 +414,11 @@ class QueryPlanner:
             k = hamming_weight(plan.source_mask)
             cube = source_values.reshape((2,) * k)
             self._cubes[plan.source_position] = cube
-        compact_union = project_index(plan.union_mask, plan.source_mask)
+        key = (plan.union_mask, plan.source_mask)
+        compact_union = self._compact_unions.get(key)
+        if compact_union is None:
+            compact_union = project_index(plan.union_mask, plan.source_mask)
+            self._compact_unions[key] = compact_union
         return marginal_from_cube(cube, compact_union, cube.ndim)
 
     def _verify_source(

@@ -8,29 +8,49 @@ release, plans and aggregates through the
 :class:`~repro.serving.planner.QueryPlanner`, and memoises answers in an
 LRU :class:`~repro.serving.cache.AnswerCache`.
 
-Batched queries are grouped by source cuboid: within one batch every
-``(source cuboid, aggregation target)`` pair is aggregated exactly once, and
-all requests that only differ in their point/slice predicate reuse that
-aggregate.  Serving never touches the privacy budget — everything is
-post-processing of the released vectors.
+Batched queries are grouped by resolved ``(release, source cuboid,
+aggregation target)``: each group is aggregated exactly once, every request
+in it that carries a predicate is answered by one vectorised gather over the
+shared aggregate (:func:`~repro.serving.planner.slice_marginal_batch`), and
+independent groups are dispatched concurrently on the shared
+:mod:`repro.shards` thread pool so multi-cuboid batches overlap I/O on
+memory-mapped v2 stores.  The grouped path is bitwise identical to issuing
+the same queries one by one.  Serving never touches the privacy budget —
+everything is post-processing of the released vectors.
 """
 
 from __future__ import annotations
 
+import os
 import warnings
+from collections import OrderedDict
 from dataclasses import dataclass
-from itertools import islice
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple, Union
+
+import numpy as np
 
 from repro.core.result import ReleaseResult
 from repro.domain.schema import AttributeRef, Schema
 from repro.exceptions import CorruptMarginalError, ReproError, ServingError
 from repro.obs import runtime as _obs
+from repro.obs.cachestats import CacheStats
 from repro.serving.cache import AnswerCache, answer_key
-from repro.serving.planner import QueryPlanner, ServedAnswer, slice_marginal
+from repro.serving.planner import (
+    QueryPlan,
+    QueryPlanner,
+    ServedAnswer,
+    slice_marginal_batch,
+)
 from repro.serving.store import ReleaseStore
+from repro.shards.pool import get_pool
 
 WhereClause = Mapping[AttributeRef, object]
+
+#: Fixed bucket edges of the ``serving.batch.group_size`` histogram (number
+#: of requests answered from one aggregated cuboid).
+GROUP_SIZE_BUCKETS: Tuple[float, ...] = (
+    1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0, 4096.0,
+)
 
 
 @dataclass(frozen=True)
@@ -123,6 +143,11 @@ class QueryService:
         :class:`ReleaseResult` (in-memory mode).
     cache_size:
         Capacity of the LRU answer cache; ``0`` disables caching.
+    batch_workers:
+        Worker-thread budget for aggregating independent batch groups
+        concurrently on the shared :mod:`repro.shards` pool.  ``None``
+        (default) uses the machine's core count; ``1`` forces serial
+        aggregation.  Results are bitwise identical either way.
     """
 
     def __init__(
@@ -130,6 +155,7 @@ class QueryService:
         source: Union[ReleaseStore, ReleaseResult],
         *,
         cache_size: int = 1024,
+        batch_workers: Optional[int] = None,
     ):
         if isinstance(source, ReleaseResult):
             self._store: Optional[ReleaseStore] = None
@@ -152,14 +178,28 @@ class QueryService:
         self._degraded_releases: Dict[str, str] = {}
         self._quarantine_events = 0
         self._cache = AnswerCache(cache_size)
-        # Request-signature fast path: maps the *raw* request (before name
-        # resolution and routing) to the canonical cache key so warm hits
-        # skip schema resolution and the covering-release scan entirely.
-        self._request_keys: Dict[tuple, tuple] = {}
+        # Request-signature fast path: an LRU mapping the *raw* request
+        # (before name resolution and routing) to its resolved route
+        # ``(rid, query_mask, fixed_mask, fixed_bits, cache key)`` so warm
+        # shapes skip schema resolution and the covering-release scan
+        # entirely — even when the answer cache is disabled.  Entries are
+        # dropped wholesale whenever routing could change (store generation
+        # bump, quarantine, sidelining, invalidate).
+        self._request_keys: "OrderedDict[tuple, tuple]" = OrderedDict()
         self._request_keys_cap = max(4 * cache_size, 4096)
+        self._request_stats = CacheStats(metric_prefix="serving.request_keys")
+        if batch_workers is not None and int(batch_workers) < 1:
+            raise ServingError(
+                f"batch_workers must be at least 1, got {batch_workers}"
+            )
+        self._batch_workers = int(batch_workers) if batch_workers is not None else None
+        # Default routing order (newest release first), cached per store
+        # generation so batch traffic does not re-sort the index per request.
+        self._routing_order: Optional[List[Optional[str]]] = None
         self._queries = 0
         self._batches = 0
         self._batched_requests = 0
+        self._batch_groups = 0
 
     # ------------------------------------------------------------------ #
     # release resolution
@@ -222,6 +262,7 @@ class QueryService:
             self._degraded_releases.pop(release_id, None)
         self._cache.clear()
         self._request_keys.clear()
+        self._routing_order = None
         if self._store is not None:
             self._seen_generation = self._store.generation
 
@@ -235,7 +276,10 @@ class QueryService:
                 raise ServingError(f"no release {release_id!r} in the store")
             return [release_id]
         # Newest first: later releases supersede earlier ones by default.
-        return list(reversed(self._store.release_ids()))
+        # Cached until the store generation moves (invalidate clears it).
+        if self._routing_order is None:
+            self._routing_order = list(reversed(self._store.release_ids()))
+        return self._routing_order
 
     def _schema_for(self, release_id: Optional[str]) -> Schema:
         """Schema of one release, from the store index (no release files)."""
@@ -260,6 +304,9 @@ class QueryService:
             return
         self._quarantine_events += 1
         masks.add(int(mask))
+        # Remembered routes may now point at the quarantined cuboid's
+        # release; force full routing until new entries are learned.
+        self._request_keys.clear()
         if _obs.ENABLED:
             _obs.counter_inc("serving.marginals_quarantined")
             _obs.gauge_set(
@@ -275,18 +322,16 @@ class QueryService:
     def _covers(self, release_id: Optional[str], union_mask: int) -> bool:
         """Coverage check from the store index, without loading the release.
 
-        Quarantined cuboids do not count as coverage: a release whose only
-        covering cuboid is corrupt routes the query to an older release
-        instead of failing it."""
+        Store-backed coverage runs against the store's cached
+        :class:`~repro.plan.lattice.CoveringIndex` (one vectorised
+        containment pass over a popcount bucket) instead of re-scanning the
+        metadata mask list per query.  Quarantined cuboids do not count as
+        coverage: a release whose only covering cuboid is corrupt routes the
+        query to an older release instead of failing it."""
         exclude = self._exclude(release_id)
         if self._store is None:
             return self._planners[None].covers(union_mask, exclude=exclude)
-        masks = self._store.metadata(release_id)["masks"]
-        return any(
-            union_mask & ~int(source) == 0
-            for source in masks  # type: ignore[union-attr]
-            if int(source) not in exclude
-        )
+        return self._store.covering_index(release_id).covers(union_mask, exclude=exclude)
 
     def _resolve(self, schema: Schema, request: QueryRequest) -> Tuple[int, int, int]:
         if request.mask is not None:
@@ -356,6 +401,7 @@ class QueryService:
         """Mark a whole release unloadable; routing skips it from now on."""
         self._quarantine_events += 1
         self._degraded_releases[release_id] = str(error)
+        self._request_keys.clear()
         if _obs.ENABLED:
             _obs.counter_inc("serving.releases_degraded")
         warnings.warn(
@@ -385,26 +431,39 @@ class QueryService:
             return None
         return (release_id, request.mask, request.attributes, where_items)
 
-    def _fast_lookup(self, signature) -> Optional[ServedAnswer]:
+    def _lookup_route(self, signature) -> Optional[tuple]:
+        """The remembered resolution of a request signature, refreshing its
+        recency; ``None`` on a miss.  Entries are
+        ``(rid, query_mask, fixed_mask, fixed_bits, cache key)``."""
         if signature is None:
             return None
-        key = self._request_keys.get(signature)
-        if key is None:
+        entry = self._request_keys.get(signature)
+        if entry is None:
+            self._request_stats.record_miss()
             return None
-        return self._cache.get(key)
+        self._request_keys.move_to_end(signature)
+        self._request_stats.record_hit()
+        return entry
 
-    def _remember_key(self, signature, key) -> None:
+    def _remember_key(self, signature, entry: tuple) -> None:
+        """LRU-insert a resolved route, evicting exactly the oldest entry.
+
+        Earlier revisions evicted the oldest *half* in one O(n) sweep, and
+        before that cleared the map wholesale — both made a burst of live
+        signatures miss at once (re-running name resolution and release
+        routing for the whole working set).  ``OrderedDict.move_to_end`` on
+        every hit keeps recency exact, so eviction is one ``popitem`` per
+        insert and the working set is never collaterally dropped.
+        """
         if signature is None:
             return
-        if len(self._request_keys) >= self._request_keys_cap:
-            # Evict the oldest ~half (dict preserves insertion order) instead
-            # of clearing wholesale: a full clear made every live request
-            # signature miss at once, re-running name resolution and release
-            # routing for the whole working set (a thundering herd on the
-            # serving fast path under sustained traffic).
-            for stale in list(islice(self._request_keys, self._request_keys_cap // 2)):
-                del self._request_keys[stale]
-        self._request_keys[signature] = key
+        keys = self._request_keys
+        if signature in keys:
+            keys.move_to_end(signature)
+        keys[signature] = entry
+        if len(keys) > self._request_keys_cap:
+            keys.popitem(last=False)
+            self._request_stats.record_eviction()
 
     def query(
         self,
@@ -432,14 +491,48 @@ class QueryService:
         with _obs.trace_span("serving.query"):
             return self._query_impl(request, release_id)
 
+    def _answer_route(self, entry: tuple) -> Optional[ServedAnswer]:
+        """Answer straight from a memoised route, or ``None`` to re-route.
+
+        The remembered resolution is trusted because every event that could
+        change routing (store generation bump, quarantine, sidelining,
+        invalidate) clears the memo wholesale; a ``None`` return (corrupt
+        source discovered now, or a release that stopped loading) falls back
+        into the full routing loop, which re-derives everything.
+        """
+        rid, query_mask, fixed_mask, fixed_bits, key = entry
+        if self._cache.max_entries:
+            cached = self._cache.get(key)
+            if cached is not None:
+                return cached
+        try:
+            answer = self.planner(rid).answer(
+                query_mask,
+                fixed_mask=fixed_mask,
+                fixed_bits=fixed_bits,
+                exclude=self._exclude(rid),
+            ).with_provenance(release_id=rid)
+        except CorruptMarginalError as error:
+            if error.mask is None:
+                raise
+            self._quarantine(rid, error.mask, error)
+            return None
+        except ServingError:
+            return None
+        if self._cache.max_entries:
+            self._cache.put(key, answer.with_provenance(release_id=rid, cached=True))
+        return answer
+
     def _query_impl(
         self, request: QueryRequest, release_id: Optional[str]
     ) -> ServedAnswer:
         self._sync_with_store()
         signature = self._request_signature(request, release_id)
-        hit = self._fast_lookup(signature)
-        if hit is not None:
-            return hit
+        entry = self._lookup_route(signature)
+        if entry is not None:
+            answer = self._answer_route(entry)
+            if answer is not None:
+                return answer
         # Degradation loop: a corrupt source cuboid discovered mid-answer is
         # quarantined and the query re-planned — first around the quarantine
         # within the same release, then (when coverage is gone) re-routed to
@@ -448,10 +541,13 @@ class QueryService:
         while True:
             rid, planner, query_mask, fixed_mask, fixed_bits = self._route(request, release_id)
             key = answer_key(rid, query_mask, fixed_mask, fixed_bits)
-            cached = self._cache.get(key)
-            if cached is not None:
-                self._remember_key(signature, key)
-                return cached
+            if self._cache.max_entries:
+                cached = self._cache.get(key)
+                if cached is not None:
+                    self._remember_key(
+                        signature, (rid, query_mask, fixed_mask, fixed_bits, key)
+                    )
+                    return cached
             try:
                 answer = planner.answer(
                     query_mask,
@@ -465,8 +561,9 @@ class QueryService:
                 self._quarantine(rid, error.mask, error)
                 continue
             # Entries are stored pre-marked as cached so hits return them as-is.
-            self._cache.put(key, answer.with_provenance(release_id=rid, cached=True))
-            self._remember_key(signature, key)
+            if self._cache.max_entries:
+                self._cache.put(key, answer.with_provenance(release_id=rid, cached=True))
+            self._remember_key(signature, (rid, query_mask, fixed_mask, fixed_bits, key))
             return answer
 
     def query_batch(
@@ -474,87 +571,214 @@ class QueryService:
         requests: Sequence[RequestLike],
         *,
         release_id: Optional[str] = None,
+        grouped: bool = True,
     ) -> List[ServedAnswer]:
         """Answer many queries, aggregating each source cuboid once.
 
         Misses are grouped by ``(release, source cuboid, aggregation
-        target)``; each group is aggregated a single time and every request
-        in it (which can only differ by predicate) slices the shared
-        aggregate.  Answers come back in request order.
+        target)``; each group is aggregated a single time, every predicated
+        request in it is answered by one vectorised gather over the shared
+        aggregate, and independent groups aggregate concurrently on the
+        shared shard pool.  Answers come back in request order.
+
+        ``grouped=False`` answers the batch with the plain per-query loop
+        instead — bitwise identical output, used by equivalence tests and
+        benchmarks as the serial reference.
         """
         coerced = [_coerce_request(request) for request in requests]
         self._batches += 1
         self._batched_requests += len(coerced)
         if not _obs.ENABLED:
-            return self._query_batch_impl(coerced, release_id)
+            return self._query_batch_impl(coerced, release_id, grouped=grouped)
         _obs.counter_inc("serving.batches")
         _obs.counter_inc("serving.batched_requests", len(coerced))
         with _obs.trace_span("serving.query_batch", requests=len(coerced)):
-            return self._query_batch_impl(coerced, release_id)
+            return self._query_batch_impl(coerced, release_id, grouped=grouped)
+
+    @staticmethod
+    def _aggregate_group(
+        planner: QueryPlanner, plan: QueryPlan
+    ) -> Tuple[Optional[np.ndarray], Optional[CorruptMarginalError]]:
+        """Aggregate one group's source; errors come back as values.
+
+        Runs on pool worker threads, so quarantining (which mutates service
+        state and re-routes) is deferred to the main thread: workers only
+        report ``(aggregate, None)`` or ``(None, corrupt-marginal error)``.
+        Concurrent calls against one planner are safe — the lazily built
+        cube views and digest markers are idempotent (racing writers store
+        identical values).
+        """
+        try:
+            return planner.aggregate(plan), None
+        except CorruptMarginalError as error:
+            if error.mask is None:
+                raise
+            return None, error
 
     def _query_batch_impl(
-        self, coerced: List[QueryRequest], release_id: Optional[str]
+        self,
+        coerced: List[QueryRequest],
+        release_id: Optional[str],
+        *,
+        grouped: bool = True,
     ) -> List[ServedAnswer]:
         self._sync_with_store()
+        if not grouped:
+            return [self._query_impl(request, release_id) for request in coerced]
         answers: List[Optional[ServedAnswer]] = [None] * len(coerced)
-        # position -> (rid, planner, plan, query_mask, fixed_mask, fixed_bits, key, signature)
-        pending: List[tuple] = []
+        cache_on = bool(self._cache.max_entries)
+        # Resolution phase: route every miss and group it by (release,
+        # source cuboid, aggregation target).  Insertion order of the groups
+        # (and of members within a group) is request order, which keeps the
+        # quarantine-fallback sequence identical to the serial loop.
+        groups: "OrderedDict[Tuple[Optional[str], int, int], tuple]" = OrderedDict()
         for position, request in enumerate(coerced):
             signature = self._request_signature(request, release_id)
-            hit = self._fast_lookup(signature)
-            if hit is not None:
-                answers[position] = hit
-                continue
-            rid, planner, query_mask, fixed_mask, fixed_bits = self._route(request, release_id)
-            key = answer_key(rid, query_mask, fixed_mask, fixed_bits)
-            cached = self._cache.get(key)
-            if cached is not None:
-                self._remember_key(signature, key)
-                answers[position] = cached
-                continue
-            plan = planner.plan(query_mask | fixed_mask, exclude=self._exclude(rid))
-            pending.append(
-                (position, rid, planner, plan, query_mask, fixed_mask, fixed_bits, key, signature)
-            )
-
-        # One aggregation per (release, source cuboid, union target).
-        aggregates: Dict[Tuple[Optional[str], int, int], object] = {}
-        for position, rid, planner, plan, query_mask, fixed_mask, fixed_bits, key, signature in pending:
-            group = (rid, plan.source_mask, plan.union_mask)
-            if group not in aggregates:
+            entry = self._lookup_route(signature)
+            planner = None
+            if entry is not None:
+                rid, query_mask, fixed_mask, fixed_bits, key = entry
+                if cache_on:
+                    cached = self._cache.get(key)
+                    if cached is not None:
+                        answers[position] = cached
+                        continue
                 try:
-                    aggregates[group] = planner.aggregate(plan)
-                except CorruptMarginalError as error:
-                    if error.mask is None:
-                        raise
-                    self._quarantine(rid, error.mask, error)
-                    # Fall back through the single-query path, which re-plans
-                    # around the quarantine (and re-routes across releases
-                    # when this release no longer covers the query).
-                    answers[position] = self._query_impl(coerced[position], release_id)
-                    continue
-            aggregated = aggregates[group]
-            if fixed_mask:
-                # Copy: a cached slice must not pin the shared aggregate.
-                values = slice_marginal(
-                    aggregated, plan.union_mask, fixed_mask, fixed_bits  # type: ignore[arg-type]
-                ).copy()
-            else:
-                values = aggregated
-            values.setflags(write=False)  # type: ignore[union-attr]
-            answer = ServedAnswer(
-                values=values,  # type: ignore[arg-type]
-                query_mask=query_mask,
-                fixed_mask=fixed_mask,
-                fixed_bits=fixed_bits,
-                plan=plan,
-                release_id=rid,
+                    planner = self.planner(rid)
+                    # The memo already holds this exact route (and the lookup
+                    # refreshed its recency) — no need to re-insert it later.
+                    memo_signature = None
+                except ServingError:
+                    planner = None  # stale route; re-derive below
+            if planner is None:
+                memo_signature = signature
+                rid, planner, query_mask, fixed_mask, fixed_bits = self._route(
+                    request, release_id
+                )
+                key = answer_key(rid, query_mask, fixed_mask, fixed_bits)
+                if cache_on:
+                    cached = self._cache.get(key)
+                    if cached is not None:
+                        self._remember_key(
+                            signature, (rid, query_mask, fixed_mask, fixed_bits, key)
+                        )
+                        answers[position] = cached
+                        continue
+            plan = planner.plan(query_mask | fixed_mask, exclude=self._exclude(rid))
+            group_key = (rid, plan.source_mask, plan.union_mask)
+            group = groups.get(group_key)
+            if group is None:
+                group = (planner, plan, [])
+                groups[group_key] = group
+            group[2].append(
+                (position, query_mask, fixed_mask, fixed_bits, key, memo_signature)
             )
-            self._cache.put(key, answer.with_provenance(release_id=rid, cached=True))
-            self._remember_key(signature, key)
-            answers[position] = answer
+        if not groups:
+            assert all(answer is not None for answer in answers)
+            return answers  # type: ignore[return-value]
+
+        # Aggregation phase: one reduction per group, concurrently when the
+        # batch spans several groups.  Output is bitwise independent of the
+        # dispatch order — each group's reduction touches only its own
+        # source cuboid.
+        group_list = list(groups.items())
+        self._batch_groups += len(group_list)
+        workers = (
+            self._batch_workers
+            if self._batch_workers is not None
+            else (os.cpu_count() or 1)
+        )
+        workers = min(workers, len(group_list))
+
+        def _run_aggregations() -> List[tuple]:
+            if workers > 1:
+                pool = get_pool("thread", workers)
+                futures = [
+                    pool.submit(self._aggregate_group, planner, plan)
+                    for _, (planner, plan, _members) in group_list
+                ]
+                return [future.result() for future in futures]
+            return [
+                self._aggregate_group(planner, plan)
+                for _, (planner, plan, _members) in group_list
+            ]
+
+        if _obs.ENABLED:
+            with _obs.trace_span(
+                "serving.batch.aggregate", groups=len(group_list), workers=workers
+            ):
+                results = _run_aggregations()
+        else:
+            results = _run_aggregations()
+
+        # Assembly phase, in deterministic group order: quarantines happen
+        # here (main thread), and every predicated member is answered by one
+        # vectorised gather per (group, predicate mask).
+        for ((rid, _source_mask, union_mask), (_planner, plan, members)), (
+            aggregated,
+            error,
+        ) in zip(group_list, results):
+            if error is not None:
+                self._quarantine(rid, error.mask, error)
+                # Fall back through the single-query path, which re-plans
+                # around the quarantine (and re-routes across releases when
+                # this release no longer covers the query).
+                for position, *_rest in members:
+                    answers[position] = self._query_impl(coerced[position], release_id)
+                continue
+            if _obs.ENABLED:
+                _obs.observe(
+                    "serving.batch.group_size", float(len(members)), GROUP_SIZE_BUCKETS
+                )
+            aggregated.setflags(write=False)
+            by_fixed: "OrderedDict[int, List[tuple]]" = OrderedDict()
+            for member in members:
+                if member[2] == 0:  # no predicate: share the aggregate itself
+                    answers[member[0]] = self._finish_member(
+                        member, aggregated, plan, rid, cache_on=cache_on
+                    )
+                else:
+                    by_fixed.setdefault(member[2], []).append(member)
+            for fixed_mask, fixed_members in by_fixed.items():
+                rows = slice_marginal_batch(
+                    aggregated,
+                    union_mask,
+                    fixed_mask,
+                    [member[3] for member in fixed_members],
+                )
+                rows.setflags(write=False)
+                for row, member in zip(rows, fixed_members):
+                    answers[member[0]] = self._finish_member(
+                        member, row, plan, rid, cache_on=cache_on
+                    )
         assert all(answer is not None for answer in answers)
         return answers  # type: ignore[return-value]
+
+    def _finish_member(
+        self,
+        member: tuple,
+        values: np.ndarray,
+        plan: QueryPlan,
+        rid: Optional[str],
+        *,
+        cache_on: bool,
+    ) -> ServedAnswer:
+        """Build, cache, and route-memoise one freshly answered batch member."""
+        _position, query_mask, fixed_mask, fixed_bits, key, signature = member
+        answer = ServedAnswer(
+            values=values,
+            query_mask=query_mask,
+            fixed_mask=fixed_mask,
+            fixed_bits=fixed_bits,
+            plan=plan,
+            release_id=rid,
+        )
+        if cache_on:
+            self._cache.put(
+                key, answer.with_provenance(release_id=rid, cached=True)
+            )
+        self._remember_key(signature, (rid, query_mask, fixed_mask, fixed_bits, key))
+        return answer
 
     # ------------------------------------------------------------------ #
     def health(self) -> Dict[str, object]:
@@ -584,16 +808,32 @@ class QueryService:
         """Serving counters: query volume, live planners, cache and health.
 
         ``queries`` / ``batches`` / ``batched_requests`` count calls to
-        :meth:`query` and :meth:`query_batch`; ``planners`` is the number of
-        per-release planners currently materialised; ``cache`` is the answer
-        cache's :meth:`~repro.obs.cachestats.CacheStats.to_dict` snapshot;
-        ``health`` is the :meth:`health` degradation report.
+        :meth:`query` and :meth:`query_batch`; ``batch_groups`` counts the
+        aggregation groups those batches resolved to (lower is better: one
+        group answers many requests); ``planners`` is the number of
+        per-release planners currently materialised; ``cache`` /
+        ``request_index`` / ``plan_cache`` are the
+        :meth:`~repro.obs.cachestats.CacheStats.to_dict` snapshots of the
+        answer cache, the request-signature route memo, and the (summed,
+        per-planner) resolved-plan memo; ``health`` is the :meth:`health`
+        degradation report.
         """
+        plan_cache = {"hits": 0, "misses": 0, "evictions": 0}
+        for planner in self._planners.values():
+            snapshot = planner.plan_stats
+            plan_cache["hits"] += snapshot.hits
+            plan_cache["misses"] += snapshot.misses
+            plan_cache["evictions"] += snapshot.evictions
+        requests = plan_cache["hits"] + plan_cache["misses"]
+        plan_cache["hit_rate"] = plan_cache["hits"] / requests if requests else 0.0
         return {
             "queries": self._queries,
             "batches": self._batches,
             "batched_requests": self._batched_requests,
+            "batch_groups": self._batch_groups,
             "planners": len(self._planners),
             "cache": self._cache.stats.to_dict(),
+            "request_index": self._request_stats.to_dict(),
+            "plan_cache": plan_cache,
             "health": self.health(),
         }

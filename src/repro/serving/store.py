@@ -49,6 +49,7 @@ import numpy as np
 from repro.core.result import RELEASE_FORMAT_VERSION, ReleaseResult
 from repro.exceptions import CorruptMarginalError, DataError, ReproError, ServingError
 from repro.obs import runtime as _obs
+from repro.plan.lattice import CoveringIndex
 from repro.store.layout import replace_directory, sha256_of_array, staging_path
 from repro.utils.bits import dominated_by
 
@@ -115,6 +116,10 @@ class ReleaseStore:
         elif not self._root.is_dir():
             raise ServingError(f"release store path {self._root} is not a directory")
         self._index: Dict[str, Dict[str, object]] = {}
+        # Per-release containment indexes over the released cuboid masks,
+        # built lazily from the store index and dropped whenever the release
+        # set changes (every `_generation` bump).
+        self._covering: Dict[str, CoveringIndex] = {}
         # Monotonic change counter: bumped whenever this instance observes or
         # causes a change in the release set, so services layered on top can
         # key caches on it and notice new/removed releases.
@@ -196,6 +201,7 @@ class ReleaseStore:
         they stay on disk for manual inspection but are invisible to queries.
         """
         self._generation += 1
+        self._covering.clear()
         self._index = {}
         for meta_path in sorted(self._meta_paths()):
             release_id = meta_path.parent.name
@@ -264,6 +270,25 @@ class ReleaseStore:
             for release_id in self.release_ids()
             if any(dominated_by(mask, int(source)) for source in self._index[release_id]["masks"])  # type: ignore[union-attr]
         ]
+
+    def covering_index(self, release_id: str) -> CoveringIndex:
+        """Precomputed containment index over one release's cuboid masks.
+
+        Built from the store index alone (no release files are opened) and
+        cached per release; the cache is dropped on every generation bump
+        (:meth:`put`, :meth:`delete`, :meth:`reindex`), so the index always
+        reflects the store's current release set.  Serving uses it to answer
+        per-query coverage checks with one vectorised containment pass
+        instead of re-scanning the metadata mask list.
+        """
+        index = self._covering.get(release_id)
+        if index is None:
+            masks = self.metadata(release_id)["masks"]
+            index = CoveringIndex(
+                {int(mask): position for position, mask in enumerate(masks)}  # type: ignore[union-attr]
+            )
+            self._covering[release_id] = index
+        return index
 
     # ------------------------------------------------------------------ #
     # persistence
@@ -338,6 +363,7 @@ class ReleaseStore:
         self._index[release_id] = self._summary(meta, release_id)
         self._write_index()
         self._generation += 1
+        self._covering.pop(release_id, None)
         return release_id
 
     @staticmethod
@@ -568,6 +594,7 @@ class ReleaseStore:
         del self._index[release_id]
         self._write_index()
         self._generation += 1
+        self._covering.pop(release_id, None)
 
 
 # Re-exported for introspection/tests.

@@ -78,6 +78,33 @@ class TestAnswerCacheStats:
         assert stats["cache"]["hit_rate"] == pytest.approx(0.5)
 
 
+class TestBatchPathObs:
+    def test_traced_batch_reports_plan_cache_groups_and_span(self, small_dataset):
+        workload = all_k_way(small_dataset.schema, 2)
+        release = release_marginals(
+            small_dataset, workload, budget=1.0, strategy="F", rng=3
+        )
+        # cache_size=0: every request goes through the grouped batch path.
+        service = QueryService(release, cache_size=0, batch_workers=1)
+        with tracing() as recorder:
+            service.query_batch(
+                [["a"], ["b"], {"attributes": ["a"], "where": {"b": 1}}]
+            )
+            service.query_batch([["a"]])  # same shape: plan cache hit
+        snapshot = recorder.metrics.snapshot()
+        counters = snapshot["counters"]
+        assert counters["serving.batches"] == 2.0
+        assert counters["serving.batched_requests"] == 4.0
+        assert counters["serving.plan_cache.misses"] >= 1.0
+        assert counters["serving.plan_cache.hits"] >= 1.0
+        assert "serving.batch.group_size" in snapshot["histograms"]
+        assert "serving.batch.aggregate" in recorder.span_names()
+        stats = service.stats()
+        assert stats["batch_groups"] >= 2
+        assert stats["plan_cache"]["hits"] >= 1
+        assert stats["request_index"]["misses"] >= 1
+
+
 class TestMarginalMemoStats:
     def test_memo_hits_are_counted(self, small_dataset):
         source = RecordSource(np.arange(20, dtype=np.int64), dimension=5)

@@ -6,6 +6,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.plan.lattice import (
+    CoveringIndex,
     MarginalBatch,
     ancestors_of,
     batch_assignment,
@@ -49,6 +50,66 @@ class TestMinVarianceSource:
 
     def test_uncovered_returns_none(self):
         assert min_variance_source(0b100, {0b011: 1.0}, {0b011: 0}) is None
+
+
+class TestCoveringIndex:
+    """The precomputed index reproduces the scalar lattice scans exactly."""
+
+    def test_masks_are_popcount_sorted(self):
+        index = CoveringIndex({0b111: 0, 0b001: 1, 0b110: 2, 0b010: 3})
+        assert index.masks == (0b001, 0b010, 0b110, 0b111)
+        assert len(index) == 4
+
+    def test_ancestors_preserve_positions_order(self):
+        positions = {0b101: 0, 0b011: 1, 0b111: 2}
+        index = CoveringIndex(positions)
+        assert index.ancestors(0b001) == ancestors_of(0b001, positions)
+
+    def test_best_source_requires_variances(self):
+        with pytest.raises(ValueError, match="cell variances"):
+            CoveringIndex({0b11: 0}).best_source(0b01)
+
+    def test_empty_index(self):
+        index = CoveringIndex({})
+        assert not index.covers(0b1)
+        assert index.ancestors(0b1) == []
+
+    @SETTINGS
+    @given(
+        masks=mask_lists,
+        variance_seed=st.integers(0, 2**16),
+        query=st.integers(0, 255),
+        exclude_bits=st.integers(0, 2**12 - 1),
+    )
+    def test_property_matches_scalar_scans(
+        self, masks, variance_seed, query, exclude_bits
+    ):
+        import numpy as np
+
+        rng = np.random.default_rng(variance_seed)
+        positions = {mask: position for position, mask in enumerate(masks)}
+        # Near-tie variances on purpose: a handful of distinct values over up
+        # to 12 cuboids forces equal-variance tie-breaks through expansion,
+        # mask and position — where a sloppy vectorisation would diverge.
+        choices = rng.uniform(0.5, 2.0, size=3)
+        variances = {
+            mask: float(choices[rng.integers(len(choices))]) for mask in masks
+        }
+        exclude = frozenset(
+            mask for bit, mask in enumerate(masks) if (exclude_bits >> bit) & 1
+        )
+        index = CoveringIndex(positions, variances)
+
+        assert index.ancestors(query) == ancestors_of(query, positions)
+        assert index.covers(query) == covers(query, positions)
+        kept = {m: p for m, p in positions.items() if m not in exclude}
+        assert index.covers(query, exclude=exclude) == covers(query, kept)
+        assert index.best_source(query) == min_variance_source(
+            query, variances, positions
+        )
+        assert index.best_source(query, exclude=exclude) == min_variance_source(
+            query, variances, kept
+        )
 
 
 class TestMarginalBatches:

@@ -184,6 +184,64 @@ class TestQuerySubcommand:
         assert rc == 2
         assert "ATTR=VALUE" in capsys.readouterr().err
 
+    def test_batch_file(self, store, tmp_path, capsys):
+        batch = tmp_path / "queries.jsonl"
+        batch.write_text(
+            "\n".join(
+                [
+                    "# marginal, slice, point",
+                    json.dumps({"attributes": ["region", "income"]}),
+                    json.dumps({"attributes": ["region"], "where": {"smoker": "yes"}}),
+                    json.dumps({"where": {"smoker": "yes", "region": "north"}}),
+                    "",
+                ]
+            )
+        )
+        rc = main(["query", "--store", str(store), "--batch", str(batch)])
+        captured = capsys.readouterr()
+        assert rc == 0
+        payloads = [json.loads(line) for line in captured.out.splitlines()]
+        assert len(payloads) == 3  # comment and blank lines are skipped
+        assert [len(p["cells"]) for p in payloads] == [12, 4, 1]
+        assert payloads[1]["where"] == {"smoker": "yes"}
+        # Batch answers are bitwise identical to the one-at-a-time CLI path.
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "query", "--store", str(store),
+                    "--attributes", "region", "income", "--json",
+                ]
+            )
+            == 0
+        )
+        single = json.loads(capsys.readouterr().out)
+        assert [c["value"] for c in payloads[0]["cells"]] == [
+            c["value"] for c in single["cells"]
+        ]
+        # The timing summary goes to stderr, keeping stdout valid JSONL.
+        assert "queries in" in captured.err
+        assert "aggregation group(s)" in captured.err
+
+    def test_batch_rejects_inline_query_flags(self, store, tmp_path, capsys):
+        batch = tmp_path / "queries.jsonl"
+        batch.write_text(json.dumps({"attributes": ["region"]}) + "\n")
+        rc = main(
+            [
+                "query", "--store", str(store),
+                "--batch", str(batch), "--attributes", "region",
+            ]
+        )
+        assert rc == 2
+        assert "--batch" in capsys.readouterr().err
+
+    def test_batch_bad_line_fails_with_location(self, store, tmp_path, capsys):
+        batch = tmp_path / "queries.jsonl"
+        batch.write_text('{"attributes": ["region"]}\nnot json\n')
+        rc = main(["query", "--store", str(store), "--batch", str(batch)])
+        assert rc == 2
+        assert f"{batch}:2" in capsys.readouterr().err
+
 
 class TestFreshProcessRoundTrip:
     """Acceptance: a release written by one process is queried by another."""

@@ -167,26 +167,32 @@ class TestRouting:
         )
         assert service.query(["a"]).release_id == "singles"
 
-    def test_request_key_eviction_keeps_recent_half(self, store):
-        # Regression: hitting the signature-map capacity used to clear the
-        # whole map, so every live request signature missed at once and the
-        # next wave of queries re-ran routing (a thundering herd on the fast
-        # path).  Eviction must instead drop only the oldest ~half.
+    def test_request_key_lru_eviction_order(self, store):
+        # Regression: the signature memo is an exact LRU now — each insert
+        # past capacity evicts exactly the least recently *used* entry, and
+        # a lookup refreshes recency.  (Earlier revisions dropped the oldest
+        # half wholesale, which made live signatures miss in bursts.)
         service = QueryService(store)
-        service._request_keys_cap = 8
+        service._request_keys_cap = 4
         masks = list(store.get("r1").workload.masks)
-        for mask in masks[:8]:
+        for mask in masks[:4]:
             service.query(mask=mask)
-        assert len(service._request_keys) == 8
-        recent = list(service._request_keys)[4:]
-        # The insert that trips the capacity evicts the 4 oldest entries only.
-        service.query(mask=masks[8])
-        assert len(service._request_keys) == 5
-        for signature in recent:
-            assert signature in service._request_keys
-        # The retained signatures still serve from the fast path.
-        hit = service.query(mask=masks[7])
+        assert len(service._request_keys) == 4
+        signatures = list(service._request_keys)
+        # Touch the oldest entry: it becomes the most recent.
+        service.query(mask=masks[0])
+        assert list(service._request_keys) == signatures[1:] + signatures[:1]
+        # The next new signature evicts exactly one entry — the LRU (masks[1]).
+        service.query(mask=masks[4])
+        assert len(service._request_keys) == 4
+        assert signatures[1] not in service._request_keys
+        for kept in (signatures[0], *signatures[2:]):
+            assert kept in service._request_keys
+        assert service._request_stats.evictions == 1
+        # Retained signatures still serve from the fast path (answer cached).
+        hit = service.query(mask=masks[0])
         assert hit.cached
+        assert service._request_stats.hits >= 2
 
 
 class TestBatching:
