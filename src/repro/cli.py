@@ -27,6 +27,11 @@ Three entry styles share one ``main``:
       python -m repro stats trace.json
       python -m repro stats --store store/
 
+* ``serve`` — expose a store over HTTP (:mod:`repro.net`): deadline-aware,
+  load-shedding query serving with graceful SIGTERM drain::
+
+      python -m repro serve --store store/ --port 8080
+
 Release commands accept ``--checkpoint DIR`` (and ``--resume``) to stage each
 measured batch crash-safely; a release killed mid-measurement resumes from
 the staged batches and produces output bitwise identical to an uninterrupted
@@ -358,6 +363,17 @@ def _main_stats(argv: Sequence[str]) -> int:
         if (args.store is None) == (args.trace is None):
             raise ReproError("pass either a trace file or --store DIR (not both)")
         if args.store is not None:
+            # Exit-code contract: 2 = the store itself is missing (operator
+            # pointed at the wrong directory), 1 = the store exists but holds
+            # corrupt or unreadable releases, 0 = healthy.
+            store_path = Path(args.store)
+            if not store_path.exists():
+                print(
+                    f"error: release store {store_path} does not exist "
+                    "(pass the directory a 'repro release --out' created)",
+                    file=sys.stderr,
+                )
+                return 2
             report = ReleaseStore(args.store, create=False).verify_all()
             if args.json:
                 print(json.dumps(report, indent=2, sort_keys=True))
@@ -374,6 +390,190 @@ def _main_stats(argv: Sequence[str]) -> int:
         else:
             print(summarise(payload))
         return 0
+    except (ReproError, OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    """Parser of the ``serve`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Serve a release store over HTTP: POST /v1/query and "
+        "/v1/query/batch answer marginal / point / slice queries (pure "
+        "post-processing, zero additional privacy budget); GET /healthz, "
+        "/readyz and /statsz expose liveness, readiness and the "
+        "observability trace.  The edge sheds load with honest 503s once "
+        "its pending queue fills, honours per-request X-Deadline-Ms "
+        "budgets, and drains gracefully on SIGTERM.",
+        allow_abbrev=False,
+    )
+    parser.add_argument("--store", required=True, help="release-store directory")
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=8080, help="bind port (0 picks a free port)"
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="query worker threads (default: the machine's core count)",
+    )
+    parser.add_argument(
+        "--cache-size", type=int, default=1024, help="answer-cache entries (0 disables)"
+    )
+    parser.add_argument(
+        "--max-pending",
+        type=int,
+        default=1024,
+        help="admission bound: queries admitted but unfinished before the "
+        "server sheds with 503 + Retry-After",
+    )
+    parser.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="default per-request deadline budget when the client sends no "
+        "X-Deadline-Ms header (default: none)",
+    )
+    parser.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=1.0,
+        help="micro-batching window: concurrent requests arriving within it "
+        "coalesce into one grouped aggregation (0 disables coalescing)",
+    )
+    parser.add_argument(
+        "--max-batch", type=int, default=512, help="queries per coalesced batch"
+    )
+    parser.add_argument(
+        "--drain-grace",
+        type=float,
+        default=10.0,
+        help="seconds to let in-flight requests finish during SIGTERM drain",
+    )
+    parser.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=3,
+        help="consecutive failures that open a pinned release's circuit breaker",
+    )
+    parser.add_argument(
+        "--breaker-cooldown",
+        type=float,
+        default=30.0,
+        help="seconds an open breaker refuses pinned requests before probing",
+    )
+    parser.add_argument(
+        "--verify-start",
+        action="store_true",
+        help="integrity-check every stored vector before accepting traffic "
+        "(refuses to start on a corrupt store)",
+    )
+    parser.add_argument(
+        "--no-obs",
+        action="store_true",
+        help="serve without the observability recorder (/statsz stays up "
+        "but reports only server counters)",
+    )
+    return parser
+
+
+def _serve_forever(service: QueryService, config, *, obs: bool) -> int:
+    """Run the server until SIGTERM/SIGINT, then drain and report."""
+    import asyncio
+    import signal
+
+    from repro.net.server import QueryServer
+    from repro.obs import runtime as _obs_runtime
+    from repro.obs.tracer import Recorder
+
+    server = QueryServer(service, config)
+    if obs:
+        # A span cap keeps the long-running recorder's memory bounded;
+        # counters, gauges and histograms aggregate in place regardless.
+        _obs_runtime.enable(Recorder(max_spans=10_000))
+
+    async def _run() -> int:
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass  # non-Unix loop: Ctrl-C surfaces as KeyboardInterrupt
+        host, port = await server.start()
+        store = service.store
+        releases = len(store.release_ids()) if store is not None else 1
+        print(
+            f"serving : http://{host}:{port} "
+            f"({server.workers} worker(s), {releases} release(s))",
+            file=sys.stderr,
+            flush=True,
+        )
+        await stop.wait()
+        print(
+            "draining: listener closed; flushing in-flight requests",
+            file=sys.stderr,
+            flush=True,
+        )
+        report = await server.drain()
+        print(
+            f"drained : {report['completed']} completed, "
+            f"{report['aborted']} aborted",
+            file=sys.stderr,
+            flush=True,
+        )
+        return 0 if report["aborted"] == 0 else 1
+
+    try:
+        return asyncio.run(_run())
+    except KeyboardInterrupt:  # pragma: no cover - non-Unix fallback
+        return 0
+    finally:
+        if obs:
+            _obs_runtime.disable()
+
+
+def _main_serve(argv: Sequence[str]) -> int:
+    args = build_serve_parser().parse_args(argv)
+    from repro.net.server import ServerConfig
+
+    try:
+        store_path = Path(args.store)
+        if not store_path.exists():
+            print(
+                f"error: release store {store_path} does not exist "
+                "(pass the directory a 'repro release --out' created)",
+                file=sys.stderr,
+            )
+            return 2
+        store = ReleaseStore(args.store, create=False)
+        if args.verify_start:
+            report = store.verify_all()
+            if not report["ok"]:
+                print("\n".join(_store_health_lines(report)), file=sys.stderr)
+                print(
+                    "error: store failed verification; refusing to serve",
+                    file=sys.stderr,
+                )
+                return 1
+        service = QueryService(
+            store, cache_size=args.cache_size, batch_workers=args.workers
+        )
+        config = ServerConfig(
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            max_pending=args.max_pending,
+            default_deadline_ms=args.deadline_ms,
+            batch_window_ms=args.batch_window_ms,
+            max_batch=args.max_batch,
+            drain_grace_s=args.drain_grace,
+            breaker_threshold=args.breaker_threshold,
+            breaker_cooldown_s=args.breaker_cooldown,
+        )
+        return _serve_forever(service, config, obs=not args.no_obs)
     except (ReproError, OSError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -764,8 +964,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code.
 
     Dispatches on an optional leading subcommand (``release`` / ``query`` /
-    ``stats``); anything else falls through to the classic flag-only release
-    interface.
+    ``stats`` / ``serve``); anything else falls through to the classic
+    flag-only release interface.
     """
     arguments = list(argv) if argv is not None else sys.argv[1:]
     if arguments and arguments[0] == "release":
@@ -774,6 +974,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _main_query(arguments[1:])
     if arguments and arguments[0] == "stats":
         return _main_stats(arguments[1:])
+    if arguments and arguments[0] == "serve":
+        return _main_serve(arguments[1:])
     return _main_legacy(arguments if argv is not None else None)
 
 

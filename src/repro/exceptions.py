@@ -96,6 +96,20 @@ class CorruptMarginalError(ServingError):
         self.release_id = release_id
 
 
+class NetError(ReproError):
+    """Raised by the network serving tier (:mod:`repro.net`): malformed HTTP
+    traffic, invalid server configuration, or a request rejected at the edge
+    (shed under load, past its deadline, or refused during drain).  Handlers
+    map these onto HTTP status codes; they never escape the server loop."""
+
+
+class DeadlineExceededError(NetError):
+    """Raised when a request's deadline budget (``X-Deadline-Ms``) expires
+    before the query runs.  The serving tier guarantees an expired request is
+    *never* aggregated: the micro-batcher drops it at flush time and the
+    handler answers 504 instead of doing late work."""
+
+
 class ResilienceError(ReproError):
     """Raised by the resilience layer (:mod:`repro.resilience`): invalid
     fault plans or retry policies, or misuse of the injection harness."""

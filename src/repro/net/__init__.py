@@ -1,0 +1,37 @@
+"""The hardened HTTP serving tier.
+
+``repro.net`` exposes a :class:`~repro.serving.service.QueryService` over
+HTTP/1.1 (stdlib asyncio, zero new dependencies) with the edge defenses a
+long-running production endpoint needs: per-request deadline budgets,
+bounded-queue admission control with honest load shedding, per-release
+circuit breakers, micro-batched grouped aggregation, and graceful
+SIGTERM drain.  ``repro serve --store DIR --port N`` is the CLI entry.
+"""
+
+from repro.net.admission import AdmissionController, ShedDecision
+from repro.net.batching import MicroBatcher
+from repro.net.breaker import ReleaseBreaker
+from repro.net.http import ProtocolError, Request
+from repro.net.protocol import (
+    answer_payload,
+    encode_batch,
+    encode_canonical,
+    parse_query_payload,
+)
+from repro.net.server import BackgroundServer, QueryServer, ServerConfig
+
+__all__ = [
+    "AdmissionController",
+    "BackgroundServer",
+    "MicroBatcher",
+    "ProtocolError",
+    "QueryServer",
+    "ReleaseBreaker",
+    "Request",
+    "ServerConfig",
+    "ShedDecision",
+    "answer_payload",
+    "encode_batch",
+    "encode_canonical",
+    "parse_query_payload",
+]

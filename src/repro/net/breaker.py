@@ -1,0 +1,151 @@
+"""Per-release circuit breakers for the serving edge.
+
+A release whose queries keep failing — corrupt vectors surfacing as
+:class:`~repro.exceptions.CorruptMarginalError`, or routing errors after a
+quarantine removed its coverage — should stop consuming worker time.  The
+breaker tracks *consecutive* failures per release id:
+
+* ``closed`` — normal operation; a success resets the failure count;
+* ``open`` — after ``threshold`` consecutive failures, requests pinned to
+  the release are refused instantly with a 503 and ``Retry-After`` equal
+  to the remaining cooldown;
+* ``half_open`` — once the cooldown elapses, one probe request is let
+  through; success closes the breaker, failure re-opens it for another
+  cooldown.
+
+Only *pinned* requests (an explicit ``release`` in the payload) are
+gated: unpinned queries are free to re-route to an older healthy release,
+which is the degradation path the service layer already provides — the
+answer comes back flagged ``degraded`` with honest, wider error bars.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional
+
+from repro.obs import runtime as _obs
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class _Breaker:
+    __slots__ = ("state", "failures", "opened_at", "probing")
+
+    def __init__(self) -> None:
+        self.state = CLOSED
+        self.failures = 0
+        self.opened_at = 0.0
+        self.probing = False
+
+
+class ReleaseBreaker:
+    """Consecutive-failure circuit breakers keyed by release id."""
+
+    def __init__(
+        self,
+        *,
+        threshold: int = 3,
+        cooldown_s: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        if cooldown_s <= 0:
+            raise ValueError(f"cooldown_s must be positive, got {cooldown_s}")
+        self.threshold = int(threshold)
+        self.cooldown_s = float(cooldown_s)
+        self._clock = clock
+        self._breakers: Dict[str, _Breaker] = {}
+        self._trips = 0
+
+    def _get(self, release_id: str) -> _Breaker:
+        breaker = self._breakers.get(release_id)
+        if breaker is None:
+            breaker = self._breakers[release_id] = _Breaker()
+        return breaker
+
+    def check(self, release_id: Optional[str]) -> Optional[float]:
+        """Gate one pinned request; a float means *refuse*, wait that long.
+
+        ``None`` admits the request (and, from an open breaker whose
+        cooldown elapsed, marks it as the half-open probe).
+        """
+        if release_id is None:
+            return None
+        breaker = self._breakers.get(release_id)
+        if breaker is None or breaker.state == CLOSED:
+            return None
+        now = self._clock()
+        remaining = breaker.opened_at + self.cooldown_s - now
+        if breaker.state == OPEN:
+            if remaining > 0:
+                return remaining
+            breaker.state = HALF_OPEN
+            breaker.probing = True
+            return None
+        # half_open: one probe at a time; concurrent requests wait out
+        # what's left of the cooldown (at least a beat, so Retry-After >= 1).
+        if breaker.probing:
+            return max(remaining, 0.001)
+        breaker.probing = True
+        return None
+
+    def record_success(self, release_id: Optional[str]) -> None:
+        """A query against the release succeeded; close its breaker."""
+        if release_id is None:
+            return
+        breaker = self._breakers.get(release_id)
+        if breaker is None:
+            return
+        breaker.state = CLOSED
+        breaker.failures = 0
+        breaker.probing = False
+
+    def record_failure(self, release_id: Optional[str]) -> None:
+        """A query against the release failed; maybe trip its breaker."""
+        if release_id is None:
+            return
+        breaker = self._get(release_id)
+        breaker.probing = False
+        if breaker.state == HALF_OPEN:
+            breaker.state = OPEN
+            breaker.opened_at = self._clock()
+            self._trips += 1
+            if _obs.ENABLED:
+                _obs.counter_inc("net.breaker.trips")
+            return
+        breaker.failures += 1
+        if breaker.failures >= self.threshold and breaker.state == CLOSED:
+            breaker.state = OPEN
+            breaker.opened_at = self._clock()
+            self._trips += 1
+            if _obs.ENABLED:
+                _obs.counter_inc("net.breaker.trips")
+
+    def open_releases(self) -> Dict[str, float]:
+        """Currently-open breakers and their remaining cooldown seconds."""
+        now = self._clock()
+        return {
+            release_id: max(0.0, breaker.opened_at + self.cooldown_s - now)
+            for release_id, breaker in self._breakers.items()
+            if breaker.state == OPEN
+        }
+
+    def stats(self) -> dict:
+        """Breaker states for ``/statsz`` and ``/readyz``."""
+        return {
+            "threshold": self.threshold,
+            "cooldown_s": self.cooldown_s,
+            "trips": self._trips,
+            "states": {
+                release_id: {"state": breaker.state, "failures": breaker.failures}
+                for release_id, breaker in self._breakers.items()
+                if breaker.state != CLOSED or breaker.failures
+            },
+        }
+
+
+__all__ = ["CLOSED", "HALF_OPEN", "OPEN", "ReleaseBreaker"]

@@ -1,0 +1,169 @@
+"""Wire payloads of the query-serving HTTP API.
+
+One place owns the JSON shapes so the server, the CLI client examples and
+the equivalence tests cannot drift apart:
+
+* :func:`parse_query_payload` turns a request JSON object into the
+  :class:`~repro.serving.service.QueryRequest` the in-process service
+  takes, validating types at the edge (bad input is a
+  :class:`~repro.net.http.ProtocolError` 400, never a 500 from deep
+  inside the planner);
+* :func:`answer_payload` / :func:`encode_canonical` turn a
+  :class:`~repro.serving.planner.ServedAnswer` into its canonical JSON
+  bytes — sorted keys, no whitespace — so "the HTTP answer equals the
+  in-process answer" is a byte comparison, not a semantic one.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Tuple
+
+from repro.net.http import ProtocolError
+from repro.serving.planner import ServedAnswer
+from repro.serving.service import QueryRequest
+
+#: Keys accepted in a query payload; anything else is a 400 (catches typos
+#: like ``"attrs"`` that would otherwise silently ask for the total count).
+QUERY_KEYS = frozenset({"attributes", "mask", "where", "release"})
+
+
+def parse_query_payload(obj: object) -> Tuple[QueryRequest, Optional[str]]:
+    """Validate one JSON query object into ``(request, pinned release id)``."""
+    if not isinstance(obj, dict):
+        raise ProtocolError(400, f"query must be a JSON object, got {type(obj).__name__}")
+    unknown = set(obj) - QUERY_KEYS
+    if unknown:
+        raise ProtocolError(
+            400,
+            f"unknown query key(s) {sorted(unknown)}; expected a subset of "
+            f"{sorted(QUERY_KEYS)}",
+        )
+    attributes = obj.get("attributes")
+    if attributes is not None:
+        if not isinstance(attributes, list) or not all(
+            isinstance(ref, (str, int)) and not isinstance(ref, bool)
+            for ref in attributes
+        ):
+            raise ProtocolError(
+                400, "attributes must be a list of attribute names or indices"
+            )
+        attributes = tuple(attributes)
+    mask = obj.get("mask")
+    if mask is not None and (isinstance(mask, bool) or not isinstance(mask, int) or mask < 0):
+        raise ProtocolError(400, f"mask must be a non-negative integer, got {mask!r}")
+    if attributes is not None and mask is not None:
+        raise ProtocolError(400, "specify the query by attributes or by mask, not both")
+    where = obj.get("where")
+    if where is not None:
+        if not isinstance(where, dict):
+            raise ProtocolError(400, "where must be an object mapping attributes to values")
+        if not all(
+            isinstance(value, (str, int)) and not isinstance(value, bool)
+            for value in where.values()
+        ):
+            raise ProtocolError(400, "where values must be value labels or integer codes")
+    release = obj.get("release")
+    if release is not None and not isinstance(release, str):
+        raise ProtocolError(400, f"release must be a string release id, got {release!r}")
+    return QueryRequest(attributes=attributes, mask=mask, where=where), release
+
+
+def parse_batch_body(body: bytes, content_type: str) -> Tuple[List[object], bool]:
+    """Decode a batch body into ``(query objects, is_ndjson)``.
+
+    ``application/x-ndjson`` (or ``application/jsonl``) bodies carry one
+    query object per line; everything else must be one JSON array.  The
+    response mirrors the request format.
+    """
+    media_type = content_type.split(";", 1)[0].strip().lower()
+    ndjson = media_type in ("application/x-ndjson", "application/jsonl", "text/jsonl")
+    try:
+        text = body.decode("utf-8")
+    except UnicodeDecodeError as error:
+        raise ProtocolError(400, f"request body is not valid UTF-8: {error}") from None
+    if ndjson:
+        items: List[object] = []
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            if not line.strip():
+                continue
+            try:
+                items.append(json.loads(line))
+            except json.JSONDecodeError as error:
+                raise ProtocolError(
+                    400, f"line {lineno} is not valid JSON: {error.msg}"
+                ) from None
+        return items, True
+    try:
+        parsed = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ProtocolError(400, f"request body is not valid JSON: {error.msg}") from None
+    if not isinstance(parsed, list):
+        raise ProtocolError(
+            400,
+            "batch body must be a JSON array of query objects "
+            "(or NDJSON with Content-Type application/x-ndjson)",
+        )
+    return parsed, False
+
+
+def parse_single_body(body: bytes) -> object:
+    """Decode a single-query body into one JSON object."""
+    try:
+        parsed = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        message = getattr(error, "msg", None) or str(error)
+        raise ProtocolError(400, f"request body is not valid JSON: {message}") from None
+    return parsed
+
+
+def answer_payload(answer: ServedAnswer) -> Dict[str, object]:
+    """The JSON shape of one served answer.
+
+    ``values`` are plain floats (the release vectors are float64 already);
+    masks stay integers — clients that need hex can format them.  The
+    ``degraded`` flag and ``std_error`` travel with every answer so a
+    client can see when a quarantine widened its error bars.
+    """
+    return {
+        "release": answer.release_id,
+        "query_mask": int(answer.query_mask),
+        "fixed_mask": int(answer.fixed_mask),
+        "fixed_bits": int(answer.fixed_bits),
+        "source_mask": int(answer.plan.source_mask),
+        "values": [float(value) for value in answer.values],
+        "per_cell_variance": float(answer.per_cell_variance),
+        "std_error": float(answer.std_error),
+        "degraded": bool(answer.degraded),
+        "cached": bool(answer.cached),
+    }
+
+
+def encode_canonical(payload: object) -> bytes:
+    """Canonical JSON bytes: sorted keys, minimal separators, UTF-8.
+
+    Both the server and the HTTP-vs-in-process equivalence tests encode
+    through here, which is what makes byte-for-byte comparison meaningful.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def encode_batch(payloads: List[Dict[str, object]], ndjson: bool) -> Tuple[bytes, str]:
+    """Encode a batch response in the format the request used."""
+    if ndjson:
+        body = b"\n".join(encode_canonical(payload) for payload in payloads)
+        if payloads:
+            body += b"\n"
+        return body, "application/x-ndjson"
+    return encode_canonical(payloads), "application/json"
+
+
+__all__ = [
+    "QUERY_KEYS",
+    "answer_payload",
+    "encode_batch",
+    "encode_canonical",
+    "parse_batch_body",
+    "parse_query_payload",
+    "parse_single_body",
+]

@@ -128,14 +128,24 @@ class Recorder:
     Thread-safe: spans may start and finish on any thread; each thread keeps
     its own nesting stack, while the finished-record list, the id counter,
     the metrics registry and the ledger are shared under locks.
+
+    ``max_spans`` bounds the retained record list for long-running processes
+    (the HTTP serving tier records one span per request): once the cap is
+    reached new records are counted in :attr:`spans_dropped` instead of
+    stored, so memory stays flat while metrics keep aggregating.
     """
 
-    def __init__(self):
+    def __init__(self, max_spans: Optional[int] = None):
         self._lock = threading.Lock()
         self._records: List[SpanRecord] = []
         self._next_id = 0
         self._local = threading.local()
         self._epoch = time.perf_counter()
+        self._max_spans = int(max_spans) if max_spans is not None else None
+        self._spans_dropped = 0
+        # Running [count, total, max] per span name for records dropped at
+        # the cap, so durations_by_name() stays exact however long we run.
+        self._dropped_durations: Dict[str, List[float]] = {}
         self.metrics = MetricsRegistry()
         self.ledger = BudgetLedger()
 
@@ -178,9 +188,24 @@ class Recorder:
             attrs=span.attrs,
         )
         with self._lock:
-            self._records.append(record)
+            if self._max_spans is not None and len(self._records) >= self._max_spans:
+                self._spans_dropped += 1
+                aggregate = self._dropped_durations.setdefault(
+                    record.name, [0.0, 0.0, 0.0]
+                )
+                aggregate[0] += 1.0
+                aggregate[1] += record.duration
+                aggregate[2] = max(aggregate[2], record.duration)
+            else:
+                self._records.append(record)
 
     # ------------------------------------------------------------------ #
+    @property
+    def spans_dropped(self) -> int:
+        """Finished spans discarded because :attr:`max_spans` was reached."""
+        with self._lock:
+            return self._spans_dropped
+
     @property
     def spans(self) -> Tuple[SpanRecord, ...]:
         """Every finished span, ordered by start time (then id)."""
@@ -193,19 +218,35 @@ class Recorder:
         return tuple(sorted({record.name for record in self.spans}))
 
     def durations_by_name(self) -> Dict[str, Dict[str, float]]:
-        """Aggregated ``{name: {count, total, mean, max}}`` over finished spans."""
+        """Aggregated ``{name: {count, total, mean, max}}`` over finished spans.
+
+        Includes spans dropped at the ``max_spans`` cap: their records are
+        gone, but their durations were folded into a running aggregate, so
+        these summaries stay exact for arbitrarily long runs.
+        """
         grouped: Dict[str, List[float]] = {}
         for record in self.spans:
             grouped.setdefault(record.name, []).append(record.duration)
-        return {
+        summary = {
             name: {
                 "count": len(durations),
                 "total": sum(durations),
                 "mean": sum(durations) / len(durations),
                 "max": max(durations),
             }
-            for name, durations in sorted(grouped.items())
+            for name, durations in grouped.items()
         }
+        with self._lock:
+            dropped = {name: list(agg) for name, agg in self._dropped_durations.items()}
+        for name, (count, total, maximum) in dropped.items():
+            entry = summary.setdefault(
+                name, {"count": 0, "total": 0.0, "mean": 0.0, "max": 0.0}
+            )
+            entry["count"] += int(count)
+            entry["total"] += total
+            entry["max"] = max(entry["max"], maximum)
+            entry["mean"] = entry["total"] / entry["count"]
+        return dict(sorted(summary.items()))
 
     # ------------------------------------------------------------------ #
     def snapshot(self) -> Dict[str, object]:

@@ -32,6 +32,15 @@ The registered sites:
     :class:`concurrent.futures.process.BrokenProcessPool` — the observable
     signature of a worker killed mid-task — so pool rebuild + replay is
     exercised without actually killing children.
+``net.read``
+    Inside the HTTP request-body read of :mod:`repro.net.http` — the
+    signature of a client that died (or a socket that failed) mid-upload.
+    The serving tier must answer 400 and never aggregate a partial batch.
+``net.handler``
+    At the top of the query-endpoint handlers of
+    :class:`~repro.net.server.QueryServer`, after admission — an unexpected
+    handler crash must produce a clean 500, release the admission slot, and
+    leave the server serving.
 
 Determinism: a :class:`FaultPlan` is a list of :class:`FaultSpec` rules.  A
 spec either fails a fixed set of hits (``hits=(1, 3)`` fails the 1st and 3rd
@@ -63,6 +72,8 @@ INJECTION_SITES = (
     "store.open",
     "spill.merge",
     "pool.worker",
+    "net.read",
+    "net.handler",
 )
 
 #: Module-level injection switch.  Never assign directly — use
@@ -128,7 +139,7 @@ class FaultSpec:
             return self.error
         if self.site == "pool.worker":
             return _broken_pool_error()
-        if self.site in ("store.read", "store.open"):
+        if self.site in ("store.read", "store.open", "net.read"):
             return _TransientIOFault
         return TransientFault
 

@@ -26,6 +26,7 @@ of :mod:`repro.core.variance`.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, replace
 from functools import lru_cache
@@ -299,6 +300,10 @@ class QueryPlanner:
         # released mask, and resolved plans are memoised by query shape.
         self._index = CoveringIndex(self._positions, self._cell_variances)
         self._plan_cache: "OrderedDict[Tuple[int, FrozenSet[int]], QueryPlan]" = OrderedDict()
+        # Batch groups aggregate on pool threads and the HTTP tier calls
+        # query_batch from several executor threads at once; the LRU
+        # move_to_end/popitem pair is not atomic, hence the lock.
+        self._plan_lock = threading.Lock()
         self._plan_stats = CacheStats(metric_prefix="serving.plan_cache")
 
     # ------------------------------------------------------------------ #
@@ -351,11 +356,12 @@ class QueryPlanner:
         """
         exclude_key = exclude if isinstance(exclude, frozenset) else frozenset(exclude)
         cache_key = (union_mask, exclude_key)
-        cached = self._plan_cache.get(cache_key)
-        if cached is not None:
-            self._plan_cache.move_to_end(cache_key)
-            self._plan_stats.record_hit()
-            return cached
+        with self._plan_lock:
+            cached = self._plan_cache.get(cache_key)
+            if cached is not None:
+                self._plan_cache.move_to_end(cache_key)
+                self._plan_stats.record_hit()
+                return cached
         self._plan_stats.record_miss()
         domain_mask = self._release.workload.schema.full_mask
         if union_mask < 0 or union_mask > domain_mask:
@@ -385,10 +391,11 @@ class QueryPlanner:
             per_cell_variance=variance,
             degraded=degraded,
         )
-        self._plan_cache[cache_key] = plan
-        if len(self._plan_cache) > PLAN_CACHE_ENTRIES:
-            self._plan_cache.popitem(last=False)
-            self._plan_stats.record_eviction()
+        with self._plan_lock:
+            self._plan_cache[cache_key] = plan
+            if len(self._plan_cache) > PLAN_CACHE_ENTRIES:
+                self._plan_cache.popitem(last=False)
+                self._plan_stats.record_eviction()
         return plan
 
     def aggregate(self, plan: QueryPlan) -> np.ndarray:

@@ -22,6 +22,7 @@ everything is post-processing of the released vectors.
 from __future__ import annotations
 
 import os
+import threading
 import warnings
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -187,6 +188,10 @@ class QueryService:
         # bump, quarantine, sidelining, invalidate).
         self._request_keys: "OrderedDict[tuple, tuple]" = OrderedDict()
         self._request_keys_cap = max(4 * cache_size, 4096)
+        # The route memo is touched from every thread the asyncio serving
+        # tier dispatches query_batch on; OrderedDict.move_to_end/popitem
+        # are not atomic, so all memo access goes through this lock.
+        self._request_keys_lock = threading.Lock()
         self._request_stats = CacheStats(metric_prefix="serving.request_keys")
         if batch_workers is not None and int(batch_workers) < 1:
             raise ServingError(
@@ -236,12 +241,19 @@ class QueryService:
         self._sync_with_store()
         if release_id is None:
             release_id = self._store.latest_release_id()
-        if release_id not in self._planners:
-            self._planners[release_id] = QueryPlanner(
-                self._store.get(release_id),
-                marginal_digests=self._store.marginal_digests(release_id),
+        planner = self._planners.get(release_id)
+        if planner is None:
+            # Concurrent builders are tolerated (the loser's planner is
+            # dropped); setdefault keeps exactly one instance live so the
+            # plan cache and digest markers are shared across threads.
+            planner = self._planners.setdefault(
+                release_id,
+                QueryPlanner(
+                    self._store.get(release_id),
+                    marginal_digests=self._store.marginal_digests(release_id),
+                ),
             )
-        return self._planners[release_id]
+        return planner
 
     def invalidate(self, release_id: Optional[str] = None) -> None:
         """Drop cached planners, schemas, answers — and degradation state.
@@ -261,7 +273,8 @@ class QueryService:
             self._quarantined.pop(release_id, None)
             self._degraded_releases.pop(release_id, None)
         self._cache.clear()
-        self._request_keys.clear()
+        with self._request_keys_lock:
+            self._request_keys.clear()
         self._routing_order = None
         if self._store is not None:
             self._seen_generation = self._store.generation
@@ -306,7 +319,8 @@ class QueryService:
         masks.add(int(mask))
         # Remembered routes may now point at the quarantined cuboid's
         # release; force full routing until new entries are learned.
-        self._request_keys.clear()
+        with self._request_keys_lock:
+            self._request_keys.clear()
         if _obs.ENABLED:
             _obs.counter_inc("serving.marginals_quarantined")
             _obs.gauge_set(
@@ -401,7 +415,8 @@ class QueryService:
         """Mark a whole release unloadable; routing skips it from now on."""
         self._quarantine_events += 1
         self._degraded_releases[release_id] = str(error)
-        self._request_keys.clear()
+        with self._request_keys_lock:
+            self._request_keys.clear()
         if _obs.ENABLED:
             _obs.counter_inc("serving.releases_degraded")
         warnings.warn(
@@ -437,11 +452,12 @@ class QueryService:
         ``(rid, query_mask, fixed_mask, fixed_bits, cache key)``."""
         if signature is None:
             return None
-        entry = self._request_keys.get(signature)
-        if entry is None:
-            self._request_stats.record_miss()
-            return None
-        self._request_keys.move_to_end(signature)
+        with self._request_keys_lock:
+            entry = self._request_keys.get(signature)
+            if entry is None:
+                self._request_stats.record_miss()
+                return None
+            self._request_keys.move_to_end(signature)
         self._request_stats.record_hit()
         return entry
 
@@ -458,12 +474,13 @@ class QueryService:
         if signature is None:
             return
         keys = self._request_keys
-        if signature in keys:
-            keys.move_to_end(signature)
-        keys[signature] = entry
-        if len(keys) > self._request_keys_cap:
-            keys.popitem(last=False)
-            self._request_stats.record_eviction()
+        with self._request_keys_lock:
+            if signature in keys:
+                keys.move_to_end(signature)
+            keys[signature] = entry
+            if len(keys) > self._request_keys_cap:
+                keys.popitem(last=False)
+                self._request_stats.record_eviction()
 
     def query(
         self,
@@ -819,7 +836,7 @@ class QueryService:
         degradation report.
         """
         plan_cache = {"hits": 0, "misses": 0, "evictions": 0}
-        for planner in self._planners.values():
+        for planner in list(self._planners.values()):
             snapshot = planner.plan_stats
             plan_cache["hits"] += snapshot.hits
             plan_cache["misses"] += snapshot.misses

@@ -116,6 +116,10 @@ class ReleaseStore:
         elif not self._root.is_dir():
             raise ServingError(f"release store path {self._root} is not a directory")
         self._index: Dict[str, Dict[str, object]] = {}
+        # Releases whose metadata could not be parsed during the last
+        # reindex: invisible to routing, but surfaced by verify_all() so a
+        # health check reports them as corrupt instead of silently OK.
+        self._unreadable: Dict[str, str] = {}
         # Per-release containment indexes over the released cuboid masks,
         # built lazily from the store index and dropped whenever the release
         # set changes (every `_generation` bump).
@@ -203,12 +207,14 @@ class ReleaseStore:
         self._generation += 1
         self._covering.clear()
         self._index = {}
+        self._unreadable = {}
         for meta_path in sorted(self._meta_paths()):
             release_id = meta_path.parent.name
             try:
                 meta = json.loads(meta_path.read_text())
                 self._index[release_id] = self._summary(meta, release_id)
             except (json.JSONDecodeError, KeyError, TypeError, ValueError, OSError) as error:
+                self._unreadable[release_id] = str(error)
                 warnings.warn(
                     f"skipping unreadable release {release_id!r} in {self._root}: {error}",
                     RuntimeWarning,
@@ -513,10 +519,28 @@ class ReleaseStore:
         ``verified`` is the number of digest-checked vectors — 0 for
         pre-digest releases, which can only be checked for readability.
         """
-        meta = self._read_meta(release_id)
-        layout = str(meta.get("marginals_layout", "v1"))
-        masks = [int(mask) for mask in meta["workload"]["masks"]]  # type: ignore[index, call-overload]
-        digests = meta.get("marginal_digests")
+        try:
+            meta = self._read_meta(release_id)
+            layout = str(meta.get("marginals_layout", "v1"))
+            masks = [int(mask) for mask in meta["workload"]["masks"]]  # type: ignore[index, call-overload]
+            digests = meta.get("marginal_digests")
+        except (ServingError, KeyError, TypeError, ValueError) as error:
+            # A release the index still names but whose metadata no longer
+            # parses: report it corrupt instead of failing the health check.
+            return {
+                "release_id": release_id,
+                "layout": "unknown",
+                "marginals": 0,
+                "verified": 0,
+                "ok": False,
+                "corrupt": [
+                    {
+                        "position": None,
+                        "mask": None,
+                        "error": f"unreadable release metadata: {error}",
+                    }
+                ],
+            }
         directory = self._release_dir(release_id)
         corrupt: List[Dict[str, object]] = []
         verified = 0
@@ -560,9 +584,36 @@ class ReleaseStore:
             "corrupt": corrupt,
         }
 
+    @property
+    def unreadable_releases(self) -> Dict[str, str]:
+        """Releases skipped by the last reindex (id -> parse error)."""
+        return dict(self._unreadable)
+
     def verify_all(self) -> Dict[str, object]:
-        """Run :meth:`verify` over every release; aggregate store health."""
+        """Run :meth:`verify` over every release; aggregate store health.
+
+        Releases whose metadata could not even be indexed (a corrupt or torn
+        ``meta.json``) appear as zero-marginal CORRUPT reports — a store with
+        only unreadable releases is degraded, not healthy-and-empty.
+        """
         reports = [self.verify(release_id) for release_id in self.release_ids()]
+        for release_id, error in sorted(self._unreadable.items()):
+            reports.append(
+                {
+                    "release_id": release_id,
+                    "layout": "unknown",
+                    "marginals": 0,
+                    "verified": 0,
+                    "ok": False,
+                    "corrupt": [
+                        {
+                            "position": None,
+                            "mask": None,
+                            "error": f"unreadable release metadata: {error}",
+                        }
+                    ],
+                }
+            )
         return {
             "root": str(self._root),
             "releases": len(reports),

@@ -1,0 +1,94 @@
+"""Shared fixtures of the HTTP serving-tier test suite."""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Optional, Tuple
+
+import numpy as np
+import pytest
+
+from repro.core.engine import release_marginals
+from repro.domain import Schema
+from repro.queries import all_k_way
+from repro.serving.service import QueryService
+from repro.serving.store import ReleaseStore
+
+
+@pytest.fixture
+def schema() -> Schema:
+    return Schema.binary(["a", "b", "c", "d", "e"])
+
+
+@pytest.fixture
+def counts(schema) -> np.ndarray:
+    rng = np.random.default_rng(7)
+    return rng.integers(0, 50, size=schema.domain_size).astype(np.float64)
+
+
+@pytest.fixture
+def release(schema, counts):
+    """A consistent Fourier release of all 2-way marginals."""
+    workload = all_k_way(schema, 2)
+    return release_marginals(counts, workload, budget=1.0, strategy="F", rng=3)
+
+
+@pytest.fixture
+def store(tmp_path, release) -> ReleaseStore:
+    store = ReleaseStore(tmp_path / "store", create=True)
+    store.put(release)
+    return store
+
+
+@pytest.fixture
+def service(store) -> QueryService:
+    return QueryService(store)
+
+
+class Client:
+    """A minimal keep-alive HTTP client for exercising the server."""
+
+    def __init__(self, host: str, port: int):
+        self.conn = http.client.HTTPConnection(host, port, timeout=30)
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes] = None,
+        headers: Optional[dict] = None,
+    ) -> Tuple[int, dict, bytes]:
+        self.conn.request(method, path, body=body, headers=headers or {})
+        response = self.conn.getresponse()
+        payload = response.read()
+        return response.status, dict(response.getheaders()), payload
+
+    def get(self, path: str) -> Tuple[int, dict, bytes]:
+        return self.request("GET", path)
+
+    def post_json(
+        self, path: str, obj: object, headers: Optional[dict] = None
+    ) -> Tuple[int, dict, bytes]:
+        merged = {"Content-Type": "application/json"}
+        merged.update(headers or {})
+        return self.request(
+            "POST", path, body=json.dumps(obj).encode("utf-8"), headers=merged
+        )
+
+    def close(self) -> None:
+        self.conn.close()
+
+
+@pytest.fixture
+def client_factory():
+    clients = []
+
+    def make(address: Tuple[str, int]) -> Client:
+        client = Client(*address)
+        clients.append(client)
+        return client
+
+    yield make
+    for client in clients:
+        client.close()

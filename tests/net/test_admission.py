@@ -1,0 +1,94 @@
+"""Unit tests of the admission controller: bounded queues, honest sheds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.admission import (
+    EWMA_KEEP,
+    INITIAL_SERVICE_TIME_S,
+    AdmissionController,
+)
+
+
+class TestAdmission:
+    def test_admits_under_the_bound(self):
+        admission = AdmissionController(max_pending=10, workers=2)
+        assert admission.admit(1, None) is None
+        assert admission.pending == 1
+
+    def test_sheds_when_queue_full(self):
+        admission = AdmissionController(max_pending=2, workers=1)
+        assert admission.admit(2, None) is None
+        decision = admission.admit(1, None)
+        assert decision is not None
+        assert decision.reason == "queue_full"
+        assert decision.retry_after >= 1
+        assert admission.pending == 2  # the shed request was never counted
+
+    def test_batch_weight_counts_as_many_queries(self):
+        admission = AdmissionController(max_pending=10, workers=1)
+        assert admission.admit(8, None) is None
+        decision = admission.admit(5, None)
+        assert decision is not None and decision.reason == "queue_full"
+        assert admission.admit(2, None) is None
+
+    def test_release_frees_capacity(self):
+        admission = AdmissionController(max_pending=1, workers=1)
+        assert admission.admit(1, None) is None
+        assert admission.admit(1, None) is not None
+        admission.release(1, 0.001)
+        assert admission.admit(1, None) is None
+
+    def test_deadline_unmeetable_shed(self):
+        admission = AdmissionController(max_pending=1000, workers=1)
+        # Teach the EWMA that queries are slow (~1s each).
+        admission.admit(1, None)
+        admission.release(1, 5.0)
+        for _ in range(20):
+            assert admission.admit(1, None) is None
+        # 20 pending at ~1s each: a 1ms budget is hopeless.
+        decision = admission.admit(1, 0.001)
+        assert decision is not None
+        assert decision.reason == "deadline_unmeetable"
+        assert "deadline budget" in decision.detail
+        # The same request without a deadline is still admitted.
+        assert admission.admit(1, None) is None
+
+    def test_ewma_blends_toward_observations(self):
+        admission = AdmissionController(max_pending=10, workers=1)
+        admission.admit(1, None)
+        admission.release(1, 1.0)
+        expected = EWMA_KEEP * INITIAL_SERVICE_TIME_S + (1 - EWMA_KEEP) * 1.0
+        assert admission.service_time_s == pytest.approx(expected)
+
+    def test_release_never_goes_negative(self):
+        admission = AdmissionController(max_pending=10, workers=1)
+        admission.release(5, 0.1)
+        assert admission.pending == 0
+
+    def test_estimated_wait_zero_with_free_workers(self):
+        admission = AdmissionController(max_pending=100, workers=4)
+        assert admission.estimated_wait_s() == 0.0
+        for _ in range(4):
+            admission.admit(1, None)
+        assert admission.estimated_wait_s() == 0.0
+        admission.admit(4, None)
+        assert admission.estimated_wait_s() > 0.0
+
+    def test_stats_shape(self):
+        admission = AdmissionController(max_pending=5, workers=2)
+        admission.admit(1, None)
+        admission.admit(5, None)  # shed
+        stats = admission.stats()
+        assert stats["pending"] == 1
+        assert stats["admitted"] == 1
+        assert stats["shed"] == 1
+        assert stats["shed_by_reason"]["queue_full"] == 1
+        assert stats["workers"] == 2
+
+    def test_validates_construction(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_pending=0, workers=1)
+        with pytest.raises(ValueError):
+            AdmissionController(max_pending=1, workers=0)

@@ -1,0 +1,165 @@
+"""Unit tests of the micro-batcher: coalescing, deadlines, error routing."""
+
+from __future__ import annotations
+
+import asyncio
+from typing import List, Optional
+
+import pytest
+
+from repro.exceptions import DeadlineExceededError
+from repro.net.batching import MicroBatcher
+from repro.serving.service import QueryRequest
+
+
+class RecordingRunner:
+    """Echoes each request back as its 'answer', recording every call."""
+
+    def __init__(self, delay_s: float = 0.0):
+        self.calls: List[tuple] = []
+        self.delay_s = delay_s
+
+    async def __call__(self, requests, release_id):
+        self.calls.append((list(requests), release_id))
+        if self.delay_s:
+            await asyncio.sleep(self.delay_s)
+        return list(requests)
+
+
+def req(mask: int) -> QueryRequest:
+    return QueryRequest(mask=mask)
+
+
+class TestMicroBatcher:
+    def test_concurrent_submits_coalesce_into_one_runner_call(self):
+        async def _run():
+            runner = RecordingRunner()
+            batcher = MicroBatcher(runner, window_s=0.02, max_batch=100)
+            first, second = await asyncio.gather(
+                batcher.submit([req(1)]), batcher.submit([req(2), req(3)])
+            )
+            return runner, first, second
+
+        runner, first, second = asyncio.run(_run())
+        assert len(runner.calls) == 1  # one grouped flush
+        assert [r.mask for r in runner.calls[0][0]] == [1, 2, 3]
+        assert [r.mask for r in first] == [1]
+        assert [r.mask for r in second] == [2, 3]
+
+    def test_max_batch_flushes_immediately(self):
+        async def _run():
+            runner = RecordingRunner()
+            batcher = MicroBatcher(runner, window_s=10.0, max_batch=2)
+            # Two queries hit max_batch: flushes without waiting the window.
+            return await asyncio.wait_for(
+                batcher.submit([req(1), req(2)]), timeout=1.0
+            )
+
+        answers = asyncio.run(_run())
+        assert [r.mask for r in answers] == [1, 2]
+
+    def test_zero_window_means_no_waiting(self):
+        async def _run():
+            runner = RecordingRunner()
+            batcher = MicroBatcher(runner, window_s=0.0, max_batch=100)
+            await batcher.submit([req(1)])
+            await batcher.submit([req(2)])
+            return runner
+
+        runner = asyncio.run(_run())
+        assert len(runner.calls) == 2  # nothing coalesced, nothing delayed
+
+    def test_expired_entries_fail_without_reaching_the_runner(self):
+        async def _run():
+            runner = RecordingRunner()
+            batcher = MicroBatcher(runner, window_s=0.05, max_batch=100)
+            loop = asyncio.get_running_loop()
+            expired = batcher.submit([req(1)], deadline=loop.time() - 0.001)
+            live = batcher.submit([req(2)], deadline=loop.time() + 60.0)
+            results = await asyncio.gather(expired, live, return_exceptions=True)
+            return runner, results
+
+        runner, (expired_result, live_result) = asyncio.run(_run())
+        assert isinstance(expired_result, DeadlineExceededError)
+        assert [r.mask for r in live_result] == [2]
+        # The expired request's queries were never aggregated.
+        assert len(runner.calls) == 1
+        assert [r.mask for r in runner.calls[0][0]] == [2]
+
+    def test_all_expired_skips_the_runner_entirely(self):
+        async def _run():
+            runner = RecordingRunner()
+            batcher = MicroBatcher(runner, window_s=0.01, max_batch=100)
+            loop = asyncio.get_running_loop()
+            with pytest.raises(DeadlineExceededError):
+                await batcher.submit([req(1)], deadline=loop.time() - 1.0)
+            return runner
+
+        runner = asyncio.run(_run())
+        assert runner.calls == []
+
+    def test_pinned_releases_flush_in_separate_groups(self):
+        async def _run():
+            runner = RecordingRunner()
+            batcher = MicroBatcher(runner, window_s=0.02, max_batch=100)
+            await asyncio.gather(
+                batcher.submit([req(1)], release_id="release-0001"),
+                batcher.submit([req(2)], release_id=None),
+            )
+            return runner
+
+        runner = asyncio.run(_run())
+        assert len(runner.calls) == 2
+        assert {call[1] for call in runner.calls} == {"release-0001", None}
+
+    def test_runner_error_reaches_every_waiter(self):
+        class Failing:
+            async def __call__(self, requests, release_id):
+                raise RuntimeError("boom")
+
+        async def _run():
+            batcher = MicroBatcher(Failing(), window_s=0.01, max_batch=100)
+            return await asyncio.gather(
+                batcher.submit([req(1)]),
+                batcher.submit([req(2)]),
+                return_exceptions=True,
+            )
+
+        results = asyncio.run(_run())
+        assert all(isinstance(result, RuntimeError) for result in results)
+
+    def test_wrong_answer_count_is_an_error_not_a_hang(self):
+        class Short:
+            async def __call__(self, requests, release_id):
+                return []
+
+        async def _run():
+            batcher = MicroBatcher(Short(), window_s=0.0, max_batch=100)
+            with pytest.raises(RuntimeError, match="0 answers for 1 requests"):
+                await batcher.submit([req(1)])
+
+        asyncio.run(_run())
+
+    def test_drain_flushes_pending_queues(self):
+        async def _run():
+            runner = RecordingRunner()
+            batcher = MicroBatcher(runner, window_s=60.0, max_batch=100)
+            pending = asyncio.ensure_future(batcher.submit([req(1)]))
+            await asyncio.sleep(0)  # let submit enqueue
+            await batcher.drain()
+            return await asyncio.wait_for(pending, timeout=1.0)
+
+        answers = asyncio.run(_run())
+        assert [r.mask for r in answers] == [1]
+
+    def test_stats_counts_flushes(self):
+        async def _run():
+            runner = RecordingRunner()
+            batcher = MicroBatcher(runner, window_s=0.0, max_batch=100)
+            await batcher.submit([req(1), req(2)])
+            return batcher.stats()
+
+        stats = asyncio.run(_run())
+        assert stats["flushes"] == 1
+        assert stats["coalesced_requests"] == 2
+        assert stats["mean_flush_size"] == 2.0

@@ -1,0 +1,98 @@
+"""Unit tests of the per-release circuit breaker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.breaker import CLOSED, HALF_OPEN, OPEN, ReleaseBreaker
+
+
+class Clock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+@pytest.fixture
+def clock() -> Clock:
+    return Clock()
+
+
+@pytest.fixture
+def breaker(clock) -> ReleaseBreaker:
+    return ReleaseBreaker(threshold=3, cooldown_s=10.0, clock=clock)
+
+
+class TestReleaseBreaker:
+    def test_unpinned_requests_are_never_gated(self, breaker):
+        for _ in range(10):
+            breaker.record_failure(None)
+        assert breaker.check(None) is None
+        assert breaker.open_releases() == {}
+
+    def test_trips_after_threshold_consecutive_failures(self, breaker):
+        for _ in range(2):
+            breaker.record_failure("r1")
+        assert breaker.check("r1") is None  # still closed at 2 of 3
+        breaker.record_failure("r1")
+        wait = breaker.check("r1")
+        assert wait is not None and wait == pytest.approx(10.0)
+        assert "r1" in breaker.open_releases()
+
+    def test_success_resets_the_failure_count(self, breaker):
+        breaker.record_failure("r1")
+        breaker.record_failure("r1")
+        breaker.record_success("r1")
+        breaker.record_failure("r1")
+        breaker.record_failure("r1")
+        assert breaker.check("r1") is None  # never reached 3 consecutive
+
+    def test_cooldown_elapses_into_half_open_probe(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure("r1")
+        clock.now += 11.0
+        assert breaker.check("r1") is None  # the probe is admitted
+        # A second concurrent request is still refused while the probe runs.
+        assert breaker.check("r1") is not None
+
+    def test_probe_success_closes(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure("r1")
+        clock.now += 11.0
+        assert breaker.check("r1") is None
+        breaker.record_success("r1")
+        assert breaker.check("r1") is None
+        assert breaker.stats()["states"] == {}
+
+    def test_probe_failure_reopens_for_another_cooldown(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure("r1")
+        clock.now += 11.0
+        assert breaker.check("r1") is None
+        breaker.record_failure("r1")
+        wait = breaker.check("r1")
+        assert wait is not None and wait == pytest.approx(10.0)
+        assert breaker.stats()["trips"] == 2
+
+    def test_releases_are_independent(self, breaker):
+        for _ in range(3):
+            breaker.record_failure("r1")
+        assert breaker.check("r1") is not None
+        assert breaker.check("r2") is None
+
+    def test_stats_shape(self, breaker):
+        breaker.record_failure("r1")
+        stats = breaker.stats()
+        assert stats["threshold"] == 3
+        assert stats["states"]["r1"] == {"state": CLOSED, "failures": 1}
+        for _ in range(2):
+            breaker.record_failure("r1")
+        assert breaker.stats()["states"]["r1"]["state"] == OPEN
+
+    def test_validates_construction(self):
+        with pytest.raises(ValueError):
+            ReleaseBreaker(threshold=0)
+        with pytest.raises(ValueError):
+            ReleaseBreaker(cooldown_s=0)

@@ -1,0 +1,317 @@
+"""End-to-end tests of the HTTP serving tier over a real socket."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.net.protocol import answer_payload, encode_canonical
+from repro.net.server import BackgroundServer, ServerConfig
+from repro.obs import tracing
+from repro.serving.service import QueryService
+from repro.serving.store import ReleaseStore
+
+
+@pytest.fixture
+def server(service, client_factory):
+    config = ServerConfig(port=0, batch_window_ms=0.5)
+    with BackgroundServer(service, config) as background:
+        yield background
+
+
+@pytest.fixture
+def client(server, client_factory):
+    return client_factory(server.address)
+
+
+class TestEndpoints:
+    def test_healthz(self, client):
+        status, _, body = client.get("/healthz")
+        assert status == 200
+        assert json.loads(body) == {"ok": True, "draining": False}
+
+    def test_readyz_on_a_healthy_store(self, client):
+        status, _, body = client.get("/readyz")
+        payload = json.loads(body)
+        assert status == 200
+        assert payload["ready"] is True
+        assert payload["health"]["ok"] is True
+        assert payload["open_breakers"] == {}
+
+    def test_statsz_carries_the_obs_schema_and_server_block(self, client):
+        status, _, body = client.get("/statsz")
+        payload = json.loads(body)
+        assert status == 200
+        assert payload["schema"] == "repro.obs/v1"
+        server_stats = payload["server"]
+        assert {"admission", "batching", "breaker", "service"} <= set(server_stats)
+
+    def test_unknown_path_is_404(self, client):
+        status, _, body = client.get("/nope")
+        assert status == 404
+
+    def test_wrong_method_is_405_with_allow(self, client):
+        status, headers, _ = client.get("/v1/query")
+        assert status == 405
+        assert headers["Allow"] == "POST"
+
+    def test_statsz_validates_as_a_trace_payload(self, client):
+        from repro.obs import validate_payload
+
+        _, _, body = client.get("/statsz")
+        validate_payload(json.loads(body))
+
+
+class TestQueries:
+    def test_single_query_matches_in_process_byte_for_byte(
+        self, client, store
+    ):
+        reference = QueryService(store)
+        status, _, body = client.post_json("/v1/query", {"attributes": ["a", "b"]})
+        assert status == 200
+        expected = encode_canonical(
+            answer_payload(reference.query(["a", "b"]))
+        )
+        assert body == expected
+
+    def test_batch_array_matches_in_process(self, client, store):
+        reference = QueryService(store)
+        queries = [
+            {"attributes": ["a"]},
+            {"attributes": ["b", "c"]},
+            {"attributes": ["a"], "where": {"b": 1}},
+        ]
+        status, headers, body = client.post_json("/v1/query/batch", queries)
+        assert status == 200
+        assert headers["Content-Type"] == "application/json"
+        expected = encode_canonical(
+            [
+                answer_payload(answer)
+                for answer in reference.query_batch(
+                    [
+                        {"attributes": ("a",)},
+                        {"attributes": ("b", "c")},
+                        {"attributes": ("a",), "where": {"b": 1}},
+                    ]
+                )
+            ]
+        )
+        assert body == expected
+
+    def test_batch_ndjson_in_ndjson_out(self, client):
+        nd = b'{"attributes":["a"]}\n{"mask":3}\n'
+        status, headers, body = client.request(
+            "POST",
+            "/v1/query/batch",
+            body=nd,
+            headers={"Content-Type": "application/x-ndjson"},
+        )
+        assert status == 200
+        assert headers["Content-Type"] == "application/x-ndjson"
+        lines = [line for line in body.split(b"\n") if line]
+        assert len(lines) == 2
+        for line in lines:
+            payload = json.loads(line)
+            assert "values" in payload and payload["release"] == "release-0001"
+
+    def test_pinned_release_roundtrips(self, client):
+        status, _, body = client.post_json(
+            "/v1/query", {"attributes": ["a"], "release": "release-0001"}
+        )
+        assert status == 200
+        assert json.loads(body)["release"] == "release-0001"
+
+    def test_unknown_attribute_is_400_not_500(self, client):
+        status, _, body = client.post_json("/v1/query", {"attributes": ["zz"]})
+        assert status == 400
+        assert "error" in json.loads(body)
+
+    def test_uncovered_marginal_is_400(self, client):
+        status, _, body = client.post_json(
+            "/v1/query", {"attributes": ["a", "b", "c"]}
+        )
+        assert status == 400
+        assert "covers" in json.loads(body)["error"]
+
+    def test_mixed_release_pins_in_one_batch_are_rejected(self, client):
+        status, _, body = client.post_json(
+            "/v1/query/batch",
+            [
+                {"attributes": ["a"], "release": "release-0001"},
+                {"attributes": ["b"], "release": "release-0002"},
+            ],
+        )
+        assert status == 400
+        assert "same release" in json.loads(body)["error"]
+
+    def test_empty_batch_is_400(self, client):
+        status, _, _ = client.post_json("/v1/query/batch", [])
+        assert status == 400
+
+    def test_malformed_json_is_400(self, client):
+        status, _, _ = client.request(
+            "POST", "/v1/query", body=b"{not json",
+            headers={"Content-Type": "application/json"},
+        )
+        assert status == 400
+
+    def test_keep_alive_across_requests(self, client):
+        for _ in range(3):
+            status, _, _ = client.post_json("/v1/query", {"attributes": ["a"]})
+            assert status == 200
+
+
+class TestShedding:
+    def test_oversized_batch_sheds_with_503_and_retry_after(
+        self, service, client_factory
+    ):
+        config = ServerConfig(port=0, max_pending=2, batch_window_ms=0.0)
+        with BackgroundServer(service, config) as background:
+            client = client_factory(background.address)
+            queries = [{"attributes": ["a"]}] * 5  # weight 5 > max_pending 2
+            status, headers, body = client.post_json("/v1/query/batch", queries)
+            assert status == 503
+            payload = json.loads(body)
+            assert payload["reason"] == "queue_full"
+            assert int(headers["Retry-After"]) >= 1
+            # Within-capacity traffic still flows.
+            status, _, _ = client.post_json("/v1/query", {"attributes": ["a"]})
+            assert status == 200
+            stats = background.server.server_stats()
+            assert stats["admission"]["shed_by_reason"]["queue_full"] == 1
+
+    def test_expired_deadline_is_504_and_never_aggregated(
+        self, service, client_factory
+    ):
+        # A 150ms batching window with a 1ms budget: the deadline expires
+        # while queued, so the flush must drop the request un-aggregated.
+        config = ServerConfig(port=0, batch_window_ms=150.0)
+        with BackgroundServer(service, config) as background:
+            client = client_factory(background.address)
+            batches_before = service.stats()["batches"]
+            status, _, body = client.post_json(
+                "/v1/query",
+                {"attributes": ["a", "b"]},
+                headers={"X-Deadline-Ms": "1"},
+            )
+            assert status == 504
+            assert service.stats()["batches"] == batches_before
+
+    def test_draining_requests_get_503(self, server, client_factory):
+        client = client_factory(server.address)
+        status, _, _ = client.post_json("/v1/query", {"attributes": ["a"]})
+        assert status == 200
+        server.server._draining = True
+        try:
+            status, _, body = client.post_json("/v1/query", {"attributes": ["a"]})
+            assert status == 503
+            assert json.loads(body)["reason"] == "draining"
+        finally:
+            server.server._draining = False
+
+
+class TestDrain:
+    def test_drain_reports_no_aborts_and_refuses_new_connections(
+        self, service, client_factory
+    ):
+        import socket
+
+        config = ServerConfig(port=0, batch_window_ms=0.5)
+        background = BackgroundServer(service, config)
+        host, port = background.start()
+        client = client_factory((host, port))
+        for _ in range(3):
+            status, _, _ = client.post_json("/v1/query", {"attributes": ["a"]})
+            assert status == 200
+        report = background.stop()
+        assert report == {"completed": 0, "aborted": 0}
+        with pytest.raises(OSError):
+            socket.create_connection((host, port), timeout=0.5)
+
+    def test_drain_is_idempotent(self, service):
+        config = ServerConfig(port=0)
+        background = BackgroundServer(service, config)
+        background.start()
+        first = background.drain()
+        assert background.drain() == first
+        background.stop()
+
+
+class TestBreaker:
+    @pytest.fixture
+    def corrupt_store(self, tmp_path, release) -> ReleaseStore:
+        """A v2 store whose first 2-way cuboid's vector was tampered with."""
+        store = ReleaseStore(tmp_path / "cstore", store_format="v2")
+        rid = store.put(release)
+        clean = QueryService(ReleaseStore(tmp_path / "cstore", create=False))
+        # Corrupt the source that serves the 1-way 'a' marginal: after the
+        # quarantine, other 2-way cuboids containing 'a' still cover it, so
+        # the query degrades instead of failing.
+        answer = clean.query(["a"])
+        target = (
+            Path(store.root)
+            / rid
+            / "marginals"
+            / f"marginal_{answer.plan.source_position:05d}.npy"
+        )
+        bad = np.asarray(
+            release.marginals[answer.plan.source_position], dtype=np.float64
+        ).copy()
+        bad[0] += 1.0
+        np.save(target, bad)
+        return ReleaseStore(tmp_path / "cstore", create=False)
+
+    @pytest.mark.filterwarnings("ignore::RuntimeWarning")
+    def test_degraded_pinned_answers_trip_the_breaker(
+        self, corrupt_store, client_factory
+    ):
+        service = QueryService(corrupt_store)
+        config = ServerConfig(
+            port=0, batch_window_ms=0.0, breaker_threshold=1, breaker_cooldown_s=60.0
+        )
+        with BackgroundServer(service, config) as background:
+            client = client_factory(background.address)
+            # First pinned query: served, but degraded (quarantined source).
+            status, _, body = client.post_json(
+                "/v1/query",
+                {"attributes": ["a"], "release": "release-0001"},
+            )
+            assert status == 200
+            assert json.loads(body)["degraded"] is True
+            # The breaker opened: the next pinned request is refused fast.
+            status, headers, body = client.post_json(
+                "/v1/query",
+                {"attributes": ["a"], "release": "release-0001"},
+            )
+            assert status == 503
+            assert json.loads(body)["reason"] == "breaker_open"
+            assert int(headers["Retry-After"]) >= 1
+            # Unpinned queries on healthy cuboids still flow.
+            status, _, _ = client.post_json("/v1/query", {"attributes": ["b", "c"]})
+            assert status == 200
+            # Readiness reflects the open breaker.
+            status, _, body = client.get("/readyz")
+            assert status == 503
+            assert "release-0001" in json.loads(body)["open_breakers"]
+
+
+class TestObservability:
+    def test_request_spans_and_gauges_reach_statsz(self, store, client_factory):
+        service = QueryService(store)
+        config = ServerConfig(port=0, batch_window_ms=0.0)
+        with tracing() as recorder:
+            with BackgroundServer(service, config) as background:
+                client = client_factory(background.address)
+                for _ in range(3):
+                    status, _, _ = client.post_json(
+                        "/v1/query", {"attributes": ["a"]}
+                    )
+                    assert status == 200
+                _, _, body = client.get("/statsz")
+        payload = json.loads(body)
+        assert payload["span_durations"]["net.request"]["count"] == 3
+        assert payload["metrics"]["gauges"]["net.queue_depth"] == 0.0
+        assert recorder.metrics.snapshot()["counters"]["net.requests"] >= 3

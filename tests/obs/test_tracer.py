@@ -160,3 +160,36 @@ class TestThreadSafety:
             for thread in threads:
                 thread.join()
         assert counter.value == 8000
+
+
+class TestSpanCap:
+    """``max_spans`` bounds recorder memory for long-running servers."""
+
+    def test_records_stop_growing_at_the_cap(self):
+        recorder = Recorder(max_spans=5)
+        with tracing(recorder):
+            for index in range(12):
+                with trace_span("request", index=index):
+                    pass
+        assert len(recorder.spans) == 5
+        assert recorder.spans_dropped == 7
+        # The oldest spans are the ones retained (arrival order).
+        assert [record.attrs["index"] for record in recorder.spans] == list(range(5))
+
+    def test_metrics_keep_aggregating_past_the_cap(self):
+        recorder = Recorder(max_spans=2)
+        with tracing(recorder):
+            for _ in range(10):
+                with trace_span("request"):
+                    pass
+        durations = recorder.durations_by_name()
+        assert durations["request"]["count"] == 10  # histograms never drop
+
+    def test_uncapped_recorder_is_unchanged(self):
+        recorder = Recorder()
+        with tracing(recorder):
+            for _ in range(10):
+                with trace_span("request"):
+                    pass
+        assert len(recorder.spans) == 10
+        assert recorder.spans_dropped == 0

@@ -1,0 +1,135 @@
+"""Thread-safety of the service's route memo and the planner's plan cache.
+
+The asyncio serving tier dispatches ``query_batch`` onto a thread pool, so
+the request-signature memo (an ``OrderedDict`` LRU) and each planner's
+resolved-plan memo are hit from many threads at once.  Both caches are
+shrunk here to force constant eviction churn — the pre-lock code would
+corrupt the ``OrderedDict`` (``KeyError``/``RuntimeError`` out of
+``move_to_end``/``popitem``) or lose entries; the locked code must stay
+exception-free and keep answers bitwise identical to a serial run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from typing import List
+
+import pytest
+
+import repro.serving.planner as planner_module
+from repro.serving.service import QueryService
+from repro.serving.store import ReleaseStore
+
+THREADS = 8
+ROUNDS = 30
+
+ATTRS = ["a", "b", "c", "d", "e"]
+
+
+def _batch_for(index: int) -> List[dict]:
+    """A mixed batch whose shape varies per call (keeps the memo churning)."""
+    batch = []
+    for j in range(6):
+        first = ATTRS[(index + j) % 5]
+        second = ATTRS[(index + j + 1 + j % 3) % 5]
+        if first == second:
+            batch.append({"attributes": (first,)})
+        else:
+            batch.append({"attributes": (first, second)})
+        batch.append({"attributes": (first,), "where": {ATTRS[(index + j + 2) % 5]: j % 2}})
+    return batch
+
+
+def _digest(answers) -> str:
+    hasher = hashlib.sha256()
+    for answer in answers:
+        hasher.update(answer.values.tobytes())
+        hasher.update(str(answer.query_mask).encode())
+        hasher.update(str(answer.plan.source_mask).encode())
+    return hasher.hexdigest()
+
+
+@pytest.fixture
+def store(tmp_path, release) -> ReleaseStore:
+    store = ReleaseStore(tmp_path / "store", create=True)
+    store.put(release)
+    return store
+
+
+class TestConcurrentQueryBatch:
+    def test_eight_threads_with_tiny_caches_match_the_serial_answers(
+        self, store, monkeypatch
+    ):
+        # Shrink both memos far below the working set so every round evicts.
+        monkeypatch.setattr(planner_module, "PLAN_CACHE_ENTRIES", 4)
+        service = QueryService(store, cache_size=2)
+        service._request_keys_cap = 8
+
+        serial = QueryService(store)
+        expected = {
+            index: _digest(serial.query_batch(_batch_for(index)))
+            for index in range(THREADS)
+        }
+
+        errors: List[BaseException] = []
+        mismatches: List[str] = []
+        barrier = threading.Barrier(THREADS)
+
+        def worker(index: int) -> None:
+            try:
+                barrier.wait(timeout=30)
+                for _ in range(ROUNDS):
+                    answers = service.query_batch(_batch_for(index))
+                    if _digest(answers) != expected[index]:
+                        mismatches.append(f"thread {index} diverged")
+            except BaseException as error:  # noqa: BLE001 - surfaced below
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=worker, args=(index,)) for index in range(THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+
+        assert errors == []
+        assert mismatches == []
+        # The memo respected its (tiny) cap despite concurrent inserts.
+        assert len(service._request_keys) <= 8
+        stats = service.stats()
+        assert stats["request_index"]["evictions"] > 0
+
+    def test_concurrent_queries_with_invalidation_churn(self, store):
+        """invalidate() clears the memo mid-flight without corrupting it."""
+        service = QueryService(store, cache_size=8)
+        service._request_keys_cap = 8
+        stop = threading.Event()
+        errors: List[BaseException] = []
+
+        def querier(index: int) -> None:
+            try:
+                while not stop.is_set():
+                    service.query_batch(_batch_for(index))
+            except BaseException as error:  # noqa: BLE001
+                errors.append(error)
+
+        def invalidator() -> None:
+            try:
+                while not stop.is_set():
+                    service.invalidate()
+            except BaseException as error:  # noqa: BLE001
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=querier, args=(index,)) for index in range(4)
+        ] + [threading.Thread(target=invalidator)]
+        for thread in threads:
+            thread.start()
+        timer = threading.Timer(1.5, stop.set)
+        timer.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        timer.cancel()
+        assert errors == []
