@@ -114,10 +114,27 @@ class AdmissionController:
             _obs.gauge_set("net.queue_depth", float(self._pending))
         return None
 
-    def release(self, weight: int, elapsed_s: float) -> None:
-        """Report ``weight`` queries finished after ``elapsed_s`` seconds."""
+    def release(self, weight: int, elapsed_s: float = 0.0) -> None:
+        """Report ``weight`` queries finished after ``elapsed_s`` seconds.
+
+        Pass ``elapsed_s=0`` to only free the slots: wall time measured at
+        the request includes queue and batch-window wait, and coalesced
+        requests would each report the whole batch's wall time — N single
+        queries in one batch would inflate the EWMA ~N-fold.  The batch
+        runner feeds the estimate via :meth:`observe` instead.
+        """
         weight = max(1, int(weight))
         self._pending = max(0, self._pending - weight)
+        if elapsed_s > 0:
+            self.observe(weight, elapsed_s)
+        elif _obs.ENABLED:
+            _obs.gauge_set("net.queue_depth", float(self._pending))
+
+    def observe(self, weight: int, elapsed_s: float) -> None:
+        """Fold one service-time sample (``weight`` queries, one execution)
+        into the EWMA — ``elapsed_s`` must cover execution only, not queue
+        or batching-window wait."""
+        weight = max(1, int(weight))
         if elapsed_s > 0:
             per_query = elapsed_s / weight
             self._service_time_s = (

@@ -11,7 +11,8 @@ breaker tracks *consecutive* failures per release id:
   to the remaining cooldown;
 * ``half_open`` — once the cooldown elapses, one probe request is let
   through; success closes the breaker, failure re-opens it for another
-  cooldown.
+  cooldown, and a probe that exits with no verdict (shed, deadline,
+  transient server error) frees the slot so the next request probes.
 
 Only *pinned* requests (an explicit ``release`` in the payload) are
 gated: unpinned queries are free to re-route to an older healthy release,
@@ -92,6 +93,36 @@ class ReleaseBreaker:
             return max(remaining, 0.001)
         breaker.probing = True
         return None
+
+    def is_probe(self, release_id: Optional[str]) -> bool:
+        """Whether the half-open probe slot is currently held for the release.
+
+        Called synchronously right after a :meth:`check` that admitted the
+        request: while the slot is held every other pinned request is
+        refused, so a ``True`` here means *this* request is the probe and
+        owes a verdict — :meth:`record_success`, :meth:`record_failure`,
+        or :meth:`probe_aborted` if it exits without one.
+        """
+        if release_id is None:
+            return False
+        breaker = self._breakers.get(release_id)
+        return (
+            breaker is not None and breaker.state == HALF_OPEN and breaker.probing
+        )
+
+    def probe_aborted(self, release_id: Optional[str]) -> None:
+        """The probe exited without a verdict (shed, deadline, transient 500).
+
+        Frees the probe slot so the next pinned request can probe instead;
+        the breaker stays half-open.  Without this, an aborted probe would
+        wedge the breaker: every later request refused, none ever admitted
+        to clear it.
+        """
+        if release_id is None:
+            return
+        breaker = self._breakers.get(release_id)
+        if breaker is not None and breaker.state == HALF_OPEN:
+            breaker.probing = False
 
     def record_success(self, release_id: Optional[str]) -> None:
         """A query against the release succeeded; close its breaker."""

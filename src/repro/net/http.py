@@ -77,11 +77,21 @@ class Request:
     query: Dict[str, str]
     headers: Dict[str, str] = field(default_factory=dict)
     body: bytes = b""
+    version: str = "HTTP/1.1"
 
     @property
     def keep_alive(self) -> bool:
-        """Whether the client asked to reuse the connection (HTTP/1.1 default)."""
-        return self.headers.get("connection", "").lower() != "close"
+        """Whether the connection may be reused after this request.
+
+        HTTP/1.1 defaults to keep-alive unless ``Connection: close``;
+        HTTP/1.0 defaults to close unless the client explicitly sends
+        ``Connection: keep-alive`` — a 1.0 client left on an open
+        connection may block waiting for EOF it will never see.
+        """
+        connection = self.headers.get("connection", "").lower()
+        if self.version == "HTTP/1.0":
+            return connection == "keep-alive"
+        return connection != "close"
 
     def header_float(self, name: str) -> Optional[float]:
         """A numeric header value, or ``None``; malformed values are a 400."""
@@ -162,7 +172,19 @@ async def read_request(
         if not separator or not name.strip():
             raise ProtocolError(400, f"malformed header line {line!r}",
                                 close_connection=True)
-        headers[name.strip().lower()] = value.strip()
+        key = name.strip().lower()
+        value = value.strip()
+        if key == "content-length" and headers.get(key, value) != value:
+            # RFC 7230 §3.3.2: conflicting Content-Length values make the
+            # message framing ambiguous (request-smuggling vector behind an
+            # intermediary) — reject and close rather than let one win.
+            raise ProtocolError(
+                400,
+                f"conflicting Content-Length headers: "
+                f"{headers[key]!r} vs {value!r}",
+                close_connection=True,
+            )
+        headers[key] = value
 
     if headers.get("transfer-encoding", "").lower() == "chunked":
         raise ProtocolError(
@@ -219,6 +241,7 @@ async def read_request(
         query=query,
         headers=headers,
         body=body,
+        version=version,
     )
 
 

@@ -391,13 +391,22 @@ class QueryServer:
     async def _run_batch(
         self, requests: List[QueryRequest], release_id: Optional[str]
     ) -> List[ServedAnswer]:
-        """The micro-batcher's runner: one grouped call on the thread pool."""
+        """The micro-batcher's runner: one grouped call on the thread pool.
+
+        Also the admission EWMA's sample source: batch elapsed divided by
+        batch weight is the true per-query execution time, free of the
+        queue and batching-window wait that per-request wall time includes.
+        """
         loop = asyncio.get_running_loop()
         assert self._executor is not None
-        return await loop.run_in_executor(
-            self._executor,
-            lambda: self._service.query_batch(requests, release_id=release_id),
-        )
+        start = loop.time()
+        try:
+            return await loop.run_in_executor(
+                self._executor,
+                lambda: self._service.query_batch(requests, release_id=release_id),
+            )
+        finally:
+            self._admission.observe(len(requests), loop.time() - start)
 
     async def _handle_query(self, request: Request, *, batch: bool) -> _Response:
         loop = asyncio.get_running_loop()
@@ -423,15 +432,22 @@ class QueryServer:
                 f"release {release_id} is failing repeatedly; "
                 f"circuit re-opens in {wait:.1f}s",
             )
+        # If check() admitted us as the half-open probe, we owe the breaker
+        # a verdict on every exit path: success/failure where the release's
+        # health is actually known, probe_aborted otherwise — a leaked
+        # probe slot would refuse every later pinned request forever.
+        probe = self._breaker.is_probe(release_id)
         weight = len(queries)
         shed = self._admission.admit(weight, budget_s)
         if shed is not None:
+            if probe:
+                self._breaker.probe_aborted(release_id)
             return self._shed_response(shed.reason, shed.retry_after_s, shed.detail)
 
         self._accepted += 1
         self._inflight += 1
         self._idle.clear()
-        start = loop.time()
+        verdict = False
         try:
             if _faults.ENABLED:
                 _faults.fire("net.handler", path=request.path, queries=weight)
@@ -447,6 +463,15 @@ class QueryServer:
                     "application/json",
                     (),
                 )
+            if release_id is not None:
+                # A pinned release answering only through degraded fallbacks
+                # is failing from the client's point of view: count it toward
+                # the breaker so repeated corruption converges to fast 503s.
+                if any(answer.degraded for answer in answers):
+                    self._breaker.record_failure(release_id)
+                else:
+                    self._breaker.record_success(release_id)
+                verdict = True
         except DeadlineExceededError as error:
             if _obs.ENABLED:
                 _obs.counter_inc("net.deadline_exceeded")
@@ -467,29 +492,27 @@ class QueryServer:
                 (),
             )
         except ServingError as error:
-            self._breaker.record_failure(release_id)
+            # A request-validation error (bad attribute, uncovered marginal)
+            # is the client's fault: it says nothing about the release's
+            # health, so it must not count toward the breaker — one
+            # misbehaving client would otherwise 503 valid pinned traffic.
             return 400, error_body(400, str(error)), "application/json", ()
         except CorruptMarginalError as error:
             self._breaker.record_failure(release_id)
+            verdict = True
             return 500, error_body(500, str(error)), "application/json", ()
         except ReproError as error:
             if _obs.ENABLED:
                 _obs.counter_inc("net.handler_errors")
             return 500, error_body(500, str(error)), "application/json", ()
         finally:
-            self._admission.release(weight, loop.time() - start)
+            self._admission.release(weight)
+            if probe and not verdict:
+                self._breaker.probe_aborted(release_id)
             self._inflight -= 1
             if self._inflight == 0:
                 self._idle.set()
 
-        if release_id is not None:
-            # A pinned release answering only through degraded fallbacks is
-            # failing from the client's point of view: count it toward the
-            # breaker so repeated corruption converges to fast 503s.
-            if any(answer.degraded for answer in answers):
-                self._breaker.record_failure(release_id)
-            else:
-                self._breaker.record_success(release_id)
         payloads = [answer_payload(answer) for answer in answers]
         if batch:
             body, content_type = encode_batch(payloads, ndjson)

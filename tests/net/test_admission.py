@@ -62,6 +62,24 @@ class TestAdmission:
         expected = EWMA_KEEP * INITIAL_SERVICE_TIME_S + (1 - EWMA_KEEP) * 1.0
         assert admission.service_time_s == pytest.approx(expected)
 
+    def test_observe_feeds_ewma_per_query(self):
+        admission = AdmissionController(max_pending=10, workers=1)
+        admission.observe(10, 1.0)  # one batch: 10 queries in 1s
+        expected = EWMA_KEEP * INITIAL_SERVICE_TIME_S + (1 - EWMA_KEEP) * 0.1
+        assert admission.service_time_s == pytest.approx(expected)
+        assert admission.pending == 0  # observe never touches the queue
+
+    def test_release_without_elapsed_leaves_the_ewma_alone(self):
+        # Regression: coalesced requests each reporting the whole batch's
+        # wall time inflated the EWMA ~N-fold for N coalesced singles. The
+        # server now releases slots with no sample and lets the batch
+        # runner observe() true execution time instead.
+        admission = AdmissionController(max_pending=10, workers=1)
+        admission.admit(1, None)
+        admission.release(1)
+        assert admission.service_time_s == INITIAL_SERVICE_TIME_S
+        assert admission.pending == 0
+
     def test_release_never_goes_negative(self):
         admission = AdmissionController(max_pending=10, workers=1)
         admission.release(5, 0.1)

@@ -76,6 +76,40 @@ class TestReleaseBreaker:
         assert wait is not None and wait == pytest.approx(10.0)
         assert breaker.stats()["trips"] == 2
 
+    def test_is_probe_identifies_the_half_open_probe(self, breaker, clock):
+        assert breaker.is_probe("r1") is False  # no breaker yet
+        for _ in range(3):
+            breaker.record_failure("r1")
+        assert breaker.is_probe("r1") is False  # open, not probing
+        clock.now += 11.0
+        assert breaker.check("r1") is None
+        assert breaker.is_probe("r1") is True
+        assert breaker.is_probe(None) is False
+
+    def test_aborted_probe_frees_the_slot_instead_of_wedging(self, breaker, clock):
+        # Regression: a probe that exited without a verdict (shed, 504,
+        # transient 500) used to leave probing=True forever, refusing every
+        # later pinned request with no way to ever clear the breaker.
+        for _ in range(3):
+            breaker.record_failure("r1")
+        clock.now += 11.0
+        assert breaker.check("r1") is None  # the probe is admitted
+        assert breaker.check("r1") is not None  # slot held while it runs
+        breaker.probe_aborted("r1")
+        assert breaker.check("r1") is None  # the next request probes
+        breaker.record_success("r1")
+        assert breaker.check("r1") is None
+        assert breaker.stats()["states"] == {}
+
+    def test_probe_aborted_is_a_noop_outside_half_open(self, breaker, clock):
+        breaker.probe_aborted("missing")  # unknown release: no-op
+        breaker.probe_aborted(None)
+        for _ in range(3):
+            breaker.record_failure("r1")
+        breaker.probe_aborted("r1")  # open, cooldown running: no-op
+        wait = breaker.check("r1")
+        assert wait is not None and wait == pytest.approx(10.0)
+
     def test_releases_are_independent(self, breaker):
         for _ in range(3):
             breaker.record_failure("r1")

@@ -121,6 +121,43 @@ class TestReadRequest:
         assert request.header_float("x-deadline-ms") == 250.0
         assert request.header_float("missing") is None
 
+    def test_conflicting_content_lengths_are_400_and_close(self):
+        # RFC 7230 §3.3.2: differing duplicate Content-Length values make
+        # the framing ambiguous — must reject, not let the last one win.
+        raw = (
+            b"POST / HTTP/1.1\r\n"
+            b"Content-Length: 7\r\n"
+            b"Content-Length: 3\r\n\r\n"
+            b'{"a":1}'
+        )
+        with pytest.raises(ProtocolError) as excinfo:
+            parse(raw)
+        assert excinfo.value.status == 400
+        assert "Content-Length" in str(excinfo.value)
+        assert excinfo.value.close_connection
+
+    def test_identical_duplicate_content_lengths_are_tolerated(self):
+        raw = (
+            b"POST / HTTP/1.1\r\n"
+            b"Content-Length: 7\r\n"
+            b"Content-Length: 7\r\n\r\n"
+            b'{"a":1}'
+        )
+        assert parse(raw).body == b'{"a":1}'
+
+    def test_http10_defaults_to_close(self):
+        request = parse(b"GET / HTTP/1.0\r\nHost: x\r\n\r\n")
+        assert request.version == "HTTP/1.0"
+        assert not request.keep_alive
+
+    def test_http10_explicit_keep_alive_is_honoured(self):
+        request = parse(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+        assert request.keep_alive
+
+    def test_http11_defaults_to_keep_alive(self):
+        assert parse(b"GET / HTTP/1.1\r\n\r\n").version == "HTTP/1.1"
+        assert parse(b"GET / HTTP/1.1\r\n\r\n").keep_alive
+
     def test_keepalive_parses_two_requests_off_one_stream(self):
         async def _run():
             reader = asyncio.StreamReader()

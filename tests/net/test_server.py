@@ -298,6 +298,58 @@ class TestBreaker:
             assert "release-0001" in json.loads(body)["open_breakers"]
 
 
+    def test_client_errors_do_not_trip_the_breaker(self, service, client_factory):
+        # Regression: a request-validation 400 used to count as a breaker
+        # failure, so one misbehaving client pinning a release could 503
+        # everyone else's valid pinned traffic and flip /readyz.
+        config = ServerConfig(port=0, batch_window_ms=0.0, breaker_threshold=1)
+        with BackgroundServer(service, config) as background:
+            client = client_factory(background.address)
+            bad = {"attributes": ["zz"], "release": "release-0001"}
+            for _ in range(3):
+                status, _, _ = client.post_json("/v1/query", bad)
+                assert status == 400
+            status, _, _ = client.post_json(
+                "/v1/query", {"attributes": ["a"], "release": "release-0001"}
+            )
+            assert status == 200
+            status, _, _ = client.get("/readyz")
+            assert status == 200
+
+    @pytest.mark.filterwarnings("ignore::RuntimeWarning")
+    def test_aborted_probe_does_not_wedge_the_breaker(
+        self, corrupt_store, client_factory
+    ):
+        # Regression: a half-open probe exiting through the 504 path left
+        # probing=True forever — every later pinned request was refused and
+        # none could ever be admitted to clear the breaker.
+        import time
+
+        service = QueryService(corrupt_store)
+        config = ServerConfig(
+            port=0, batch_window_ms=0.0, breaker_threshold=1,
+            breaker_cooldown_s=0.2,
+        )
+        with BackgroundServer(service, config) as background:
+            client = client_factory(background.address)
+            pinned = {"attributes": ["a"], "release": "release-0001"}
+            status, _, body = client.post_json("/v1/query", pinned)
+            assert status == 200 and json.loads(body)["degraded"] is True
+            status, _, _ = client.post_json("/v1/query", pinned)
+            assert status == 503  # breaker opened on the degraded answer
+            time.sleep(0.3)  # cooldown elapses -> half-open
+            # The probe's deadline expires while queued: 504, no verdict.
+            status, _, _ = client.post_json(
+                "/v1/query", pinned, headers={"X-Deadline-Ms": "0.001"}
+            )
+            assert status == 504
+            # The aborted probe freed the slot: the next pinned request is
+            # admitted as the new probe instead of being refused forever.
+            status, _, body = client.post_json("/v1/query", pinned)
+            assert status == 200
+            assert json.loads(body)["degraded"] is True
+
+
 class TestObservability:
     def test_request_spans_and_gauges_reach_statsz(self, store, client_factory):
         service = QueryService(store)
